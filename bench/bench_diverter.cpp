@@ -1,0 +1,164 @@
+// Experiment E4 — Message Diverter behaviour through a switchover
+// (paper §2.2.3: "If a message is sent during a switchover, the message
+// non-delivery is detected and retried").
+//
+// An external source streams sequenced messages at a fixed rate while
+// the primary crashes mid-stream. We count delivered / lost / duplicate
+// messages at the application, comparing MSMQ delivery modes and the
+// application's checkpoint discipline (periodic vs per-event OFTTSave).
+#include <set>
+
+#include "bench_util.h"
+#include "core/api.h"
+#include "core/deployment.h"
+#include "core/diverter.h"
+#include "msmq/queue_manager.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+constexpr const char* kQueue = "unit.inbox";
+
+class SeqConsumer {
+ public:
+  SeqConsumer(sim::Process& process, bool save_per_event) : process_(&process) {
+    auto& rt = nt::NtRuntime::of(process);
+    region_ = &rt.memory().alloc("globals", 1 << 14);
+    count_ = nt::Cell<std::int64_t>(region_, 0);
+    core::FtimOptions opts;
+    opts.checkpoint_period = sim::milliseconds(250);
+    core::OFTTInitialize(process, opts);
+    core::Ftim::find(process)->on_activate([this, save_per_event](bool) {
+      msmq::MsmqApi::of(*process_).subscribe(kQueue, [this, save_per_event](
+                                                         const msmq::Message& m) {
+        BinaryReader r(m.body);
+        std::int64_t seq = r.i64();
+        // Sequence-number bitmap in checkpointed state: duplicates and
+        // losses are visible after any number of failovers.
+        std::size_t byte = 8 + static_cast<std::size_t>(seq) / 8;
+        std::uint8_t bit = static_cast<std::uint8_t>(1u << (seq % 8));
+        std::uint8_t cur = region_->read<std::uint8_t>(byte);
+        if (cur & bit) {
+          ++dups_this_instance;
+        } else {
+          region_->write<std::uint8_t>(byte, static_cast<std::uint8_t>(cur | bit));
+          count_.set(count_.get() + 1);
+        }
+        if (save_per_event) core::OFTTSave(*process_);
+      });
+    });
+  }
+
+  std::int64_t delivered_unique(std::int64_t total) const {
+    std::int64_t n = 0;
+    for (std::int64_t s = 0; s < total; ++s) {
+      if (region_->read<std::uint8_t>(8 + static_cast<std::size_t>(s) / 8) &
+          (1u << (s % 8))) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  int dups_this_instance = 0;
+
+  static SeqConsumer* find(sim::Node& node) {
+    auto proc = node.find_process("app");
+    return proc && proc->alive() ? proc->find_attachment<SeqConsumer>() : nullptr;
+  }
+
+ private:
+  sim::Process* process_;
+  nt::Region* region_ = nullptr;
+  nt::Cell<std::int64_t> count_;
+};
+
+struct Outcome {
+  std::int64_t sent = 0;
+  std::int64_t delivered = 0;
+  std::int64_t lost = 0;
+  bool failover_ok = false;
+};
+
+Outcome run_once(msmq::DeliveryMode mode, bool save_per_event, std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  core::PairDeploymentOptions opts;
+  opts.unit = "unit";
+  opts.app_factory = [save_per_event](sim::Process& proc) {
+    proc.attachment<SeqConsumer>(proc, save_per_event);
+  };
+  core::PairDeployment dep(sim, opts);
+
+  auto src = dep.monitor_node().start_process("source", nullptr);
+  core::DiverterOptions dopts;
+  dopts.unit = "unit";
+  dopts.queue = kQueue;
+  dopts.node_a = dep.node_a().id();
+  dopts.node_b = dep.node_b().id();
+  auto diverter = std::make_shared<core::MessageDiverter>(*src, dopts);
+  src->add_component(diverter);
+
+  sim.run_for(sim::seconds(3));
+
+  Outcome out;
+  sim::PeriodicTimer stream(src->main_strand());
+  stream.start(sim::milliseconds(10), [&] {
+    BinaryWriter w;
+    w.i64(out.sent++);
+    diverter->send("m", std::move(w).take(), mode);
+  });
+  sim.run_for(sim::seconds(2));
+  dep.node_a().crash();  // mid-stream primary loss
+  sim.run_for(sim::seconds(4));
+  stream.stop();
+  sim.run_for(sim::seconds(10));  // drain retries
+
+  out.failover_ok = dep.primary_node() == dep.node_b().id();
+  if (SeqConsumer* app = SeqConsumer::find(dep.node_b())) {
+    out.delivered = app->delivered_unique(out.sent);
+  }
+  out.lost = out.sent - out.delivered;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  const int kSeeds = 10;
+  title("E4: message continuity through a mid-stream switchover",
+        "source streams 100 msg/s; primary node crashes mid-stream; totals over " +
+            std::to_string(kSeeds) +
+            " seeds. Loss window = messages acknowledged into the dead primary's queue "
+            "after its last shipped checkpoint");
+
+  row({"mode / checkpointing", "sent", "delivered", "lost", "loss rate"});
+  rule(5);
+  struct Config {
+    const char* name;
+    msmq::DeliveryMode mode;
+    bool per_event;
+  };
+  for (const Config& cfg :
+       {Config{"recoverable + per-event save", msmq::DeliveryMode::kRecoverable, true},
+        Config{"recoverable + periodic ckpt", msmq::DeliveryMode::kRecoverable, false},
+        Config{"express + per-event save", msmq::DeliveryMode::kExpress, true}}) {
+    std::int64_t sent = 0, delivered = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Outcome o = run_once(cfg.mode, cfg.per_event, static_cast<std::uint64_t>(s) * 31 + 5);
+      if (!o.failover_ok) continue;
+      sent += o.sent;
+      delivered += o.delivered;
+    }
+    row({cfg.name, fmt_int(sent), fmt_int(delivered), fmt_int(sent - delivered),
+         sent ? fmt_pct(static_cast<double>(sent - delivered) / static_cast<double>(sent), 2)
+              : "n/a"});
+  }
+  std::printf(
+      "\n(per-event OFTTSave closes the checkpoint-lag window: only messages that reached\n"
+      " the dead node's local queue without being processed can be lost; the store-and-\n"
+      " forward layer retries everything not yet acknowledged to the new primary)\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Experiment M1 — microbenchmarks (google-benchmark, real CPU time):
+// the serialization, marshaling and checkpoint-capture primitives every
+// OFTT control-plane message rides on.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "core/checkpoint.h"
+#include "core/wire.h"
+#include "dcom/orpc.h"
+#include "msmq/message.h"
+#include "opc/value.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace oftt;
+
+void BM_BinaryWriterSmallMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    BinaryWriter w;
+    w.u64(123456);
+    w.str("component.name");
+    w.i32(-1);
+    w.guid(Guid::from_name("IID_IOPCServer"));
+    benchmark::DoNotOptimize(w.data().data());
+  }
+}
+BENCHMARK(BM_BinaryWriterSmallMessage);
+
+void BM_BinaryReaderSmallMessage(benchmark::State& state) {
+  BinaryWriter w;
+  w.u64(123456);
+  w.str("component.name");
+  w.i32(-1);
+  Buffer b = std::move(w).take();
+  for (auto _ : state) {
+    BinaryReader r(b);
+    benchmark::DoNotOptimize(r.u64());
+    benchmark::DoNotOptimize(r.str());
+    benchmark::DoNotOptimize(r.i32());
+  }
+}
+BENCHMARK(BM_BinaryReaderSmallMessage);
+
+void BM_GuidFromName(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Guid::from_name("CLSID_SomeLongCoClassName"));
+  }
+}
+BENCHMARK(BM_GuidFromName);
+
+void BM_Fnv64(benchmark::State& state) {
+  Buffer b(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv64(b));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fnv64)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_OrpcRequestRoundTrip(benchmark::State& state) {
+  dcom::RequestPacket req;
+  req.call_id = 42;
+  req.oid = 7;
+  req.iid = Guid::from_name("IID_IOPCGroup");
+  req.method = 3;
+  req.args = Buffer(128, 1);
+  req.reply_node = 2;
+  req.reply_port = "orpcc.app";
+  for (auto _ : state) {
+    Buffer b = dcom::encode_request(req);
+    dcom::RequestPacket out;
+    dcom::decode_request(b, out);
+    benchmark::DoNotOptimize(out.call_id);
+  }
+}
+BENCHMARK(BM_OrpcRequestRoundTrip);
+
+void BM_OpcItemStatesMarshal(benchmark::State& state) {
+  std::vector<opc::ItemState> items;
+  for (int i = 0; i < state.range(0); ++i) {
+    items.push_back({"Device.Tag" + std::to_string(i), opc::OpcValue::from_real(1.5 * i),
+                     opc::Quality::kGood, sim::seconds(1)});
+  }
+  for (auto _ : state) {
+    BinaryWriter w;
+    opc::marshal_item_states(w, items);
+    BinaryReader r(w.data());
+    benchmark::DoNotOptimize(opc::unmarshal_item_states(r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OpcItemStatesMarshal)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_MsmqMessageMarshal(benchmark::State& state) {
+  msmq::Message m;
+  m.id = 0xABCDEF;
+  m.src_node = 1;
+  m.queue = "calltrack.events";
+  m.label = "call";
+  m.body = Buffer(static_cast<std::size_t>(state.range(0)), 7);
+  m.mode = msmq::DeliveryMode::kRecoverable;
+  for (auto _ : state) {
+    BinaryWriter w;
+    m.marshal(w);
+    BinaryReader r(w.data());
+    benchmark::DoNotOptimize(msmq::Message::unmarshal(r));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MsmqMessageMarshal)->Arg(16)->Arg(1024);
+
+void BM_CheckpointCaptureFull(benchmark::State& state) {
+  sim::Simulation sim(1);
+  sim::Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("app", nullptr);
+  auto& rt = nt::NtRuntime::of(*proc);
+  rt.memory().alloc("globals", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto img = core::capture_checkpoint(rt, core::CheckpointMode::kFull, {}, 1, 1, {});
+    benchmark::DoNotOptimize(img.marshal().size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointCaptureFull)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CheckpointCaptureSelective(benchmark::State& state) {
+  sim::Simulation sim(1);
+  sim::Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("app", nullptr);
+  auto& rt = nt::NtRuntime::of(*proc);
+  rt.memory().alloc("globals", static_cast<std::size_t>(state.range(0)));
+  std::vector<core::CellSpec> cells{{"globals", 0, 32}};
+  for (auto _ : state) {
+    auto img = core::capture_checkpoint(rt, core::CheckpointMode::kSelective, cells, 1, 1, {});
+    benchmark::DoNotOptimize(img.marshal().size());
+  }
+}
+BENCHMARK(BM_CheckpointCaptureSelective)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  sim::Simulation sim(1);
+  sim::Node& node = sim.add_node("n");
+  node.boot();
+  auto src = node.start_process("src", nullptr);
+  auto dst = node.start_process("dst", nullptr);
+  auto& srt = nt::NtRuntime::of(*src);
+  auto& drt = nt::NtRuntime::of(*dst);
+  srt.memory().alloc("globals", static_cast<std::size_t>(state.range(0)));
+  drt.memory().alloc("globals", static_cast<std::size_t>(state.range(0)));
+  auto img = core::capture_checkpoint(srt, core::CheckpointMode::kFull, {}, 1, 1, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::restore_checkpoint(drt, img));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StatusReportEncode(benchmark::State& state) {
+  core::StatusReport sr;
+  sr.unit = "calltrack";
+  sr.node = 1;
+  sr.role = core::Role::kPrimary;
+  for (int i = 0; i < 8; ++i) {
+    sr.components.push_back(
+        {"component" + std::to_string(i), core::ComponentState::kUp, 0, 12345});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sr.encode().size());
+  }
+}
+BENCHMARK(BM_StatusReportEncode);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  // How many discrete events per second the kernel itself sustains.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim(1);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(i, [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Experiment E8 (design ablation) — "two redundant computers are paired
+// up via one or dual Ethernet networks" (Fig. 1). What the second
+// segment buys: we flap links and partition segments under both
+// configurations and count spurious takeovers, dual-primary windows,
+// and checkpoint continuity.
+#include "bench_util.h"
+#include "core/deployment.h"
+#include "sim/fault_plan.h"
+#include "support/counter_app.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t takeovers = 0;
+  std::uint64_t dual_primary = 0;
+  bool single_primary_at_end = false;
+  std::uint64_t checkpoints_received = 0;
+};
+
+Outcome run(bool dual, std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  core::PairDeploymentOptions opts;
+  opts.dual_network = dual;
+  opts.app_factory = [](sim::Process& proc) {
+    proc.attachment<testsupport::CounterApp>(proc);
+  };
+  core::PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+
+  int a = dep.node_a().id(), b = dep.node_b().id();
+  sim::FaultPlan plan(sim);
+  // A flaky primary NIC on LAN0: 2 s outages, 6 of them.
+  plan.flap_link(sim::seconds(5), 0, a, b, sim::seconds(2), 6);
+  plan.arm();
+  sim.run_for(sim::seconds(40));
+
+  Outcome out;
+  out.takeovers = sim.counter_value("oftt.takeovers");
+  out.dual_primary = sim.counter_value("oftt.dual_primary_detected");
+  int primaries = 0;
+  if (dep.engine_a() && dep.engine_a()->role() == core::Role::kPrimary) ++primaries;
+  if (dep.engine_b() && dep.engine_b()->role() == core::Role::kPrimary) ++primaries;
+  out.single_primary_at_end = primaries == 1;
+  out.checkpoints_received = sim.counter_value("oftt.checkpoints_received");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  const int kSeeds = 10;
+  title("E8: one vs dual Ethernet under link flapping (design ablation)",
+        "the pair's LAN0 link flaps 6x for 2 s each; heartbeat timeout 500 ms; totals "
+        "over " + std::to_string(kSeeds) + " seeds");
+  row({"configuration", "takeovers", "dual-primary", "stable end", "ckpts recvd"});
+  rule(5);
+  for (bool dual : {false, true}) {
+    std::uint64_t takeovers = 0, dual_primary = 0, ckpts = 0;
+    int stable = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Outcome o = run(dual, static_cast<std::uint64_t>(s) * 37 + 2);
+      takeovers += o.takeovers;
+      dual_primary += o.dual_primary;
+      ckpts += o.checkpoints_received;
+      if (o.single_primary_at_end) ++stable;
+    }
+    row({dual ? "dual Ethernet" : "single Ethernet",
+         fmt_int(static_cast<long long>(takeovers)),
+         fmt_int(static_cast<long long>(dual_primary)),
+         fmt_pct(static_cast<double>(stable) / kSeeds, 0),
+         fmt_int(static_cast<long long>(ckpts))});
+  }
+  std::printf(
+      "\n(every flap of the single segment looks like peer death -> spurious takeover and\n"
+      " a dual-primary window until the link returns; the dual configuration rides\n"
+      " through on the second segment with zero role churn)\n");
+  return 0;
+}

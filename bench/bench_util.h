@@ -1,0 +1,66 @@
+// Shared helpers for the experiment harnesses: fixed-width table
+// printing and small statistics.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oftt::bench {
+
+inline void title(const std::string& name, const std::string& what) {
+  std::printf("\n%s\n%s\n", name.c_str(), std::string(name.size(), '=').c_str());
+  std::printf("%s\n\n", what.c_str());
+}
+
+/// Print a row of columns each padded to width 14 (first column 28).
+inline void row(const std::vector<std::string>& cols) {
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    std::printf(i == 0 ? "%-28s" : "%14s", cols[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void rule(std::size_t cols) {
+  std::printf("%s\n", std::string(28 + 14 * (cols - 1), '-').c_str());
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+inline std::string fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+inline std::string fmt_pct(double v, int prec = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, v * 100.0);
+  return buf;
+}
+
+struct Stats {
+  double mean = 0, p50 = 0, p95 = 0, min = 0, max = 0;
+  std::size_t n = 0;
+};
+
+inline Stats stats_of(std::vector<double> xs) {
+  Stats s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  s.p50 = xs[xs.size() / 2];
+  s.p95 = xs[static_cast<std::size_t>(static_cast<double>(xs.size() - 1) * 0.95)];
+  s.min = xs.front();
+  s.max = xs.back();
+  return s;
+}
+
+}  // namespace oftt::bench

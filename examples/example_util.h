@@ -1,0 +1,28 @@
+// Shared narration helpers for the example programs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "core/deployment.h"
+#include "sim/simulation.h"
+
+namespace oftt::examples {
+
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void note(sim::Simulation& sim, const std::string& text) {
+  std::printf("[t=%7.3fs] %s\n", sim::to_seconds(sim.now()), text.c_str());
+}
+
+inline std::string role_line(core::PairDeployment& dep) {
+  auto role_of = [](core::Engine* e) {
+    return e ? core::role_name(e->role()) : "(engine down)";
+  };
+  return std::string("nodeA=") + role_of(dep.engine_a()) + "  nodeB=" + role_of(dep.engine_b());
+}
+
+}  // namespace oftt::examples

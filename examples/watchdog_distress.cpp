@@ -1,0 +1,109 @@
+// Watchdogs and OFTTDistress: the two APIs for failures that heartbeats
+// cannot see.
+//
+//  * A wedged main loop: the FTIM thread keeps heartbeating, so only
+//    the reliable watchdog (deadline tracked inside the engine process)
+//    catches the hang.
+//  * An application-detected problem (e.g. parity errors on a sensor
+//    bus): the app calls OFTTDistress to request a switchover while it
+//    still can.
+//
+// Run:  ./watchdog_distress
+#include <cstdio>
+
+#include "core/api.h"
+#include "core/deployment.h"
+#include "example_util.h"
+#include "sim/timer.h"
+
+using namespace oftt;
+using namespace oftt::examples;
+
+namespace {
+
+class ControlLoopApp {
+ public:
+  explicit ControlLoopApp(sim::Process& process)
+      : process_(&process), loop_timer_(process.main_strand()) {
+    auto& rt = nt::NtRuntime::of(process);
+    rt.create_thread_static("control_loop", 0x401000);
+    region_ = &rt.memory().alloc("globals", 32);
+    iterations_ = nt::Cell<std::int64_t>(region_, 0);
+
+    core::OFTTInitialize(process, {});
+    core::Ftim& ftim = *core::Ftim::find(process);
+    ftim.on_activate([this](bool) {
+      // The control loop must complete an iteration every 200 ms; give
+      // the watchdog 3x slack.
+      core::OFTTWatchdogCreate(*process_, "control_loop", sim::milliseconds(600));
+      loop_timer_.start(sim::milliseconds(200), [this] {
+        iterations_.set(iterations_.get() + 1);
+        core::OFTTWatchdogReset(*process_, "control_loop");
+      });
+    });
+    ftim.on_deactivate([this] { loop_timer_.stop(); });
+  }
+
+  std::int64_t iterations() const { return iterations_.get(); }
+
+  static ControlLoopApp* find(sim::Node& node) {
+    auto proc = node.find_process("app");
+    return proc && proc->alive() ? proc->find_attachment<ControlLoopApp>() : nullptr;
+  }
+
+ private:
+  sim::Process* process_;
+  nt::Region* region_ = nullptr;
+  nt::Cell<std::int64_t> iterations_;
+  sim::PeriodicTimer loop_timer_;
+};
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  sim::Simulation sim(/*seed=*/4242);
+
+  banner("Watchdog: catching a wedged control loop");
+  core::PairDeploymentOptions opts;
+  opts.unit = "controller";
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<ControlLoopApp>(proc); };
+  core::PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));
+  note(sim, "pair formed: " + role_line(dep));
+  note(sim, "control loop iterations on primary: " +
+               std::to_string(ControlLoopApp::find(dep.node_a())->iterations()));
+
+  // Wedge only the main thread. Heartbeats (FTIM thread) keep flowing.
+  dep.node_a().find_process("app")->main_strand().hang();
+  note(sim, "main thread wedged — FTIM heartbeats still flowing");
+  sim.run_for(sim::seconds(3));
+  note(sim, "watchdog expiries: " +
+               std::to_string(sim.counter_value("oftt.watchdog_expired")) +
+               ", local restarts: " + std::to_string(sim.counter_value("oftt.local_restarts")));
+  note(sim, "loop recovered; iterations now: " +
+               std::to_string(ControlLoopApp::find(dep.node_a())->iterations()));
+
+  banner("Distress: the application requests a switchover itself");
+  note(sim, "roles before distress: " + role_line(dep));
+  {
+    auto proc = dep.node_a().find_process("app");
+    core::OFTTDistress(*proc, "sensor bus parity errors beyond threshold");
+  }
+  sim.run_for(sim::seconds(3));
+  note(sim, "roles after distress:  " + role_line(dep));
+  note(sim, "new primary iterations: " +
+               std::to_string(ControlLoopApp::find(dep.node_b())->iterations()) +
+               " (state carried over in checkpoint)");
+
+  banner("Distress with no healthy peer is refused");
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(2));
+  {
+    auto proc = dep.node_b().find_process("app");
+    core::OFTTDistress(*proc, "second fault");  // engine logs, keeps serving
+  }
+  sim.run_for(sim::seconds(2));
+  note(sim, "roles: " + role_line(dep) + " — lone node keeps serving");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// com::Object — the reusable implementation of IUnknown, playing the
+// role ATL's CComObject played for the paper's authors: derive from
+// Object<Self, IFoo, IBar> and the refcount + QueryInterface plumbing is
+// done.
+#pragma once
+
+#include <cassert>
+
+#include "com/unknown.h"
+
+namespace oftt::com {
+
+template <typename Derived, typename First, typename... Rest>
+class Object : public First, public Rest... {
+ public:
+  HRESULT QueryInterface(REFIID iid, void** ppv) override {
+    if (ppv == nullptr) return E_POINTER;
+    *ppv = nullptr;
+    if (iid == IUnknown::iid() || iid == First::iid()) {
+      // IUnknown identity: always the first listed interface.
+      *ppv = static_cast<First*>(this);
+    } else {
+      // Discarded fold result; with no Rest this is the literal `false`.
+      static_cast<void>((try_cast<Rest>(iid, ppv) || ...));
+    }
+    if (*ppv == nullptr) return E_NOINTERFACE;
+    AddRef();
+    return S_OK;
+  }
+
+  ULONG AddRef() override { return ++refs_; }
+
+  ULONG Release() override {
+    assert(refs_ > 0);
+    ULONG r = --refs_;
+    if (r == 0) delete static_cast<Derived*>(this);
+    return r;
+  }
+
+  ULONG ref_count() const { return refs_; }
+
+  /// Construct a Derived and return it holding one reference.
+  template <typename... Args>
+  static ComPtr<Derived> create(Args&&... args) {
+    return ComPtr<Derived>::attach(new Derived(std::forward<Args>(args)...));
+  }
+
+ protected:
+  Object() = default;
+  virtual ~Object() = default;
+
+ private:
+  template <typename I>
+  bool try_cast(REFIID iid, void** ppv) {
+    if (iid == I::iid()) {
+      *ppv = static_cast<I*>(this);
+      return true;
+    }
+    return false;
+  }
+
+  ULONG refs_ = 1;  // born with the creator's reference
+};
+
+}  // namespace oftt::com

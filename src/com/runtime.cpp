@@ -1,0 +1,35 @@
+#include "com/runtime.h"
+
+#include "common/logging.h"
+
+namespace oftt::com {
+
+void ComRuntime::register_class(REFCLSID clsid, ComPtr<IClassFactory> factory,
+                                const std::string& name) {
+  classes_[clsid] = Entry{std::move(factory), name};
+  OFTT_LOG_TRACE("com", "registered class ", name.empty() ? clsid.to_string() : name);
+}
+
+void ComRuntime::revoke_class(REFCLSID clsid) { classes_.erase(clsid); }
+
+HRESULT ComRuntime::get_class_object(REFCLSID clsid, ComPtr<IClassFactory>& out) const {
+  auto it = classes_.find(clsid);
+  if (it == classes_.end()) return REGDB_E_CLASSNOTREG;
+  out = it->second.factory;
+  return S_OK;
+}
+
+HRESULT ComRuntime::create_instance(REFCLSID clsid, REFIID iid, void** ppv) const {
+  if (ppv == nullptr) return E_POINTER;
+  *ppv = nullptr;
+  ComPtr<IClassFactory> factory;
+  if (HRESULT hr = get_class_object(clsid, factory); FAILED(hr)) return hr;
+  return factory->CreateInstance(iid, ppv);
+}
+
+std::string ComRuntime::class_name(REFCLSID clsid) const {
+  auto it = classes_.find(clsid);
+  return it == classes_.end() ? std::string() : it->second.name;
+}
+
+}  // namespace oftt::com

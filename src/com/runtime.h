@@ -1,0 +1,79 @@
+// ComRuntime: the per-process COM library state — class registry and
+// activation (CoCreateInstance). The DCOM layer extends activation
+// across nodes via the SCM service; this file is purely in-process.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "com/object.h"
+#include "com/unknown.h"
+#include "sim/process.h"
+
+namespace oftt::com {
+
+struct IClassFactory : IUnknown {
+  OFTT_COM_INTERFACE_ID(IClassFactory)
+  virtual HRESULT CreateInstance(REFIID iid, void** ppv) = 0;
+};
+
+/// Wrap a lambda as an IClassFactory.
+class LambdaClassFactory final
+    : public Object<LambdaClassFactory, IClassFactory> {
+ public:
+  using Fn = std::function<HRESULT(REFIID, void**)>;
+  explicit LambdaClassFactory(Fn fn) : fn_(std::move(fn)) {}
+
+  HRESULT CreateInstance(REFIID iid, void** ppv) override { return fn_(iid, ppv); }
+
+ private:
+  Fn fn_;
+};
+
+class ComRuntime {
+ public:
+  explicit ComRuntime(sim::Process& process) : process_(&process) {}
+
+  sim::Process& process() { return *process_; }
+
+  static ComRuntime& of(sim::Process& process) {
+    return process.attachment<ComRuntime>(process);
+  }
+
+  /// Register a coclass in this process (in-proc server).
+  void register_class(REFCLSID clsid, ComPtr<IClassFactory> factory,
+                      const std::string& name = "");
+
+  /// Convenience: register a coclass whose instances are `T::create(args...)`.
+  template <typename T, typename... Args>
+  void register_simple_class(REFCLSID clsid, Args... args) {
+    auto factory = LambdaClassFactory::create(
+        [args...](REFIID iid, void** ppv) -> HRESULT {
+          auto obj = T::create(args...);
+          return obj->QueryInterface(iid, ppv);
+        });
+    register_class(clsid, ComPtr<IClassFactory>(factory.get()));
+  }
+
+  void revoke_class(REFCLSID clsid);
+  bool class_registered(REFCLSID clsid) const { return classes_.count(clsid) != 0; }
+
+  HRESULT get_class_object(REFCLSID clsid, ComPtr<IClassFactory>& out) const;
+
+  /// CoCreateInstance (in-process): activate clsid and QI to iid.
+  HRESULT create_instance(REFCLSID clsid, REFIID iid, void** ppv) const;
+
+  /// Debug name for a clsid, if registered with one.
+  std::string class_name(REFCLSID clsid) const;
+
+ private:
+  struct Entry {
+    ComPtr<IClassFactory> factory;
+    std::string name;
+  };
+  sim::Process* process_;
+  std::map<Clsid, Entry> classes_;
+};
+
+}  // namespace oftt::com

@@ -1,0 +1,115 @@
+// The COM ABI: IUnknown, interface ids, and the ComPtr smart pointer.
+//
+// OFTT's headline claim is that fault tolerance packaged *as COM
+// components* drops into existing process-control applications; the
+// toolkit therefore has to present the real COM shape — HRESULT
+// returns, QueryInterface(REFIID, void**), manual refcounting behind
+// RAII.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/guid.h"
+#include "common/hresult.h"
+
+namespace oftt::com {
+
+using ULONG = std::uint32_t;
+using REFIID = const Iid&;
+using REFCLSID = const Clsid&;
+
+/// Declares the static interface id inside an interface definition.
+/// GUIDs are derived deterministically from the interface name.
+#define OFTT_COM_INTERFACE_ID(Name)                                        \
+  static ::oftt::com::REFIID iid() {                                       \
+    static const ::oftt::Iid id = ::oftt::Guid::from_name("IID_" #Name);   \
+    return id;                                                             \
+  }
+
+struct IUnknown {
+  OFTT_COM_INTERFACE_ID(IUnknown)
+
+  virtual HRESULT QueryInterface(REFIID iid, void** ppv) = 0;
+  virtual ULONG AddRef() = 0;
+  virtual ULONG Release() = 0;
+
+ protected:
+  // COM objects are destroyed via Release(), never via delete-through-
+  // interface.
+  ~IUnknown() = default;
+};
+
+/// RAII interface pointer with the usual COM conventions.
+template <typename T>
+class ComPtr {
+ public:
+  ComPtr() = default;
+  ComPtr(std::nullptr_t) {}  // NOLINT
+
+  /// Takes its own reference.
+  explicit ComPtr(T* p) : p_(p) {
+    if (p_) p_->AddRef();
+  }
+
+  ComPtr(const ComPtr& other) : p_(other.p_) {
+    if (p_) p_->AddRef();
+  }
+  ComPtr(ComPtr&& other) noexcept : p_(std::exchange(other.p_, nullptr)) {}
+
+  ComPtr& operator=(const ComPtr& other) {
+    ComPtr(other).swap(*this);
+    return *this;
+  }
+  ComPtr& operator=(ComPtr&& other) noexcept {
+    ComPtr(std::move(other)).swap(*this);
+    return *this;
+  }
+  ComPtr& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~ComPtr() { reset(); }
+
+  /// Adopt an already-AddRef'd pointer (e.g. an out-param result).
+  static ComPtr attach(T* p) {
+    ComPtr c;
+    c.p_ = p;
+    return c;
+  }
+  /// Release ownership without dropping the reference.
+  T* detach() { return std::exchange(p_, nullptr); }
+
+  void reset() {
+    if (T* p = std::exchange(p_, nullptr)) p->Release();
+  }
+  void swap(ComPtr& other) noexcept { std::swap(p_, other.p_); }
+
+  T* get() const { return p_; }
+  T* operator->() const { return p_; }
+  T& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  bool operator==(const ComPtr& other) const { return p_ == other.p_; }
+
+  /// Out-param helper: releases any held pointer, then hands out the
+  /// slot for an AddRef'd result. `CoCreateInstance(..., ptr.put_void())`.
+  T** put() {
+    reset();
+    return &p_;
+  }
+  void** put_void() { return reinterpret_cast<void**>(put()); }
+
+  /// QueryInterface into a typed pointer.
+  template <typename U>
+  ComPtr<U> as() const {
+    ComPtr<U> out;
+    if (p_) p_->QueryInterface(U::iid(), out.put_void());
+    return out;
+  }
+
+ private:
+  T* p_ = nullptr;
+};
+
+}  // namespace oftt::com

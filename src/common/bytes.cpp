@@ -1,0 +1,17 @@
+#include "common/bytes.h"
+
+namespace oftt {
+
+std::uint64_t fnv64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv64(const Buffer& b) { return fnv64(b.data(), b.size()); }
+
+}  // namespace oftt

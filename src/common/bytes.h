@@ -1,0 +1,144 @@
+// Byte buffers and binary serialization.
+//
+// Every wire format in the repo (ORPC marshaling, MSMQ payloads, OFTT
+// checkpoint images, heartbeats) is built on BinaryWriter/BinaryReader:
+// little-endian fixed-width integers, length-prefixed strings and blobs.
+// Readers are defensive: reads past the end set an error flag rather
+// than touching out-of-bounds memory, because a fault-tolerance layer
+// must survive truncated messages from half-dead peers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/guid.h"
+
+namespace oftt {
+
+using Buffer = std::vector<std::uint8_t>;
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void blob(const Buffer& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+  void guid(const Guid& g) { raw(g.bytes.data(), g.bytes.size()); }
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const Buffer& data() const& { return buf_; }
+  Buffer take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Buffer buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Buffer& buf) : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() {
+    std::uint64_t bits = take_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    if (!require(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  Buffer blob() {
+    std::uint32_t n = u32();
+    if (!require(n)) return {};
+    Buffer b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+  Guid guid() {
+    Guid g;
+    if (!require(16)) return g;
+    std::memcpy(g.bytes.data(), data_ + pos_, 16);
+    pos_ += 16;
+    return g;
+  }
+
+  /// True once any read ran past the end; all subsequent reads return
+  /// zero values. Callers validate once at the end of a parse.
+  bool failed() const { return failed_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  bool require(std::size_t n) {
+    if (failed_ || size_ - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+  template <typename T>
+  T take_le() {
+    if (!require(sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// FNV-1a checksum used to validate checkpoint images end-to-end.
+std::uint64_t fnv64(const Buffer& b);
+std::uint64_t fnv64(const void* data, std::size_t n);
+
+}  // namespace oftt

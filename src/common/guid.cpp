@@ -1,0 +1,73 @@
+#include "common/guid.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace oftt {
+namespace {
+
+// Two FNV-1a passes with different offsets give us 128 independent-ish
+// bits from one name. Collisions across the few hundred names in this
+// codebase are effectively impossible and tests would catch one.
+std::uint64_t fnv1a(std::string_view s, std::uint64_t offset) {
+  std::uint64_t h = offset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Guid::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf,
+                "{%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-%02x%02x%02x%02x%02x%02x}",
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+                bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14],
+                bytes[15]);
+  return buf;
+}
+
+Guid Guid::from_name(std::string_view name) {
+  Guid g;
+  std::uint64_t lo = fnv1a(name, 0xcbf29ce484222325ull);
+  std::uint64_t hi = fnv1a(name, 0x84222325cbf29ce4ull);
+  for (int i = 0; i < 8; ++i) {
+    g.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(lo >> (8 * (7 - i)));
+    g.bytes[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(hi >> (8 * (7 - i)));
+  }
+  return g;
+}
+
+Guid Guid::parse(std::string_view text) {
+  if (!text.empty() && text.front() == '{' && text.back() == '}') {
+    text = text.substr(1, text.size() - 2);
+  }
+  Guid g;
+  std::size_t out = 0;
+  int hi_nibble = -1;
+  for (char c : text) {
+    if (c == '-') continue;
+    int v = hex_val(c);
+    if (v < 0 || out >= 16) return Guid{};  // malformed
+    if (hi_nibble < 0) {
+      hi_nibble = v;
+    } else {
+      g.bytes[out++] = static_cast<std::uint8_t>((hi_nibble << 4) | v);
+      hi_nibble = -1;
+    }
+  }
+  if (out != 16 || hi_nibble >= 0) return Guid{};
+  return g;
+}
+
+}  // namespace oftt

@@ -1,0 +1,52 @@
+// GUID: 128-bit identifiers for COM classes (CLSID) and interfaces (IID),
+// with the canonical {8-4-4-4-12} text form.
+//
+// Real COM GUIDs come from uuidgen; for a deterministic simulation we
+// derive them from names (FNV-1a over the name, expanded to 128 bits),
+// which keeps traces and tests reproducible across runs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace oftt {
+
+struct Guid {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Guid&) const = default;
+
+  bool is_null() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Canonical lowercase "{xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx}".
+  std::string to_string() const;
+
+  /// Deterministically derive a GUID from a name ("IID_IOPCServer").
+  static Guid from_name(std::string_view name);
+
+  /// Parse the canonical form (with or without braces); returns the null
+  /// GUID on malformed input.
+  static Guid parse(std::string_view text);
+};
+
+struct GuidHash {
+  std::size_t operator()(const Guid& g) const {
+    // The bytes are already well-mixed (FNV output or random); fold them.
+    std::uint64_t lo = 0, hi = 0;
+    for (int i = 0; i < 8; ++i) lo = (lo << 8) | g.bytes[static_cast<std::size_t>(i)];
+    for (int i = 8; i < 16; ++i) hi = (hi << 8) | g.bytes[static_cast<std::size_t>(i)];
+    return static_cast<std::size_t>(lo ^ (hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+using Iid = Guid;    // interface id
+using Clsid = Guid;  // class id
+
+}  // namespace oftt

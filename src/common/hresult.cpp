@@ -1,0 +1,42 @@
+#include "common/hresult.h"
+
+#include <cstdio>
+
+namespace oftt {
+
+std::string hresult_to_string(HRESULT hr) {
+  switch (hr) {
+    case S_OK: return "S_OK";
+    case S_FALSE: return "S_FALSE";
+    case E_FAIL: return "E_FAIL";
+    case E_NOINTERFACE: return "E_NOINTERFACE";
+    case E_POINTER: return "E_POINTER";
+    case E_ABORT: return "E_ABORT";
+    case E_NOTIMPL: return "E_NOTIMPL";
+    case E_UNEXPECTED: return "E_UNEXPECTED";
+    case E_INVALIDARG: return "E_INVALIDARG";
+    case E_OUTOFMEMORY: return "E_OUTOFMEMORY";
+    case REGDB_E_CLASSNOTREG: return "REGDB_E_CLASSNOTREG";
+    case CLASS_E_NOAGGREGATION: return "CLASS_E_NOAGGREGATION";
+    case RPC_E_DISCONNECTED: return "RPC_E_DISCONNECTED";
+    case RPC_E_SERVERFAULT: return "RPC_E_SERVERFAULT";
+    case RPC_E_CALL_REJECTED: return "RPC_E_CALL_REJECTED";
+    case RPC_E_TIMEOUT: return "RPC_E_TIMEOUT";
+    case CO_E_SERVER_EXEC_FAILURE: return "CO_E_SERVER_EXEC_FAILURE";
+    case OFTT_E_NOT_INITIALIZED: return "OFTT_E_NOT_INITIALIZED";
+    case OFTT_E_ALREADY_INITIALIZED: return "OFTT_E_ALREADY_INITIALIZED";
+    case OFTT_E_NO_PEER: return "OFTT_E_NO_PEER";
+    case OFTT_E_NOT_PRIMARY: return "OFTT_E_NOT_PRIMARY";
+    case OFTT_E_CHECKPOINT_FAILED: return "OFTT_E_CHECKPOINT_FAILED";
+    case OFTT_E_WATCHDOG_EXPIRED: return "OFTT_E_WATCHDOG_EXPIRED";
+    case OFTT_E_BAD_HANDLE: return "OFTT_E_BAD_HANDLE";
+    case OFTT_E_ENGINE_DOWN: return "OFTT_E_ENGINE_DOWN";
+    case OFTT_E_SWITCHOVER_REFUSED: return "OFTT_E_SWITCHOVER_REFUSED";
+    default: break;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "HRESULT(0x%08X)", static_cast<unsigned>(hr));
+  return buf;
+}
+
+}  // namespace oftt

@@ -1,0 +1,61 @@
+// HRESULT: the COM error channel, reproduced with the facility/severity
+// layout of the Windows SDK plus the OFTT-specific facility the toolkit
+// uses for its own failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oftt {
+
+using HRESULT = std::int32_t;
+
+constexpr bool SUCCEEDED(HRESULT hr) { return hr >= 0; }
+constexpr bool FAILED(HRESULT hr) { return hr < 0; }
+
+constexpr HRESULT make_hresult(unsigned severity, unsigned facility, unsigned code) {
+  return static_cast<HRESULT>((severity << 31) | (facility << 16) | code);
+}
+
+constexpr unsigned hresult_facility(HRESULT hr) {
+  return (static_cast<std::uint32_t>(hr) >> 16) & 0x1fffu;
+}
+constexpr unsigned hresult_code(HRESULT hr) { return static_cast<std::uint32_t>(hr) & 0xffffu; }
+
+// Standard codes (values match the Windows SDK where the SDK defines them).
+constexpr HRESULT S_OK = 0;
+constexpr HRESULT S_FALSE = 1;
+constexpr HRESULT E_FAIL = static_cast<HRESULT>(0x80004005);
+constexpr HRESULT E_NOINTERFACE = static_cast<HRESULT>(0x80004002);
+constexpr HRESULT E_POINTER = static_cast<HRESULT>(0x80004003);
+constexpr HRESULT E_ABORT = static_cast<HRESULT>(0x80004004);
+constexpr HRESULT E_NOTIMPL = static_cast<HRESULT>(0x80004001);
+constexpr HRESULT E_UNEXPECTED = static_cast<HRESULT>(0x8000FFFF);
+constexpr HRESULT E_INVALIDARG = static_cast<HRESULT>(0x80070057);
+constexpr HRESULT E_OUTOFMEMORY = static_cast<HRESULT>(0x8007000E);
+constexpr HRESULT REGDB_E_CLASSNOTREG = static_cast<HRESULT>(0x80040154);
+constexpr HRESULT CLASS_E_NOAGGREGATION = static_cast<HRESULT>(0x80040110);
+// RPC-facility codes surfaced by the DCOM layer (paper §3.3: "its RPC
+// service does not behave well in the presence of failures").
+constexpr HRESULT RPC_E_DISCONNECTED = static_cast<HRESULT>(0x80010108);
+constexpr HRESULT RPC_E_SERVERFAULT = static_cast<HRESULT>(0x80010105);
+constexpr HRESULT RPC_E_CALL_REJECTED = static_cast<HRESULT>(0x80010001);
+constexpr HRESULT RPC_E_TIMEOUT = static_cast<HRESULT>(0x8001011F);
+constexpr HRESULT CO_E_SERVER_EXEC_FAILURE = static_cast<HRESULT>(0x80080005);
+
+// OFTT facility: failures of the fault-tolerance middleware itself.
+constexpr unsigned FACILITY_OFTT = 0x0F7;
+constexpr HRESULT OFTT_E_NOT_INITIALIZED = make_hresult(1, FACILITY_OFTT, 0x001);
+constexpr HRESULT OFTT_E_ALREADY_INITIALIZED = make_hresult(1, FACILITY_OFTT, 0x002);
+constexpr HRESULT OFTT_E_NO_PEER = make_hresult(1, FACILITY_OFTT, 0x003);
+constexpr HRESULT OFTT_E_NOT_PRIMARY = make_hresult(1, FACILITY_OFTT, 0x004);
+constexpr HRESULT OFTT_E_CHECKPOINT_FAILED = make_hresult(1, FACILITY_OFTT, 0x005);
+constexpr HRESULT OFTT_E_WATCHDOG_EXPIRED = make_hresult(1, FACILITY_OFTT, 0x006);
+constexpr HRESULT OFTT_E_BAD_HANDLE = make_hresult(1, FACILITY_OFTT, 0x007);
+constexpr HRESULT OFTT_E_ENGINE_DOWN = make_hresult(1, FACILITY_OFTT, 0x008);
+constexpr HRESULT OFTT_E_SWITCHOVER_REFUSED = make_hresult(1, FACILITY_OFTT, 0x009);
+
+/// Human-readable rendering for logs and the System Monitor.
+std::string hresult_to_string(HRESULT hr);
+
+}  // namespace oftt

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace oftt {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](const LogRecord& r) {
+    std::fprintf(stderr, "[%12.6f] %-5s %-24s %s\n",
+                 static_cast<double>(r.sim_time_ns) / 1e9, log_level_name(r.level),
+                 r.component.c_str(), r.message.c_str());
+  };
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  auto old = std::move(sink_);
+  sink_ = std::move(sink);
+  return old;
+}
+
+void Logger::log(LogLevel level, std::string component, std::string message) {
+  if (!enabled(level) || !sink_) return;
+  LogRecord r;
+  r.sim_time_ns = clock_ ? clock_() : 0;
+  r.level = level;
+  r.component = std::move(component);
+  r.message = std::move(message);
+  sink_(r);
+}
+
+}  // namespace oftt

@@ -1,0 +1,74 @@
+// Logging with virtual-time timestamps.
+//
+// The whole system runs on simulated time, so the logger takes its
+// timestamp from an injectable clock callback (the simulation installs
+// one). Default sink is stderr; tests install a capturing sink to make
+// assertions about recovery traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace oftt {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+const char* log_level_name(LogLevel level);
+
+struct LogRecord {
+  std::int64_t sim_time_ns = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  // e.g. "engine/nodeA", "ftim/calltrack"
+  std::string message;
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+  using ClockFn = std::function<std::int64_t()>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replace the sink; returns the previous one so tests can restore it.
+  Sink set_sink(Sink sink);
+
+  /// Install the virtual-time source (nullptr resets to "0").
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void log(LogLevel level, std::string component, std::string message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  ClockFn clock_;
+};
+
+namespace log_detail {
+template <typename... Args>
+void emit(LogLevel level, std::string_view component, Args&&... args) {
+  if (!Logger::instance().enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  Logger::instance().log(level, std::string(component), os.str());
+}
+}  // namespace log_detail
+
+#define OFTT_LOG_TRACE(component, ...) \
+  ::oftt::log_detail::emit(::oftt::LogLevel::kTrace, component, __VA_ARGS__)
+#define OFTT_LOG_DEBUG(component, ...) \
+  ::oftt::log_detail::emit(::oftt::LogLevel::kDebug, component, __VA_ARGS__)
+#define OFTT_LOG_INFO(component, ...) \
+  ::oftt::log_detail::emit(::oftt::LogLevel::kInfo, component, __VA_ARGS__)
+#define OFTT_LOG_WARN(component, ...) \
+  ::oftt::log_detail::emit(::oftt::LogLevel::kWarn, component, __VA_ARGS__)
+#define OFTT_LOG_ERROR(component, ...) \
+  ::oftt::log_detail::emit(::oftt::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace oftt

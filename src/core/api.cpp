@@ -1,0 +1,91 @@
+#include "core/api.h"
+
+#include "core/engine.h"
+#include "sim/node.h"
+
+namespace oftt::core {
+namespace {
+
+Ftim* require_ftim(sim::Process& process) { return Ftim::find(process); }
+
+}  // namespace
+
+HRESULT OFTTInitialize(sim::Process& process, FtimOptions options,
+                       const OfttConfig* engine_config) {
+  if (Ftim::find(process) != nullptr) return OFTT_E_ALREADY_INITIALIZED;
+  if (engine_config != nullptr && Engine::find(process.node()) == nullptr) {
+    Engine::install(process.node(), *engine_config);
+  }
+  // The FTIM learns the pair configuration from the node's engine when
+  // the application did not spell it out.
+  if (options.peer_node < 0) {
+    if (Engine* engine = Engine::find(process.node())) {
+      options.peer_node = engine->config().peer_node;
+      options.networks = engine->config().networks;
+      options.heartbeat_period = engine->config().heartbeat_period;
+    }
+  }
+  process.attachment<Ftim>(process, options);
+  return S_OK;
+}
+
+HRESULT OFTTSelSave(sim::Process& process, const std::string& region, std::uint32_t offset,
+                    std::uint32_t size) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  if (size == 0) return E_INVALIDARG;
+  ftim->sel_save(region, offset, size);
+  return S_OK;
+}
+
+HRESULT OFTTSave(sim::Process& process) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->save_now();
+}
+
+Role OFTTGetMyRole(sim::Process& process) {
+  Ftim* ftim = require_ftim(process);
+  return ftim == nullptr ? Role::kUnknown : ftim->role();
+}
+
+HRESULT OFTTWatchdogCreate(sim::Process& process, const std::string& name,
+                           sim::SimTime timeout) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->watchdog_create(name, timeout);
+}
+
+HRESULT OFTTWatchdogSet(sim::Process& process, const std::string& name, sim::SimTime timeout) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  if (timeout <= 0) return E_INVALIDARG;
+  return ftim->watchdog_reset(name, timeout);
+}
+
+HRESULT OFTTWatchdogReset(sim::Process& process, const std::string& name) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->watchdog_reset(name, 0);
+}
+
+HRESULT OFTTWatchdogDelete(sim::Process& process, const std::string& name) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->watchdog_delete(name);
+}
+
+HRESULT OFTTSetRecoveryRule(sim::Process& process, int max_local_restarts,
+                            int switchover_on_permanent) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->set_recovery_rule(max_local_restarts, switchover_on_permanent);
+}
+
+HRESULT OFTTDistress(sim::Process& process, const std::string& reason) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->distress(reason);
+}
+
+}  // namespace oftt::core

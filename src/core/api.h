@@ -1,0 +1,63 @@
+// The OFTT public API — the exact surface §2.2.2 documents. "At the
+// minimum, [OFTTInitialize] is the only API an application needs to add
+// in order to use the OFTT services."
+//
+// Functions operate on the calling process (the simulated analogue of
+// linking the FTIM DLL into the application image).
+#pragma once
+
+#include "common/hresult.h"
+#include "core/config.h"
+#include "core/ftim.h"
+#include "nt/memory.h"
+
+namespace oftt::core {
+
+/// Require the OFTT services: creates the FTIM (its thread, engine
+/// registration, heartbeats) and — since the engine "runs as a separate
+/// process started by the application" — starts the node's OFTT engine
+/// if it is not already running and `engine_config` is provided.
+/// Returns OFTT_E_ALREADY_INITIALIZED on a second call.
+HRESULT OFTTInitialize(sim::Process& process, FtimOptions options = {},
+                       const OfttConfig* engine_config = nullptr);
+
+/// Checkpoint variable designation: mark [offset, offset+size) of a
+/// memory region for selective checkpointing.
+HRESULT OFTTSelSave(sim::Process& process, const std::string& region, std::uint32_t offset,
+                    std::uint32_t size);
+
+/// Typed convenience overload for a Cell.
+template <typename T>
+HRESULT OFTTSelSave(sim::Process& process, const nt::Cell<T>& cell) {
+  return OFTTSelSave(process, cell.region()->name(),
+                     static_cast<std::uint32_t>(cell.offset()),
+                     static_cast<std::uint32_t>(cell.size()));
+}
+
+/// Checkpoint save: copy the address space (or the selected subset) to
+/// the peer node immediately, without waiting for a checkpoint period.
+HRESULT OFTTSave(sim::Process& process);
+
+/// Identify the role (primary or backup) of this node.
+Role OFTTGetMyRole(sim::Process& process);
+
+/// Reliable watchdog timer objects (deadline tracking lives in the
+/// engine process, so an application hang cannot suppress expiry).
+HRESULT OFTTWatchdogCreate(sim::Process& process, const std::string& name,
+                           sim::SimTime timeout = 0);
+HRESULT OFTTWatchdogSet(sim::Process& process, const std::string& name, sim::SimTime timeout);
+HRESULT OFTTWatchdogReset(sim::Process& process, const std::string& name);
+HRESULT OFTTWatchdogDelete(sim::Process& process, const std::string& name);
+
+/// Report a significant problem and request a switchover (granted only
+/// if the application on the peer node is functional).
+HRESULT OFTTDistress(sim::Process& process, const std::string& reason);
+
+/// Change this component's recovery rule at run time (the paper's
+/// dynamic-decision extension): how many local restarts to attempt for
+/// transient faults, and whether permanent faults transfer control to
+/// the backup node. Pass -1 to restore the engine default for a field.
+HRESULT OFTTSetRecoveryRule(sim::Process& process, int max_local_restarts,
+                            int switchover_on_permanent);
+
+}  // namespace oftt::core

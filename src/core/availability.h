@@ -1,0 +1,63 @@
+// AvailabilityTracker: measures what the whole toolkit exists to
+// maximize — the fraction of time the logical unit has an active
+// primary making progress. Probes a user-supplied "is the unit serving"
+// predicate on a fixed tick and accumulates uptime, downtime, and
+// outage episodes (count, longest).
+#pragma once
+
+#include <functional>
+
+#include "sim/timer.h"
+
+namespace oftt::core {
+
+class AvailabilityTracker {
+ public:
+  /// `serving` is evaluated every `probe_period`; it should return true
+  /// when the unit is doing useful work (e.g. primary app progressing).
+  AvailabilityTracker(sim::Strand& strand, std::function<bool()> serving,
+                      sim::SimTime probe_period = sim::milliseconds(10))
+      : strand_(&strand),
+        serving_(std::move(serving)),
+        probe_period_(probe_period),
+        timer_(strand) {
+    timer_.start(probe_period_, [this] { probe(); });
+  }
+
+  void stop() { timer_.stop(); }
+
+  sim::SimTime uptime() const { return uptime_; }
+  sim::SimTime downtime() const { return downtime_; }
+  double availability() const {
+    sim::SimTime total = uptime_ + downtime_;
+    return total == 0 ? 1.0 : static_cast<double>(uptime_) / static_cast<double>(total);
+  }
+  int outages() const { return outages_; }
+  sim::SimTime longest_outage() const { return longest_outage_; }
+
+ private:
+  void probe() {
+    bool up = serving_();
+    if (up) {
+      uptime_ += probe_period_;
+      current_outage_ = 0;
+    } else {
+      downtime_ += probe_period_;
+      if (current_outage_ == 0) ++outages_;
+      current_outage_ += probe_period_;
+      if (current_outage_ > longest_outage_) longest_outage_ = current_outage_;
+    }
+  }
+
+  sim::Strand* strand_;
+  std::function<bool()> serving_;
+  sim::SimTime probe_period_;
+  sim::SimTime uptime_ = 0;
+  sim::SimTime downtime_ = 0;
+  sim::SimTime current_outage_ = 0;
+  sim::SimTime longest_outage_ = 0;
+  int outages_ = 0;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace oftt::core

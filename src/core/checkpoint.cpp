@@ -1,0 +1,154 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oftt::core {
+
+std::size_t CheckpointImage::payload_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [name, bytes] : regions) n += name.size() + bytes.size();
+  for (const auto& c : cells) n += c.region.size() + c.bytes.size();
+  for (const auto& [name, ctx] : task_contexts) n += name.size() + ctx.size();
+  return n;
+}
+
+Buffer CheckpointImage::marshal() const {
+  BinaryWriter w;
+  w.u64(seq);
+  w.u32(incarnation);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.i64(taken_at);
+  w.u32(static_cast<std::uint32_t>(regions.size()));
+  for (const auto& [name, bytes] : regions) {
+    w.str(name);
+    w.blob(bytes);
+  }
+  w.u32(static_cast<std::uint32_t>(cells.size()));
+  for (const auto& c : cells) {
+    w.str(c.region);
+    w.u32(c.offset);
+    w.blob(c.bytes);
+  }
+  w.u32(static_cast<std::uint32_t>(task_contexts.size()));
+  for (const auto& [name, ctx] : task_contexts) {
+    w.str(name);
+    w.blob(ctx);
+  }
+  // Checksum over everything serialized so far.
+  w.u64(fnv64(w.data()));
+  return std::move(w).take();
+}
+
+bool CheckpointImage::unmarshal(const Buffer& buf, CheckpointImage& out) {
+  if (buf.size() < 8) return false;
+  // Validate the trailing checksum first.
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(buf[buf.size() - 8 + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (fnv64(buf.data(), buf.size() - 8) != stored) return false;
+
+  BinaryReader r(buf.data(), buf.size() - 8);
+  out = CheckpointImage{};
+  out.seq = r.u64();
+  out.incarnation = r.u32();
+  out.mode = static_cast<CheckpointMode>(r.u8());
+  out.taken_at = r.i64();
+  std::uint32_t nregions = r.u32();
+  for (std::uint32_t i = 0; i < nregions && !r.failed(); ++i) {
+    std::string name = r.str();
+    out.regions[name] = r.blob();
+  }
+  std::uint32_t ncells = r.u32();
+  for (std::uint32_t i = 0; i < ncells && !r.failed(); ++i) {
+    SelectiveCell c;
+    c.region = r.str();
+    c.offset = r.u32();
+    c.bytes = r.blob();
+    out.cells.push_back(std::move(c));
+  }
+  std::uint32_t nctx = r.u32();
+  for (std::uint32_t i = 0; i < nctx && !r.failed(); ++i) {
+    std::string name = r.str();
+    out.task_contexts[name] = r.blob();
+  }
+  out.checksum = stored;
+  return !r.failed();
+}
+
+CheckpointImage capture_checkpoint(nt::NtRuntime& rt, CheckpointMode mode,
+                                   const std::vector<CellSpec>& cells, std::uint64_t seq,
+                                   std::uint32_t incarnation,
+                                   const std::vector<nt::Task*>& discoverable_tasks) {
+  CheckpointImage img;
+  img.seq = seq;
+  img.incarnation = incarnation;
+  img.mode = mode;
+  img.taken_at = 0;
+  if (mode == CheckpointMode::kFull) {
+    // Memory walkthrough: snapshot every region.
+    for (const auto& [name, region] : rt.memory().regions()) {
+      img.regions[name] = region->snapshot();
+    }
+  } else {
+    for (const auto& spec : cells) {
+      nt::Region* region = rt.memory().find(spec.region);
+      if (region == nullptr || spec.offset + spec.size > region->size()) continue;
+      SelectiveCell c;
+      c.region = spec.region;
+      c.offset = spec.offset;
+      c.bytes.assign(region->data() + spec.offset, region->data() + spec.offset + spec.size);
+      img.cells.push_back(std::move(c));
+    }
+  }
+  for (nt::Task* task : discoverable_tasks) {
+    img.task_contexts[task->name()] = task->capture_context().serialize();
+  }
+  return img;
+}
+
+int restore_checkpoint(nt::NtRuntime& rt, const CheckpointImage& image) {
+  int anomalies = 0;
+  for (const auto& [name, bytes] : image.regions) {
+    nt::Region& region = rt.memory().alloc(name, bytes.size() == 0 ? 1 : bytes.size());
+    if (region.size() == bytes.size()) {
+      region.restore(bytes);
+    } else {
+      std::size_t n = std::min<std::size_t>(region.size(), bytes.size());
+      std::memcpy(region.data(), bytes.data(), n);
+      ++anomalies;
+    }
+  }
+  for (const auto& c : image.cells) {
+    nt::Region* region = rt.memory().find(c.region);
+    if (region == nullptr || c.offset + c.bytes.size() > region->size()) {
+      ++anomalies;
+      continue;
+    }
+    std::memcpy(region->data() + c.offset, c.bytes.data(), c.bytes.size());
+  }
+  for (const auto& [name, ctx_bytes] : image.task_contexts) {
+    nt::Task* task = rt.find_task_by_name(name);
+    if (task == nullptr) {
+      ++anomalies;
+      continue;
+    }
+    BinaryReader r(ctx_bytes);
+    nt::TaskContext ctx = nt::TaskContext::deserialize(r);
+    if (r.failed()) {
+      ++anomalies;
+      continue;
+    }
+    task->restore_context(ctx);
+  }
+  if (anomalies > 0) {
+    OFTT_LOG_WARN("oftt/ckpt", "restore completed with ", anomalies, " anomalies");
+  }
+  return anomalies;
+}
+
+}  // namespace oftt::core

@@ -1,0 +1,65 @@
+// CheckpointImage: what one FTIM ships to its peer.
+//
+// Full mode is the "memory walkthrough": every MemorySpace region plus
+// the contexts of every *discoverable* task (statically created threads
+// via GetThreadContext, dynamically created ones only if the FTIM's IAT
+// hook saw them — §3.1). Selective mode carries only the cells the
+// application designated with OFTTSelSave (refs [10,11]: user-directed
+// checkpointing cuts the cost).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "nt/runtime.h"
+#include "sim/time.h"
+
+namespace oftt::core {
+
+enum class CheckpointMode : std::uint8_t { kFull = 0, kSelective = 1 };
+
+struct SelectiveCell {
+  std::string region;
+  std::uint32_t offset = 0;
+  Buffer bytes;
+};
+
+struct CheckpointImage {
+  std::uint64_t seq = 0;
+  std::uint32_t incarnation = 0;
+  CheckpointMode mode = CheckpointMode::kFull;
+  sim::SimTime taken_at = 0;
+  std::map<std::string, Buffer> regions;           // full mode
+  std::vector<SelectiveCell> cells;                // selective mode
+  std::map<std::string, Buffer> task_contexts;     // serialized TaskContext by task name
+  std::uint64_t checksum = 0;                      // FNV over the payload
+
+  std::size_t payload_bytes() const;
+
+  Buffer marshal() const;
+  /// Returns false on truncation or checksum mismatch.
+  static bool unmarshal(const Buffer& buf, CheckpointImage& out);
+};
+
+/// Registered selective-save designation (OFTTSelSave).
+struct CellSpec {
+  std::string region;
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+};
+
+/// Capture a checkpoint from a process's NT runtime.
+CheckpointImage capture_checkpoint(nt::NtRuntime& rt, CheckpointMode mode,
+                                   const std::vector<CellSpec>& cells, std::uint64_t seq,
+                                   std::uint32_t incarnation,
+                                   const std::vector<nt::Task*>& discoverable_tasks);
+
+/// Apply an image to a process's NT runtime (the backup side of a
+/// switchover). Unknown regions are created; size mismatches are
+/// clamped and counted in the return value (0 = clean restore).
+int restore_checkpoint(nt::NtRuntime& rt, const CheckpointImage& image);
+
+}  // namespace oftt::core

@@ -1,0 +1,71 @@
+// OFTT configuration: identity of the redundant pair, failure-detection
+// timing, and the startup policy whose original form caused the §3.2
+// erroneous-shutdown bug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace oftt::core {
+
+enum class Role : std::uint8_t {
+  kUnknown = 0,
+  kNegotiating = 1,
+  kPrimary = 2,
+  kBackup = 3,
+  kShutdown = 4,
+};
+
+const char* role_name(Role r);
+
+/// What a node does when startup probing finds no peer.
+enum class AloneStartupPolicy : std::uint8_t {
+  /// The paper's conservative choice: shut down rather than risk
+  /// dual-primary across a dead network.
+  kShutdown = 0,
+  /// Become primary and serve alone (risks dual-primary if the network,
+  /// not the peer, was down).
+  kBecomePrimary = 1,
+};
+
+/// Static recovery rule (paper: "the current implementation only
+/// supports static decision").
+struct RecoveryRule {
+  /// Local restarts to attempt before declaring the fault permanent
+  /// (transient-fault handling).
+  int max_local_restarts = 1;
+  /// On a permanent fault: transfer control to the backup node.
+  bool switchover_on_permanent = true;
+};
+
+struct OfttConfig {
+  std::string unit_name = "unit";  // logical execution unit (the pair)
+  int peer_node = -1;              // node id of the partner
+  std::vector<int> networks = {0};  // one or dual Ethernet (Fig. 1)
+  int monitor_node = -1;            // where the System Monitor lives (-1: none)
+
+  // Failure detection.
+  sim::SimTime heartbeat_period = sim::milliseconds(100);
+  sim::SimTime component_timeout = sim::milliseconds(400);
+  sim::SimTime peer_timeout = sim::milliseconds(500);
+
+  // Startup negotiation (§3.2).
+  sim::SimTime startup_probe_timeout = sim::milliseconds(800);
+  int startup_retries = 3;  // 0 reproduces the paper's original logic
+  AloneStartupPolicy alone_policy = AloneStartupPolicy::kShutdown;
+
+  // Status reporting.
+  sim::SimTime status_report_period = sim::seconds(1);
+
+  RecoveryRule default_rule;
+};
+
+/// Well-known ports.
+inline constexpr const char* kEnginePort = "oftt.engine";
+inline constexpr const char* kMonitorPort = "oftt.monitor";
+/// FTIM port is "oftt.ftim.<process name>" on both nodes of the pair.
+std::string ftim_port(const std::string& process_name);
+
+}  // namespace oftt::core

@@ -1,0 +1,152 @@
+// PairDeployment: assembles the paper's reference configuration —
+// a redundant node pair (one or dual Ethernet, Fig. 1) plus the
+// test-and-interface PC running the System Monitor (Fig. 3 / Table 1).
+//
+// Each pair node boots: SCM (DCOM activation), the MSMQ queue manager,
+// the OFTT engine, and the application process (whose factory the
+// caller provides; the application calls OFTTInitialize itself, as a
+// real OFTT application would). Reboot re-runs the same script.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/engine.h"
+#include "core/ftim.h"
+#include "core/monitor.h"
+#include "dcom/scm.h"
+#include "msmq/queue_manager.h"
+#include "sim/simulation.h"
+
+namespace oftt::core {
+
+struct PairDeploymentOptions {
+  std::string unit = "unit";
+  std::string app_process = "app";
+  /// Creates the application inside its process (both nodes run the
+  /// same image). Null for engine-only deployments.
+  std::function<void(sim::Process&)> app_factory;
+
+  /// Engine timing/policy knobs; peer/monitor/unit fields are filled in
+  /// per node by the deployment.
+  OfttConfig engine;
+
+  bool dual_network = false;
+  sim::SimTime net_latency_min = sim::microseconds(100);
+  sim::SimTime net_latency_max = sim::microseconds(300);
+  double net_loss = 0.0;
+
+  bool with_msmq = true;
+  bool with_scm = true;
+  bool with_monitor = true;
+  /// Skew node B's boot by this much after node A (both at 0 = together).
+  sim::SimTime node_b_boot_delay = 0;
+  bool autostart = true;  // boot the pair immediately
+};
+
+class PairDeployment {
+ public:
+  PairDeployment(sim::Simulation& sim, PairDeploymentOptions options)
+      : sim_(&sim), options_(std::move(options)) {
+    node_a_ = &sim.add_node("nodeA");
+    node_b_ = &sim.add_node("nodeB");
+    monitor_node_ = &sim.add_node("testpc");
+
+    auto& lan0 = sim.add_network("lan0");
+    for (auto* n : {node_a_, node_b_, monitor_node_}) lan0.attach(n->id());
+    lan0.set_latency(options_.net_latency_min, options_.net_latency_max);
+    lan0.set_loss(options_.net_loss);
+    if (options_.dual_network) {
+      auto& lan1 = sim.add_network("lan1");
+      lan1.attach(node_a_->id());
+      lan1.attach(node_b_->id());
+      lan1.set_latency(options_.net_latency_min, options_.net_latency_max);
+      lan1.set_loss(options_.net_loss);
+    }
+
+    node_a_->set_boot_script(make_boot_script(node_b_->id()));
+    node_b_->set_boot_script(make_boot_script(node_a_->id()));
+    monitor_node_->set_boot_script([this](sim::Node& node) {
+      if (options_.with_scm) dcom::install_scm(node);
+      if (options_.with_msmq) msmq::QueueManager::install(node);
+      if (options_.with_monitor) {
+        node.start_process("system_monitor", [](sim::Process& p) {
+          p.attachment<SystemMonitor>(p);
+        });
+      }
+    });
+
+    monitor_node_->boot();
+    if (options_.autostart) {
+      node_a_->boot();
+      if (options_.node_b_boot_delay > 0) {
+        node_b_->reboot(options_.node_b_boot_delay);
+      } else {
+        node_b_->boot();
+      }
+    }
+  }
+
+  sim::Simulation& sim() { return *sim_; }
+  sim::Node& node_a() { return *node_a_; }
+  sim::Node& node_b() { return *node_b_; }
+  sim::Node& monitor_node() { return *monitor_node_; }
+
+  Engine* engine_a() { return Engine::find(*node_a_); }
+  Engine* engine_b() { return Engine::find(*node_b_); }
+
+  SystemMonitor* monitor() {
+    auto proc = monitor_node_->find_process("system_monitor");
+    return proc ? proc->find_attachment<SystemMonitor>() : nullptr;
+  }
+
+  Ftim* ftim_on(sim::Node& node) {
+    auto proc = node.find_process(options_.app_process);
+    return proc && proc->alive() ? Ftim::find(*proc) : nullptr;
+  }
+
+  /// The node currently holding the primary role (engine view); -1 if
+  /// neither claims it.
+  int primary_node() {
+    if (Engine* e = engine_a(); e && e->role() == Role::kPrimary) return node_a_->id();
+    if (Engine* e = engine_b(); e && e->role() == Role::kPrimary) return node_b_->id();
+    return -1;
+  }
+  int backup_node() {
+    if (Engine* e = engine_a(); e && e->role() == Role::kBackup) return node_a_->id();
+    if (Engine* e = engine_b(); e && e->role() == Role::kBackup) return node_b_->id();
+    return -1;
+  }
+
+  sim::Node* node_by_id(int id) {
+    if (id == node_a_->id()) return node_a_;
+    if (id == node_b_->id()) return node_b_;
+    if (id == monitor_node_->id()) return monitor_node_;
+    return nullptr;
+  }
+
+ private:
+  sim::Node::BootScript make_boot_script(int peer) {
+    return [this, peer](sim::Node& node) {
+      if (options_.with_scm) dcom::install_scm(node);
+      if (options_.with_msmq) msmq::QueueManager::install(node);
+      OfttConfig cfg = options_.engine;
+      cfg.unit_name = options_.unit;
+      cfg.peer_node = peer;
+      cfg.monitor_node = options_.with_monitor ? monitor_node_->id() : -1;
+      cfg.networks = options_.dual_network ? std::vector<int>{0, 1} : std::vector<int>{0};
+      Engine::install(node, cfg);
+      if (options_.app_factory) {
+        node.start_process(options_.app_process, options_.app_factory);
+      }
+    };
+  }
+
+  sim::Simulation* sim_;
+  PairDeploymentOptions options_;
+  sim::Node* node_a_ = nullptr;
+  sim::Node* node_b_ = nullptr;
+  sim::Node* monitor_node_ = nullptr;
+};
+
+}  // namespace oftt::core

@@ -1,0 +1,69 @@
+#include "core/diverter.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::core {
+
+MessageDiverter::MessageDiverter(sim::Process& process, DiverterOptions options)
+    : process_(&process),
+      options_(std::move(options)),
+      port_(cat("oftt.divert.", process.name())),
+      resubscribe_timer_(process.main_strand()) {
+  process_->bind(port_, [this](const sim::Datagram& d) { on_announce(d); });
+  subscribe();
+  resubscribe_timer_.start(options_.resubscribe_period, [this] {
+    subscribe();
+    apply_route();  // re-assert the route (the QM may have restarted)
+  });
+}
+
+void MessageDiverter::subscribe() {
+  SubscribeRoles sub;
+  sub.subscriber_node = process_->node().id();
+  sub.subscriber_port = port_;
+  Buffer payload = sub.encode();
+  for (int node : {options_.node_a, options_.node_b}) {
+    if (node < 0) continue;
+    int net = sim::pick_network(process_->sim(), process_->node().id(), node);
+    if (net < 0) continue;
+    process_->send(net, node, kEnginePort, payload, port_);
+  }
+}
+
+void MessageDiverter::on_announce(const sim::Datagram& d) {
+  RoleAnnounce ra;
+  if (!RoleAnnounce::decode(d.payload, ra)) return;
+  if (ra.unit != options_.unit) return;
+  if (ra.role == Role::kPrimary) {
+    // Newest incarnation wins; ignore echoes of deposed primaries.
+    if (ra.node != primary_node_ && ra.incarnation >= primary_incarnation_) {
+      if (last_primary_ >= 0 && ra.node != last_primary_) ++reroutes_;
+      last_primary_ = ra.node;
+      OFTT_LOG_INFO("oftt/diverter", process_->name(), ": unit '", options_.unit,
+                    "' primary is now node ", ra.node, " (inc ", ra.incarnation, ")");
+      primary_node_ = ra.node;
+      primary_incarnation_ = ra.incarnation;
+      apply_route();
+    } else if (ra.node == primary_node_) {
+      primary_incarnation_ = ra.incarnation;
+    }
+  } else if (ra.node == primary_node_ && ra.incarnation >= primary_incarnation_) {
+    // Our primary says it is no longer primary; await the new one.
+    primary_node_ = -1;
+  }
+}
+
+void MessageDiverter::apply_route() {
+  if (primary_node_ < 0) return;
+  msmq::QueueManager* qm = msmq::QueueManager::find(process_->node());
+  if (qm == nullptr) return;  // QM down; retried on next period
+  qm->set_route(options_.queue, primary_node_);
+}
+
+void MessageDiverter::send(const std::string& label, Buffer body, msmq::DeliveryMode mode) {
+  msmq::MsmqApi::of(*process_).send(options_.queue, label, std::move(body), mode);
+}
+
+}  // namespace oftt::core

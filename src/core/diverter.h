@@ -1,0 +1,53 @@
+// The Message Diverter (§2.2.3): lets the primary/backup pair appear as
+// one logical unit to external non-replicated sources. Built on MSMQ —
+// the diverter tracks which node is primary (role subscriptions to both
+// engines) and keeps the local queue manager's route for the unit's
+// logical queue pointed at it; MSMQ's store-and-forward retry then
+// guarantees that "if a message is sent during a switchover, the
+// message non-delivery is detected and retried".
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "core/wire.h"
+#include "msmq/queue_manager.h"
+#include "sim/timer.h"
+
+namespace oftt::core {
+
+struct DiverterOptions {
+  std::string unit;
+  std::string queue;  // logical queue the unit's application consumes
+  int node_a = -1;
+  int node_b = -1;
+  sim::SimTime resubscribe_period = sim::seconds(1);
+};
+
+class MessageDiverter {
+ public:
+  MessageDiverter(sim::Process& process, DiverterOptions options);
+
+  /// Send a message to the logical unit (current primary).
+  void send(const std::string& label, Buffer body,
+            msmq::DeliveryMode mode = msmq::DeliveryMode::kRecoverable);
+
+  int current_primary() const { return primary_node_; }
+  std::uint64_t reroutes() const { return reroutes_; }
+
+ private:
+  void on_announce(const sim::Datagram& d);
+  void subscribe();
+  void apply_route();
+
+  sim::Process* process_;
+  DiverterOptions options_;
+  std::string port_;
+  int primary_node_ = -1;
+  int last_primary_ = -1;  // survives transient "no primary" gaps
+  std::uint32_t primary_incarnation_ = 0;
+  std::uint64_t reroutes_ = 0;
+  sim::PeriodicTimer resubscribe_timer_;
+};
+
+}  // namespace oftt::core

@@ -1,0 +1,504 @@
+#include "core/engine.h"
+
+#include "core/engine_com.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::core {
+namespace {
+constexpr const char* kEngineProcess = "oftt_engine";
+}
+
+Engine::Engine(sim::Process& process, OfttConfig config)
+    : process_(&process),
+      config_(std::move(config)),
+      hb_timer_(process.main_strand()),
+      status_timer_(process.main_strand()) {
+  process_->bind(kEnginePort, [this](const sim::Datagram& d) { on_datagram(d); });
+  hb_timer_.start(config_.heartbeat_period, [this] { tick(); });
+  status_timer_.start(config_.status_report_period, [this] {
+    send_status();
+    announce_role();  // refresh subscribers even without changes
+  });
+  OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": engine up, unit '",
+                config_.unit_name, "', peer node ", config_.peer_node);
+  probe_round();
+}
+
+std::shared_ptr<sim::Process> Engine::install(sim::Node& node, OfttConfig config) {
+  return node.start_process(kEngineProcess, [config](sim::Process& proc) {
+    proc.attachment<Engine>(proc, config);
+    install_engine_com(proc);  // the engine's remotely activatable COM face
+  });
+}
+
+Engine* Engine::find(sim::Node& node) {
+  auto proc = node.find_process(kEngineProcess);
+  if (!proc || !proc->alive()) return nullptr;
+  return proc->find_attachment<Engine>();
+}
+
+bool Engine::peer_visible() const {
+  sim::SimTime now = process_->sim().now();
+  for (const auto& [net, last] : peer_last_hb_) {
+    if (now - last < config_.peer_timeout) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Startup negotiation (§3.2)
+// ---------------------------------------------------------------------
+
+void Engine::probe_round() {
+  if (role_ != Role::kNegotiating || negotiation_resolved_) return;
+  ++probe_rounds_;
+  Probe p;
+  p.node = process_->node().id();
+  p.boot_count = process_->node().boot_count();
+  p.incarnation = incarnation_;
+  p.role = role_;
+  send_peer(p.encode(/*reply=*/false));
+  process_->main_strand().schedule_after(config_.startup_probe_timeout, [this] {
+    if (role_ != Role::kNegotiating || negotiation_resolved_) return;
+    if (probe_rounds_ <= config_.startup_retries) {
+      OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": no peer response, retry ",
+                    probe_rounds_, "/", config_.startup_retries);
+      probe_round();
+    } else {
+      decide_alone();
+    }
+  });
+}
+
+void Engine::resolve_with_peer(Role peer_role, std::uint32_t peer_inc, int peer_node) {
+  if (role_ != Role::kNegotiating || negotiation_resolved_) return;
+  negotiation_resolved_ = true;
+  peer_role_ = peer_role;
+  peer_incarnation_ = peer_inc;
+  // We just heard from the peer; prime liveness so a backup does not
+  // promote spuriously before the first heartbeat lands.
+  for (int net : config_.networks) peer_last_hb_[net] = process_->sim().now();
+  switch (peer_role) {
+    case Role::kPrimary:
+      incarnation_ = peer_inc;
+      enter_role(Role::kBackup);
+      break;
+    case Role::kBackup:
+      incarnation_ = peer_inc + 1;
+      enter_role(Role::kPrimary);
+      break;
+    default:
+      // Both negotiating: deterministic tie-break, lower node id wins.
+      if (process_->node().id() < peer_node) {
+        ++incarnation_;
+        enter_role(Role::kPrimary);
+      } else {
+        enter_role(Role::kBackup);
+      }
+      break;
+  }
+}
+
+void Engine::decide_alone() {
+  if (config_.alone_policy == AloneStartupPolicy::kBecomePrimary) {
+    OFTT_LOG_WARN("oftt/engine", process_->node().name(),
+                  ": no peer found after retries — becoming primary alone");
+    negotiation_resolved_ = true;
+    ++incarnation_;
+    enter_role(Role::kPrimary);
+  } else {
+    // The paper's original conservative logic: a node that cannot see
+    // its peer shuts down to avoid dual-primary across a dead network.
+    OFTT_LOG_WARN("oftt/engine", process_->node().name(),
+                  ": no peer found after retries — shutting down");
+    ++process_->sim().counter("oftt.startup_shutdown");
+    role_ = Role::kShutdown;
+    announce_role();
+    send_status();
+    process_->exit_self("startup: no peer");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Role transitions
+// ---------------------------------------------------------------------
+
+void Engine::log_event(std::string what) {
+  event_log_.push_back(Event{process_->sim().now(), std::move(what)});
+  if (event_log_.size() > 256) event_log_.pop_front();
+}
+
+void Engine::enter_role(Role role) {
+  if (role_ == role) return;
+  OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": ", role_name(role_), " -> ",
+                role_name(role), " (incarnation ", incarnation_, ")");
+  log_event(cat("role ", role_name(role_), " -> ", role_name(role), " (inc ", incarnation_,
+                ")"));
+  role_ = role;
+  set_components_active(role_ == Role::kPrimary);
+  announce_role();
+  send_status();
+}
+
+void Engine::promote(const std::string& reason) {
+  if (role_ == Role::kPrimary) return;
+  OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": PROMOTING — ", reason);
+  ++takeovers_;
+  ++process_->sim().counter("oftt.takeovers");
+  incarnation_ = std::max(incarnation_, peer_incarnation_) + 1;
+  negotiation_resolved_ = true;
+  enter_role(Role::kPrimary);
+}
+
+void Engine::demote(const std::string& reason) {
+  if (role_ == Role::kBackup) return;
+  OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": DEMOTING — ", reason);
+  enter_role(Role::kBackup);
+}
+
+void Engine::set_components_active(bool active) {
+  for (auto& [name, c] : components_) {
+    send_set_active(c, active);
+  }
+}
+
+void Engine::send_set_active(const Component& c, bool active) {
+  SetActive msg;
+  msg.active = active;
+  msg.incarnation = incarnation_;
+  msg.role = role_;
+  process_->send(0, process_->node().id(), c.reg.ftim_port, msg.encode(), kEnginePort);
+}
+
+// ---------------------------------------------------------------------
+// Detection & recovery
+// ---------------------------------------------------------------------
+
+void Engine::tick() {
+  sim::SimTime now = process_->sim().now();
+
+  // Peer heartbeat out, on every configured network.
+  PeerHeartbeat hb;
+  hb.node = process_->node().id();
+  hb.role = role_;
+  hb.incarnation = incarnation_;
+  hb.seq = ++hb_seq_;
+  send_peer(hb.encode());
+
+  // Peer liveness: a backup promotes when the primary's heartbeat is
+  // stale on *every* configured network.
+  if (role_ == Role::kBackup && negotiation_resolved_ && !peer_visible()) {
+    promote(cat("peer heartbeat timeout (", sim::to_millis(config_.peer_timeout), " ms)"));
+  }
+
+  // Component heartbeats and watchdogs.
+  for (auto& [name, c] : components_) {
+    if (c.state == ComponentState::kUp && now - c.last_hb > config_.component_timeout) {
+      component_failed(c, "heartbeat timeout");
+      continue;
+    }
+    for (auto it = c.watchdogs.begin(); it != c.watchdogs.end();) {
+      if (it->second.deadline != sim::kNever && now > it->second.deadline) {
+        std::string wd = it->first;
+        it = c.watchdogs.erase(it);
+        ++process_->sim().counter("oftt.watchdog_expired");
+        component_failed(c, cat("watchdog '", wd, "' expired"));
+        break;  // component_failed may restart the process; stop iterating
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Engine::component_failed(Component& c, const std::string& why) {
+  OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": component '", c.reg.component,
+                "' FAILED: ", why);
+  ++process_->sim().counter("oftt.component_failures");
+  log_event(cat("component '", c.reg.component, "' failed: ", why));
+  c.state = ComponentState::kFailed;
+  send_status();
+
+  int max_restarts = c.reg.max_local_restarts >= 0 ? c.reg.max_local_restarts
+                                                   : config_.default_rule.max_local_restarts;
+  bool switchover = c.reg.switchover_on_permanent >= 0
+                        ? c.reg.switchover_on_permanent != 0
+                        : config_.default_rule.switchover_on_permanent;
+
+  if (c.restarts < max_restarts) {
+    // Transient-fault provision: local restart.
+    restart_component(c);
+    return;
+  }
+  // Permanent fault.
+  if (switchover && role_ == Role::kPrimary && peer_visible()) {
+    do_switchover(cat("component '", c.reg.component, "' permanent failure"));
+    // Restore redundancy: bring the app back (passively) on this node.
+    c.restarts = 0;
+    restart_component(c);
+  } else {
+    // No healthy peer (or rule says stay): keep trying locally.
+    restart_component(c);
+  }
+}
+
+void Engine::restart_component(Component& c) {
+  c.state = ComponentState::kRestarting;
+  ++c.restarts;
+  ++process_->sim().counter("oftt.local_restarts");
+  sim::Node& node = process_->node();
+  OFTT_LOG_INFO("oftt/engine", node.name(), ": restarting process '", c.reg.process_name, "'");
+  log_event(cat("local restart #", c.restarts, " of '", c.reg.component, "'"));
+  // Grace so the fresh instance has time to register and heartbeat.
+  c.last_hb = process_->sim().now() + config_.component_timeout;
+  c.watchdogs.clear();
+  node.restart_process(c.reg.process_name);
+}
+
+void Engine::do_switchover(const std::string& reason) {
+  Takeover t;
+  t.from_node = process_->node().id();
+  t.incarnation = incarnation_;
+  t.reason = reason;
+  send_peer(t.encode());
+  demote(cat("switchover: ", reason));
+}
+
+HRESULT Engine::set_recovery_rule(const std::string& component, int max_local_restarts,
+                                  int switchover_on_permanent) {
+  auto it = components_.find(component);
+  if (it == components_.end()) return E_INVALIDARG;
+  it->second.reg.max_local_restarts = max_local_restarts;
+  it->second.reg.switchover_on_permanent = switchover_on_permanent;
+  it->second.rule_overridden = true;
+  // A relaxed rule also forgives past restarts, so the fresh budget
+  // applies from now.
+  it->second.restarts = 0;
+  OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": recovery rule for '", component,
+                "' now restarts=", max_local_restarts,
+                " switchover=", switchover_on_permanent);
+  return S_OK;
+}
+
+HRESULT Engine::request_switchover(const std::string& reason) {
+  if (role_ != Role::kPrimary) return OFTT_E_NOT_PRIMARY;
+  if (!peer_visible()) return OFTT_E_NO_PEER;
+  do_switchover(cat("operator request: ", reason));
+  return S_OK;
+}
+
+// ---------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------
+
+void Engine::send_peer(const Buffer& payload) {
+  if (config_.peer_node < 0) return;
+  for (int net : config_.networks) {
+    process_->send(net, config_.peer_node, kEnginePort, payload, kEnginePort);
+  }
+}
+
+void Engine::send_status() {
+  if (config_.monitor_node < 0) return;
+  StatusReport sr;
+  sr.unit = config_.unit_name;
+  sr.node = process_->node().id();
+  sr.role = role_;
+  sr.incarnation = incarnation_;
+  sr.peer_visible = peer_visible();
+  for (const auto& [name, c] : components_) {
+    sr.components.push_back(
+        ComponentStatus{c.reg.component, c.state, c.restarts, c.heartbeats});
+  }
+  int net = sim::pick_network(process_->sim(), process_->node().id(), config_.monitor_node);
+  if (net < 0) return;
+  process_->send(net, config_.monitor_node, kMonitorPort, sr.encode(), kEnginePort);
+}
+
+void Engine::announce_role() {
+  RoleAnnounce ra;
+  ra.unit = config_.unit_name;
+  ra.node = process_->node().id();
+  ra.role = role_;
+  ra.incarnation = incarnation_;
+  Buffer payload = ra.encode();
+  for (const auto& [node, port] : role_subscribers_) {
+    int net = sim::pick_network(process_->sim(), process_->node().id(), node);
+    if (net < 0) continue;
+    process_->send(net, node, port, payload, kEnginePort);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void Engine::on_datagram(const sim::Datagram& d) {
+  sim::SimTime now = process_->sim().now();
+  switch (static_cast<MsgKind>(wire_kind(d.payload))) {
+    case MsgKind::kProbe: {
+      Probe p;
+      if (!Probe::decode(d.payload, p, false)) return;
+      Probe reply;
+      reply.node = process_->node().id();
+      reply.boot_count = process_->node().boot_count();
+      reply.incarnation = incarnation_;
+      reply.role = role_;
+      process_->send(d.network_id, d.src_node, kEnginePort, reply.encode(true), kEnginePort);
+      if (role_ == Role::kNegotiating) resolve_with_peer(p.role, p.incarnation, p.node);
+      break;
+    }
+    case MsgKind::kProbeReply: {
+      Probe p;
+      if (!Probe::decode(d.payload, p, true)) return;
+      if (role_ == Role::kNegotiating) resolve_with_peer(p.role, p.incarnation, p.node);
+      break;
+    }
+    case MsgKind::kPeerHeartbeat: {
+      PeerHeartbeat hb;
+      if (!PeerHeartbeat::decode(d.payload, hb)) return;
+      peer_last_hb_[d.network_id] = now;
+      peer_role_ = hb.role;
+      peer_incarnation_ = hb.incarnation;
+      if (role_ == Role::kNegotiating &&
+          (hb.role == Role::kPrimary || hb.role == Role::kBackup)) {
+        resolve_with_peer(hb.role, hb.incarnation, hb.node);
+      } else if (role_ == Role::kPrimary && hb.role == Role::kPrimary) {
+        // Dual primary (e.g. healed partition): highest incarnation
+        // wins; ties go to the lower node id.
+        ++process_->sim().counter("oftt.dual_primary_detected");
+        bool peer_wins = hb.incarnation > incarnation_ ||
+                         (hb.incarnation == incarnation_ &&
+                          hb.node < process_->node().id());
+        if (peer_wins) {
+          demote("dual-primary resolution");
+        }
+      }
+      break;
+    }
+    case MsgKind::kTakeover: {
+      Takeover t;
+      if (!Takeover::decode(d.payload, t)) return;
+      peer_incarnation_ = t.incarnation;
+      if (role_ != Role::kPrimary) {
+        promote(cat("takeover handoff: ", t.reason));
+      }
+      break;
+    }
+    case MsgKind::kFtRegister: {
+      FtRegister reg;
+      if (!FtRegister::decode(d.payload, reg)) return;
+      auto it = components_.find(reg.component);
+      if (it == components_.end()) {
+        Component c;
+        c.reg = reg;
+        c.last_hb = now;
+        components_.emplace(reg.component, std::move(c));
+        OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": registered component '",
+                      reg.component, "' (", reg.process_name, ")");
+      } else {
+        if (it->second.rule_overridden) {
+          // Keep the dynamic rule over the registrant's static one.
+          reg.max_local_restarts = it->second.reg.max_local_restarts;
+          reg.switchover_on_permanent = it->second.reg.switchover_on_permanent;
+        }
+        it->second.reg = reg;
+        it->second.last_hb = now;
+        if (it->second.state != ComponentState::kUp) {
+          it->second.state = ComponentState::kUp;
+        }
+      }
+      // A still-active component means this node was the live primary
+      // before an engine restart: adopt that, don't renegotiate over
+      // running state.
+      if (role_ == Role::kNegotiating && reg.currently_active) {
+        incarnation_ = std::max(incarnation_, reg.incarnation);
+        negotiation_resolved_ = true;
+        OFTT_LOG_INFO("oftt/engine", process_->node().name(),
+                      ": adopting live PRIMARY role from active component '",
+                      reg.component, "'");
+        enter_role(Role::kPrimary);
+      }
+      // Tell the (re)registered FTIM its role immediately.
+      send_set_active(components_.at(reg.component), role_ == Role::kPrimary);
+      break;
+    }
+    case MsgKind::kFtHeartbeat: {
+      FtHeartbeat hb;
+      if (!FtHeartbeat::decode(d.payload, hb)) return;
+      auto it = components_.find(hb.component);
+      if (it == components_.end()) return;
+      it->second.last_hb = now;
+      ++it->second.heartbeats;
+      if (it->second.state == ComponentState::kRestarting ||
+          it->second.state == ComponentState::kSuspect) {
+        it->second.state = ComponentState::kUp;
+      }
+      break;
+    }
+    case MsgKind::kFtDistress: {
+      FtDistress distress;
+      if (!FtDistress::decode(d.payload, distress)) return;
+      OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": DISTRESS from '",
+                    distress.component, "': ", distress.reason);
+      log_event(cat("distress from '", distress.component, "': ", distress.reason));
+      ++process_->sim().counter("oftt.distress");
+      if (role_ == Role::kPrimary && peer_visible()) {
+        do_switchover(cat("distress from '", distress.component, "': ", distress.reason));
+      }
+      break;
+    }
+    case MsgKind::kWatchdogCreate:
+    case MsgKind::kWatchdogReset:
+    case MsgKind::kWatchdogDelete: {
+      WatchdogMsg wd;
+      if (!WatchdogMsg::decode(d.payload, wd)) return;
+      auto it = components_.find(wd.component);
+      if (it == components_.end()) return;
+      if (wd.op == MsgKind::kWatchdogDelete) {
+        it->second.watchdogs.erase(wd.watchdog);
+      } else {
+        WatchdogState& state = it->second.watchdogs[wd.watchdog];
+        if (wd.timeout > 0) state.period = wd.timeout;
+        // Create with no timeout leaves the watchdog unarmed; Set/Reset
+        // (re)arm using the explicit or remembered period.
+        state.deadline = state.period > 0 ? now + state.period : sim::kNever;
+        if (wd.op == MsgKind::kWatchdogCreate && wd.timeout <= 0) {
+          state.deadline = sim::kNever;
+        }
+      }
+      break;
+    }
+    case MsgKind::kSetRule: {
+      SetRule rule;
+      if (!SetRule::decode(d.payload, rule)) return;
+      set_recovery_rule(rule.component, rule.max_local_restarts,
+                        rule.switchover_on_permanent);
+      break;
+    }
+    case MsgKind::kSubscribeRoles: {
+      SubscribeRoles sub;
+      if (!SubscribeRoles::decode(d.payload, sub)) return;
+      role_subscribers_.insert({sub.subscriber_node, sub.subscriber_port});
+      // Answer immediately so the diverter learns the current role.
+      RoleAnnounce ra;
+      ra.unit = config_.unit_name;
+      ra.node = process_->node().id();
+      ra.role = role_;
+      ra.incarnation = incarnation_;
+      int net = sim::pick_network(process_->sim(), process_->node().id(), sub.subscriber_node);
+      if (net >= 0) {
+        process_->send(net, sub.subscriber_node, sub.subscriber_port, ra.encode(), kEnginePort);
+      }
+      break;
+    }
+    default:
+      ++process_->sim().counter("oftt.engine_bad_packet");
+      break;
+  }
+}
+
+}  // namespace oftt::core

@@ -1,0 +1,133 @@
+// The OFTT Engine: "the core of the OFTT toolkit [that] controls all
+// aspects of fault tolerance" (§2.2.1).
+//
+//  * Role management — primary/backup negotiation at startup (with the
+//    §3.2 retry logic) and at switchover, incarnation-numbered to
+//    resolve dual-primary collisions after partitions.
+//  * Failure detection — per-component heartbeats from every FTIM on
+//    this node, reliable watchdog deadlines, and the peer engine's
+//    heartbeat over one or both Ethernet segments.
+//  * Recovery management — static rules: up to N local restarts for
+//    transient faults, then transfer of control to the backup node.
+//  * Status reporting — periodic StatusReports to the System Monitor
+//    and RoleAnnounces to subscribers (the Message Diverter).
+//
+// Runs as its own process ("oftt_engine"), started by the application —
+// which is also who restarts it if it dies (failure class d).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/hresult.h"
+#include "core/config.h"
+#include "core/wire.h"
+#include "sim/node.h"
+#include "sim/timer.h"
+
+namespace oftt::core {
+
+class Engine {
+ public:
+  Engine(sim::Process& process, OfttConfig config);
+
+  /// Start the engine process on a node. Call from boot scripts.
+  static std::shared_ptr<sim::Process> install(sim::Node& node, OfttConfig config);
+  /// Find a node's engine; null while the engine process is down.
+  static Engine* find(sim::Node& node);
+
+  Role role() const { return role_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+  const std::string& unit() const { return config_.unit_name; }
+  bool peer_visible() const;
+  const OfttConfig& config() const { return config_; }
+
+  struct WatchdogState {
+    sim::SimTime deadline = sim::kNever;
+    sim::SimTime period = 0;  // remembered for Reset-without-timeout
+  };
+  struct Component {
+    FtRegister reg;
+    /// Set by a run-time SetRule: the dynamic rule outlives component
+    /// re-registration (which would otherwise reinstate the static one).
+    bool rule_overridden = false;
+    sim::SimTime last_hb = 0;
+    ComponentState state = ComponentState::kUp;
+    int restarts = 0;
+    std::uint64_t heartbeats = 0;
+    std::map<std::string, WatchdogState> watchdogs;
+  };
+  const std::map<std::string, Component>& components() const { return components_; }
+
+  /// Operator-initiated switchover (System Monitor / tests).
+  HRESULT request_switchover(const std::string& reason);
+
+  /// Run-time recovery-rule change (the paper's dynamic-decision
+  /// extension); -1 restores the engine default for that field.
+  HRESULT set_recovery_rule(const std::string& component, int max_local_restarts,
+                            int switchover_on_permanent);
+
+  // Introspection for tests and benches.
+  int startup_probe_rounds() const { return probe_rounds_; }
+  std::uint64_t takeovers() const { return takeovers_; }
+
+  /// Bounded in-memory event history (role changes, failures,
+  /// recoveries) — what an operator pulls after an incident.
+  struct Event {
+    sim::SimTime at = 0;
+    std::string what;
+  };
+  const std::deque<Event>& event_log() const { return event_log_; }
+
+ private:
+  void on_datagram(const sim::Datagram& d);
+
+  // startup negotiation
+  void probe_round();
+  void resolve_with_peer(Role peer_role, std::uint32_t peer_inc, int peer_node);
+  void decide_alone();
+
+  // role transitions
+  void promote(const std::string& reason);
+  void demote(const std::string& reason);
+  void enter_role(Role role);
+  void set_components_active(bool active);
+
+  // detection & recovery
+  void tick();
+  void component_failed(Component& c, const std::string& why);
+  void do_switchover(const std::string& reason);
+  void restart_component(Component& c);
+
+  // messaging
+  void send_peer(const Buffer& payload);
+  void send_status();
+  void announce_role();
+  void log_event(std::string what);
+  void send_set_active(const Component& c, bool active);
+
+  sim::Process* process_;
+  OfttConfig config_;
+  Role role_ = Role::kNegotiating;
+  std::uint32_t incarnation_ = 0;
+  int probe_rounds_ = 0;
+  bool negotiation_resolved_ = false;
+  std::uint64_t hb_seq_ = 0;
+  std::uint64_t takeovers_ = 0;
+
+  std::map<int, sim::SimTime> peer_last_hb_;  // by network id
+  std::uint32_t peer_incarnation_ = 0;
+  Role peer_role_ = Role::kUnknown;
+
+  std::map<std::string, Component> components_;
+  std::set<std::pair<int, std::string>> role_subscribers_;
+  std::deque<Event> event_log_;
+
+  sim::PeriodicTimer hb_timer_;
+  sim::PeriodicTimer status_timer_;
+};
+
+}  // namespace oftt::core

@@ -1,0 +1,46 @@
+// IOFTTEngine: the engine's own COM face.
+//
+// "Fault tolerance functions such as state checkpointing, failure
+// detection and recovery are implemented as COM objects" — this is the
+// engine's: a remotely activatable coclass (CLSID_OFTTEngine) exposing
+// status queries and operator actions (switchover, dynamic recovery
+// rules) over DCOM. The System Monitor uses it for its operator
+// actions; anything on the LAN with the proxy installed can.
+#pragma once
+
+#include <functional>
+
+#include "com/unknown.h"
+#include "core/engine.h"
+#include "core/wire.h"
+
+namespace oftt::core {
+
+struct IOFTTEngine : com::IUnknown {
+  OFTT_COM_INTERFACE_ID(IOFTTEngine)
+
+  using StatusFn = std::function<void(HRESULT, const StatusReport&)>;
+  using AckFn = std::function<void(HRESULT)>;
+
+  virtual void GetStatus(StatusFn done) = 0;
+  virtual void RequestSwitchover(const std::string& reason, AckFn done) = 0;
+  virtual void SetRecoveryRule(const std::string& component, int max_local_restarts,
+                               int switchover_on_permanent, AckFn done) = 0;
+};
+
+/// CLSID under which every node's engine registers its COM face.
+const Clsid& clsid_oftt_engine();
+
+/// Register the coclass + proxy/stub inside the engine process.
+/// Engine::install calls this; only needed directly in bespoke setups.
+void install_engine_com(sim::Process& engine_process);
+
+/// Idempotent proxy/stub installation for IOFTTEngine (client side).
+void ensure_engine_proxy_stub_registered();
+
+/// Activate the engine's COM face on `node` from `process` and deliver
+/// a typed proxy (null + failure HRESULT if the engine is down).
+void connect_engine(sim::Process& process, int node,
+                    std::function<void(HRESULT, com::ComPtr<IOFTTEngine>)> done);
+
+}  // namespace oftt::core

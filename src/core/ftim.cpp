@@ -1,0 +1,259 @@
+#include "core/ftim.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+#include "sim/disk.h"
+
+namespace oftt::core {
+namespace {
+constexpr const char* kEngineProcess = "oftt_engine";
+}
+
+Ftim::Ftim(sim::Process& process, FtimOptions options)
+    : process_(&process),
+      options_(std::move(options)),
+      strand_(&process.create_strand("ftim")),
+      rt_(&nt::NtRuntime::of(process)),
+      port_(ftim_port(process.name())),
+      hb_timer_(*strand_),
+      ckpt_timer_(*strand_),
+      engine_check_timer_(*strand_) {
+  if (options_.component.empty()) options_.component = process.name();
+
+  // The FTIM thread owns the control/checkpoint port.
+  strand_->bind(port_, [this](const sim::Datagram& d) { on_port(d); });
+
+  if (options_.install_iat_hook) {
+    // Intercept CreateThread so dynamically created threads become
+    // discoverable for checkpointing (§3.1).
+    auto original = rt_->hook_create_thread(
+        [this](const std::string& name, std::uint64_t start) -> nt::Task& {
+          nt::Task& task = original_create_thread_(name, start);
+          hooked_tids_.insert(task.tid());
+          return task;
+        });
+    original_create_thread_ = std::move(original);
+  }
+
+  // A restarted instance recovers the newest checkpoint from local disk
+  // (either one it took as primary or one it received as backup), so a
+  // local restart after a transient fault does not lose state.
+  auto& disk = sim::DiskStore::of(process.sim());
+  if (auto blob = disk.read(process.node().id(), disk_key())) {
+    CheckpointImage img;
+    if (CheckpointImage::unmarshal(*blob, img)) {
+      ckpt_seq_ = img.seq;
+      latest_ = std::move(img);
+    }
+  }
+
+  register_with_engine();
+  hb_timer_.start(options_.heartbeat_period, [this] { heartbeat_tick(); });
+  if (options_.restart_engine_if_dead) {
+    engine_check_timer_.start(options_.engine_check_period, [this] { check_engine(); });
+  }
+}
+
+std::vector<nt::Task*> Ftim::discoverable_tasks() const {
+  std::vector<nt::Task*> out;
+  for (nt::Task* t : rt_->all_tasks()) {
+    if (t->statically_created() || hooked_tids_.count(t->tid()) != 0) out.push_back(t);
+  }
+  return out;
+}
+
+void Ftim::register_with_engine() {
+  FtRegister reg;
+  reg.component = options_.component;
+  reg.process_name = process_->name();
+  reg.ftim_port = port_;
+  reg.kind = options_.kind;
+  reg.max_local_restarts = options_.max_local_restarts;
+  reg.switchover_on_permanent = options_.switchover_on_permanent;
+  reg.currently_active = active_;
+  reg.incarnation = incarnation_;
+  send_engine(reg.encode());
+}
+
+void Ftim::send_engine(const Buffer& payload) {
+  process_->send(0, process_->node().id(), kEnginePort, payload, port_);
+}
+
+void Ftim::heartbeat_tick() {
+  FtHeartbeat hb;
+  hb.component = options_.component;
+  hb.seq = ++hb_seq_;
+  send_engine(hb.encode());
+  // Periodic re-registration keeps a restarted engine informed.
+  if (++hb_count_ % 10 == 0) register_with_engine();
+}
+
+void Ftim::take_checkpoint() {
+  if (!active_ || options_.kind != FtimKind::kOpcClient) return;
+  CheckpointImage img = capture_checkpoint(*rt_, options_.checkpoint_mode, cells_, ++ckpt_seq_,
+                                           incarnation_, discoverable_tasks());
+  img.taken_at = process_->sim().now();
+  Buffer blob = img.marshal();
+  last_checkpoint_bytes_ = blob.size();
+  ++checkpoints_sent_;
+  ++process_->sim().counter("oftt.checkpoints_sent");
+  sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
+  if (options_.peer_node < 0) return;
+  Buffer frame = encode_checkpoint(options_.component, blob);
+  // Ship on the first configured network; alternate on the dual-network
+  // configuration for a little extra loss resilience.
+  int net = options_.networks[ckpt_seq_ % options_.networks.size()];
+  process_->send(net, options_.peer_node, port_, frame, port_);
+}
+
+HRESULT Ftim::save_now() {
+  if (!active_) return OFTT_E_NOT_PRIMARY;
+  take_checkpoint();
+  return S_OK;
+}
+
+void Ftim::sel_save(const std::string& region, std::uint32_t offset, std::uint32_t size) {
+  cells_.push_back(CellSpec{region, offset, size});
+}
+
+HRESULT Ftim::distress(const std::string& reason) {
+  FtDistress d;
+  d.component = options_.component;
+  d.reason = reason;
+  send_engine(d.encode());
+  return S_OK;
+}
+
+HRESULT Ftim::watchdog_create(const std::string& name, sim::SimTime timeout) {
+  WatchdogMsg wd;
+  wd.op = MsgKind::kWatchdogCreate;
+  wd.component = options_.component;
+  wd.watchdog = name;
+  wd.timeout = timeout;
+  send_engine(wd.encode());
+  return S_OK;
+}
+
+HRESULT Ftim::watchdog_reset(const std::string& name, sim::SimTime timeout) {
+  WatchdogMsg wd;
+  wd.op = MsgKind::kWatchdogReset;
+  wd.component = options_.component;
+  wd.watchdog = name;
+  wd.timeout = timeout;
+  send_engine(wd.encode());
+  return S_OK;
+}
+
+HRESULT Ftim::set_recovery_rule(int max_local_restarts, int switchover_on_permanent) {
+  SetRule rule;
+  rule.component = options_.component;
+  rule.max_local_restarts = max_local_restarts;
+  rule.switchover_on_permanent = switchover_on_permanent;
+  send_engine(rule.encode());
+  // Keep re-registrations consistent with the new rule.
+  options_.max_local_restarts = max_local_restarts;
+  options_.switchover_on_permanent = switchover_on_permanent;
+  return S_OK;
+}
+
+HRESULT Ftim::watchdog_delete(const std::string& name) {
+  WatchdogMsg wd;
+  wd.op = MsgKind::kWatchdogDelete;
+  wd.component = options_.component;
+  wd.watchdog = name;
+  send_engine(wd.encode());
+  return S_OK;
+}
+
+void Ftim::handle_set_active(const SetActive& msg) {
+  role_ = msg.role;
+  incarnation_ = msg.incarnation;
+  if (msg.active == active_) return;
+  active_ = msg.active;
+  if (active_) {
+    bool restored = false;
+    if (latest_) {
+      int anomalies = restore_checkpoint(*rt_, *latest_);
+      restored = true;
+      OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                    ": ACTIVATED with checkpoint seq ", latest_->seq,
+                    anomalies ? " (anomalies)" : "");
+    } else {
+      OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                    ": ACTIVATED cold (no checkpoint)");
+    }
+    if (options_.kind == FtimKind::kOpcClient) {
+      ckpt_timer_.start(options_.checkpoint_period, [this] { take_checkpoint(); });
+    }
+    if (on_activate_) on_activate_(restored);
+  } else {
+    ckpt_timer_.stop();
+    OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(), ": DEACTIVATED");
+    if (on_deactivate_) on_deactivate_();
+  }
+}
+
+void Ftim::on_port(const sim::Datagram& d) {
+  switch (static_cast<MsgKind>(wire_kind(d.payload))) {
+    case MsgKind::kSetActive: {
+      SetActive msg;
+      if (SetActive::decode(d.payload, msg)) handle_set_active(msg);
+      break;
+    }
+    case MsgKind::kCheckpoint: {
+      std::string component;
+      Buffer blob;
+      if (!decode_checkpoint(d.payload, component, blob)) return;
+      CheckpointImage img;
+      if (!CheckpointImage::unmarshal(blob, img)) {
+        ++checkpoints_rejected_;
+        ++process_->sim().counter("oftt.checkpoints_corrupt");
+        return;
+      }
+      // Reject stale images: lower incarnation, or not newer than held.
+      if (latest_ && (img.incarnation < latest_->incarnation ||
+                      (img.incarnation == latest_->incarnation && img.seq <= latest_->seq))) {
+        ++checkpoints_rejected_;
+        return;
+      }
+      std::uint64_t acked_seq = img.seq;
+      latest_ = std::move(img);
+      ++checkpoints_received_;
+      ++process_->sim().counter("oftt.checkpoints_received");
+      // Confirm receipt so the primary can watch replication lag.
+      if (options_.peer_node >= 0) {
+        int net = options_.networks[0];
+        process_->send(net, options_.peer_node, port_,
+                       encode_checkpoint_ack(options_.component, acked_seq), port_);
+      }
+      // Keep the local-disk copy current so a restarted instance on
+      // this node recovers the newest state it ever saw.
+      sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
+      break;
+    }
+    case MsgKind::kCheckpointAck: {
+      std::string component;
+      std::uint64_t seq = 0;
+      if (!decode_checkpoint_ack(d.payload, component, seq)) return;
+      if (seq > peer_acked_seq_) peer_acked_seq_ = seq;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Ftim::check_engine() {
+  auto engine = process_->node().find_process(kEngineProcess);
+  if (engine && engine->alive()) return;
+  OFTT_LOG_WARN("oftt/ftim", process_->node().name(), "/", process_->name(),
+                ": engine is down — restarting it");
+  ++process_->sim().counter("oftt.engine_restarts");
+  process_->node().restart_process(kEngineProcess);
+  // The fresh engine knows nothing; re-register right away.
+  register_with_engine();
+}
+
+}  // namespace oftt::core

@@ -1,0 +1,138 @@
+// FTIM — the Fault Tolerance Interface Module (§2.2.2).
+//
+// "The application and the FTIM run as two separate threads within the
+// same address space": here the FTIM owns its own Strand, so an
+// application-thread hang leaves heartbeats flowing (only a watchdog
+// catches it), while a process crash kills both.
+//
+// Responsibilities: register with / heartbeat to the local engine,
+// take checkpoints (OPC-client FTIMs only) and ship them to the peer
+// FTIM, receive control (SetActive) from the engine, restore state on
+// activation, and restart a dead engine — the engine "runs as a
+// separate process started by the application", so the application side
+// is who brings it back (failure class d).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/hresult.h"
+#include "core/checkpoint.h"
+#include "core/config.h"
+#include "core/wire.h"
+#include "nt/runtime.h"
+#include "sim/timer.h"
+
+namespace oftt::core {
+
+struct FtimOptions {
+  std::string component;  // defaults to the process name
+  FtimKind kind = FtimKind::kOpcClient;
+  CheckpointMode checkpoint_mode = CheckpointMode::kFull;
+  sim::SimTime checkpoint_period = sim::milliseconds(500);
+  sim::SimTime heartbeat_period = sim::milliseconds(100);
+  int peer_node = -1;
+  std::vector<int> networks = {0};
+  /// Recovery-rule overrides (-1: engine default).
+  int max_local_restarts = -1;
+  int switchover_on_permanent = -1;
+  /// Hook CreateThread in the IAT so dynamically created threads are
+  /// checkpointable (§3.1). Turning this off reproduces the paper's
+  /// "dynamic threads invisible to documented APIs" problem.
+  bool install_iat_hook = true;
+  /// Restart a dead engine (checked every engine_check_period).
+  bool restart_engine_if_dead = true;
+  sim::SimTime engine_check_period = sim::milliseconds(500);
+};
+
+class Ftim {
+ public:
+  Ftim(sim::Process& process, FtimOptions options);
+
+  /// The FTIM previously created by OFTTInitialize on this process.
+  static Ftim* find(sim::Process& process) { return process.find_attachment<Ftim>(); }
+
+  Role role() const { return role_; }
+  bool active() const { return active_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+  const FtimOptions& options() const { return options_; }
+
+  /// Application hooks: activation delivers whether state was restored
+  /// from a received checkpoint.
+  void on_activate(std::function<void(bool restored)> fn) { on_activate_ = std::move(fn); }
+  void on_deactivate(std::function<void()> fn) { on_deactivate_ = std::move(fn); }
+
+  // --- the OFTT API backing (api.h wraps these) ---
+  void sel_save(const std::string& region, std::uint32_t offset, std::uint32_t size);
+  template <typename T>
+  void sel_save(const nt::Cell<T>& cell) {
+    sel_save(cell.region()->name(), static_cast<std::uint32_t>(cell.offset()),
+             static_cast<std::uint32_t>(cell.size()));
+  }
+  HRESULT save_now();
+  HRESULT distress(const std::string& reason);
+  HRESULT watchdog_create(const std::string& name, sim::SimTime timeout);
+  HRESULT watchdog_reset(const std::string& name, sim::SimTime timeout);
+  HRESULT watchdog_delete(const std::string& name);
+  /// Dynamic recovery-rule update for this component (engine-side).
+  HRESULT set_recovery_rule(int max_local_restarts, int switchover_on_permanent);
+
+  // --- introspection (tests / benches / monitor) ---
+  std::uint64_t checkpoints_sent() const { return checkpoints_sent_; }
+  /// Highest checkpoint seq the peer has acknowledged (primary side).
+  std::uint64_t peer_acked_seq() const { return peer_acked_seq_; }
+  /// Checkpoints taken but not (yet) confirmed by the peer.
+  std::uint64_t replication_lag() const {
+    return ckpt_seq_ > peer_acked_seq_ ? ckpt_seq_ - peer_acked_seq_ : 0;
+  }
+  std::uint64_t checkpoints_received() const { return checkpoints_received_; }
+  std::uint64_t checkpoints_rejected() const { return checkpoints_rejected_; }
+  std::size_t last_checkpoint_bytes() const { return last_checkpoint_bytes_; }
+  bool has_checkpoint() const { return latest_.has_value(); }
+  const CheckpointImage* latest_checkpoint() const {
+    return latest_ ? &*latest_ : nullptr;
+  }
+  /// Tasks the checkpointer can see (static + IAT-hooked dynamic).
+  std::vector<nt::Task*> discoverable_tasks() const;
+
+ private:
+  void on_port(const sim::Datagram& d);
+  void register_with_engine();
+  void heartbeat_tick();
+  void take_checkpoint();
+  void handle_set_active(const SetActive& msg);
+  void check_engine();
+  void send_engine(const Buffer& payload);
+  std::string disk_key() const { return "oftt.ckpt." + options_.component; }
+
+  sim::Process* process_;
+  FtimOptions options_;
+  sim::Strand* strand_;  // the FTIM thread
+  nt::NtRuntime* rt_;
+  std::string port_;
+  Role role_ = Role::kUnknown;
+  bool active_ = false;
+  std::uint32_t incarnation_ = 0;
+  std::uint64_t hb_seq_ = 0;
+  std::uint64_t ckpt_seq_ = 0;
+  std::uint64_t hb_count_ = 0;
+  std::vector<CellSpec> cells_;
+  std::set<std::uint32_t> hooked_tids_;
+  nt::NtRuntime::CreateThreadFn original_create_thread_;
+  std::optional<CheckpointImage> latest_;
+  std::uint64_t checkpoints_sent_ = 0;
+  std::uint64_t peer_acked_seq_ = 0;
+  std::uint64_t checkpoints_received_ = 0;
+  std::uint64_t checkpoints_rejected_ = 0;
+  std::size_t last_checkpoint_bytes_ = 0;
+  std::function<void(bool)> on_activate_;
+  std::function<void()> on_deactivate_;
+  sim::PeriodicTimer hb_timer_;
+  sim::PeriodicTimer ckpt_timer_;
+  sim::PeriodicTimer engine_check_timer_;
+};
+
+}  // namespace oftt::core

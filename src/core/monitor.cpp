@@ -1,0 +1,73 @@
+#include "core/monitor.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace oftt::core {
+
+SystemMonitor::SystemMonitor(sim::Process& process) : process_(&process) {
+  process_->bind(kMonitorPort, [this](const sim::Datagram& d) { on_report(d); });
+}
+
+void SystemMonitor::on_report(const sim::Datagram& d) {
+  StatusReport sr;
+  if (!StatusReport::decode(d.payload, sr)) return;
+  ++reports_;
+  auto key = std::make_pair(sr.unit, sr.node);
+  auto it = views_.find(key);
+  if (it != views_.end() && it->second.report.role != sr.role) {
+    transitions_.push_back(Transition{process_->sim().now(), sr.unit, sr.node,
+                                      it->second.report.role, sr.role});
+  } else if (it == views_.end()) {
+    transitions_.push_back(
+        Transition{process_->sim().now(), sr.unit, sr.node, Role::kUnknown, sr.role});
+  }
+  NodeView& v = views_[key];
+  v.report = std::move(sr);
+  v.last_seen = process_->sim().now();
+}
+
+const SystemMonitor::NodeView* SystemMonitor::view(const std::string& unit, int node) const {
+  auto it = views_.find({unit, node});
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+int SystemMonitor::primary_of(const std::string& unit) const {
+  int best = -1;
+  std::uint32_t best_inc = 0;
+  for (const auto& [key, v] : views_) {
+    if (key.first != unit || v.report.role != Role::kPrimary) continue;
+    if (best < 0 || v.report.incarnation > best_inc) {
+      best = key.second;
+      best_inc = v.report.incarnation;
+    }
+  }
+  return best;
+}
+
+bool SystemMonitor::node_silent(const std::string& unit, int node,
+                                sim::SimTime staleness) const {
+  const NodeView* v = view(unit, node);
+  if (v == nullptr) return true;
+  return process_->sim().now() - v->last_seen > staleness;
+}
+
+std::string SystemMonitor::render() const {
+  std::ostringstream os;
+  os << "=== OFTT System Monitor @ " << sim::to_seconds(process_->sim().now()) << "s ===\n";
+  for (const auto& [key, v] : views_) {
+    os << "unit '" << key.first << "' node " << key.second << ": " << role_name(v.report.role)
+       << " inc=" << v.report.incarnation << (v.report.peer_visible ? "" : " [PEER LOST]")
+       << (process_->sim().now() - v.last_seen > sim::seconds(3) ? " [SILENT]" : "") << "\n";
+    for (const auto& c : v.report.components) {
+      os << "    " << c.name << ": " << component_state_name(c.state)
+         << " restarts=" << c.restarts << " heartbeats=" << c.heartbeats << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace oftt::core

@@ -1,0 +1,54 @@
+// The System Monitor (§2.2.4): displays the status of hardware, OS,
+// OFTT components and applications. Purely observational — "it does not
+// need to be present for the operation of the OFTT fault tolerance
+// provisions" — so it only consumes StatusReports.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+#include "sim/process.h"
+
+namespace oftt::core {
+
+class SystemMonitor {
+ public:
+  explicit SystemMonitor(sim::Process& process);
+
+  struct NodeView {
+    StatusReport report;
+    sim::SimTime last_seen = 0;
+  };
+  struct Transition {
+    sim::SimTime at = 0;
+    std::string unit;
+    int node = -1;
+    Role from = Role::kUnknown;
+    Role to = Role::kUnknown;
+  };
+
+  /// Latest report for (unit, node); null if never seen.
+  const NodeView* view(const std::string& unit, int node) const;
+  /// Current primary node of a unit, or -1.
+  int primary_of(const std::string& unit) const;
+  /// True when no report from (unit, node) within `staleness`.
+  bool node_silent(const std::string& unit, int node, sim::SimTime staleness) const;
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  std::uint64_t reports_received() const { return reports_; }
+
+  /// ASCII status board (what the operator's screen would show).
+  std::string render() const;
+
+ private:
+  void on_report(const sim::Datagram& d);
+
+  sim::Process* process_;
+  std::map<std::pair<std::string, int>, NodeView> views_;
+  std::vector<Transition> transitions_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace oftt::core

@@ -1,0 +1,324 @@
+#include "core/wire.h"
+
+namespace oftt::core {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kUnknown: return "UNKNOWN";
+    case Role::kNegotiating: return "NEGOTIATING";
+    case Role::kPrimary: return "PRIMARY";
+    case Role::kBackup: return "BACKUP";
+    case Role::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char* component_state_name(ComponentState s) {
+  switch (s) {
+    case ComponentState::kUp: return "UP";
+    case ComponentState::kSuspect: return "SUSPECT";
+    case ComponentState::kFailed: return "FAILED";
+    case ComponentState::kRestarting: return "RESTARTING";
+  }
+  return "?";
+}
+
+std::string ftim_port(const std::string& process_name) { return "oftt.ftim." + process_name; }
+
+std::uint8_t wire_kind(const Buffer& payload) { return payload.empty() ? 0 : payload[0]; }
+
+namespace {
+BinaryWriter begin(MsgKind kind) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  return w;
+}
+bool begin_read(const Buffer& b, MsgKind kind, BinaryReader& r) {
+  return static_cast<MsgKind>(r.u8()) == kind && b.size() >= 1;
+}
+}  // namespace
+
+Buffer Probe::encode(bool reply) const {
+  BinaryWriter w = begin(reply ? MsgKind::kProbeReply : MsgKind::kProbe);
+  w.i32(node);
+  w.i32(boot_count);
+  w.u32(incarnation);
+  w.u8(static_cast<std::uint8_t>(role));
+  return std::move(w).take();
+}
+
+bool Probe::decode(const Buffer& b, Probe& out, bool reply) {
+  BinaryReader r(b);
+  if (!begin_read(b, reply ? MsgKind::kProbeReply : MsgKind::kProbe, r)) return false;
+  out.node = r.i32();
+  out.boot_count = r.i32();
+  out.incarnation = r.u32();
+  out.role = static_cast<Role>(r.u8());
+  return !r.failed();
+}
+
+Buffer PeerHeartbeat::encode() const {
+  BinaryWriter w = begin(MsgKind::kPeerHeartbeat);
+  w.i32(node);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u32(incarnation);
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+bool PeerHeartbeat::decode(const Buffer& b, PeerHeartbeat& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kPeerHeartbeat, r)) return false;
+  out.node = r.i32();
+  out.role = static_cast<Role>(r.u8());
+  out.incarnation = r.u32();
+  out.seq = r.u64();
+  return !r.failed();
+}
+
+Buffer Takeover::encode() const {
+  BinaryWriter w = begin(MsgKind::kTakeover);
+  w.i32(from_node);
+  w.u32(incarnation);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+bool Takeover::decode(const Buffer& b, Takeover& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kTakeover, r)) return false;
+  out.from_node = r.i32();
+  out.incarnation = r.u32();
+  out.reason = r.str();
+  return !r.failed();
+}
+
+Buffer FtRegister::encode() const {
+  BinaryWriter w = begin(MsgKind::kFtRegister);
+  w.str(component);
+  w.str(process_name);
+  w.str(ftim_port);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.i32(max_local_restarts);
+  w.i32(switchover_on_permanent);
+  w.boolean(currently_active);
+  w.u32(incarnation);
+  return std::move(w).take();
+}
+
+bool FtRegister::decode(const Buffer& b, FtRegister& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kFtRegister, r)) return false;
+  out.component = r.str();
+  out.process_name = r.str();
+  out.ftim_port = r.str();
+  out.kind = static_cast<FtimKind>(r.u8());
+  out.max_local_restarts = r.i32();
+  out.switchover_on_permanent = r.i32();
+  out.currently_active = r.boolean();
+  out.incarnation = r.u32();
+  return !r.failed();
+}
+
+Buffer FtHeartbeat::encode() const {
+  BinaryWriter w = begin(MsgKind::kFtHeartbeat);
+  w.str(component);
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+bool FtHeartbeat::decode(const Buffer& b, FtHeartbeat& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kFtHeartbeat, r)) return false;
+  out.component = r.str();
+  out.seq = r.u64();
+  return !r.failed();
+}
+
+Buffer FtDistress::encode() const {
+  BinaryWriter w = begin(MsgKind::kFtDistress);
+  w.str(component);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+bool FtDistress::decode(const Buffer& b, FtDistress& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kFtDistress, r)) return false;
+  out.component = r.str();
+  out.reason = r.str();
+  return !r.failed();
+}
+
+Buffer WatchdogMsg::encode() const {
+  BinaryWriter w = begin(op);
+  w.str(component);
+  w.str(watchdog);
+  w.i64(timeout);
+  return std::move(w).take();
+}
+
+bool WatchdogMsg::decode(const Buffer& b, WatchdogMsg& out) {
+  BinaryReader r(b);
+  auto kind = static_cast<MsgKind>(r.u8());
+  if (kind != MsgKind::kWatchdogCreate && kind != MsgKind::kWatchdogReset &&
+      kind != MsgKind::kWatchdogDelete) {
+    return false;
+  }
+  out.op = kind;
+  out.component = r.str();
+  out.watchdog = r.str();
+  out.timeout = r.i64();
+  return !r.failed();
+}
+
+Buffer SetRule::encode() const {
+  BinaryWriter w = begin(MsgKind::kSetRule);
+  w.str(component);
+  w.i32(max_local_restarts);
+  w.i32(switchover_on_permanent);
+  return std::move(w).take();
+}
+
+bool SetRule::decode(const Buffer& b, SetRule& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kSetRule, r)) return false;
+  out.component = r.str();
+  out.max_local_restarts = r.i32();
+  out.switchover_on_permanent = r.i32();
+  return !r.failed();
+}
+
+Buffer SetActive::encode() const {
+  BinaryWriter w = begin(MsgKind::kSetActive);
+  w.boolean(active);
+  w.u32(incarnation);
+  w.u8(static_cast<std::uint8_t>(role));
+  return std::move(w).take();
+}
+
+bool SetActive::decode(const Buffer& b, SetActive& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kSetActive, r)) return false;
+  out.active = r.boolean();
+  out.incarnation = r.u32();
+  out.role = static_cast<Role>(r.u8());
+  return !r.failed();
+}
+
+Buffer EngineHello::encode() const {
+  BinaryWriter w = begin(MsgKind::kEngineHello);
+  w.i32(node);
+  return std::move(w).take();
+}
+
+bool EngineHello::decode(const Buffer& b, EngineHello& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kEngineHello, r)) return false;
+  out.node = r.i32();
+  return !r.failed();
+}
+
+Buffer StatusReport::encode() const {
+  BinaryWriter w = begin(MsgKind::kStatusReport);
+  w.str(unit);
+  w.i32(node);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u32(incarnation);
+  w.boolean(peer_visible);
+  w.u32(static_cast<std::uint32_t>(components.size()));
+  for (const auto& c : components) {
+    w.str(c.name);
+    w.u8(static_cast<std::uint8_t>(c.state));
+    w.i32(c.restarts);
+    w.u64(c.heartbeats);
+  }
+  return std::move(w).take();
+}
+
+bool StatusReport::decode(const Buffer& b, StatusReport& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kStatusReport, r)) return false;
+  out.unit = r.str();
+  out.node = r.i32();
+  out.role = static_cast<Role>(r.u8());
+  out.incarnation = r.u32();
+  out.peer_visible = r.boolean();
+  std::uint32_t n = r.u32();
+  out.components.clear();
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    ComponentStatus c;
+    c.name = r.str();
+    c.state = static_cast<ComponentState>(r.u8());
+    c.restarts = r.i32();
+    c.heartbeats = r.u64();
+    out.components.push_back(std::move(c));
+  }
+  return !r.failed();
+}
+
+Buffer RoleAnnounce::encode() const {
+  BinaryWriter w = begin(MsgKind::kRoleAnnounce);
+  w.str(unit);
+  w.i32(node);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u32(incarnation);
+  return std::move(w).take();
+}
+
+bool RoleAnnounce::decode(const Buffer& b, RoleAnnounce& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kRoleAnnounce, r)) return false;
+  out.unit = r.str();
+  out.node = r.i32();
+  out.role = static_cast<Role>(r.u8());
+  out.incarnation = r.u32();
+  return !r.failed();
+}
+
+Buffer SubscribeRoles::encode() const {
+  BinaryWriter w = begin(MsgKind::kSubscribeRoles);
+  w.i32(subscriber_node);
+  w.str(subscriber_port);
+  return std::move(w).take();
+}
+
+bool SubscribeRoles::decode(const Buffer& b, SubscribeRoles& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kSubscribeRoles, r)) return false;
+  out.subscriber_node = r.i32();
+  out.subscriber_port = r.str();
+  return !r.failed();
+}
+
+Buffer encode_checkpoint(const std::string& component, const Buffer& image) {
+  BinaryWriter w = begin(MsgKind::kCheckpoint);
+  w.str(component);
+  w.blob(image);
+  return std::move(w).take();
+}
+
+bool decode_checkpoint(const Buffer& b, std::string& component, Buffer& image) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kCheckpoint, r)) return false;
+  component = r.str();
+  image = r.blob();
+  return !r.failed();
+}
+
+Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq) {
+  BinaryWriter w = begin(MsgKind::kCheckpointAck);
+  w.str(component);
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kCheckpointAck, r)) return false;
+  component = r.str();
+  seq = r.u64();
+  return !r.failed();
+}
+
+}  // namespace oftt::core

@@ -1,0 +1,193 @@
+// OFTT control-plane wire messages.
+//
+// Three conversations share the engine port, distinguished by kind:
+//   engine <-> engine  (peer probes, heartbeats, takeover handoff)
+//   FTIM   <-> engine  (registration, component heartbeats, distress,
+//                       watchdog management; loopback only)
+//   diverter/monitor <-> engine (role subscription, status reports)
+// Checkpoints flow FTIM -> peer FTIM on the FTIM port directly (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/config.h"
+
+namespace oftt::core {
+
+enum class MsgKind : std::uint8_t {
+  // engine <-> engine
+  kProbe = 1,
+  kProbeReply = 2,
+  kPeerHeartbeat = 3,
+  kTakeover = 4,
+  // FTIM -> engine (loopback)
+  kFtRegister = 10,
+  kFtHeartbeat = 11,
+  kFtDistress = 12,
+  kWatchdogCreate = 13,
+  kWatchdogReset = 14,
+  kWatchdogDelete = 15,
+  kSetRule = 16,
+  // engine -> FTIM (loopback)
+  kSetActive = 20,
+  kEngineHello = 21,
+  // engine -> monitor / diverter
+  kStatusReport = 30,
+  kRoleAnnounce = 31,
+  // diverter -> engine
+  kSubscribeRoles = 32,
+  // FTIM -> FTIM
+  kCheckpoint = 40,
+  kCheckpointAck = 41,
+};
+
+std::uint8_t wire_kind(const Buffer& payload);
+
+struct Probe {
+  int node = -1;
+  int boot_count = 0;
+  std::uint32_t incarnation = 0;
+  Role role = Role::kUnknown;
+  Buffer encode(bool reply) const;
+  static bool decode(const Buffer& b, Probe& out, bool reply);
+};
+
+struct PeerHeartbeat {
+  int node = -1;
+  Role role = Role::kUnknown;
+  std::uint32_t incarnation = 0;
+  std::uint64_t seq = 0;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, PeerHeartbeat& out);
+};
+
+struct Takeover {
+  int from_node = -1;
+  std::uint32_t incarnation = 0;
+  std::string reason;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, Takeover& out);
+};
+
+enum class FtimKind : std::uint8_t { kOpcClient = 0, kOpcServer = 1 };
+
+struct FtRegister {
+  std::string component;     // logical component name
+  std::string process_name;  // for engine-driven restart
+  std::string ftim_port;
+  FtimKind kind = FtimKind::kOpcClient;
+  int max_local_restarts = -1;       // -1: use engine default rule
+  int switchover_on_permanent = -1;  // tri-state: -1 default, 0 no, 1 yes
+  /// Set on re-registration: lets a freshly restarted engine adopt the
+  /// node's live role instead of renegotiating over running state.
+  bool currently_active = false;
+  std::uint32_t incarnation = 0;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, FtRegister& out);
+};
+
+struct FtHeartbeat {
+  std::string component;
+  std::uint64_t seq = 0;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, FtHeartbeat& out);
+};
+
+struct FtDistress {
+  std::string component;
+  std::string reason;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, FtDistress& out);
+};
+
+struct WatchdogMsg {
+  MsgKind op = MsgKind::kWatchdogCreate;
+  std::string component;
+  std::string watchdog;
+  sim::SimTime timeout = 0;  // create/reset
+  Buffer encode() const;
+  static bool decode(const Buffer& b, WatchdogMsg& out);
+};
+
+/// Run-time recovery-rule update — the paper's stated extension ("An
+/// application that uses the OFTT can explicitly specify the recovery
+/// rule either statically at compilation time or dynamically at
+/// run-time. The current implementation only supports static
+/// decision."); this implementation supports both.
+struct SetRule {
+  std::string component;
+  int max_local_restarts = -1;
+  int switchover_on_permanent = -1;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, SetRule& out);
+};
+
+struct SetActive {
+  bool active = false;
+  std::uint32_t incarnation = 0;
+  Role role = Role::kUnknown;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, SetActive& out);
+};
+
+struct EngineHello {
+  int node = -1;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, EngineHello& out);
+};
+
+enum class ComponentState : std::uint8_t {
+  kUp = 0,
+  kSuspect = 1,
+  kFailed = 2,
+  kRestarting = 3,
+};
+const char* component_state_name(ComponentState s);
+
+struct ComponentStatus {
+  std::string name;
+  ComponentState state = ComponentState::kUp;
+  int restarts = 0;
+  std::uint64_t heartbeats = 0;
+};
+
+struct StatusReport {
+  std::string unit;
+  int node = -1;
+  Role role = Role::kUnknown;
+  std::uint32_t incarnation = 0;
+  bool peer_visible = false;
+  std::vector<ComponentStatus> components;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, StatusReport& out);
+};
+
+struct RoleAnnounce {
+  std::string unit;
+  int node = -1;
+  Role role = Role::kUnknown;
+  std::uint32_t incarnation = 0;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, RoleAnnounce& out);
+};
+
+struct SubscribeRoles {
+  int subscriber_node = -1;
+  std::string subscriber_port;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, SubscribeRoles& out);
+};
+
+/// Checkpoint frame: kind byte + component + image blob.
+Buffer encode_checkpoint(const std::string& component, const Buffer& image);
+bool decode_checkpoint(const Buffer& b, std::string& component, Buffer& image);
+
+/// Checkpoint acknowledgement: the backup confirms (component, seq) so
+/// the primary can observe replication lag.
+Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq);
+bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq);
+
+}  // namespace oftt::core

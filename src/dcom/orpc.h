@@ -1,0 +1,97 @@
+// ORPC-lite: the wire protocol of the simulated DCOM layer.
+//
+// Real DCOM frames MSRPC PDUs carrying an OBJREF; here an ObjectRef
+// names (node, server port, object id, interface) and four packet kinds
+// flow over the datagram network: REQUEST, RESPONSE, PING, ACTIVATE(+
+// its RESPONSE reuses the same response frame). Reliability is the
+// caller's problem — precisely the deficiency the paper calls out in
+// §3.3 ("its RPC service does not behave well in the presence of
+// failures") and which the OFTT core has to compensate for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/guid.h"
+#include "common/hresult.h"
+
+namespace oftt::dcom {
+
+/// Marshaled object reference (OBJREF analogue).
+struct ObjectRef {
+  int node = -1;
+  std::string port;  // ORPC endpoint of the owning process
+  std::uint64_t oid = 0;
+  Iid iid;
+
+  bool valid() const { return node >= 0 && oid != 0; }
+  bool operator==(const ObjectRef&) const = default;
+
+  void marshal(BinaryWriter& w) const {
+    w.i32(node);
+    w.str(port);
+    w.u64(oid);
+    w.guid(iid);
+  }
+  static ObjectRef unmarshal(BinaryReader& r) {
+    ObjectRef ref;
+    ref.node = r.i32();
+    ref.port = r.str();
+    ref.oid = r.u64();
+    ref.iid = r.guid();
+    return ref;
+  }
+
+  std::string to_string() const;
+};
+
+enum class PacketKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kPing = 3,
+  kActivate = 4,
+};
+
+struct RequestPacket {
+  std::uint64_t call_id = 0;
+  std::uint64_t oid = 0;
+  Iid iid;
+  std::uint16_t method = 0;
+  Buffer args;
+  int reply_node = -1;
+  std::string reply_port;
+};
+
+struct ResponsePacket {
+  std::uint64_t call_id = 0;
+  HRESULT hr = S_OK;
+  Buffer result;
+};
+
+struct PingPacket {
+  std::vector<std::uint64_t> oids;
+};
+
+struct ActivatePacket {
+  std::uint64_t call_id = 0;
+  Clsid clsid;
+  Iid iid;
+  int reply_node = -1;
+  std::string reply_port;
+};
+
+Buffer encode_request(const RequestPacket& p);
+Buffer encode_response(const ResponsePacket& p);
+Buffer encode_ping(const PingPacket& p);
+Buffer encode_activate(const ActivatePacket& p);
+
+/// Peek the packet kind (first byte); returns 0 on empty payload.
+std::uint8_t packet_kind(const Buffer& payload);
+
+bool decode_request(const Buffer& payload, RequestPacket& out);
+bool decode_response(const Buffer& payload, ResponsePacket& out);
+bool decode_ping(const Buffer& payload, PingPacket& out);
+bool decode_activate(const Buffer& payload, ActivatePacket& out);
+
+}  // namespace oftt::dcom

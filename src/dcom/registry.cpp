@@ -1,0 +1,25 @@
+#include "dcom/registry.h"
+
+namespace oftt::dcom {
+
+InterfaceRegistry& InterfaceRegistry::instance() {
+  static InterfaceRegistry reg;
+  return reg;
+}
+
+void InterfaceRegistry::register_interface(const Iid& iid, StubFactory stub, ProxyFactory proxy) {
+  stubs_[iid] = std::move(stub);
+  proxies_[iid] = std::move(proxy);
+}
+
+const StubFactory* InterfaceRegistry::find_stub(const Iid& iid) const {
+  auto it = stubs_.find(iid);
+  return it == stubs_.end() ? nullptr : &it->second;
+}
+
+const ProxyFactory* InterfaceRegistry::find_proxy(const Iid& iid) const {
+  auto it = proxies_.find(iid);
+  return it == proxies_.end() ? nullptr : &it->second;
+}
+
+}  // namespace oftt::dcom

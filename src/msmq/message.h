@@ -1,0 +1,68 @@
+// MSMQ-like message model and wire frames.
+//
+// Two planes:
+//   app <-> local queue manager:  SEND / SUBSCRIBE / DELIVER / RECV-ACK
+//   queue manager <-> queue manager:  XFER / XFER-ACK (store-and-forward)
+//
+// Express messages live in memory only; recoverable messages are
+// persisted to the node's disk store and survive a reboot — the
+// property the Message Diverter's "non-delivery is detected and
+// retried" guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "sim/time.h"
+
+namespace oftt::msmq {
+
+enum class DeliveryMode : std::uint8_t { kExpress = 0, kRecoverable = 1 };
+
+struct Message {
+  std::uint64_t id = 0;  // globally unique: (src_node << 48) | seq
+  int src_node = -1;
+  std::string queue;  // destination queue name
+  std::string label;
+  Buffer body;
+  DeliveryMode mode = DeliveryMode::kExpress;
+  sim::SimTime enqueued_at = 0;
+
+  void marshal(BinaryWriter& w) const {
+    w.u64(id);
+    w.i32(src_node);
+    w.str(queue);
+    w.str(label);
+    w.blob(body);
+    w.u8(static_cast<std::uint8_t>(mode));
+    w.i64(enqueued_at);
+  }
+  static Message unmarshal(BinaryReader& r) {
+    Message m;
+    m.id = r.u64();
+    m.src_node = r.i32();
+    m.queue = r.str();
+    m.label = r.str();
+    m.body = r.blob();
+    m.mode = static_cast<DeliveryMode>(r.u8());
+    m.enqueued_at = r.i64();
+    return m;
+  }
+};
+
+enum class MqPacket : std::uint8_t {
+  kSend = 1,       // app -> local QM
+  kSubscribe = 2,  // app -> local QM
+  kDeliver = 3,    // QM -> app
+  kRecvAck = 4,    // app -> QM
+  kXfer = 5,       // QM -> QM
+  kXferAck = 6,    // QM -> QM
+};
+
+/// Well-known queue-manager port on every node.
+inline constexpr const char* kMsmqPort = "msmq";
+/// Name of the local dead-letter queue.
+inline constexpr const char* kDeadLetterQueue = "DEADLETTER";
+
+}  // namespace oftt::msmq

@@ -1,0 +1,364 @@
+#include "msmq/queue_manager.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::msmq {
+namespace {
+
+constexpr const char* kQueuePersistPrefix = "mq.q.";
+constexpr const char* kOutgoingPersistKey = "mq.out";
+
+}  // namespace
+
+QueueManager::QueueManager(sim::Process& process)
+    : process_(&process),
+      retry_timer_(process.main_strand()),
+      redelivery_timer_(process.main_strand()) {
+  process_->bind(kMsmqPort, [this](const sim::Datagram& d) { on_datagram(d); });
+  restore_from_disk();
+  retry_timer_.start(config_.retry_period, [this] { transmit_sweep(); });
+  redelivery_timer_.start(config_.redelivery_timeout, [this] {
+    sim::SimTime now = process_->sim().now();
+    for (auto& [qname, q] : queues_) {
+      bool changed = false;
+      for (auto it = q.unacked.begin(); it != q.unacked.end();) {
+        if (now - it->second.delivered_at >= config_.redelivery_timeout) {
+          q.ready.push_back(std::move(it->second.msg));
+          it = q.unacked.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+      if (changed) pump_queue(qname);
+    }
+  });
+}
+
+QueueManager* QueueManager::find(sim::Node& node) {
+  auto proc = node.find_process("msmq");
+  if (!proc || !proc->alive()) return nullptr;
+  return proc->find_attachment<QueueManager>();
+}
+
+std::shared_ptr<sim::Process> QueueManager::install(sim::Node& node) {
+  return node.start_process("msmq", [](sim::Process& proc) {
+    proc.attachment<QueueManager>(proc);
+  });
+}
+
+void QueueManager::set_route(const std::string& queue, int node) {
+  if (node < 0) {
+    routes_.erase(queue);
+  } else {
+    routes_[queue] = node;
+  }
+}
+
+int QueueManager::route(const std::string& queue) const {
+  auto it = routes_.find(queue);
+  return it == routes_.end() ? -1 : it->second;
+}
+
+std::size_t QueueManager::local_depth(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.ready.size() + it->second.unacked.size();
+}
+
+std::size_t QueueManager::outgoing_depth() const { return outgoing_.size(); }
+
+void QueueManager::on_datagram(const sim::Datagram& d) {
+  BinaryReader r(d.payload);
+  auto kind = static_cast<MqPacket>(r.u8());
+  switch (kind) {
+    case MqPacket::kSend: handle_send(r); break;
+    case MqPacket::kSubscribe: handle_subscribe(r); break;
+    case MqPacket::kRecvAck: handle_recv_ack(r); break;
+    case MqPacket::kXfer: handle_xfer(d, r); break;
+    case MqPacket::kXferAck: handle_xfer_ack(r); break;
+    default: ++process_->sim().counter("msmq.bad_packet"); break;
+  }
+}
+
+void QueueManager::handle_send(BinaryReader& r) {
+  Message msg = Message::unmarshal(r);
+  if (r.failed()) return;
+  sim::Node& node = process_->node();
+  // Assign a globally unique id: node | boot generation | sequence.
+  msg.id = (static_cast<std::uint64_t>(node.id()) << 48) |
+           (static_cast<std::uint64_t>(node.boot_count() & 0xff) << 40) | next_seq_++;
+  msg.src_node = node.id();
+  msg.enqueued_at = process_->sim().now();
+
+  int dest = route(msg.queue);
+  if (dest < 0 || dest == node.id()) {
+    accept_local(std::move(msg));
+    return;
+  }
+  OutgoingEntry entry;
+  entry.msg = std::move(msg);
+  entry.first_attempt = process_->sim().now();
+  std::uint64_t id = entry.msg.id;
+  outgoing_.emplace(id, std::move(entry));
+  if (outgoing_[id].msg.mode == DeliveryMode::kRecoverable) persist_outgoing();
+  transmit_sweep();
+}
+
+void QueueManager::handle_subscribe(BinaryReader& r) {
+  std::string queue = r.str();
+  std::string port = r.str();
+  if (r.failed()) return;
+  LocalQueue& q = queue_ref(queue);
+  q.subscriber = Subscriber{process_->node().id(), port, true};
+  // A fresh subscriber (e.g. restarted app) inherits unacked messages:
+  // push them back for redelivery immediately.
+  for (auto it = q.unacked.begin(); it != q.unacked.end();) {
+    q.ready.push_back(std::move(it->second.msg));
+    it = q.unacked.erase(it);
+  }
+  pump_queue(queue);
+}
+
+void QueueManager::handle_recv_ack(BinaryReader& r) {
+  std::uint64_t id = r.u64();
+  std::string queue = r.str();
+  if (r.failed()) return;
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return;
+  if (it->second.unacked.erase(id) > 0) {
+    persist_queue(queue);
+  }
+}
+
+void QueueManager::handle_xfer(const sim::Datagram& d, BinaryReader& r) {
+  Message msg = Message::unmarshal(r);
+  if (r.failed()) return;
+  // Ack unconditionally (dedup makes re-acks harmless).
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MqPacket::kXferAck));
+  w.u64(msg.id);
+  int net = sim::pick_network(process_->sim(), process_->node().id(), d.src_node);
+  if (net >= 0) {
+    process_->send(net, d.src_node, kMsmqPort, std::move(w).take(), kMsmqPort);
+  }
+  LocalQueue& q = queue_ref(msg.queue);
+  if (!q.seen_ids.insert(msg.id).second) {
+    ++duplicates_dropped_;
+    return;
+  }
+  accept_local(std::move(msg));
+}
+
+void QueueManager::handle_xfer_ack(BinaryReader& r) {
+  std::uint64_t id = r.u64();
+  if (r.failed()) return;
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;
+  bool recoverable = it->second.msg.mode == DeliveryMode::kRecoverable;
+  outgoing_.erase(it);
+  if (recoverable) persist_outgoing();
+}
+
+std::size_t QueueManager::purge(const std::string& queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return 0;
+  std::size_t n = it->second.ready.size() + it->second.unacked.size();
+  it->second.ready.clear();
+  it->second.unacked.clear();
+  persist_queue(queue);
+  return n;
+}
+
+void QueueManager::accept_local(Message msg) {
+  std::string qname = msg.queue;
+  LocalQueue& q = queue_ref(qname);
+  if (config_.queue_quota > 0 &&
+      q.ready.size() + q.unacked.size() >= config_.queue_quota) {
+    ++quota_rejections_;
+    ++process_->sim().counter("msmq.quota_rejected");
+    return;
+  }
+  q.ready.push_back(std::move(msg));
+  if (q.ready.back().mode == DeliveryMode::kRecoverable) persist_queue(qname);
+  pump_queue(qname);
+}
+
+void QueueManager::pump_queue(const std::string& qname) {
+  LocalQueue& q = queue_ref(qname);
+  if (!q.subscriber.active) return;
+  while (!q.ready.empty()) {
+    Message msg = std::move(q.ready.front());
+    q.ready.pop_front();
+    BinaryWriter w;
+    w.u8(static_cast<std::uint8_t>(MqPacket::kDeliver));
+    msg.marshal(w);
+    std::uint64_t id = msg.id;
+    q.unacked.emplace(id,
+                      InFlightDelivery{std::move(msg), process_->sim().now()});
+    process_->send(0, process_->node().id(), q.subscriber.port, std::move(w).take(), kMsmqPort);
+  }
+}
+
+void QueueManager::transmit_sweep() {
+  sim::SimTime now = process_->sim().now();
+  bool persisted_dirty = false;
+  for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+    OutgoingEntry& e = it->second;
+    if (now - e.first_attempt > config_.time_to_reach_queue) {
+      // Exhausted: dead-letter locally.
+      OFTT_LOG_WARN("msmq", process_->node().name(), ": dead-lettering msg ", e.msg.id,
+                    " for queue ", e.msg.queue);
+      ++process_->sim().counter("msmq.dead_lettered");
+      Message dl = std::move(e.msg);
+      dl.label = cat("DLQ:", dl.queue, ":", dl.label);
+      dl.queue = kDeadLetterQueue;
+      persisted_dirty = true;
+      it = outgoing_.erase(it);
+      accept_local(std::move(dl));
+      continue;
+    }
+    // Re-resolve the route on every attempt — the diverter may have
+    // repointed the logical queue at the new primary.
+    int dest = route(e.msg.queue);
+    if (dest >= 0 && dest != process_->node().id()) {
+      int net = sim::pick_network(process_->sim(), process_->node().id(), dest);
+      if (net >= 0) {
+        BinaryWriter w;
+        w.u8(static_cast<std::uint8_t>(MqPacket::kXfer));
+        e.msg.marshal(w);
+        process_->send(net, dest, kMsmqPort, std::move(w).take(), kMsmqPort);
+        ++transmits_;
+        if (e.attempts > 0) ++retries_;
+        ++e.attempts;
+      }
+    } else if (dest < 0 || dest == process_->node().id()) {
+      // Route now points home: deliver locally.
+      Message msg = std::move(e.msg);
+      persisted_dirty = true;
+      it = outgoing_.erase(it);
+      accept_local(std::move(msg));
+      continue;
+    }
+    ++it;
+  }
+  if (persisted_dirty) persist_outgoing();
+}
+
+void QueueManager::persist_queue(const std::string& qname) {
+  auto it = queues_.find(qname);
+  if (it == queues_.end()) return;
+  BinaryWriter w;
+  std::uint32_t count = 0;
+  BinaryWriter body;
+  for (const auto& m : it->second.ready) {
+    if (m.mode == DeliveryMode::kRecoverable) {
+      m.marshal(body);
+      ++count;
+    }
+  }
+  for (const auto& [_, inflight] : it->second.unacked) {
+    if (inflight.msg.mode == DeliveryMode::kRecoverable) {
+      inflight.msg.marshal(body);
+      ++count;
+    }
+  }
+  w.u32(count);
+  w.raw(body.data().data(), body.size());
+  sim::DiskStore::of(process_->sim())
+      .write(process_->node().id(), cat(kQueuePersistPrefix, qname), std::move(w).take());
+}
+
+void QueueManager::persist_outgoing() {
+  BinaryWriter w;
+  std::uint32_t count = 0;
+  BinaryWriter body;
+  for (const auto& [_, e] : outgoing_) {
+    if (e.msg.mode == DeliveryMode::kRecoverable) {
+      e.msg.marshal(body);
+      ++count;
+    }
+  }
+  w.u32(count);
+  w.raw(body.data().data(), body.size());
+  sim::DiskStore::of(process_->sim())
+      .write(process_->node().id(), kOutgoingPersistKey, std::move(w).take());
+}
+
+void QueueManager::restore_from_disk() {
+  auto& disk = sim::DiskStore::of(process_->sim());
+  int node = process_->node().id();
+  for (const auto& key : disk.keys_with_prefix(node, kQueuePersistPrefix)) {
+    auto blob = disk.read(node, key);
+    if (!blob) continue;
+    BinaryReader r(*blob);
+    std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+      Message m = Message::unmarshal(r);
+      if (r.failed()) break;
+      LocalQueue& q = queue_ref(m.queue);
+      q.seen_ids.insert(m.id);
+      q.ready.push_back(std::move(m));
+    }
+  }
+  if (auto blob = disk.read(node, kOutgoingPersistKey)) {
+    BinaryReader r(*blob);
+    std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+      Message m = Message::unmarshal(r);
+      if (r.failed()) break;
+      OutgoingEntry e;
+      e.first_attempt = process_->sim().now();
+      e.msg = std::move(m);
+      outgoing_.emplace(e.msg.id, std::move(e));
+    }
+  }
+}
+
+MsmqApi::MsmqApi(sim::Process& process)
+    : process_(&process), recv_port_(cat("mqr.", process.name())) {
+  process_->bind(recv_port_, [this](const sim::Datagram& d) { on_deliver(d); });
+}
+
+void MsmqApi::send(const std::string& queue, const std::string& label, Buffer body,
+                   DeliveryMode mode) {
+  Message m;
+  m.queue = queue;
+  m.label = label;
+  m.body = std::move(body);
+  m.mode = mode;
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MqPacket::kSend));
+  m.marshal(w);
+  process_->send(0, process_->node().id(), kMsmqPort, std::move(w).take(), recv_port_);
+}
+
+void MsmqApi::subscribe(const std::string& queue, std::function<void(const Message&)> handler) {
+  handlers_[queue] = std::move(handler);
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MqPacket::kSubscribe));
+  w.str(queue);
+  w.str(recv_port_);
+  process_->send(0, process_->node().id(), kMsmqPort, std::move(w).take(), recv_port_);
+}
+
+void MsmqApi::on_deliver(const sim::Datagram& d) {
+  BinaryReader r(d.payload);
+  if (static_cast<MqPacket>(r.u8()) != MqPacket::kDeliver) return;
+  Message m = Message::unmarshal(r);
+  if (r.failed()) return;
+  auto it = handlers_.find(m.queue);
+  if (it != handlers_.end()) {
+    it->second(m);
+  }
+  // Ack after the handler ran to completion; a crash inside the handler
+  // kills this strand before the ack is sent -> redelivery.
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MqPacket::kRecvAck));
+  w.u64(m.id);
+  w.str(m.queue);
+  process_->send(0, process_->node().id(), kMsmqPort, std::move(w).take(), recv_port_);
+}
+
+}  // namespace oftt::msmq

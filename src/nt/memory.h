@@ -1,0 +1,119 @@
+// MemorySpace: the checkpointable address space of a simulated process.
+//
+// The paper's FTIM checkpoints an application by "a memory walkthrough
+// [that] will extract the relevant data such as stack, global
+// variables". Here the walkable memory is explicit: applications
+// allocate named Regions (their globals / heap / stacks live inside
+// region bytes), and the checkpointer snapshots or restores them
+// wholesale. `OFTTSelSave` marks sub-ranges (cells) for selective
+// checkpointing.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace oftt::nt {
+
+class Region {
+ public:
+  Region(std::string name, std::size_t size) : name_(std::move(name)), bytes_(size, 0) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return bytes_.size(); }
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+
+  Buffer snapshot() const { return bytes_; }
+  void restore(const Buffer& image) {
+    assert(image.size() == bytes_.size());
+    bytes_ = image;
+  }
+
+  /// Read/write a POD at an offset (bounds-checked).
+  template <typename T>
+  T read(std::size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= bytes_.size());
+    T v;
+    std::memcpy(&v, bytes_.data() + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void write(std::size_t offset, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + offset, &v, sizeof(T));
+  }
+
+ private:
+  std::string name_;
+  Buffer bytes_;
+};
+
+/// A typed window onto a region slice — the ergonomic way applications
+/// keep checkpointable variables.
+template <typename T>
+class Cell {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Cell() = default;
+  Cell(Region* region, std::size_t offset) : region_(region), offset_(offset) {}
+
+  T get() const { return region_->read<T>(offset_); }
+  void set(const T& v) { region_->write<T>(offset_, v); }
+  Region* region() const { return region_; }
+  std::size_t offset() const { return offset_; }
+  std::size_t size() const { return sizeof(T); }
+
+ private:
+  Region* region_ = nullptr;
+  std::size_t offset_ = 0;
+};
+
+class MemorySpace {
+ public:
+  /// Allocate (or return the existing) named region.
+  Region& alloc(const std::string& name, std::size_t size) {
+    auto it = regions_.find(name);
+    if (it != regions_.end()) {
+      assert(it->second->size() == size);
+      return *it->second;
+    }
+    auto r = std::make_unique<Region>(name, size);
+    Region& ref = *r;
+    regions_.emplace(name, std::move(r));
+    return ref;
+  }
+
+  Region* find(const std::string& name) {
+    auto it = regions_.find(name);
+    return it == regions_.end() ? nullptr : it->second.get();
+  }
+
+  /// Bump-allocate a typed cell inside a region.
+  template <typename T>
+  Cell<T> alloc_cell(Region& region, std::size_t offset) {
+    assert(offset + sizeof(T) <= region.size());
+    return Cell<T>(&region, offset);
+  }
+
+  const std::map<std::string, std::unique_ptr<Region>>& regions() const { return regions_; }
+
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& [_, r] : regions_) n += r->size();
+    return n;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Region>> regions_;
+};
+
+}  // namespace oftt::nt

@@ -1,0 +1,87 @@
+// RingLog<T>: a fixed-capacity ring buffer of trivially-copyable records
+// laid out inside a MemorySpace region — so it is captured by the FTIM
+// checkpoint walkthrough and survives switchover bit-exactly. The §4
+// call-track application "records the past and present states of the
+// system"; this is the container for exactly that kind of history.
+//
+// Layout inside the region, starting at `base`:
+//   u64 head (next write index, monotonically increasing)
+//   u64 capacity
+//   T[capacity]
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <type_traits>
+
+#include "nt/memory.h"
+
+namespace oftt::nt {
+
+template <typename T>
+class RingLog {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingLog records live in raw checkpointable memory");
+
+ public:
+  RingLog() = default;
+
+  /// Attach to (and if virgin, initialize) a ring at `base` in `region`.
+  /// The region must have room for bytes_required(capacity).
+  RingLog(Region* region, std::size_t base, std::uint64_t capacity)
+      : region_(region), base_(base) {
+    assert(base_ + bytes_required(capacity) <= region_->size());
+    // Idempotent init: a restored checkpoint image carries its own
+    // header; only stamp a fresh (zero-capacity) ring.
+    if (stored_capacity() == 0) {
+      set_head(0);
+      region_->write<std::uint64_t>(base_ + 8, capacity);
+    }
+    assert(stored_capacity() == capacity);
+  }
+
+  static constexpr std::size_t bytes_required(std::uint64_t capacity) {
+    return 16 + sizeof(T) * capacity;
+  }
+
+  std::uint64_t capacity() const { return stored_capacity(); }
+  /// Total records ever appended (monotone across checkpoints).
+  std::uint64_t total_appended() const { return head(); }
+  std::uint64_t size() const { return std::min(head(), stored_capacity()); }
+  bool empty() const { return head() == 0; }
+
+  void append(const T& record) {
+    std::uint64_t h = head();
+    std::size_t slot = static_cast<std::size_t>(h % stored_capacity());
+    region_->write<T>(slot_offset(slot), record);
+    set_head(h + 1);
+  }
+
+  /// i = 0 is the oldest retained record, i = size()-1 the newest.
+  T at(std::uint64_t i) const {
+    assert(i < size());
+    std::uint64_t h = head();
+    std::uint64_t cap = stored_capacity();
+    std::uint64_t first = h > cap ? h - cap : 0;
+    std::size_t slot = static_cast<std::size_t>((first + i) % cap);
+    return region_->read<T>(slot_offset(slot));
+  }
+
+  T newest() const {
+    assert(!empty());
+    return at(size() - 1);
+  }
+
+  void clear() { set_head(0); }
+
+ private:
+  std::uint64_t head() const { return region_->read<std::uint64_t>(base_); }
+  void set_head(std::uint64_t h) { region_->write<std::uint64_t>(base_, h); }
+  std::uint64_t stored_capacity() const { return region_->read<std::uint64_t>(base_ + 8); }
+  std::size_t slot_offset(std::size_t slot) const { return base_ + 16 + slot * sizeof(T); }
+
+  Region* region_ = nullptr;
+  std::size_t base_ = 0;
+};
+
+}  // namespace oftt::nt

@@ -1,0 +1,100 @@
+#include "opc/device.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/simulation.h"
+
+namespace oftt::opc {
+
+std::vector<std::string> Device::tags() const {
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [tag, _] : points_) out.push_back(tag);
+  return out;
+}
+
+ItemState Device::read(const std::string& tag, sim::SimTime now) const {
+  auto it = points_.find(tag);
+  if (it == points_.end()) {
+    return ItemState{tag, OpcValue(), Quality::kBad, now};
+  }
+  ItemState s = it->second;
+  if (faulted_) s.quality = Quality::kBad;
+  return s;
+}
+
+HRESULT Device::write(const std::string& tag, const OpcValue& value, sim::SimTime now) {
+  if (faulted_) return E_FAIL;
+  auto it = points_.find(tag);
+  if (it == points_.end()) return E_INVALIDARG;
+  it->second.value = value;
+  it->second.timestamp = now;
+  it->second.quality = Quality::kGood;
+  return S_OK;
+}
+
+void Device::set_point(const std::string& tag, OpcValue value, sim::SimTime now,
+                       Quality quality) {
+  ItemState& s = points_[tag];
+  s.item_id = tag;
+  s.value = std::move(value);
+  s.quality = quality;
+  s.timestamp = now;
+}
+
+OpcValue SineSignal::sample(double t, sim::Rng& rng) {
+  double v = offset_ + amplitude_ * std::sin(2.0 * 3.14159265358979 * t / period_s_);
+  if (noise_ > 0.0) v += (rng.next_double() - 0.5) * 2.0 * noise_;
+  return OpcValue::from_real(v);
+}
+
+OpcValue RandomWalkSignal::sample(double, sim::Rng& rng) {
+  value_ += (rng.next_double() - 0.5) * 2.0 * step_;
+  if (value_ < min_) value_ = min_;
+  if (value_ > max_) value_ = max_;
+  return OpcValue::from_real(value_);
+}
+
+OpcValue SquareSignal::sample(double t, sim::Rng&) {
+  return OpcValue::from_bool(std::fmod(t, period_s_) < period_s_ / 2.0);
+}
+
+OpcValue CounterSignal::sample(double, sim::Rng&) { return OpcValue::from_int(count_++); }
+
+void PlcDevice::add_input(const std::string& tag, std::unique_ptr<SignalModel> model) {
+  inputs_[tag] = std::move(model);
+  set_point(tag, OpcValue(), 0, Quality::kUncertain);  // no scan yet
+}
+
+void PlcDevice::add_output(const std::string& tag, OpcValue initial) {
+  outputs_.push_back(tag);
+  set_point(tag, std::move(initial), 0);
+}
+
+void PlcDevice::start(sim::Strand& strand, sim::Rng rng) {
+  strand_ = &strand;
+  rng_ = rng;
+  scan_timer_ = std::make_unique<sim::PeriodicTimer>(strand);
+  scan_timer_->start(scan_period_, [this] { scan(); });
+}
+
+void PlcDevice::scan() {
+  if (faulted() || strand_ == nullptr) return;
+  sim::SimTime now = strand_->process().sim().now();
+  double t = sim::to_seconds(now);
+  for (auto& [tag, model] : inputs_) {
+    set_point(tag, model->sample(t, rng_), now);
+  }
+  ++scans_;
+}
+
+HRESULT PlcDevice::write(const std::string& tag, const OpcValue& value, sim::SimTime now) {
+  // Only declared outputs are writable on a PLC.
+  for (const auto& out : outputs_) {
+    if (out == tag) return Device::write(tag, value, now);
+  }
+  return has_tag(tag) ? E_FAIL : E_INVALIDARG;
+}
+
+}  // namespace oftt::opc

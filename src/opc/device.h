@@ -1,0 +1,130 @@
+// Device: the simulated "device driver" an OPC server encapsulates —
+// the PLC plus its sensors and actuators. The fieldbus below the driver
+// is abstracted away (as it is below a real OPC server): a device's
+// points update on its scan cycle inside the hosting process.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hresult.h"
+#include "opc/value.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+#include "sim/timer.h"
+
+namespace oftt::opc {
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Called once by the hosting process; devices install their timers
+  /// on the given strand.
+  virtual void start(sim::Strand& strand, sim::Rng rng) {
+    (void)strand;
+    (void)rng;
+  }
+
+  std::vector<std::string> tags() const;
+  bool has_tag(const std::string& tag) const { return points_.count(tag) != 0; }
+
+  /// Read a point; unknown tags and faulted devices read back with BAD
+  /// quality (OPC semantics — reads do not fail, quality degrades).
+  ItemState read(const std::string& tag, sim::SimTime now) const;
+
+  /// Write a point; devices decide which tags are writable.
+  virtual HRESULT write(const std::string& tag, const OpcValue& value, sim::SimTime now);
+
+  /// Fault injection: a faulted device answers all reads with BAD
+  /// quality (dead fieldbus / dead PLC).
+  void set_faulted(bool faulted) { faulted_ = faulted; }
+  bool faulted() const { return faulted_; }
+
+ protected:
+  void set_point(const std::string& tag, OpcValue value, sim::SimTime now,
+                 Quality quality = Quality::kGood);
+
+ private:
+  std::string name_;
+  std::map<std::string, ItemState> points_;
+  bool faulted_ = false;
+};
+
+/// Signal models for simulated analog/discrete inputs.
+class SignalModel {
+ public:
+  virtual ~SignalModel() = default;
+  virtual OpcValue sample(double t_seconds, sim::Rng& rng) = 0;
+};
+
+class SineSignal final : public SignalModel {
+ public:
+  SineSignal(double offset, double amplitude, double period_s, double noise = 0.0)
+      : offset_(offset), amplitude_(amplitude), period_s_(period_s), noise_(noise) {}
+  OpcValue sample(double t, sim::Rng& rng) override;
+
+ private:
+  double offset_, amplitude_, period_s_, noise_;
+};
+
+class RandomWalkSignal final : public SignalModel {
+ public:
+  RandomWalkSignal(double start, double step, double min, double max)
+      : value_(start), step_(step), min_(min), max_(max) {}
+  OpcValue sample(double t, sim::Rng& rng) override;
+
+ private:
+  double value_, step_, min_, max_;
+};
+
+class SquareSignal final : public SignalModel {
+ public:
+  explicit SquareSignal(double period_s) : period_s_(period_s) {}
+  OpcValue sample(double t, sim::Rng& rng) override;
+
+ private:
+  double period_s_;
+};
+
+class CounterSignal final : public SignalModel {
+ public:
+  OpcValue sample(double t, sim::Rng& rng) override;
+
+ private:
+  std::int32_t count_ = 0;
+};
+
+/// A PLC: inputs sampled from signal models each scan cycle, writable
+/// outputs held as commanded.
+class PlcDevice : public Device {
+ public:
+  PlcDevice(std::string name, sim::SimTime scan_period)
+      : Device(std::move(name)), scan_period_(scan_period) {}
+
+  void add_input(const std::string& tag, std::unique_ptr<SignalModel> model);
+  void add_output(const std::string& tag, OpcValue initial);
+
+  void start(sim::Strand& strand, sim::Rng rng) override;
+  HRESULT write(const std::string& tag, const OpcValue& value, sim::SimTime now) override;
+
+  std::uint64_t scan_count() const { return scans_; }
+
+ private:
+  void scan();
+
+  sim::SimTime scan_period_;
+  std::map<std::string, std::unique_ptr<SignalModel>> inputs_;
+  std::vector<std::string> outputs_;
+  std::unique_ptr<sim::PeriodicTimer> scan_timer_;
+  sim::Strand* strand_ = nullptr;
+  sim::Rng rng_{0};
+  std::uint64_t scans_ = 0;
+};
+
+}  // namespace oftt::opc

@@ -1,0 +1,79 @@
+#include "opc/devices/telephone.h"
+
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::opc {
+
+TelephoneSystem::TelephoneSystem(Config config)
+    : Device("TelephoneSystem"),
+      config_(config),
+      line_busy_(static_cast<std::size_t>(config.lines), false) {}
+
+void TelephoneSystem::start(sim::Strand& strand, sim::Rng rng) {
+  strand_ = &strand;
+  rng_ = rng;
+  publish_state();
+  for (int c = 0; c < config_.callers; ++c) schedule_caller(c);
+}
+
+void TelephoneSystem::schedule_caller(int caller) {
+  auto think = static_cast<sim::SimTime>(rng_.exponential(config_.mean_think_s) * 1e9);
+  strand_->schedule_after(think, [this, caller] { attempt_call(caller); });
+}
+
+void TelephoneSystem::attempt_call(int caller) {
+  int free_line = -1;
+  for (int l = 0; l < config_.lines; ++l) {
+    if (!line_busy_[static_cast<std::size_t>(l)]) {
+      free_line = l;
+      break;
+    }
+  }
+  if (free_line < 0) {
+    ++blocked_calls_;
+    emit(CallEvent::Kind::kBlocked, caller, -1);
+    publish_state();
+    schedule_caller(caller);  // try again after another think time
+    return;
+  }
+  line_busy_[static_cast<std::size_t>(free_line)] = true;
+  ++busy_;
+  ++total_calls_;
+  emit(CallEvent::Kind::kStart, caller, free_line);
+  publish_state();
+  auto hold = static_cast<sim::SimTime>(rng_.exponential(config_.mean_hold_s) * 1e9);
+  strand_->schedule_after(hold, [this, caller, free_line] { end_call(caller, free_line); });
+}
+
+void TelephoneSystem::end_call(int caller, int line) {
+  line_busy_[static_cast<std::size_t>(line)] = false;
+  --busy_;
+  emit(CallEvent::Kind::kEnd, caller, line);
+  publish_state();
+  schedule_caller(caller);
+}
+
+void TelephoneSystem::publish_state() {
+  sim::SimTime now = strand_ ? strand_->process().sim().now() : 0;
+  set_point("Tel.BusyLines", OpcValue::from_int(busy_), now);
+  set_point("Tel.TotalCalls", OpcValue::from_int(static_cast<std::int32_t>(total_calls_)), now);
+  set_point("Tel.BlockedCalls", OpcValue::from_int(static_cast<std::int32_t>(blocked_calls_)),
+            now);
+  for (int l = 0; l < config_.lines; ++l) {
+    set_point(cat("Tel.Line", l + 1, ".Busy"),
+              OpcValue::from_bool(line_busy_[static_cast<std::size_t>(l)]), now);
+  }
+}
+
+void TelephoneSystem::emit(CallEvent::Kind kind, int caller, int line) {
+  if (!listener_) return;
+  CallEvent e;
+  e.kind = kind;
+  e.caller = caller;
+  e.line = line;
+  e.at = strand_ ? strand_->process().sim().now() : 0;
+  listener_(e);
+}
+
+}  // namespace oftt::opc

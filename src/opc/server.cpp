@@ -1,0 +1,193 @@
+#include "opc/server.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dcom/server.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace oftt::opc {
+
+OpcGroupObject::OpcGroupObject(sim::Process& process, std::shared_ptr<Device> device,
+                               std::string name, sim::SimTime update_rate)
+    : process_(&process),
+      device_(std::move(device)),
+      name_(std::move(name)),
+      update_rate_(update_rate),
+      update_timer_(process.main_strand()) {
+  update_timer_.start(update_rate_, [this] { update_tick(); });
+}
+
+void OpcGroupObject::AddItems(const std::vector<std::string>& item_ids, ResultsHandler done) {
+  std::vector<HRESULT> results;
+  results.reserve(item_ids.size());
+  for (const auto& id : item_ids) {
+    if (device_->has_tag(id)) {
+      items_.insert(id);
+      results.push_back(S_OK);
+    } else {
+      results.push_back(E_INVALIDARG);
+    }
+  }
+  if (done) done(S_OK, results);
+}
+
+void OpcGroupObject::SetDeadband(double percent, AckHandler done) {
+  if (percent < 0.0 || percent > 100.0) {
+    if (done) done(E_INVALIDARG);
+    return;
+  }
+  deadband_percent_ = percent;
+  if (done) done(S_OK);
+}
+
+void OpcGroupObject::RemoveItems(const std::vector<std::string>& item_ids, AckHandler done) {
+  for (const auto& id : item_ids) {
+    items_.erase(id);
+    last_sent_.erase(id);
+  }
+  if (done) done(S_OK);
+}
+
+std::vector<ItemState> OpcGroupObject::read_items(const std::vector<std::string>& ids) const {
+  sim::SimTime now = process_->sim().now();
+  std::vector<ItemState> out;
+  out.reserve(ids.size());
+  for (const auto& id : ids) out.push_back(device_->read(id, now));
+  return out;
+}
+
+void OpcGroupObject::SyncRead(const std::vector<std::string>& item_ids, ReadHandler done) {
+  if (done) done(S_OK, read_items(item_ids));
+}
+
+void OpcGroupObject::AsyncRead(std::uint32_t transaction, AckHandler done) {
+  if (!callback_) {
+    if (done) done(E_FAIL);  // no callback registered (CONNECT_E_NOCONNECTION)
+    return;
+  }
+  if (done) done(S_OK);
+  std::vector<std::string> ids(items_.begin(), items_.end());
+  // Complete on a later turn, as a real async transaction would.
+  auto cb = callback_;
+  process_->main_strand().schedule_after(sim::microseconds(50),
+                                         [this, cb, transaction, ids = std::move(ids)] {
+                                           cb->OnReadComplete(transaction, S_OK, read_items(ids));
+                                         });
+}
+
+void OpcGroupObject::Write(const std::vector<std::pair<std::string, OpcValue>>& values,
+                           ResultsHandler done) {
+  sim::SimTime now = process_->sim().now();
+  std::vector<HRESULT> results;
+  results.reserve(values.size());
+  for (const auto& [tag, value] : values) {
+    results.push_back(device_->write(tag, value, now));
+  }
+  if (done) done(S_OK, results);
+}
+
+void OpcGroupObject::SetCallback(com::ComPtr<IOPCDataCallback> callback, AckHandler done) {
+  callback_ = std::move(callback);
+  last_sent_.clear();  // re-announce everything to the new sink
+  if (done) done(S_OK);
+}
+
+void OpcGroupObject::SetActive(bool active, AckHandler done) {
+  active_ = active;
+  if (done) done(S_OK);
+}
+
+void OpcGroupObject::update_tick() {
+  if (!active_ || !callback_ || items_.empty()) return;
+  sim::SimTime now = process_->sim().now();
+  std::vector<ItemState> changed;
+  for (const auto& id : items_) {
+    ItemState s = device_->read(id, now);
+    // Track the observed range for percent-deadband evaluation.
+    if (s.value.is_real() || s.value.is_int()) {
+      double v = s.value.as_real();
+      auto [it_range, fresh] = observed_range_.try_emplace(id, v, v);
+      if (!fresh) {
+        it_range->second.first = std::min(it_range->second.first, v);
+        it_range->second.second = std::max(it_range->second.second, v);
+      }
+    }
+    auto it = last_sent_.find(id);
+    bool announce = it == last_sent_.end() || it->second.quality != s.quality;
+    if (!announce && it->second.value != s.value) {
+      announce = true;
+      if (deadband_percent_ > 0.0 && (s.value.is_real() || s.value.is_int())) {
+        auto range_it = observed_range_.find(id);
+        double range = range_it == observed_range_.end()
+                           ? 0.0
+                           : range_it->second.second - range_it->second.first;
+        double delta = std::abs(s.value.as_real() - it->second.value.as_real());
+        if (range > 0.0 && delta < range * deadband_percent_ / 100.0) announce = false;
+      }
+    }
+    if (announce) {
+      last_sent_[id] = s;
+      changed.push_back(std::move(s));
+    }
+  }
+  if (!changed.empty()) callback_->OnDataChange(0, changed);
+}
+
+OpcServerObject::OpcServerObject(sim::Process& process, std::shared_ptr<Device> device,
+                                 std::string vendor)
+    : process_(&process),
+      device_(std::move(device)),
+      vendor_(std::move(vendor)),
+      start_time_(process.sim().now()) {}
+
+void OpcServerObject::GetStatus(StatusHandler done) {
+  ServerStatus s;
+  s.start_time = start_time_;
+  s.current_time = process_->sim().now();
+  s.group_count = static_cast<std::uint32_t>(groups_.size());
+  s.vendor = vendor_;
+  s.running = !device_->faulted();
+  if (done) done(S_OK, s);
+}
+
+void OpcServerObject::AddGroup(const std::string& name, sim::SimTime update_rate,
+                               GroupHandler done) {
+  if (groups_.count(name) != 0) {
+    if (done) done(E_INVALIDARG, {});
+    return;
+  }
+  auto group = OpcGroupObject::create(*process_, device_, name, update_rate);
+  groups_[name] = group;
+  if (done) done(S_OK, com::ComPtr<IOPCGroup>(group.get()));
+}
+
+void OpcServerObject::BrowseItemIds(const std::string& filter, BrowseHandler done) {
+  std::vector<std::string> out;
+  for (const auto& tag : device_->tags()) {
+    if (filter.empty() || tag.find(filter) != std::string::npos) out.push_back(tag);
+  }
+  if (done) done(S_OK, out);
+}
+
+void OpcServerObject::RemoveGroup(const std::string& name, AckHandler done) {
+  if (done) done(groups_.erase(name) > 0 ? S_OK : E_INVALIDARG);
+}
+
+void install_opc_server(sim::Process& process, const Clsid& clsid,
+                        std::shared_ptr<Device> device, const std::string& vendor) {
+  ensure_opc_proxy_stubs_registered();
+  device->start(process.main_strand(),
+                process.sim().fork_rng(device->name()));
+  auto& com_rt = com::ComRuntime::of(process);
+  auto factory = com::LambdaClassFactory::create(
+      [proc = &process, device, vendor](com::REFIID iid, void** ppv) -> HRESULT {
+        auto server = OpcServerObject::create(*proc, device, vendor);
+        return server->QueryInterface(iid, ppv);
+      });
+  com_rt.register_class(clsid, com::ComPtr<com::IClassFactory>(factory.get()), vendor);
+  dcom::OrpcServer::of(process).register_server_class(clsid, vendor);
+}
+
+}  // namespace oftt::opc

@@ -1,0 +1,80 @@
+// The OPC server implementation: OpcServerObject (coclass) and its
+// groups. A server wraps one Device; each connected client activates
+// its own server instance (per-connection COM objects) sharing the
+// device. Per the paper, OPC servers are stateless — everything here is
+// reconstructible from the device, which is why the OPC-server FTIM
+// takes no checkpoints.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "com/object.h"
+#include "com/runtime.h"
+#include "opc/device.h"
+#include "opc/interfaces.h"
+#include "sim/timer.h"
+
+namespace oftt::opc {
+
+class OpcGroupObject final : public com::Object<OpcGroupObject, IOPCGroup> {
+ public:
+  OpcGroupObject(sim::Process& process, std::shared_ptr<Device> device, std::string name,
+                 sim::SimTime update_rate);
+
+  void AddItems(const std::vector<std::string>& item_ids, ResultsHandler done) override;
+  void SetDeadband(double percent, AckHandler done) override;
+  void RemoveItems(const std::vector<std::string>& item_ids, AckHandler done) override;
+  void SyncRead(const std::vector<std::string>& item_ids, ReadHandler done) override;
+  void AsyncRead(std::uint32_t transaction, AckHandler done) override;
+  void Write(const std::vector<std::pair<std::string, OpcValue>>& values,
+             ResultsHandler done) override;
+  void SetCallback(com::ComPtr<IOPCDataCallback> callback, AckHandler done) override;
+  void SetActive(bool active, AckHandler done) override;
+
+  const std::string& name() const { return name_; }
+  std::size_t item_count() const { return items_.size(); }
+
+ private:
+  std::vector<ItemState> read_items(const std::vector<std::string>& ids) const;
+  void update_tick();
+
+  sim::Process* process_;
+  std::shared_ptr<Device> device_;
+  std::string name_;
+  sim::SimTime update_rate_;
+  bool active_ = true;
+  std::set<std::string> items_;
+  std::map<std::string, ItemState> last_sent_;
+  double deadband_percent_ = 0.0;
+  std::map<std::string, std::pair<double, double>> observed_range_;  // min,max per item
+  com::ComPtr<IOPCDataCallback> callback_;
+  sim::PeriodicTimer update_timer_;
+};
+
+class OpcServerObject final
+    : public com::Object<OpcServerObject, IOPCServer, IOPCBrowse> {
+ public:
+  OpcServerObject(sim::Process& process, std::shared_ptr<Device> device, std::string vendor);
+
+  void GetStatus(StatusHandler done) override;
+  void AddGroup(const std::string& name, sim::SimTime update_rate, GroupHandler done) override;
+  void RemoveGroup(const std::string& name, AckHandler done) override;
+  void BrowseItemIds(const std::string& filter, BrowseHandler done) override;
+
+ private:
+  sim::Process* process_;
+  std::shared_ptr<Device> device_;
+  std::string vendor_;
+  sim::SimTime start_time_;
+  std::map<std::string, com::ComPtr<OpcGroupObject>> groups_;
+};
+
+/// Wire an OPC server application into a process: starts the device,
+/// registers the coclass for (remote) activation, and exposes it via
+/// the process's ORPC endpoint. Call from the process factory.
+void install_opc_server(sim::Process& process, const Clsid& clsid,
+                        std::shared_ptr<Device> device, const std::string& vendor);
+
+}  // namespace oftt::opc

@@ -1,0 +1,101 @@
+#include "opc/value.h"
+
+#include "common/strings.h"
+
+namespace oftt::opc {
+
+const char* quality_name(Quality q) {
+  switch (q) {
+    case Quality::kBad: return "BAD";
+    case Quality::kUncertain: return "UNCERTAIN";
+    case Quality::kGood: return "GOOD";
+  }
+  return "?";
+}
+
+bool OpcValue::as_bool(bool fallback) const {
+  if (auto* b = std::get_if<bool>(&v_)) return *b;
+  if (auto* i = std::get_if<std::int32_t>(&v_)) return *i != 0;
+  return fallback;
+}
+
+std::int32_t OpcValue::as_int(std::int32_t fallback) const {
+  if (auto* i = std::get_if<std::int32_t>(&v_)) return *i;
+  if (auto* b = std::get_if<bool>(&v_)) return *b ? 1 : 0;
+  if (auto* d = std::get_if<double>(&v_)) return static_cast<std::int32_t>(*d);
+  return fallback;
+}
+
+double OpcValue::as_real(double fallback) const {
+  if (auto* d = std::get_if<double>(&v_)) return *d;
+  if (auto* i = std::get_if<std::int32_t>(&v_)) return *i;
+  if (auto* b = std::get_if<bool>(&v_)) return *b ? 1.0 : 0.0;
+  return fallback;
+}
+
+std::string OpcValue::as_string() const {
+  if (auto* s = std::get_if<std::string>(&v_)) return *s;
+  return to_string();
+}
+
+void OpcValue::marshal(BinaryWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(v_.index()));
+  switch (v_.index()) {
+    case 0: break;
+    case 1: w.boolean(std::get<bool>(v_)); break;
+    case 2: w.i32(std::get<std::int32_t>(v_)); break;
+    case 3: w.f64(std::get<double>(v_)); break;
+    case 4: w.str(std::get<std::string>(v_)); break;
+  }
+}
+
+OpcValue OpcValue::unmarshal(BinaryReader& r) {
+  switch (r.u8()) {
+    case 1: return from_bool(r.boolean());
+    case 2: return from_int(r.i32());
+    case 3: return from_real(r.f64());
+    case 4: return from_string(r.str());
+    default: return OpcValue();
+  }
+}
+
+std::string OpcValue::to_string() const {
+  switch (v_.index()) {
+    case 1: return std::get<bool>(v_) ? "true" : "false";
+    case 2: return cat(std::get<std::int32_t>(v_));
+    case 3: return cat(std::get<double>(v_));
+    case 4: return std::get<std::string>(v_);
+    default: return "(empty)";
+  }
+}
+
+void ItemState::marshal(BinaryWriter& w) const {
+  w.str(item_id);
+  value.marshal(w);
+  w.u8(static_cast<std::uint8_t>(quality));
+  w.i64(timestamp);
+}
+
+ItemState ItemState::unmarshal(BinaryReader& r) {
+  ItemState s;
+  s.item_id = r.str();
+  s.value = OpcValue::unmarshal(r);
+  s.quality = static_cast<Quality>(r.u8());
+  s.timestamp = r.i64();
+  return s;
+}
+
+void marshal_item_states(BinaryWriter& w, const std::vector<ItemState>& items) {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& i : items) i.marshal(w);
+}
+
+std::vector<ItemState> unmarshal_item_states(BinaryReader& r) {
+  std::uint32_t n = r.u32();
+  std::vector<ItemState> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) out.push_back(ItemState::unmarshal(r));
+  return out;
+}
+
+}  // namespace oftt::opc

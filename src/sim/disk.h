@@ -1,0 +1,44 @@
+// DiskStore: per-node persistent storage that survives process death and
+// node reboot (but is unreachable while the node is down) — the
+// simulated hard disk. MSMQ recoverable messages and OFTT persistent
+// role hints live here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/simulation.h"
+
+namespace oftt::sim {
+
+class DiskStore {
+ public:
+  static DiskStore& of(Simulation& sim) { return sim.attachment<DiskStore>(); }
+
+  void write(int node, const std::string& key, Buffer value) {
+    data_[{node, key}] = std::move(value);
+  }
+  std::optional<Buffer> read(int node, const std::string& key) const {
+    auto it = data_.find({node, key});
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase(int node, const std::string& key) { data_.erase({node, key}); }
+
+  std::vector<std::string> keys_with_prefix(int node, const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (auto it = data_.lower_bound({node, prefix}); it != data_.end(); ++it) {
+      if (it->first.first != node || it->first.second.rfind(prefix, 0) != 0) break;
+      out.push_back(it->first.second);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::pair<int, std::string>, Buffer> data_;
+};
+
+}  // namespace oftt::sim

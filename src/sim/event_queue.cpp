@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace oftt::sim {
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, cancelled, std::move(fn)});
+  ++live_;
+  return EventHandle(cancelled);
+}
+
+void EventQueue::cancel(EventHandle& h) {
+  if (auto flag = h.cancelled_.lock()) {
+    if (!*flag) {
+      *flag = true;
+      assert(live_ > 0);
+      --live_;
+    }
+  }
+  h.cancelled_.reset();
+}
+
+void EventQueue::drop_tombstones() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_tombstones();
+  return heap_.empty() ? kNever : heap_.top().at;
+}
+
+std::pair<SimTime, EventFn> EventQueue::pop() {
+  drop_tombstones();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; we need to move the callback out.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  SimTime at = top.at;
+  EventFn fn = std::move(top.fn);
+  heap_.pop();
+  assert(live_ > 0);
+  --live_;
+  return {at, std::move(fn)};
+}
+
+}  // namespace oftt::sim

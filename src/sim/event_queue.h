@@ -1,0 +1,63 @@
+// The event queue at the heart of the simulation: a time-ordered heap of
+// callbacks with stable FIFO ordering for equal timestamps (sequence
+// numbers) and O(1) cancellation (tombstoning).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace oftt::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return !cancelled_.expired(); }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::weak_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  EventHandle schedule(SimTime at, EventFn fn);
+  void cancel(EventHandle& h);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+  SimTime next_time() const;
+
+  /// Pop the earliest live event; precondition: !empty().
+  std::pair<SimTime, EventFn> pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::shared_ptr<bool> cancelled;  // tombstone flag
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void drop_tombstones();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace oftt::sim

@@ -1,0 +1,127 @@
+// FaultPlan: declarative fault schedules for tests and benches.
+//
+// Instead of hand-scheduling lambdas, a scenario declares its failure
+// script ("crash node 0 at t=30s, flap LAN0 every 2s from t=60s, kill
+// the app at t=90s") and arms it once. Every injected fault is recorded
+// in a journal for the experiment report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::sim {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(Simulation& sim) : sim_(&sim) {}
+
+  struct Injection {
+    SimTime at = 0;
+    std::string what;
+  };
+
+  FaultPlan& crash_node(SimTime at, int node) {
+    return add(at, cat("crash node ", node), [this, node] { sim_->node(node).crash(); });
+  }
+
+  FaultPlan& os_crash(SimTime at, int node, SimTime reboot_after = kNever) {
+    return add(at, cat("NT crash node ", node),
+               [this, node, reboot_after] { sim_->node(node).os_crash(reboot_after); });
+  }
+
+  FaultPlan& boot_node(SimTime at, int node) {
+    return add(at, cat("boot node ", node), [this, node] { sim_->node(node).boot(); });
+  }
+
+  FaultPlan& kill_process(SimTime at, int node, std::string name) {
+    return add(at, cat("kill ", name, " on node ", node), [this, node, name] {
+      if (auto p = sim_->node(node).find_process(name)) p->kill("fault injection");
+    });
+  }
+
+  FaultPlan& restart_process(SimTime at, int node, std::string name) {
+    return add(at, cat("restart ", name, " on node ", node),
+               [this, node, name] { sim_->node(node).restart_process(name); });
+  }
+
+  FaultPlan& hang_process(SimTime at, int node, std::string name) {
+    return add(at, cat("hang ", name, " on node ", node), [this, node, name] {
+      if (auto p = sim_->node(node).find_process(name)) p->hang_all();
+    });
+  }
+
+  FaultPlan& hang_strand(SimTime at, int node, std::string process, std::string strand) {
+    return add(at, cat("hang ", process, "/", strand, " on node ", node),
+               [this, node, process, strand] {
+                 if (auto p = sim_->node(node).find_process(process)) {
+                   if (auto* s = p->find_strand(strand)) s->hang();
+                 }
+               });
+  }
+
+  FaultPlan& link(SimTime at, int network, int a, int b, bool up) {
+    return add(at, cat(up ? "restore" : "cut", " link ", a, "<->", b, " on net ", network),
+               [this, network, a, b, up] { sim_->network(network).set_link(a, b, up); });
+  }
+
+  /// Cut and restore a link `count` times, `period` apart (flapping NIC).
+  FaultPlan& flap_link(SimTime start, int network, int a, int b, SimTime period, int count) {
+    for (int i = 0; i < count; ++i) {
+      link(start + 2 * i * period, network, a, b, /*up=*/false);
+      link(start + (2 * i + 1) * period, network, a, b, /*up=*/true);
+    }
+    return *this;
+  }
+
+  FaultPlan& network_down(SimTime at, int network, bool down) {
+    return add(at, cat(down ? "down" : "up", " network ", network),
+               [this, network, down] { sim_->network(network).set_down(down); });
+  }
+
+  FaultPlan& partition(SimTime at, int network, std::vector<std::vector<int>> groups) {
+    return add(at, cat("partition net ", network),
+               [this, network, groups] { sim_->network(network).partition(groups); });
+  }
+
+  FaultPlan& heal(SimTime at, int network) {
+    return add(at, cat("heal net ", network),
+               [this, network] { sim_->network(network).heal(); });
+  }
+
+  /// Schedule every declared fault. Call once.
+  void arm() {
+    for (auto& step : steps_) {
+      sim_->schedule_at(step.at, [this, &step] {
+        journal_.push_back(Injection{sim_->now(), step.what});
+        step.fn();
+      });
+    }
+    armed_ = true;
+  }
+
+  bool armed() const { return armed_; }
+  std::size_t size() const { return steps_.size(); }
+  const std::vector<Injection>& journal() const { return journal_; }
+
+ private:
+  struct Step {
+    SimTime at;
+    std::string what;
+    std::function<void()> fn;
+  };
+
+  FaultPlan& add(SimTime at, std::string what, std::function<void()> fn) {
+    steps_.push_back(Step{at, std::move(what), std::move(fn)});
+    return *this;
+  }
+
+  Simulation* sim_;
+  std::vector<Step> steps_;
+  std::vector<Injection> journal_;
+  bool armed_ = false;
+};
+
+}  // namespace oftt::sim

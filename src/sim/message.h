@@ -1,0 +1,27 @@
+// Datagram: the unit of network delivery. All higher protocols (ORPC,
+// MSMQ, OFTT heartbeats and checkpoints) are framed inside datagram
+// payloads. Delivery is best-effort — loss, partition and node death
+// silently drop datagrams, and reliability is the *protocol's* problem,
+// exactly as on the paper's Ethernet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace oftt::sim {
+
+struct Datagram {
+  int network_id = -1;
+  int src_node = -1;
+  std::string src_port;
+  int dst_node = -1;
+  std::string dst_port;
+  Buffer payload;
+};
+
+using MessageHandler = std::function<void(const Datagram&)>;
+
+}  // namespace oftt::sim

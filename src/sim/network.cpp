@@ -1,0 +1,90 @@
+#include "sim/network.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::sim {
+
+int pick_network(Simulation& sim, int a, int b) {
+  if (a == b) return 0;  // loopback; Process::send short-circuits anyway
+  for (std::size_t i = 0; i < sim.network_count(); ++i) {
+    auto& net = sim.network(static_cast<int>(i));
+    if (net.attached(a) && net.attached(b)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Network::Network(Simulation& sim, std::string name, int id)
+    : sim_(sim), name_(std::move(name)), id_(id), rng_(sim.fork_rng(cat("net:", name_))) {}
+
+void Network::set_link(int a, int b, bool up) {
+  auto key = std::minmax(a, b);
+  if (up) {
+    dead_links_.erase({key.first, key.second});
+  } else {
+    dead_links_.insert({key.first, key.second});
+  }
+}
+
+bool Network::link_up(int a, int b) const {
+  auto key = std::minmax(a, b);
+  return dead_links_.count({key.first, key.second}) == 0;
+}
+
+void Network::partition(std::vector<std::vector<int>> groups) {
+  partition_group_.clear();
+  int g = 0;
+  for (const auto& group : groups) {
+    for (int node : group) partition_group_[node] = g;
+    ++g;
+  }
+}
+
+void Network::heal() {
+  partition_group_.clear();
+  dead_links_.clear();
+  down_ = false;
+}
+
+bool Network::reachable(int a, int b) const {
+  if (down_) return false;
+  if (!link_up(a, b)) return false;
+  if (!partition_group_.empty()) {
+    auto ia = partition_group_.find(a);
+    auto ib = partition_group_.find(b);
+    // Nodes not named in the partition spec are isolated from everyone.
+    if (ia == partition_group_.end() || ib == partition_group_.end()) return false;
+    if (ia->second != ib->second) return false;
+  }
+  return true;
+}
+
+bool Network::send(Datagram d) {
+  if (!attached(d.src_node)) return false;
+  ++sent_;
+  if (!attached(d.dst_node) || !reachable(d.src_node, d.dst_node)) {
+    ++dropped_;
+    ++sim_.counter(cat(name_, ".unreachable"));
+    return true;  // datagram silently lost in the fabric
+  }
+  if (loss_ > 0.0 && rng_.chance(loss_)) {
+    ++dropped_;
+    ++sim_.counter(cat(name_, ".lost"));
+    return true;
+  }
+  SimTime latency = latency_min_ == latency_max_
+                        ? latency_min_
+                        : latency_min_ + rng_.uniform(0, latency_max_ - latency_min_);
+  if (bandwidth_ > 0.0) {
+    latency += static_cast<SimTime>(static_cast<double>(d.payload.size()) / bandwidth_ * 1e9);
+  }
+  int dst = d.dst_node;
+  sim_.schedule_after(latency, [this, dst, dgram = std::move(d)] {
+    ++delivered_;
+    sim_.node(dst).deliver(dgram);
+  });
+  return true;
+}
+
+}  // namespace oftt::sim

@@ -1,0 +1,87 @@
+// Network: one Ethernet segment of Fig. 1. A simulation can hold several
+// (the paper pairs redundant nodes "via one or dual Ethernet networks"),
+// each with independent latency, loss, link failures and partitions.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace oftt::sim {
+
+class Simulation;
+
+/// First network both nodes are attached to, or 0 for loopback (a == b),
+/// or -1 when the nodes share no segment.
+int pick_network(Simulation& sim, int a, int b);
+
+class Network {
+ public:
+  Network(Simulation& sim, std::string name, int id);
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+
+  void attach(int node_id) { attached_.insert(node_id); }
+  void detach(int node_id) { attached_.erase(node_id); }
+  bool attached(int node_id) const { return attached_.count(node_id) != 0; }
+
+  /// Delivery delay is uniform in [min, max].
+  void set_latency(SimTime min, SimTime max) {
+    latency_min_ = min;
+    latency_max_ = max < min ? min : max;
+  }
+  /// Serialization delay: bytes/second on the wire; 0 disables (the
+  /// default keeps small control traffic latency-dominated, but large
+  /// checkpoint images should pay for their size). 10BASE-T Ethernet,
+  /// the paper's era, is ~1.25e6 B/s.
+  void set_bandwidth(double bytes_per_second) { bandwidth_ = bytes_per_second; }
+  double bandwidth() const { return bandwidth_; }
+  /// Independent per-datagram loss probability.
+  void set_loss(double p) { loss_ = p; }
+  /// Take the whole segment down / up (cable pull at the switch).
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  /// Per-pair link control (cable pull between two specific nodes).
+  void set_link(int a, int b, bool up);
+  bool link_up(int a, int b) const;
+
+  /// Partition into groups: traffic crosses only within a group.
+  void partition(std::vector<std::vector<int>> groups);
+  void heal();
+
+  /// Attempt to send; returns false only for immediately-detectable
+  /// refusal (sender not attached). Loss/partition drops are silent.
+  bool send(Datagram d);
+
+  // Introspection for tests/benches.
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  bool reachable(int a, int b) const;
+
+  Simulation& sim_;
+  std::string name_;
+  int id_;
+  std::set<int> attached_;
+  SimTime latency_min_ = microseconds(100);
+  SimTime latency_max_ = microseconds(300);
+  double bandwidth_ = 0.0;
+  double loss_ = 0.0;
+  bool down_ = false;
+  std::set<std::pair<int, int>> dead_links_;
+  std::map<int, int> partition_group_;  // node -> group (empty = healed)
+  Rng rng_;
+  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
+};
+
+}  // namespace oftt::sim

@@ -1,0 +1,114 @@
+#include "sim/node.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace oftt::sim {
+
+Node::Node(Simulation& sim, std::string name, int id)
+    : sim_(sim), name_(std::move(name)), id_(id) {}
+
+void Node::boot() {
+  if (up_) return;
+  up_ = true;
+  ++boot_count_;
+  last_failure_ = NodeFailureKind::kNone;
+  OFTT_LOG_INFO("sim/node", name_, " booted (boot #", boot_count_, ")");
+  if (boot_script_) boot_script_(*this);
+}
+
+void Node::crash() {
+  if (!up_) return;
+  OFTT_LOG_WARN("sim/node", name_, " POWER FAILURE");
+  last_failure_ = NodeFailureKind::kPowerFailure;
+  kill_all_processes("node power failure");
+  up_ = false;
+  ports_.clear();
+}
+
+void Node::os_crash(SimTime reboot_after) {
+  if (!up_) return;
+  OFTT_LOG_WARN("sim/node", name_, " NT CRASH (blue screen)");
+  last_failure_ = NodeFailureKind::kOsCrash;
+  kill_all_processes("NT crash");
+  up_ = false;
+  ports_.clear();
+  if (reboot_after != kNever) reboot(reboot_after);
+}
+
+void Node::reboot(SimTime delay) {
+  sim_.schedule_after(delay, [this] { boot(); });
+}
+
+void Node::kill_all_processes(const std::string& reason) {
+  // Copy: exit listeners may look up processes.
+  auto procs = processes_;
+  for (auto& [pname, proc] : procs) proc->kill(reason);
+  processes_.clear();
+}
+
+std::shared_ptr<Process> Node::start_process(const std::string& pname, Process::Factory factory) {
+  if (!up_) {
+    OFTT_LOG_WARN("sim/node", name_, ": cannot start ", pname, " while down");
+    return nullptr;
+  }
+  factories_[pname] = factory;
+  auto proc = std::make_shared<Process>(*this, pname, next_pid_++);
+  processes_[pname] = proc;
+  OFTT_LOG_DEBUG("sim/node", name_, " started process ", pname, " pid=", proc->pid());
+  if (factory) factory(*proc);
+  return proc;
+}
+
+std::shared_ptr<Process> Node::restart_process(const std::string& pname) {
+  auto it = factories_.find(pname);
+  if (it == factories_.end() || !up_) return nullptr;
+  if (auto existing = find_process(pname); existing && existing->alive()) {
+    existing->kill("restart");
+  }
+  processes_.erase(pname);
+  return start_process(pname, it->second);
+}
+
+std::shared_ptr<Process> Node::find_process(const std::string& pname) {
+  auto it = processes_.find(pname);
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Node::process_names() const {
+  std::vector<std::string> out;
+  out.reserve(processes_.size());
+  for (const auto& [pname, _] : processes_) out.push_back(pname);
+  return out;
+}
+
+void Node::bind_port(const std::string& port, std::shared_ptr<StrandLife> life, MessageHandler h) {
+  ports_[port] = PortEntry{std::move(life), std::move(h)};
+}
+
+void Node::unbind_port(const std::string& port) { ports_.erase(port); }
+
+bool Node::port_bound(const std::string& port) const { return ports_.count(port) != 0; }
+
+void Node::deliver(const Datagram& d) {
+  if (!up_) {
+    ++sim_.counter("node.deliver_down");
+    return;
+  }
+  auto it = ports_.find(d.dst_port);
+  if (it == ports_.end()) {
+    ++sim_.counter("node.deliver_no_port");
+    OFTT_LOG_TRACE("sim/node", name_, ": no listener on port '", d.dst_port, "'");
+    return;
+  }
+  if (!it->second.life->runnable()) {
+    ++sim_.counter("node.deliver_dead_strand");
+    return;
+  }
+  // Copy the handler: it may unbind (erase) itself during execution.
+  auto handler = it->second.handler;
+  handler(d);
+}
+
+}  // namespace oftt::sim

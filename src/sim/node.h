@@ -1,0 +1,88 @@
+// Node: a simulated PC. Hosts processes, owns the datagram port table,
+// and is the unit of the paper's failure classes (a) node failure and
+// (b) NT crash / blue screen of death.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/process.h"
+
+namespace oftt::sim {
+
+class Simulation;
+
+enum class NodeFailureKind { kNone, kPowerFailure, kOsCrash };
+
+class Node {
+ public:
+  using BootScript = std::function<void(Node&)>;
+
+  Node(Simulation& sim, std::string name, int id);
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+  Simulation& sim() { return sim_; }
+  bool up() const { return up_; }
+  NodeFailureKind last_failure() const { return last_failure_; }
+  int boot_count() const { return boot_count_; }
+
+  /// Install the script that (re-)creates this node's processes at boot.
+  void set_boot_script(BootScript script) { boot_script_ = std::move(script); }
+
+  /// Power the node on: marks it up and runs the boot script.
+  void boot();
+
+  /// Failure class (a): node/power failure. Everything dies instantly;
+  /// the node stays down until reboot()/boot().
+  void crash();
+
+  /// Failure class (b): NT crash (blue screen). Identical visible effect
+  /// — distinguished for reporting, and typically followed by an
+  /// automatic reboot after `reboot_after` unless kNever.
+  void os_crash(SimTime reboot_after = kNever);
+
+  /// Schedule boot() after `delay` (models POST + NT startup time).
+  void reboot(SimTime delay);
+
+  /// Start a process; remembers the factory so restart_process() can
+  /// re-create it (local recovery of a crashed application).
+  std::shared_ptr<Process> start_process(const std::string& name, Process::Factory factory);
+
+  /// Kill (if alive) and re-create a process from its remembered factory.
+  std::shared_ptr<Process> restart_process(const std::string& name);
+
+  std::shared_ptr<Process> find_process(const std::string& name);
+  std::vector<std::string> process_names() const;
+
+  // --- datagram plumbing (used by Strand/Network, not applications) ---
+  void bind_port(const std::string& port, std::shared_ptr<StrandLife> life, MessageHandler h);
+  void unbind_port(const std::string& port);
+  bool port_bound(const std::string& port) const;
+  void deliver(const Datagram& d);
+
+ private:
+  void kill_all_processes(const std::string& reason);
+
+  Simulation& sim_;
+  std::string name_;
+  int id_;
+  bool up_ = false;
+  int boot_count_ = 0;
+  NodeFailureKind last_failure_ = NodeFailureKind::kNone;
+  BootScript boot_script_;
+  int next_pid_ = 1;
+
+  struct PortEntry {
+    std::shared_ptr<StrandLife> life;
+    MessageHandler handler;
+  };
+  std::map<std::string, PortEntry> ports_;
+  std::map<std::string, std::shared_ptr<Process>> processes_;
+  std::map<std::string, Process::Factory> factories_;
+};
+
+}  // namespace oftt::sim

@@ -1,0 +1,23 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace oftt::sim {
+
+double Rng::exponential(double mean) {
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork(std::string_view name) const {
+  std::uint64_t h = state_ ^ 0xcbf29ce484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return Rng(h);
+}
+
+}  // namespace oftt::sim

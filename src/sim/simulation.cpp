@@ -1,0 +1,71 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace oftt::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+  Logger::instance().set_clock([this] { return now_; });
+}
+
+Simulation::~Simulation() { Logger::instance().set_clock(nullptr); }
+
+EventHandle Simulation::schedule_at(SimTime at, EventFn fn) {
+  assert(at >= now_);
+  return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+}
+
+EventHandle Simulation::schedule_on(SimTime at, std::shared_ptr<StrandLife> life, EventFn fn) {
+  return queue_.schedule(at < now_ ? now_ : at,
+                         [life = std::move(life), fn = std::move(fn)] {
+                           if (life->runnable()) fn();
+                         });
+}
+
+Node& Simulation::add_node(const std::string& name) {
+  nodes_.push_back(std::make_unique<Node>(*this, name, static_cast<int>(nodes_.size())));
+  return *nodes_.back();
+}
+
+Node* Simulation::find_node(const std::string& name) {
+  for (auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+Network& Simulation::add_network(const std::string& name) {
+  networks_.push_back(
+      std::make_unique<Network>(*this, name, static_cast<int>(networks_.size())));
+  return *networks_.back();
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  assert(at >= now_);
+  now_ = at;
+  fn();
+  return true;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n >= max_events) {
+      OFTT_LOG_ERROR("sim", "run(): event budget exhausted (", max_events, ") — runaway loop?");
+      return;
+    }
+  }
+}
+
+}  // namespace oftt::sim

@@ -1,0 +1,95 @@
+// Simulation: the deterministic discrete-event kernel everything runs
+// on. Single-threaded; virtual time only advances between events, so a
+// given seed replays the identical history — which is how we reproduce
+// the paper's §3.2 startup race on demand instead of by accident.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace oftt::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+  Rng fork_rng(std::string_view name) const { return rng_.fork(name); }
+
+  /// Global (always-fires) scheduling; used by fault injectors and
+  /// harnesses. Application code schedules through its Strand instead.
+  EventHandle schedule_at(SimTime at, EventFn fn);
+  EventHandle schedule_after(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  void cancel(EventHandle& h) { queue_.cancel(h); }
+
+  Node& add_node(const std::string& name);
+  Node* find_node(const std::string& name);
+  Node& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  Network& add_network(const std::string& name);
+  Network& network(int id) { return *networks_.at(static_cast<std::size_t>(id)); }
+  std::size_t network_count() const { return networks_.size(); }
+
+  /// Run one event; false when the queue is empty.
+  bool step();
+  /// Run events with time <= t, then set now to t.
+  void run_until(SimTime t);
+  void run_for(SimTime d) { run_until(now_ + d); }
+  /// Drain the queue (bounded by max_events as a runaway guard).
+  void run(std::uint64_t max_events = 100'000'000);
+
+  /// Named monotonic counters for cheap instrumentation
+  /// ("net0.dropped", "msmq.retries", ...).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
+  // Internal: Strand scheduling funnels through here.
+  EventHandle schedule_on(SimTime at, std::shared_ptr<StrandLife> life, EventFn fn);
+
+  /// Per-simulation typed singletons (e.g. the DCOM class directory —
+  /// the moral equivalent of HKEY_LOCAL_MACHINE replicated to all PCs).
+  template <typename T, typename... Args>
+  T& attachment(Args&&... args) {
+    auto it = attachments_.find(std::type_index(typeid(T)));
+    if (it == attachments_.end()) {
+      auto obj = std::make_shared<T>(std::forward<Args>(args)...);
+      T& ref = *obj;
+      attachments_.emplace(std::type_index(typeid(T)), std::move(obj));
+      return ref;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Network>> networks_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::type_index, std::shared_ptr<void>> attachments_;
+};
+
+}  // namespace oftt::sim

@@ -1,0 +1,22 @@
+// Virtual time for the discrete-event simulation. All durations in the
+// repo are SimTime nanoseconds; helpers build readable literals.
+#pragma once
+
+#include <cstdint>
+
+namespace oftt::sim {
+
+using SimTime = std::int64_t;  // nanoseconds since simulation start
+
+constexpr SimTime kNever = INT64_MAX;
+
+constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+constexpr SimTime microseconds(std::int64_t n) { return n * 1'000; }
+constexpr SimTime milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr SimTime seconds(std::int64_t n) { return n * 1'000'000'000; }
+constexpr SimTime minutes(std::int64_t n) { return n * 60'000'000'000; }
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace oftt::sim

@@ -1,0 +1,56 @@
+// PeriodicTimer: fires a callback every `period` on a strand until
+// stopped. Heartbeats, checkpoint periods and PLC scan cycles all use
+// this. Safe to stop/restart from inside its own callback.
+#pragma once
+
+#include <functional>
+
+#include "sim/process.h"
+
+namespace oftt::sim {
+
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(Strand& strand) : strand_(&strand) {}
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  ~PeriodicTimer() { stop(); }
+
+  /// First fire after `period` (or after `initial_delay` if >= 0).
+  void start(SimTime period, std::function<void()> fn, SimTime initial_delay = -1) {
+    stop();
+    period_ = period;
+    fn_ = std::move(fn);
+    running_ = true;
+    arm(initial_delay >= 0 ? initial_delay : period_);
+  }
+
+  void stop() {
+    running_ = false;
+    ++generation_;
+  }
+
+  bool running() const { return running_; }
+  SimTime period() const { return period_; }
+
+ private:
+  void arm(SimTime delay) {
+    const std::uint64_t gen = generation_;
+    strand_->schedule_after(delay, [this, gen] {
+      if (!running_ || gen != generation_) return;
+      // Re-arm first: fn_ may stop() or restart the timer.
+      arm(period_);
+      fn_();
+    });
+  }
+
+  Strand* strand_;
+  SimTime period_ = 0;
+  std::function<void()> fn_;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace oftt::sim

@@ -1,0 +1,176 @@
+// COM runtime tests: identity rules, refcounting, QueryInterface,
+// ComPtr semantics, class factories and activation.
+#include <gtest/gtest.h>
+
+#include "com/runtime.h"
+#include "sim/simulation.h"
+
+namespace oftt::com {
+namespace {
+
+struct IFoo : IUnknown {
+  OFTT_COM_INTERFACE_ID(IFoo)
+  virtual int foo() = 0;
+};
+struct IBar : IUnknown {
+  OFTT_COM_INTERFACE_ID(IBar)
+  virtual int bar() = 0;
+};
+struct IBaz : IUnknown {
+  OFTT_COM_INTERFACE_ID(IBaz)
+};
+
+int g_live_objects = 0;
+
+class FooBar final : public Object<FooBar, IFoo, IBar> {
+ public:
+  FooBar() { ++g_live_objects; }
+  ~FooBar() override { --g_live_objects; }
+  int foo() override { return 1; }
+  int bar() override { return 2; }
+};
+
+TEST(ComObject, BornWithOneReferenceAndDiesAtZero) {
+  g_live_objects = 0;
+  {
+    auto obj = FooBar::create();
+    EXPECT_EQ(g_live_objects, 1);
+    EXPECT_EQ(obj->ref_count(), 1u);
+    obj->AddRef();
+    EXPECT_EQ(obj->ref_count(), 2u);
+    obj->Release();
+    EXPECT_EQ(obj->ref_count(), 1u);
+  }
+  EXPECT_EQ(g_live_objects, 0);
+}
+
+TEST(ComObject, QueryInterfaceForEachListedInterface) {
+  auto obj = FooBar::create();
+  IFoo* foo = nullptr;
+  IBar* bar = nullptr;
+  EXPECT_EQ(obj->QueryInterface(IFoo::iid(), reinterpret_cast<void**>(&foo)), S_OK);
+  EXPECT_EQ(obj->QueryInterface(IBar::iid(), reinterpret_cast<void**>(&bar)), S_OK);
+  EXPECT_EQ(foo->foo(), 1);
+  EXPECT_EQ(bar->bar(), 2);
+  foo->Release();
+  bar->Release();
+}
+
+TEST(ComObject, QueryInterfaceUnknownIidFails) {
+  auto obj = FooBar::create();
+  void* p = reinterpret_cast<void*>(0x1);
+  EXPECT_EQ(obj->QueryInterface(IBaz::iid(), &p), E_NOINTERFACE);
+  EXPECT_EQ(p, nullptr) << "out param must be nulled on failure";
+  EXPECT_EQ(obj->QueryInterface(IFoo::iid(), nullptr), E_POINTER);
+}
+
+TEST(ComObject, IUnknownIdentityIsStable) {
+  auto obj = FooBar::create();
+  IUnknown* u1 = nullptr;
+  IUnknown* u2 = nullptr;
+  // QI for IUnknown from different interfaces must yield the same pointer.
+  obj->QueryInterface(IUnknown::iid(), reinterpret_cast<void**>(&u1));
+  auto bar = obj.as<IBar>();
+  bar->QueryInterface(IUnknown::iid(), reinterpret_cast<void**>(&u2));
+  EXPECT_EQ(u1, u2);
+  u1->Release();
+  u2->Release();
+}
+
+TEST(ComPtr, CopyAndMoveManageReferences) {
+  g_live_objects = 0;
+  {
+    auto a = FooBar::create();
+    ComPtr<IFoo> f = a.as<IFoo>();
+    EXPECT_EQ(a->ref_count(), 2u);
+    ComPtr<IFoo> g = f;  // copy
+    EXPECT_EQ(a->ref_count(), 3u);
+    ComPtr<IFoo> h = std::move(g);  // move: no count change
+    EXPECT_EQ(a->ref_count(), 3u);
+    EXPECT_FALSE(g);  // NOLINT(bugprone-use-after-move)
+    h.reset();
+    EXPECT_EQ(a->ref_count(), 2u);
+  }
+  EXPECT_EQ(g_live_objects, 0);
+}
+
+TEST(ComPtr, AttachDetachDoNotTouchCount) {
+  auto a = FooBar::create();
+  a->AddRef();
+  ComPtr<FooBar> p = ComPtr<FooBar>::attach(a.get());
+  EXPECT_EQ(a->ref_count(), 2u);
+  FooBar* raw = p.detach();
+  EXPECT_EQ(raw->ref_count(), 2u);
+  raw->Release();
+}
+
+TEST(ComPtr, AsReturnsNullOnMissingInterface) {
+  auto obj = FooBar::create();
+  EXPECT_FALSE(obj.as<IBaz>());
+  EXPECT_TRUE(obj.as<IFoo>());
+}
+
+class ComRuntimeTest : public ::testing::Test {
+ protected:
+  ComRuntimeTest() {
+    node_ = &sim_.add_node("n");
+    node_->boot();
+    proc_ = node_->start_process("svc", nullptr);
+    rt_ = &ComRuntime::of(*proc_);
+  }
+  sim::Simulation sim_;
+  sim::Node* node_;
+  std::shared_ptr<sim::Process> proc_;
+  ComRuntime* rt_;
+};
+
+TEST_F(ComRuntimeTest, RegisterAndCreateInstance) {
+  Clsid clsid = Guid::from_name("CLSID_FooBar");
+  rt_->register_simple_class<FooBar>(clsid);
+  EXPECT_TRUE(rt_->class_registered(clsid));
+
+  ComPtr<IFoo> foo;
+  ASSERT_EQ(rt_->create_instance(clsid, IFoo::iid(), foo.put_void()), S_OK);
+  EXPECT_EQ(foo->foo(), 1);
+}
+
+TEST_F(ComRuntimeTest, UnregisteredClassFails) {
+  ComPtr<IFoo> foo;
+  EXPECT_EQ(rt_->create_instance(Guid::from_name("CLSID_Nope"), IFoo::iid(), foo.put_void()),
+            REGDB_E_CLASSNOTREG);
+  EXPECT_FALSE(foo);
+}
+
+TEST_F(ComRuntimeTest, ActivationToWrongInterfaceFails) {
+  Clsid clsid = Guid::from_name("CLSID_FooBar");
+  rt_->register_simple_class<FooBar>(clsid);
+  ComPtr<IBaz> baz;
+  EXPECT_EQ(rt_->create_instance(clsid, IBaz::iid(), baz.put_void()), E_NOINTERFACE);
+}
+
+TEST_F(ComRuntimeTest, RevokeClass) {
+  Clsid clsid = Guid::from_name("CLSID_FooBar");
+  rt_->register_simple_class<FooBar>(clsid);
+  rt_->revoke_class(clsid);
+  ComPtr<IFoo> foo;
+  EXPECT_EQ(rt_->create_instance(clsid, IFoo::iid(), foo.put_void()), REGDB_E_CLASSNOTREG);
+}
+
+TEST_F(ComRuntimeTest, EachActivationCreatesDistinctInstance) {
+  Clsid clsid = Guid::from_name("CLSID_FooBar");
+  rt_->register_simple_class<FooBar>(clsid);
+  ComPtr<IFoo> a, b;
+  rt_->create_instance(clsid, IFoo::iid(), a.put_void());
+  rt_->create_instance(clsid, IFoo::iid(), b.put_void());
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST_F(ComRuntimeTest, ClassNameForDebugging) {
+  Clsid clsid = Guid::from_name("CLSID_FooBar");
+  auto factory = LambdaClassFactory::create([](REFIID, void**) { return E_FAIL; });
+  rt_->register_class(clsid, ComPtr<IClassFactory>(factory.get()), "FooBar server");
+  EXPECT_EQ(rt_->class_name(clsid), "FooBar server");
+}
+
+}  // namespace
+}  // namespace oftt::com

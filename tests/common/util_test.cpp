@@ -1,0 +1,99 @@
+// Tests for the small common utilities: strings, HRESULT rendering,
+// and the logger plumbing.
+#include <gtest/gtest.h>
+
+#include "common/hresult.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace oftt {
+namespace {
+
+TEST(Strings, Cat) {
+  EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("oftt.engine", "oftt."));
+  EXPECT_FALSE(starts_with("oftt", "oftt.engine"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("OPC Server"), "opc server"); }
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(human_bytes(1 << 20), "1.0 MiB");
+  EXPECT_EQ(human_bytes(std::uint64_t{3} << 30), "3.0 GiB");
+}
+
+TEST(Hresult, SeverityAndMacros) {
+  EXPECT_TRUE(SUCCEEDED(S_OK));
+  EXPECT_TRUE(SUCCEEDED(S_FALSE));
+  EXPECT_TRUE(FAILED(E_FAIL));
+  EXPECT_TRUE(FAILED(OFTT_E_NOT_PRIMARY));
+  EXPECT_FALSE(FAILED(S_OK));
+}
+
+TEST(Hresult, FacilityLayout) {
+  EXPECT_EQ(hresult_facility(OFTT_E_NO_PEER), FACILITY_OFTT);
+  EXPECT_EQ(hresult_code(OFTT_E_NO_PEER), 0x003u);
+  HRESULT custom = make_hresult(1, FACILITY_OFTT, 0x42);
+  EXPECT_TRUE(FAILED(custom));
+  EXPECT_EQ(hresult_code(custom), 0x42u);
+}
+
+TEST(Hresult, ToStringKnownAndUnknown) {
+  EXPECT_EQ(hresult_to_string(S_OK), "S_OK");
+  EXPECT_EQ(hresult_to_string(RPC_E_TIMEOUT), "RPC_E_TIMEOUT");
+  EXPECT_EQ(hresult_to_string(OFTT_E_CHECKPOINT_FAILED), "OFTT_E_CHECKPOINT_FAILED");
+  EXPECT_EQ(hresult_to_string(static_cast<HRESULT>(0x87654321)), "HRESULT(0x87654321)");
+}
+
+TEST(Logging, SinkReceivesRecordsAtOrAboveLevel) {
+  auto& logger = Logger::instance();
+  LogLevel old_level = logger.level();
+  std::vector<LogRecord> records;
+  auto old_sink = logger.set_sink([&](const LogRecord& r) { records.push_back(r); });
+  logger.set_level(LogLevel::kWarn);
+
+  OFTT_LOG_DEBUG("test", "below threshold");
+  OFTT_LOG_WARN("test", "warned ", 42);
+  OFTT_LOG_ERROR("test/sub", "boom");
+
+  logger.set_sink(std::move(old_sink));
+  logger.set_level(old_level);
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kWarn);
+  EXPECT_EQ(records[0].message, "warned 42");
+  EXPECT_EQ(records[1].component, "test/sub");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace oftt

@@ -1,0 +1,161 @@
+// Checkpoint capture/restore tests, including the §3.1 thread-
+// discoverability behaviour (IAT hook vs documented APIs) and the
+// full-vs-selective (OFTTSelSave) modes.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "sim/simulation.h"
+
+namespace oftt::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() {
+    node_ = &sim_.add_node("n");
+    node_->boot();
+    src_proc_ = node_->start_process("src", nullptr);
+    dst_proc_ = node_->start_process("dst", nullptr);
+    src_ = &nt::NtRuntime::of(*src_proc_);
+    dst_ = &nt::NtRuntime::of(*dst_proc_);
+  }
+
+  sim::Simulation sim_;
+  sim::Node* node_;
+  std::shared_ptr<sim::Process> src_proc_, dst_proc_;
+  nt::NtRuntime* src_;
+  nt::NtRuntime* dst_;
+};
+
+TEST_F(CheckpointTest, FullModeWalksAllRegions) {
+  src_->memory().alloc("globals", 64).write<std::uint64_t>(0, 111);
+  src_->memory().alloc("heap", 128).write<std::uint64_t>(8, 222);
+
+  CheckpointImage img = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {});
+  EXPECT_EQ(img.regions.size(), 2u);
+
+  // Restore into a different process's address space.
+  EXPECT_EQ(restore_checkpoint(*dst_, img), 0);
+  EXPECT_EQ(dst_->memory().find("globals")->read<std::uint64_t>(0), 111u);
+  EXPECT_EQ(dst_->memory().find("heap")->read<std::uint64_t>(8), 222u);
+}
+
+TEST_F(CheckpointTest, SelectiveModeCarriesOnlyDesignatedCells) {
+  auto& g = src_->memory().alloc("globals", 256);
+  g.write<std::uint64_t>(0, 1);
+  g.write<std::uint64_t>(64, 2);
+
+  std::vector<CellSpec> cells{{"globals", 64, 8}};
+  CheckpointImage img = capture_checkpoint(*src_, CheckpointMode::kSelective, cells, 1, 1, {});
+  EXPECT_TRUE(img.regions.empty());
+  ASSERT_EQ(img.cells.size(), 1u);
+  EXPECT_EQ(img.cells[0].bytes.size(), 8u);
+
+  auto& dg = dst_->memory().alloc("globals", 256);
+  dg.write<std::uint64_t>(0, 999);
+  restore_checkpoint(*dst_, img);
+  EXPECT_EQ(dg.read<std::uint64_t>(64), 2u);
+  EXPECT_EQ(dg.read<std::uint64_t>(0), 999u) << "non-designated state untouched";
+}
+
+TEST_F(CheckpointTest, SelectiveIsSmallerThanFull) {
+  src_->memory().alloc("globals", 1 << 20);  // 1 MiB of app state
+  std::vector<CellSpec> cells{{"globals", 0, 16}};
+  auto full = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {});
+  auto sel = capture_checkpoint(*src_, CheckpointMode::kSelective, cells, 1, 1, {});
+  EXPECT_GT(full.marshal().size(), (1u << 20));
+  EXPECT_LT(sel.marshal().size(), 256u);
+}
+
+TEST_F(CheckpointTest, MarshalRoundTripWithChecksum) {
+  src_->memory().alloc("g", 32).write<std::uint32_t>(0, 0xAB);
+  auto& task = src_->create_thread_static("main", 0x401000);
+  task.set_context_provider([] { return Buffer{5, 6}; });
+
+  CheckpointImage img =
+      capture_checkpoint(*src_, CheckpointMode::kFull, {}, 9, 3, {&task});
+  img.taken_at = sim::seconds(1);
+  Buffer blob = img.marshal();
+
+  CheckpointImage out;
+  ASSERT_TRUE(CheckpointImage::unmarshal(blob, out));
+  EXPECT_EQ(out.seq, 9u);
+  EXPECT_EQ(out.incarnation, 3u);
+  EXPECT_EQ(out.regions.at("g").size(), 32u);
+  EXPECT_EQ(out.task_contexts.size(), 1u);
+}
+
+TEST_F(CheckpointTest, CorruptedImageRejected) {
+  src_->memory().alloc("g", 32);
+  Buffer blob = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {}).marshal();
+  blob[blob.size() / 2] ^= 0xFF;
+  CheckpointImage out;
+  EXPECT_FALSE(CheckpointImage::unmarshal(blob, out));
+  EXPECT_FALSE(CheckpointImage::unmarshal(Buffer{1, 2, 3}, out));
+}
+
+TEST_F(CheckpointTest, TaskContextRestoredThroughRestorer) {
+  auto& task = src_->create_thread_static("worker", 0x5000);
+  int live_value = 7;
+  task.set_context_provider([&] {
+    BinaryWriter w;
+    w.i32(live_value);
+    return std::move(w).take();
+  });
+  CheckpointImage img = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {&task});
+
+  auto& dtask = dst_->create_thread_static("worker", 0x5000);
+  int restored = 0;
+  dtask.set_context_restorer([&](const Buffer& b) {
+    BinaryReader r(b);
+    restored = r.i32();
+  });
+  restore_checkpoint(*dst_, img);
+  EXPECT_EQ(restored, 7);
+}
+
+TEST_F(CheckpointTest, MissingTaskOnRestoreCountsAnomaly) {
+  auto& task = src_->create_thread_static("worker", 0x5000);
+  task.set_context_provider([] { return Buffer{}; });
+  CheckpointImage img = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {&task});
+  // dst has no "worker" task.
+  EXPECT_EQ(restore_checkpoint(*dst_, img), 1);
+}
+
+TEST_F(CheckpointTest, RegionSizeMismatchClampsAndCounts) {
+  src_->memory().alloc("g", 64);
+  CheckpointImage img = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {});
+  dst_->memory().alloc("g", 32);  // smaller on restore side
+  EXPECT_EQ(restore_checkpoint(*dst_, img), 1);
+}
+
+TEST_F(CheckpointTest, SelectiveCellOutOfRangeSkipped) {
+  src_->memory().alloc("g", 16);
+  std::vector<CellSpec> cells{{"g", 12, 8}};  // runs past the end
+  CheckpointImage img =
+      capture_checkpoint(*src_, CheckpointMode::kSelective, cells, 1, 1, {});
+  EXPECT_TRUE(img.cells.empty()) << "invalid designation must not capture garbage";
+}
+
+// The §3.1 reproduction at the checkpoint level: without the IAT hook a
+// dynamically created thread's context is absent from the image.
+TEST_F(CheckpointTest, DynamicThreadContextMissingWithoutIatHook) {
+  auto& static_task = src_->create_thread_static("main", 0x1);
+  auto& dyn_task = src_->CreateThread("worker", 0x2);
+  static_task.set_context_provider([] { return Buffer{1}; });
+  dyn_task.set_context_provider([] { return Buffer{2}; });
+
+  // What an unhooked FTIM can discover: documented APIs only.
+  std::vector<nt::Task*> discoverable;
+  for (auto tid : src_->enumerate_thread_ids()) {
+    if (nt::Task* t = src_->open_thread(tid)) discoverable.push_back(t);
+  }
+  CheckpointImage img =
+      capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, discoverable);
+  EXPECT_EQ(img.task_contexts.count("main"), 1u);
+  EXPECT_EQ(img.task_contexts.count("worker"), 0u)
+      << "dynamic thread invisible without the IAT hook (paper §3.1)";
+}
+
+}  // namespace
+}  // namespace oftt::core

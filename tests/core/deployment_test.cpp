@@ -1,0 +1,102 @@
+// PairDeployment construction variants and SystemMonitor rendering.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "support/counter_app.h"
+
+namespace oftt::core {
+namespace {
+
+using testsupport::CounterApp;
+
+TEST(Deployment, MinimalEngineOnlyPairForms) {
+  sim::Simulation sim(131);
+  PairDeploymentOptions opts;
+  opts.app_factory = nullptr;  // engines only
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  EXPECT_NE(dep.primary_node(), -1);
+  EXPECT_NE(dep.backup_node(), -1);
+  EXPECT_EQ(dep.ftim_on(dep.node_a()), nullptr);
+}
+
+TEST(Deployment, WithoutMonitorNothingIsReported) {
+  sim::Simulation sim(132);
+  PairDeploymentOptions opts;
+  opts.with_monitor = false;
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  EXPECT_EQ(dep.monitor(), nullptr);
+  EXPECT_NE(dep.primary_node(), -1) << "fault tolerance works without the monitor (paper)";
+}
+
+TEST(Deployment, WithoutMsmqAndScmStillFailsOver) {
+  sim::Simulation sim(133);
+  PairDeploymentOptions opts;
+  opts.with_msmq = false;
+  opts.with_scm = false;
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<CounterApp>(proc); };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id());
+}
+
+TEST(Deployment, NodeByIdResolvesAllThree) {
+  sim::Simulation sim(134);
+  PairDeployment dep(sim, PairDeploymentOptions{});
+  EXPECT_EQ(dep.node_by_id(dep.node_a().id()), &dep.node_a());
+  EXPECT_EQ(dep.node_by_id(dep.node_b().id()), &dep.node_b());
+  EXPECT_EQ(dep.node_by_id(dep.monitor_node().id()), &dep.monitor_node());
+  EXPECT_EQ(dep.node_by_id(99), nullptr);
+}
+
+TEST(Deployment, CustomUnitAndProcessNamesPropagate) {
+  sim::Simulation sim(135);
+  PairDeploymentOptions opts;
+  opts.unit = "boiler7";
+  opts.app_process = "boiler_hmi";
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<CounterApp>(proc); };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  ASSERT_NE(dep.engine_a(), nullptr);
+  EXPECT_EQ(dep.engine_a()->unit(), "boiler7");
+  EXPECT_TRUE(dep.node_a().find_process("boiler_hmi"));
+  EXPECT_EQ(dep.engine_a()->components().count("boiler_hmi"), 1u);
+  ASSERT_NE(dep.monitor(), nullptr);
+  EXPECT_EQ(dep.monitor()->primary_of("boiler7"), dep.node_a().id());
+}
+
+TEST(MonitorRender, ShowsRolesComponentsAndSilence) {
+  sim::Simulation sim(136);
+  PairDeploymentOptions opts;
+  opts.unit = "renderme";
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<CounterApp>(proc); };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  std::string board = dep.monitor()->render();
+  EXPECT_NE(board.find("renderme"), std::string::npos);
+  EXPECT_NE(board.find("PRIMARY"), std::string::npos);
+  EXPECT_NE(board.find("BACKUP"), std::string::npos);
+  EXPECT_NE(board.find("app"), std::string::npos);
+  EXPECT_EQ(board.find("SILENT"), std::string::npos);
+
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(5));
+  board = dep.monitor()->render();
+  EXPECT_NE(board.find("SILENT"), std::string::npos) << "dead node flagged";
+}
+
+TEST(Deployment, StaggeredBootViaOptionsFormsPair) {
+  sim::Simulation sim(137);
+  PairDeploymentOptions opts;
+  opts.node_b_boot_delay = sim::seconds(1);
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+  EXPECT_EQ(dep.backup_node(), dep.node_b().id());
+}
+
+}  // namespace
+}  // namespace oftt::core

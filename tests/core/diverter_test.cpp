@@ -1,0 +1,166 @@
+// Message Diverter tests: the primary/backup pair as one logical unit
+// for an external non-replicated source, with "non-delivery detected
+// and retried" through a switchover (paper §2.2.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/api.h"
+#include "core/deployment.h"
+#include "core/diverter.h"
+#include "msmq/queue_manager.h"
+
+namespace oftt::core {
+namespace {
+
+constexpr const char* kUnitQueue = "calltrack.events";
+
+/// Consumes the unit's logical queue while active; counts processed
+/// messages in checkpointable state and checkpoints after each message
+/// (user-directed, per refs [10,11]) so no acknowledged work is lost.
+class ConsumerApp {
+ public:
+  explicit ConsumerApp(sim::Process& process) : process_(&process) {
+    auto& rt = nt::NtRuntime::of(process);
+    region_ = &rt.memory().alloc("globals", 64);
+    processed_ = nt::Cell<std::int64_t>(region_, 0);
+    FtimOptions opts;
+    opts.checkpoint_period = sim::milliseconds(500);
+    OFTTInitialize(process, opts);
+    Ftim& ftim = *Ftim::find(process);
+    ftim.on_activate([this](bool) {
+      msmq::MsmqApi::of(*process_).subscribe(kUnitQueue, [this](const msmq::Message& m) {
+        processed_.set(processed_.get() + 1);
+        seen_labels.insert(m.label);
+        OFTTSave(*process_);  // event-based checkpoint: no processed msg lost
+      });
+    });
+  }
+
+  std::int64_t processed() const { return processed_.get(); }
+  std::set<std::string> seen_labels;
+
+  static ConsumerApp* find(sim::Node& node) {
+    auto proc = node.find_process("app");
+    return proc && proc->alive() ? proc->find_attachment<ConsumerApp>() : nullptr;
+  }
+
+ private:
+  sim::Process* process_;
+  nt::Region* region_ = nullptr;
+  nt::Cell<std::int64_t> processed_;
+};
+
+class DiverterTest : public ::testing::Test {
+ protected:
+  DiverterTest() : sim_(31) {
+    PairDeploymentOptions opts;
+    opts.unit = "calltrack";
+    opts.app_factory = [](sim::Process& proc) { proc.attachment<ConsumerApp>(proc); };
+    dep_ = std::make_unique<PairDeployment>(sim_, opts);
+    source_proc_ = dep_->monitor_node().start_process("telsim", nullptr);
+    DiverterOptions dopts;
+    dopts.unit = "calltrack";
+    dopts.queue = kUnitQueue;
+    dopts.node_a = dep_->node_a().id();
+    dopts.node_b = dep_->node_b().id();
+    diverter_ = std::make_shared<MessageDiverter>(*source_proc_, dopts);
+    source_proc_->add_component(diverter_);
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<PairDeployment> dep_;
+  std::shared_ptr<sim::Process> source_proc_;
+  std::shared_ptr<MessageDiverter> diverter_;
+};
+
+TEST_F(DiverterTest, LearnsPrimaryAndRoutesMessages) {
+  sim_.run_for(sim::seconds(3));
+  EXPECT_EQ(diverter_->current_primary(), dep_->node_a().id());
+  for (int i = 0; i < 10; ++i) diverter_->send("evt", Buffer{});
+  sim_.run_for(sim::seconds(1));
+  ConsumerApp* app = ConsumerApp::find(dep_->node_a());
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->processed(), 10);
+  ConsumerApp* backup = ConsumerApp::find(dep_->node_b());
+  EXPECT_EQ(backup->processed(), 0) << "backup consumes nothing";
+}
+
+TEST_F(DiverterTest, SwitchoverMidStreamLosesNothing) {
+  sim_.run_for(sim::seconds(3));
+  // Stream one message every 20 ms; crash the primary mid-stream.
+  int sent = 0;
+  sim::PeriodicTimer stream(source_proc_->main_strand());
+  stream.start(sim::milliseconds(20), [&] {
+    diverter_->send("evt-" + std::to_string(sent++), Buffer{});
+  });
+  sim_.run_for(sim::seconds(2));
+  dep_->node_a().crash();
+  sim_.run_for(sim::seconds(4));
+  stream.stop();
+  sim_.run_for(sim::seconds(5));  // drain retries
+
+  ASSERT_EQ(dep_->primary_node(), dep_->node_b().id());
+  ConsumerApp* app_b = ConsumerApp::find(dep_->node_b());
+  ASSERT_NE(app_b, nullptr);
+
+  EXPECT_EQ(diverter_->reroutes(), 1u);
+  // Everything sent after the last pre-crash checkpoint is either in
+  // the checkpointed count or redelivered; with per-message OFTTSave
+  // the total processed must be >= sent minus messages that reached the
+  // dead node's local queue but were never processed... which per-event
+  // checkpointing reduces to zero:
+  EXPECT_GE(app_b->processed(), sent - 3)
+      << "at most the in-flight handful may be outstanding";
+  EXPECT_GT(app_b->seen_labels.size(), 0u);
+}
+
+TEST_F(DiverterTest, MessagesSentWhilePrimaryDownAreHeldAndRetried) {
+  sim_.run_for(sim::seconds(3));
+  dep_->node_a().crash();
+  // Send immediately, before the diverter has learned of the takeover.
+  for (int i = 0; i < 5; ++i) diverter_->send("held", Buffer{});
+  sim_.run_for(sim::milliseconds(100));  // let the local QM take custody
+  msmq::QueueManager* qm = msmq::QueueManager::find(dep_->monitor_node());
+  ASSERT_NE(qm, nullptr);
+  EXPECT_GT(qm->outgoing_depth(), 0u) << "store-and-forward holds messages";
+
+  sim_.run_for(sim::seconds(5));
+  ConsumerApp* app_b = ConsumerApp::find(dep_->node_b());
+  ASSERT_NE(app_b, nullptr);
+  EXPECT_EQ(app_b->processed(), 5) << "retry chased the route change";
+}
+
+TEST_F(DiverterTest, RerouteBackAfterFailback) {
+  sim_.run_for(sim::seconds(3));
+  dep_->node_a().os_crash(sim::seconds(2));  // BSOD + auto reboot
+  sim_.run_for(sim::seconds(6));
+  ASSERT_EQ(dep_->primary_node(), dep_->node_b().id());
+  EXPECT_EQ(diverter_->current_primary(), dep_->node_b().id());
+
+  // Operator moves the unit back to node A.
+  ASSERT_NE(dep_->engine_b(), nullptr);
+  EXPECT_EQ(dep_->engine_b()->request_switchover("failback"), S_OK);
+  sim_.run_for(sim::seconds(3));
+  EXPECT_EQ(dep_->primary_node(), dep_->node_a().id());
+  EXPECT_EQ(diverter_->current_primary(), dep_->node_a().id());
+  EXPECT_GE(diverter_->reroutes(), 2u);
+
+  diverter_->send("after-failback", Buffer{});
+  sim_.run_for(sim::seconds(1));
+  ConsumerApp* app_a = ConsumerApp::find(dep_->node_a());
+  ASSERT_NE(app_a, nullptr);
+  EXPECT_TRUE(app_a->seen_labels.count("after-failback"));
+}
+
+TEST_F(DiverterTest, SwitchoverRequestRefusedWithoutPeer) {
+  sim_.run_for(sim::seconds(3));
+  dep_->node_b().crash();
+  sim_.run_for(sim::seconds(2));
+  ASSERT_NE(dep_->engine_a(), nullptr);
+  EXPECT_EQ(dep_->engine_a()->request_switchover("x"), OFTT_E_NO_PEER);
+  EXPECT_EQ(dep_->engine_a()->role(), Role::kPrimary) << "refused: still serving";
+}
+
+}  // namespace
+}  // namespace oftt::core

@@ -1,0 +1,138 @@
+// IOFTTEngine tests: the engine's COM face over DCOM — remote status
+// queries, operator-initiated switchover, and run-time recovery-rule
+// changes (the paper's dynamic-decision extension).
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/deployment.h"
+#include "core/engine_com.h"
+#include "support/counter_app.h"
+
+namespace oftt::core {
+namespace {
+
+using testsupport::CounterApp;
+
+class EngineComTest : public ::testing::Test {
+ protected:
+  EngineComTest() : sim_(61) {
+    PairDeploymentOptions opts;
+    opts.unit = "unit";
+    opts.app_factory = [](sim::Process& proc) { proc.attachment<CounterApp>(proc); };
+    dep_ = std::make_unique<PairDeployment>(sim_, opts);
+    operator_proc_ = dep_->monitor_node().start_process("operator", nullptr);
+    sim_.run_for(sim::seconds(3));
+  }
+
+  com::ComPtr<IOFTTEngine> connect(int node) {
+    com::ComPtr<IOFTTEngine> out;
+    HRESULT got = E_FAIL;
+    connect_engine(*operator_proc_, node, [&](HRESULT hr, com::ComPtr<IOFTTEngine> e) {
+      got = hr;
+      out = std::move(e);
+    });
+    sim_.run_for(sim::milliseconds(100));
+    EXPECT_TRUE(SUCCEEDED(got)) << hresult_to_string(got);
+    return out;
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<PairDeployment> dep_;
+  std::shared_ptr<sim::Process> operator_proc_;
+};
+
+TEST_F(EngineComTest, RemoteStatusQuery) {
+  auto engine = connect(dep_->node_a().id());
+  ASSERT_TRUE(engine);
+  StatusReport sr;
+  HRESULT got = E_FAIL;
+  engine->GetStatus([&](HRESULT hr, const StatusReport& s) {
+    got = hr;
+    sr = s;
+  });
+  sim_.run_for(sim::milliseconds(100));
+  ASSERT_EQ(got, S_OK);
+  EXPECT_EQ(sr.unit, "unit");
+  EXPECT_EQ(sr.role, Role::kPrimary);
+  EXPECT_TRUE(sr.peer_visible);
+  ASSERT_EQ(sr.components.size(), 1u);
+  EXPECT_EQ(sr.components[0].name, "app");
+  EXPECT_EQ(sr.components[0].state, ComponentState::kUp);
+}
+
+TEST_F(EngineComTest, OperatorSwitchoverFromMonitorNode) {
+  ASSERT_EQ(dep_->primary_node(), dep_->node_a().id());
+  auto engine = connect(dep_->node_a().id());
+  ASSERT_TRUE(engine);
+  HRESULT got = E_FAIL;
+  engine->RequestSwitchover("planned maintenance", [&](HRESULT hr) { got = hr; });
+  sim_.run_for(sim::seconds(2));
+  EXPECT_EQ(got, S_OK);
+  EXPECT_EQ(dep_->primary_node(), dep_->node_b().id());
+  // State carried over.
+  CounterApp* app_b = CounterApp::find(dep_->node_b());
+  ASSERT_NE(app_b, nullptr);
+  EXPECT_GT(app_b->count(), 0);
+}
+
+TEST_F(EngineComTest, SwitchoverOnBackupIsRefused) {
+  auto engine = connect(dep_->node_b().id());
+  ASSERT_TRUE(engine);
+  HRESULT got = S_OK;
+  engine->RequestSwitchover("wrong node", [&](HRESULT hr) { got = hr; });
+  sim_.run_for(sim::milliseconds(200));
+  EXPECT_EQ(got, OFTT_E_NOT_PRIMARY);
+  EXPECT_EQ(dep_->primary_node(), dep_->node_a().id());
+}
+
+TEST_F(EngineComTest, RemoteRecoveryRuleChange) {
+  auto engine = connect(dep_->node_a().id());
+  ASSERT_TRUE(engine);
+  HRESULT got = E_FAIL;
+  engine->SetRecoveryRule("app", 0, 1, [&](HRESULT hr) { got = hr; });
+  sim_.run_for(sim::milliseconds(200));
+  ASSERT_EQ(got, S_OK);
+  // With 0 local restarts allowed, the first app crash escalates
+  // straight to switchover.
+  dep_->node_a().find_process("app")->kill("fault");
+  sim_.run_for(sim::seconds(2));
+  EXPECT_EQ(dep_->primary_node(), dep_->node_b().id());
+}
+
+TEST_F(EngineComTest, UnknownComponentRuleChangeFails) {
+  auto engine = connect(dep_->node_a().id());
+  ASSERT_TRUE(engine);
+  HRESULT got = S_OK;
+  engine->SetRecoveryRule("nope", 1, 1, [&](HRESULT hr) { got = hr; });
+  sim_.run_for(sim::milliseconds(200));
+  EXPECT_EQ(got, E_INVALIDARG);
+}
+
+TEST_F(EngineComTest, ConnectToDeadEngineFails) {
+  dep_->node_a().crash();
+  sim_.run_for(sim::seconds(1));
+  HRESULT got = S_OK;
+  connect_engine(*operator_proc_, dep_->node_a().id(),
+                 [&](HRESULT hr, com::ComPtr<IOFTTEngine>) { got = hr; });
+  sim_.run_for(sim::seconds(3));
+  EXPECT_TRUE(FAILED(got));
+}
+
+TEST_F(EngineComTest, DynamicRuleViaApi) {
+  // The application itself relaxes its rule at run time (OFTTSetRecoveryRule).
+  auto app_proc = dep_->node_a().find_process("app");
+  EXPECT_EQ(OFTTSetRecoveryRule(*app_proc, 5, 0), S_OK);
+  sim_.run_for(sim::milliseconds(200));
+  // Crash it thrice: with 5 restarts allowed and switchover disabled,
+  // node A must remain primary throughout.
+  for (int i = 0; i < 3; ++i) {
+    dep_->node_a().find_process("app")->kill("fault");
+    sim_.run_for(sim::seconds(2));
+  }
+  EXPECT_EQ(dep_->primary_node(), dep_->node_a().id());
+  ASSERT_NE(dep_->engine_a(), nullptr);
+  EXPECT_EQ(dep_->engine_a()->components().at("app").restarts, 3);
+}
+
+}  // namespace
+}  // namespace oftt::core

@@ -1,0 +1,222 @@
+// End-to-end failover tests: the four failure classes of the paper's §4
+// demonstration — (a) node failure, (b) NT crash, (c) application
+// software failure, (d) OFTT middleware failure — against the Fig. 3
+// deployment, with application state continuity through checkpoints.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "sim/simulation.h"
+#include "support/counter_app.h"
+
+namespace oftt {
+namespace {
+
+using core::PairDeployment;
+using core::PairDeploymentOptions;
+using core::Role;
+using testsupport::CounterApp;
+
+PairDeploymentOptions standard_options() {
+  PairDeploymentOptions opts;
+  opts.unit = "calltrack";
+  opts.app_factory = [](sim::Process& proc) {
+    CounterApp::Options app;
+    app.ftim.checkpoint_period = sim::milliseconds(200);
+    proc.attachment<CounterApp>(proc, app);
+  };
+  return opts;
+}
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim{42};
+};
+
+TEST_F(FailoverTest, PairFormsWithSinglePrimary) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(2));
+  ASSERT_NE(dep.primary_node(), -1);
+  ASSERT_NE(dep.backup_node(), -1);
+  EXPECT_NE(dep.primary_node(), dep.backup_node());
+  // Deterministic tie-break: the lower node id wins.
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+}
+
+TEST_F(FailoverTest, OnlyPrimaryAppRuns) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  CounterApp* app_a = CounterApp::find(dep.node_a());
+  CounterApp* app_b = CounterApp::find(dep.node_b());
+  ASSERT_NE(app_a, nullptr);
+  ASSERT_NE(app_b, nullptr);
+  EXPECT_GT(app_a->count(), 0) << "primary application should execute";
+  EXPECT_EQ(app_b->count(), 0) << "backup copy must stay passive";
+}
+
+TEST_F(FailoverTest, CheckpointsFlowToBackup) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  core::Ftim* backup_ftim = dep.ftim_on(dep.node_b());
+  ASSERT_NE(backup_ftim, nullptr);
+  EXPECT_GT(backup_ftim->checkpoints_received(), 5u);
+  ASSERT_TRUE(backup_ftim->has_checkpoint());
+  EXPECT_TRUE(backup_ftim->latest_checkpoint()->regions.count("globals"));
+}
+
+// Failure class (a): node power failure.
+TEST_F(FailoverTest, NodeFailurePromotesBackupWithState) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  std::int64_t count_before = CounterApp::find(dep.node_a())->count();
+  ASSERT_GT(count_before, 0);
+
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(2));
+
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id());
+  CounterApp* app_b = CounterApp::find(dep.node_b());
+  ASSERT_NE(app_b, nullptr);
+  // Restored from the latest checkpoint: at most one checkpoint period
+  // (200 ms / 50 ms tick = 4 increments) of work may be lost.
+  EXPECT_GE(app_b->count(), count_before - 5);
+  std::int64_t after_promotion = app_b->count();
+  sim.run_for(sim::seconds(1));
+  EXPECT_GT(app_b->count(), after_promotion) << "new primary must make progress";
+}
+
+// Failure class (b): NT crash (blue screen), followed by auto-reboot;
+// the rebooted node must rejoin as backup, not fight for primary.
+TEST_F(FailoverTest, OsCrashFailsOverAndRebootedNodeRejoinsAsBackup) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  dep.node_a().os_crash(/*reboot_after=*/sim::seconds(5));
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id());
+
+  sim.run_for(sim::seconds(8));  // node A reboots and renegotiates
+  EXPECT_TRUE(dep.node_a().up());
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id()) << "survivor keeps primary";
+  EXPECT_EQ(dep.backup_node(), dep.node_a().id()) << "rebooted node joins as backup";
+  // And checkpoints flow to the new backup again.
+  sim.run_for(sim::seconds(2));
+  core::Ftim* ftim_a = dep.ftim_on(dep.node_a());
+  ASSERT_NE(ftim_a, nullptr);
+  EXPECT_GT(ftim_a->checkpoints_received(), 0u);
+}
+
+// Failure class (c): application software failure -> local restart
+// first (transient), switchover after the rule's restart budget.
+TEST_F(FailoverTest, AppCrashIsFirstRestartedLocally) {
+  auto opts = standard_options();
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+
+  auto app_proc = dep.node_a().find_process("app");
+  ASSERT_TRUE(app_proc);
+  app_proc->kill("injected app fault");
+  sim.run_for(sim::seconds(2));
+
+  // Default rule allows one local restart: still primary on node A,
+  // fresh app instance running.
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+  CounterApp* app_a = CounterApp::find(dep.node_a());
+  ASSERT_NE(app_a, nullptr);
+  sim.run_for(sim::seconds(1));
+  EXPECT_GT(app_a->count(), 0);
+  auto* engine = dep.engine_a();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->components().at("app").restarts, 1);
+}
+
+TEST_F(FailoverTest, RepeatedAppCrashesEscalateToSwitchover) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+
+  // First crash: local restart. Second crash: permanent -> switchover.
+  dep.node_a().find_process("app")->kill("fault 1");
+  sim.run_for(sim::seconds(2));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+  dep.node_a().find_process("app")->kill("fault 2");
+  sim.run_for(sim::seconds(2));
+
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id());
+  CounterApp* app_b = CounterApp::find(dep.node_b());
+  ASSERT_NE(app_b, nullptr);
+  sim.run_for(sim::seconds(1));
+  EXPECT_GT(app_b->count(), 0);
+  // Node A's app is restarted as the (passive) backup copy.
+  EXPECT_EQ(dep.backup_node(), dep.node_a().id());
+}
+
+// Failure class (d): OFTT middleware (engine) failure. The application
+// side restarts the engine; the peer may take over meanwhile, and the
+// restarted engine must rejoin without creating dual primaries.
+TEST_F(FailoverTest, EngineFailureIsRecovered) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+
+  dep.node_a().find_process("oftt_engine")->kill("injected middleware fault");
+  sim.run_for(sim::seconds(4));
+
+  // Exactly one primary afterwards.
+  int primaries = 0;
+  if (dep.engine_a() && dep.engine_a()->role() == Role::kPrimary) ++primaries;
+  if (dep.engine_b() && dep.engine_b()->role() == Role::kPrimary) ++primaries;
+  EXPECT_EQ(primaries, 1);
+  // The engine was restarted by the FTIM.
+  ASSERT_NE(dep.engine_a(), nullptr);
+  EXPECT_GT(sim.counter_value("oftt.engine_restarts"), 0u);
+  // The unit still makes progress.
+  int primary = dep.primary_node();
+  ASSERT_NE(primary, -1);
+  CounterApp* app = CounterApp::find(*dep.node_by_id(primary));
+  ASSERT_NE(app, nullptr);
+  std::int64_t before = app->count();
+  sim.run_for(sim::seconds(1));
+  EXPECT_GT(app->count(), before);
+}
+
+TEST_F(FailoverTest, DistressTriggersSwitchover) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+
+  auto app_proc = dep.node_a().find_process("app");
+  core::OFTTDistress(*app_proc, "sensor bus parity errors");
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id());
+}
+
+TEST_F(FailoverTest, MonitorObservesRoleTransitions) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  auto* monitor = dep.monitor();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->primary_of("calltrack"), dep.node_a().id());
+
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(3));
+  EXPECT_EQ(monitor->primary_of("calltrack"), dep.node_b().id());
+  EXPECT_TRUE(monitor->node_silent("calltrack", dep.node_a().id(), sim::seconds(2)));
+  EXPECT_FALSE(monitor->render().empty());
+}
+
+TEST_F(FailoverTest, BackupFailureKeepsPrimaryServing) {
+  PairDeployment dep(sim, standard_options());
+  sim.run_for(sim::seconds(3));
+  dep.node_b().crash();
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+  CounterApp* app_a = CounterApp::find(dep.node_a());
+  std::int64_t before = app_a->count();
+  sim.run_for(sim::seconds(1));
+  EXPECT_GT(app_a->count(), before);
+  ASSERT_NE(dep.engine_a(), nullptr);
+  EXPECT_FALSE(dep.engine_a()->peer_visible());
+}
+
+}  // namespace
+}  // namespace oftt

@@ -1,0 +1,258 @@
+// FTIM-focused tests: selective checkpoints end-to-end (OFTTSelSave),
+// the IAT hook's effect on dynamic-thread state across switchover,
+// server-kind statelessness, role reporting, and the RingLog history
+// container surviving failover.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/deployment.h"
+#include "nt/ring_log.h"
+#include "sim/timer.h"
+
+namespace oftt::core {
+namespace {
+
+// App with both "precious" designated state and bulk scratch state —
+// selective checkpointing must carry only the former.
+class SelectiveApp {
+ public:
+  explicit SelectiveApp(sim::Process& process) : timer_(process.main_strand()) {
+    auto& rt = nt::NtRuntime::of(process);
+    rt.create_thread_static("main", 0x1000);
+    region_ = &rt.memory().alloc("globals", 1 << 16);
+    precious_ = nt::Cell<std::int64_t>(region_, 0);
+    scratch_ = nt::Cell<std::int64_t>(region_, 1024);
+
+    FtimOptions opts;
+    opts.checkpoint_mode = CheckpointMode::kSelective;
+    opts.checkpoint_period = sim::milliseconds(100);
+    OFTTInitialize(process, opts);
+    OFTTSelSave(process, precious_.region()->name(),
+                static_cast<std::uint32_t>(precious_.offset()), 8);
+    Ftim::find(process)->on_activate([this](bool) {
+      timer_.start(sim::milliseconds(20), [this] {
+        precious_.set(precious_.get() + 1);
+        scratch_.set(scratch_.get() + 100);
+      });
+    });
+    Ftim::find(process)->on_deactivate([this] { timer_.stop(); });
+  }
+
+  std::int64_t precious() const { return precious_.get(); }
+  std::int64_t scratch() const { return scratch_.get(); }
+
+  static SelectiveApp* find(sim::Node& node) {
+    auto proc = node.find_process("app");
+    return proc && proc->alive() ? proc->find_attachment<SelectiveApp>() : nullptr;
+  }
+
+ private:
+  nt::Region* region_ = nullptr;
+  nt::Cell<std::int64_t> precious_, scratch_;
+  sim::PeriodicTimer timer_;
+};
+
+TEST(SelectiveCheckpoint, DesignatedStateSurvivesSwitchoverScratchDoesNot) {
+  sim::Simulation sim(101);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<SelectiveApp>(proc); };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  SelectiveApp* app_a = SelectiveApp::find(dep.node_a());
+  ASSERT_NE(app_a, nullptr);
+  std::int64_t precious_before = app_a->precious();
+  ASSERT_GT(precious_before, 0);
+  ASSERT_GT(app_a->scratch(), 0);
+  // Selective images are tiny regardless of the 64 KiB region.
+  Ftim* primary_ftim = dep.ftim_on(dep.node_a());
+  EXPECT_LT(primary_ftim->last_checkpoint_bytes(), 512u);
+
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(2));
+  SelectiveApp* app_b = SelectiveApp::find(dep.node_b());
+  ASSERT_NE(app_b, nullptr);
+  sim.run_for(sim::seconds(1));
+  EXPECT_GT(app_b->precious(), precious_before - 10) << "designated state restored";
+}
+
+// App whose interesting state lives in a *dynamically created thread's*
+// context — checkpointable only because the FTIM hooked CreateThread.
+class DynThreadApp {
+ public:
+  DynThreadApp(sim::Process& process, bool install_hook) : timer_(process.main_strand()) {
+    auto& rt = nt::NtRuntime::of(process);
+    rt.create_thread_static("main", 0x1000);
+    rt.memory().alloc("globals", 32);  // give full mode something stable
+
+    FtimOptions opts;
+    opts.install_iat_hook = install_hook;
+    opts.checkpoint_period = sim::milliseconds(100);
+    OFTTInitialize(process, opts);
+
+    // The app spawns a worker AFTER initialization, via the Win32 import.
+    nt::Task& worker = rt.CreateThread("worker", 0x2000);
+    worker.set_context_provider([this] {
+      BinaryWriter w;
+      w.i64(worker_progress_);
+      return std::move(w).take();
+    });
+    worker.set_context_restorer([this](const Buffer& b) {
+      BinaryReader r(b);
+      worker_progress_ = r.i64();
+    });
+
+    Ftim::find(process)->on_activate([this](bool) {
+      timer_.start(sim::milliseconds(20), [this] { ++worker_progress_; });
+    });
+    Ftim::find(process)->on_deactivate([this] { timer_.stop(); });
+  }
+
+  std::int64_t worker_progress_ = 0;
+
+  static DynThreadApp* find(sim::Node& node) {
+    auto proc = node.find_process("app");
+    return proc && proc->alive() ? proc->find_attachment<DynThreadApp>() : nullptr;
+  }
+
+ private:
+  sim::PeriodicTimer timer_;
+};
+
+class IatHookSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(IatHookSweep, DynamicThreadStateSurvivesOnlyWithHook) {
+  bool hook = GetParam();
+  sim::Simulation sim(hook ? 102 : 103);
+  PairDeploymentOptions opts;
+  opts.app_factory = [hook](sim::Process& proc) {
+    proc.attachment<DynThreadApp>(proc, hook);
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  std::int64_t progress_before = DynThreadApp::find(dep.node_a())->worker_progress_;
+  ASSERT_GT(progress_before, 0);
+
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(3));
+  DynThreadApp* app_b = DynThreadApp::find(dep.node_b());
+  ASSERT_NE(app_b, nullptr);
+  if (hook) {
+    EXPECT_GT(app_b->worker_progress_, progress_before - 10)
+        << "hooked: worker context was in the checkpoint";
+  } else {
+    // §3.1: without the IAT hook the dynamic thread is invisible to the
+    // checkpointer; its state restarts from scratch on the backup.
+    EXPECT_LT(app_b->worker_progress_, progress_before)
+        << "unhooked: worker context missing from checkpoints";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HookOnOff, IatHookSweep, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "hooked" : "unhooked";
+                         });
+
+TEST(FtimKind, ServerFtimNeverCheckpoints) {
+  sim::Simulation sim(104);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) {
+    nt::NtRuntime::of(proc).memory().alloc("globals", 4096);
+    FtimOptions fopts;
+    fopts.kind = FtimKind::kOpcServer;
+    fopts.checkpoint_period = sim::milliseconds(50);
+    OFTTInitialize(proc, fopts);
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));
+  EXPECT_EQ(sim.counter_value("oftt.checkpoints_sent"), 0u);
+  Ftim* ftim = dep.ftim_on(dep.node_a());
+  ASSERT_NE(ftim, nullptr);
+  EXPECT_TRUE(ftim->active());
+  // OFTTSave on a server FTIM succeeds but is also a no-op by kind.
+  EXPECT_EQ(OFTTSave(*dep.node_a().find_process("app")), S_OK);
+  EXPECT_EQ(sim.counter_value("oftt.checkpoints_sent"), 0u);
+}
+
+TEST(Role, GetMyRoleTracksTransitions) {
+  sim::Simulation sim(105);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) {
+    nt::NtRuntime::of(proc).memory().alloc("globals", 64);
+    OFTTInitialize(proc, {});
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  EXPECT_EQ(OFTTGetMyRole(*dep.node_a().find_process("app")), Role::kPrimary);
+  EXPECT_EQ(OFTTGetMyRole(*dep.node_b().find_process("app")), Role::kBackup);
+  Engine::find(dep.node_a())->request_switchover("test");
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(OFTTGetMyRole(*dep.node_a().find_process("app")), Role::kBackup);
+  EXPECT_EQ(OFTTGetMyRole(*dep.node_b().find_process("app")), Role::kPrimary);
+}
+
+// The history container: a RingLog of call records inside the
+// checkpointed region survives switchover with its contents ordered.
+struct CallRecord {
+  std::int64_t at;
+  std::int32_t caller;
+  std::int32_t line;
+};
+
+class HistoryApp {
+ public:
+  explicit HistoryApp(sim::Process& process) : timer_(process.main_strand()) {
+    auto& rt = nt::NtRuntime::of(process);
+    rt.create_thread_static("main", 0x1000);
+    region_ = &rt.memory().alloc("history",
+                                 nt::RingLog<CallRecord>::bytes_required(64) + 64);
+    log_ = nt::RingLog<CallRecord>(region_, 0, 64);
+    OFTTInitialize(process, {});
+    Ftim::find(process)->on_activate([this, &process](bool) {
+      timer_.start(sim::milliseconds(30), [this, &process] {
+        // Re-attach after a restore (header travels in the region).
+        log_ = nt::RingLog<CallRecord>(region_, 0, 64);
+        std::int64_t n = static_cast<std::int64_t>(log_.total_appended());
+        log_.append(CallRecord{process.sim().now(), static_cast<std::int32_t>(n % 10),
+                               static_cast<std::int32_t>(n % 5)});
+      });
+    });
+    Ftim::find(process)->on_deactivate([this] { timer_.stop(); });
+  }
+
+  nt::RingLog<CallRecord>& log() { return log_; }
+
+  static HistoryApp* find(sim::Node& node) {
+    auto proc = node.find_process("app");
+    return proc && proc->alive() ? proc->find_attachment<HistoryApp>() : nullptr;
+  }
+
+ private:
+  nt::Region* region_ = nullptr;
+  nt::RingLog<CallRecord> log_;
+  sim::PeriodicTimer timer_;
+};
+
+TEST(RingLogFailover, HistorySurvivesSwitchoverOrdered) {
+  sim::Simulation sim(106);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<HistoryApp>(proc); };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  std::uint64_t total_before = HistoryApp::find(dep.node_a())->log().total_appended();
+  ASSERT_GT(total_before, 50u) << "ring has wrapped";
+
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(3));
+  HistoryApp* app_b = HistoryApp::find(dep.node_b());
+  ASSERT_NE(app_b, nullptr);
+  auto& log = app_b->log();
+  EXPECT_GT(log.total_appended(), total_before);
+  EXPECT_EQ(log.size(), 64u);
+  // Records remain strictly ordered across the failover boundary.
+  for (std::uint64_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log.at(i - 1).at, log.at(i).at);
+  }
+}
+
+}  // namespace
+}  // namespace oftt::core

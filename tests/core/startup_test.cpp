@@ -1,0 +1,151 @@
+// Startup negotiation tests — the paper's §3.2 lesson. The original
+// logic (no retries) erroneously shuts the first node down whenever NT's
+// unpredictable startup staggers the pair beyond one probe timeout; the
+// added retry logic fixes it. Parameterized sweep over (retries, skew).
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "sim/simulation.h"
+
+namespace oftt::core {
+namespace {
+
+struct StartupCase {
+  int retries;
+  sim::SimTime skew;
+  bool pair_should_form;
+};
+
+class StartupSweep : public ::testing::TestWithParam<StartupCase> {};
+
+TEST_P(StartupSweep, PairFormationMatchesRetryBudget) {
+  const StartupCase& c = GetParam();
+  sim::Simulation sim(99);
+  PairDeploymentOptions opts;
+  opts.engine.startup_probe_timeout = sim::milliseconds(800);
+  opts.engine.startup_retries = c.retries;
+  opts.engine.alone_policy = AloneStartupPolicy::kShutdown;
+  opts.node_b_boot_delay = c.skew;
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(20));
+
+  bool formed = dep.primary_node() != -1 && dep.backup_node() != -1;
+  EXPECT_EQ(formed, c.pair_should_form)
+      << "retries=" << c.retries << " skew=" << sim::to_millis(c.skew) << "ms";
+  if (!c.pair_should_form) {
+    // The paper's observed failure: the first node shut itself down.
+    EXPECT_GT(sim.counter_value("oftt.startup_shutdown"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RetryBySkew, StartupSweep,
+    ::testing::Values(
+        // Original logic (retries=0): only a skew below one probe
+        // timeout forms a pair.
+        StartupCase{0, sim::milliseconds(0), true},
+        StartupCase{0, sim::milliseconds(400), true},
+        StartupCase{0, sim::milliseconds(1200), false},
+        StartupCase{0, sim::seconds(3), false},
+        // Fixed logic (retries=3): tolerates up to ~4 probe windows.
+        StartupCase{3, sim::milliseconds(1200), true},
+        StartupCase{3, sim::seconds(3), true},
+        StartupCase{3, sim::seconds(10), false},
+        // More retries, more tolerance.
+        StartupCase{10, sim::seconds(8), true}),
+    [](const ::testing::TestParamInfo<StartupCase>& info) {
+      return "retries" + std::to_string(info.param.retries) + "_skew" +
+             std::to_string(info.param.skew / 1'000'000) + "ms";
+    });
+
+TEST(Startup, SimultaneousBootPicksLowerNodeAsPrimary) {
+  sim::Simulation sim(1);
+  PairDeploymentOptions opts;
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+  EXPECT_EQ(dep.backup_node(), dep.node_b().id());
+}
+
+TEST(Startup, LateJoinerAdoptsBackupRole) {
+  sim::Simulation sim(2);
+  PairDeploymentOptions opts;
+  opts.engine.startup_retries = 5;
+  opts.node_b_boot_delay = sim::seconds(2);
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(6));
+  // A won the pair; B booted into an established primary.
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+  EXPECT_EQ(dep.backup_node(), dep.node_b().id());
+}
+
+TEST(Startup, AlonePolicyBecomePrimaryServesWithoutPeer) {
+  sim::Simulation sim(3);
+  PairDeploymentOptions opts;
+  opts.engine.startup_retries = 1;
+  opts.engine.alone_policy = AloneStartupPolicy::kBecomePrimary;
+  opts.autostart = false;
+  PairDeployment dep(sim, opts);
+  dep.node_a().boot();  // B never boots
+  sim.run_for(sim::seconds(10));
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+}
+
+TEST(Startup, AlonePolicyShutdownAvoidsDualPrimaryAcrossDeadNetwork) {
+  // Network dead at startup: with the conservative policy neither node
+  // claims primary, so no split brain.
+  sim::Simulation sim(4);
+  PairDeploymentOptions opts;
+  opts.engine.startup_retries = 1;
+  opts.engine.alone_policy = AloneStartupPolicy::kShutdown;
+  opts.autostart = false;
+  PairDeployment dep(sim, opts);
+  sim.network(0).set_down(true);
+  dep.node_a().boot();
+  dep.node_b().boot();
+  sim.run_for(sim::seconds(10));
+  EXPECT_EQ(dep.primary_node(), -1);
+  EXPECT_EQ(sim.counter_value("oftt.startup_shutdown"), 2u);
+}
+
+TEST(Startup, AlonePolicyBecomePrimaryCreatesDualPrimaryAcrossDeadNetwork) {
+  // The risk the paper's design avoids: the liberal policy split-brains
+  // when the network (not the peer) is down...
+  sim::Simulation sim(5);
+  PairDeploymentOptions opts;
+  opts.engine.startup_retries = 1;
+  opts.engine.alone_policy = AloneStartupPolicy::kBecomePrimary;
+  opts.autostart = false;
+  PairDeployment dep(sim, opts);
+  sim.network(0).set_down(true);
+  dep.node_a().boot();
+  dep.node_b().boot();
+  sim.run_for(sim::seconds(10));
+  int primaries = 0;
+  if (dep.engine_a() && dep.engine_a()->role() == Role::kPrimary) ++primaries;
+  if (dep.engine_b() && dep.engine_b()->role() == Role::kPrimary) ++primaries;
+  EXPECT_EQ(primaries, 2) << "dual primary while partitioned";
+
+  // ...but incarnation-based resolution heals it when the network returns.
+  sim.network(0).set_down(false);
+  sim.run_for(sim::seconds(5));
+  primaries = 0;
+  if (dep.engine_a() && dep.engine_a()->role() == Role::kPrimary) ++primaries;
+  if (dep.engine_b() && dep.engine_b()->role() == Role::kPrimary) ++primaries;
+  EXPECT_EQ(primaries, 1) << "dual primary resolved after partition heals";
+  EXPECT_GT(sim.counter_value("oftt.dual_primary_detected"), 0u);
+}
+
+TEST(Startup, ProbeRoundsCountedForDiagnostics) {
+  sim::Simulation sim(6);
+  PairDeploymentOptions opts;
+  opts.engine.startup_retries = 5;
+  opts.node_b_boot_delay = sim::seconds(2);  // ~3 probe rounds at 800 ms
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(6));
+  ASSERT_NE(dep.engine_a(), nullptr);
+  EXPECT_GE(dep.engine_a()->startup_probe_rounds(), 2);
+}
+
+}  // namespace
+}  // namespace oftt::core

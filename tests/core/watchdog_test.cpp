@@ -1,0 +1,138 @@
+// Reliable-watchdog and hang-detection tests: an application-thread
+// hang leaves FTIM heartbeats flowing (FTIM is its own thread in the
+// same address space), so only the watchdog catches it — which is why
+// the API exists.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "support/counter_app.h"
+
+namespace oftt::core {
+namespace {
+
+using testsupport::CounterApp;
+
+/// An app that kicks a watchdog from its main (hangable) thread.
+class WatchdogApp {
+ public:
+  explicit WatchdogApp(sim::Process& process) : kick_timer_(process.main_strand()) {
+    nt::NtRuntime::of(process).create_thread_static("app_main", 0x1000);
+    OFTTInitialize(process, {});
+    OFTTWatchdogCreate(process, "main_loop", sim::milliseconds(400));
+    kick_timer_.start(sim::milliseconds(100), [&process] {
+      OFTTWatchdogReset(process, "main_loop");
+    });
+  }
+
+ private:
+  sim::PeriodicTimer kick_timer_;
+};
+
+PairDeploymentOptions watchdog_options() {
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<WatchdogApp>(proc); };
+  return opts;
+}
+
+TEST(Watchdog, HealthyAppNeverExpires) {
+  sim::Simulation sim(21);
+  PairDeployment dep(sim, watchdog_options());
+  sim.run_for(sim::seconds(10));
+  EXPECT_EQ(sim.counter_value("oftt.watchdog_expired"), 0u);
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+}
+
+TEST(Watchdog, MainThreadHangDetectedDespiteLiveHeartbeats) {
+  sim::Simulation sim(22);
+  PairDeployment dep(sim, watchdog_options());
+  sim.run_for(sim::seconds(3));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+
+  // Hang only the application's main thread; the FTIM thread lives on.
+  auto app_proc = dep.node_a().find_process("app");
+  app_proc->main_strand().hang();
+  sim.run_for(sim::seconds(2));
+
+  EXPECT_GT(sim.counter_value("oftt.watchdog_expired"), 0u);
+  // Heartbeats never stopped, so only the watchdog can have fired.
+  EXPECT_GT(sim.counter_value("oftt.local_restarts"), 0u);
+  // Recovered by local restart (first failure): still primary here.
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id());
+  auto fresh = dep.node_a().find_process("app");
+  EXPECT_TRUE(fresh->alive());
+  EXPECT_NE(fresh.get(), app_proc.get());
+}
+
+TEST(Watchdog, FullProcessHangIsCaughtByHeartbeatTimeoutInstead) {
+  sim::Simulation sim(23);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) {
+    proc.attachment<CounterApp>(proc);
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  dep.node_a().find_process("app")->hang_all();  // FTIM thread hangs too
+  sim.run_for(sim::seconds(2));
+  EXPECT_GT(sim.counter_value("oftt.component_failures"), 0u);
+}
+
+TEST(Watchdog, DeleteDisarms) {
+  sim::Simulation sim(24);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) {
+    nt::NtRuntime::of(proc).create_thread_static("app_main", 0x1000);
+    OFTTInitialize(proc, {});
+    OFTTWatchdogCreate(proc, "oneshot", sim::milliseconds(300));
+    // Never kicked — but deleted before expiry.
+    proc.main_strand().schedule_after(sim::milliseconds(100), [&proc] {
+      OFTTWatchdogDelete(proc, "oneshot");
+    });
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  EXPECT_EQ(sim.counter_value("oftt.watchdog_expired"), 0u);
+}
+
+TEST(Watchdog, CreateUnarmedThenSetArms) {
+  sim::Simulation sim(25);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) {
+    nt::NtRuntime::of(proc).create_thread_static("app_main", 0x1000);
+    OFTTInitialize(proc, {});
+    OFTTWatchdogCreate(proc, "lazy");  // unarmed: no timeout
+    proc.main_strand().schedule_after(sim::seconds(2), [&proc] {
+      OFTTWatchdogSet(proc, "lazy", sim::milliseconds(200));  // arm, never kick
+    });
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(1));
+  EXPECT_EQ(sim.counter_value("oftt.watchdog_expired"), 0u) << "unarmed cannot expire";
+  sim.run_for(sim::seconds(3));
+  EXPECT_GT(sim.counter_value("oftt.watchdog_expired"), 0u) << "armed and unkicked expires";
+}
+
+TEST(Watchdog, ApiRequiresInitialization) {
+  sim::Simulation sim(26);
+  sim::Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("bare", nullptr);
+  EXPECT_EQ(OFTTWatchdogCreate(*proc, "w", 1), OFTT_E_NOT_INITIALIZED);
+  EXPECT_EQ(OFTTSave(*proc), OFTT_E_NOT_INITIALIZED);
+  EXPECT_EQ(OFTTDistress(*proc, "x"), OFTT_E_NOT_INITIALIZED);
+  EXPECT_EQ(OFTTGetMyRole(*proc), Role::kUnknown);
+  EXPECT_EQ(OFTTSelSave(*proc, "g", 0, 8), OFTT_E_NOT_INITIALIZED);
+}
+
+TEST(Watchdog, DoubleInitializeRejected) {
+  sim::Simulation sim(27);
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) {
+    EXPECT_EQ(OFTTInitialize(proc, {}), S_OK);
+    EXPECT_EQ(OFTTInitialize(proc, {}), OFTT_E_ALREADY_INITIALIZED);
+  };
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(1));
+}
+
+}  // namespace
+}  // namespace oftt::core

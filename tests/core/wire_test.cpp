@@ -1,0 +1,201 @@
+// Wire-format tests: every OFTT control message round-trips, kind
+// confusion is rejected, and truncated frames decode to failure rather
+// than garbage (half-dead peers send half messages).
+#include <gtest/gtest.h>
+
+#include "core/wire.h"
+
+namespace oftt::core {
+namespace {
+
+TEST(Wire, ProbeRoundTrip) {
+  Probe p;
+  p.node = 3;
+  p.boot_count = 2;
+  p.incarnation = 9;
+  p.role = Role::kNegotiating;
+  Probe out;
+  ASSERT_TRUE(Probe::decode(p.encode(false), out, false));
+  EXPECT_EQ(out.node, 3);
+  EXPECT_EQ(out.boot_count, 2);
+  EXPECT_EQ(out.incarnation, 9u);
+  EXPECT_EQ(out.role, Role::kNegotiating);
+  // Probe and reply are distinct kinds.
+  EXPECT_FALSE(Probe::decode(p.encode(false), out, true));
+  ASSERT_TRUE(Probe::decode(p.encode(true), out, true));
+}
+
+TEST(Wire, PeerHeartbeatRoundTrip) {
+  PeerHeartbeat hb;
+  hb.node = 1;
+  hb.role = Role::kPrimary;
+  hb.incarnation = 4;
+  hb.seq = 777;
+  PeerHeartbeat out;
+  ASSERT_TRUE(PeerHeartbeat::decode(hb.encode(), out));
+  EXPECT_EQ(out.seq, 777u);
+  EXPECT_EQ(out.role, Role::kPrimary);
+}
+
+TEST(Wire, TakeoverRoundTrip) {
+  Takeover t;
+  t.from_node = 0;
+  t.incarnation = 12;
+  t.reason = "component 'app' permanent failure";
+  Takeover out;
+  ASSERT_TRUE(Takeover::decode(t.encode(), out));
+  EXPECT_EQ(out.reason, t.reason);
+  EXPECT_EQ(out.incarnation, 12u);
+}
+
+TEST(Wire, FtRegisterRoundTripWithLiveState) {
+  FtRegister reg;
+  reg.component = "calltrack";
+  reg.process_name = "calltrack_proc";
+  reg.ftim_port = "oftt.ftim.calltrack_proc";
+  reg.kind = FtimKind::kOpcServer;
+  reg.max_local_restarts = 2;
+  reg.switchover_on_permanent = 0;
+  reg.currently_active = true;
+  reg.incarnation = 5;
+  FtRegister out;
+  ASSERT_TRUE(FtRegister::decode(reg.encode(), out));
+  EXPECT_EQ(out.component, "calltrack");
+  EXPECT_EQ(out.kind, FtimKind::kOpcServer);
+  EXPECT_EQ(out.max_local_restarts, 2);
+  EXPECT_EQ(out.switchover_on_permanent, 0);
+  EXPECT_TRUE(out.currently_active);
+  EXPECT_EQ(out.incarnation, 5u);
+}
+
+TEST(Wire, HeartbeatAndDistressRoundTrip) {
+  FtHeartbeat hb;
+  hb.component = "c";
+  hb.seq = 1;
+  FtHeartbeat hout;
+  ASSERT_TRUE(FtHeartbeat::decode(hb.encode(), hout));
+  EXPECT_EQ(hout.component, "c");
+
+  FtDistress d;
+  d.component = "c";
+  d.reason = "sensor bus";
+  FtDistress dout;
+  ASSERT_TRUE(FtDistress::decode(d.encode(), dout));
+  EXPECT_EQ(dout.reason, "sensor bus");
+}
+
+TEST(Wire, WatchdogOpsPreserveKind) {
+  for (MsgKind op :
+       {MsgKind::kWatchdogCreate, MsgKind::kWatchdogReset, MsgKind::kWatchdogDelete}) {
+    WatchdogMsg wd;
+    wd.op = op;
+    wd.component = "app";
+    wd.watchdog = "loop";
+    wd.timeout = sim::milliseconds(300);
+    WatchdogMsg out;
+    ASSERT_TRUE(WatchdogMsg::decode(wd.encode(), out));
+    EXPECT_EQ(out.op, op);
+    EXPECT_EQ(out.timeout, sim::milliseconds(300));
+  }
+  WatchdogMsg out;
+  EXPECT_FALSE(WatchdogMsg::decode(FtHeartbeat{}.encode(), out));
+}
+
+TEST(Wire, SetRuleRoundTrip) {
+  SetRule rule;
+  rule.component = "app";
+  rule.max_local_restarts = 7;
+  rule.switchover_on_permanent = 0;
+  SetRule out;
+  ASSERT_TRUE(SetRule::decode(rule.encode(), out));
+  EXPECT_EQ(out.max_local_restarts, 7);
+  EXPECT_EQ(out.switchover_on_permanent, 0);
+}
+
+TEST(Wire, StatusReportRoundTripManyComponents) {
+  StatusReport sr;
+  sr.unit = "calltrack";
+  sr.node = 1;
+  sr.role = Role::kBackup;
+  sr.incarnation = 3;
+  sr.peer_visible = true;
+  for (int i = 0; i < 20; ++i) {
+    sr.components.push_back(ComponentStatus{"comp" + std::to_string(i),
+                                            ComponentState::kRestarting, i,
+                                            static_cast<std::uint64_t>(i) * 100});
+  }
+  StatusReport out;
+  ASSERT_TRUE(StatusReport::decode(sr.encode(), out));
+  ASSERT_EQ(out.components.size(), 20u);
+  EXPECT_EQ(out.components[7].restarts, 7);
+  EXPECT_EQ(out.components[7].state, ComponentState::kRestarting);
+}
+
+TEST(Wire, RoleAnnounceAndSubscribeRoundTrip) {
+  RoleAnnounce ra;
+  ra.unit = "u";
+  ra.node = 2;
+  ra.role = Role::kPrimary;
+  ra.incarnation = 8;
+  RoleAnnounce raout;
+  ASSERT_TRUE(RoleAnnounce::decode(ra.encode(), raout));
+  EXPECT_EQ(raout.incarnation, 8u);
+
+  SubscribeRoles sub;
+  sub.subscriber_node = 2;
+  sub.subscriber_port = "oftt.divert.telsim";
+  SubscribeRoles sout;
+  ASSERT_TRUE(SubscribeRoles::decode(sub.encode(), sout));
+  EXPECT_EQ(sout.subscriber_port, "oftt.divert.telsim");
+}
+
+TEST(Wire, CheckpointFrameRoundTrip) {
+  Buffer image{9, 8, 7, 6};
+  Buffer frame = encode_checkpoint("calltrack", image);
+  std::string component;
+  Buffer out;
+  ASSERT_TRUE(decode_checkpoint(frame, component, out));
+  EXPECT_EQ(component, "calltrack");
+  EXPECT_EQ(out, image);
+}
+
+TEST(Wire, TruncatedFramesRejected) {
+  StatusReport sr;
+  sr.unit = "u";
+  sr.components.push_back(ComponentStatus{"c", ComponentState::kUp, 0, 0});
+  Buffer b = sr.encode();
+  for (std::size_t cut : {std::size_t{1}, b.size() / 2, b.size() - 1}) {
+    Buffer t(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(cut));
+    StatusReport out;
+    EXPECT_FALSE(StatusReport::decode(t, out)) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, KindConfusionRejectedAcrossAllTypes) {
+  Buffer hb = PeerHeartbeat{}.encode();
+  Probe p;
+  Takeover t;
+  FtRegister reg;
+  StatusReport sr;
+  RoleAnnounce ra;
+  SetRule rule;
+  EXPECT_FALSE(Probe::decode(hb, p, false));
+  EXPECT_FALSE(Takeover::decode(hb, t));
+  EXPECT_FALSE(FtRegister::decode(hb, reg));
+  EXPECT_FALSE(StatusReport::decode(hb, sr));
+  EXPECT_FALSE(RoleAnnounce::decode(hb, ra));
+  EXPECT_FALSE(SetRule::decode(hb, rule));
+}
+
+TEST(Wire, EmptyBufferRejectedEverywhere) {
+  Buffer empty;
+  PeerHeartbeat hb;
+  EXPECT_FALSE(PeerHeartbeat::decode(empty, hb));
+  std::string c;
+  Buffer img;
+  EXPECT_FALSE(decode_checkpoint(empty, c, img));
+  EXPECT_EQ(wire_kind(empty), 0);
+}
+
+}  // namespace
+}  // namespace oftt::core

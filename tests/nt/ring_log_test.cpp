@@ -1,0 +1,103 @@
+// RingLog unit tests: layout, wrap-around, snapshot/restore fidelity.
+#include <gtest/gtest.h>
+
+#include "nt/ring_log.h"
+#include "nt/runtime.h"
+#include "sim/simulation.h"
+
+namespace oftt::nt {
+namespace {
+
+struct Rec {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+class RingLogTest : public ::testing::Test {
+ protected:
+  RingLogTest() {
+    node_ = &sim_.add_node("n");
+    node_->boot();
+    proc_ = node_->start_process("app", nullptr);
+    region_ = &NtRuntime::of(*proc_).memory().alloc("history",
+                                                    RingLog<Rec>::bytes_required(8));
+  }
+  sim::Simulation sim_;
+  sim::Node* node_;
+  std::shared_ptr<sim::Process> proc_;
+  Region* region_;
+};
+
+TEST_F(RingLogTest, StartsEmpty) {
+  RingLog<Rec> log(region_, 0, 8);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.capacity(), 8u);
+}
+
+TEST_F(RingLogTest, AppendAndReadBackInOrder) {
+  RingLog<Rec> log(region_, 0, 8);
+  for (std::int32_t i = 0; i < 5; ++i) log.append(Rec{i, i * 10});
+  EXPECT_EQ(log.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.at(i).a, static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(log.newest().a, 4);
+}
+
+TEST_F(RingLogTest, WrapKeepsNewestCapacityRecords) {
+  RingLog<Rec> log(region_, 0, 8);
+  for (std::int32_t i = 0; i < 20; ++i) log.append(Rec{i, 0});
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.total_appended(), 20u);
+  EXPECT_EQ(log.at(0).a, 12) << "oldest retained";
+  EXPECT_EQ(log.newest().a, 19);
+}
+
+TEST_F(RingLogTest, ReattachSeesExistingContents) {
+  {
+    RingLog<Rec> log(region_, 0, 8);
+    log.append(Rec{7, 7});
+  }
+  RingLog<Rec> again(region_, 0, 8);
+  EXPECT_EQ(again.size(), 1u);
+  EXPECT_EQ(again.newest().a, 7);
+}
+
+TEST_F(RingLogTest, SnapshotRestoreRoundTrip) {
+  RingLog<Rec> log(region_, 0, 8);
+  for (std::int32_t i = 0; i < 11; ++i) log.append(Rec{i, -i});
+  Buffer snap = region_->snapshot();
+  for (std::int32_t i = 100; i < 105; ++i) log.append(Rec{i, 0});
+  region_->restore(snap);
+  RingLog<Rec> restored(region_, 0, 8);
+  EXPECT_EQ(restored.total_appended(), 11u);
+  EXPECT_EQ(restored.newest().a, 10);
+  EXPECT_EQ(restored.newest().b, -10);
+}
+
+TEST_F(RingLogTest, ClearResets) {
+  RingLog<Rec> log(region_, 0, 8);
+  log.append(Rec{1, 1});
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  log.append(Rec{2, 2});
+  EXPECT_EQ(log.newest().a, 2);
+}
+
+TEST_F(RingLogTest, TwoLogsInOneRegion) {
+  Region& big = NtRuntime::of(*proc_).memory().alloc(
+      "two", RingLog<Rec>::bytes_required(4) * 2);
+  RingLog<Rec> first(&big, 0, 4);
+  RingLog<Rec> second(&big, RingLog<Rec>::bytes_required(4), 4);
+  first.append(Rec{1, 0});
+  second.append(Rec{2, 0});
+  second.append(Rec{3, 0});
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_EQ(first.newest().a, 1);
+  EXPECT_EQ(second.newest().a, 3);
+}
+
+}  // namespace
+}  // namespace oftt::nt

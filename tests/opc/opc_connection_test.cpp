@@ -1,0 +1,116 @@
+// OpcConnection lifecycle edge cases: connecting to a dead node,
+// pre-connection operations, multiple independent connections, and
+// backoff behaviour while the server is missing.
+#include <gtest/gtest.h>
+
+#include "dcom/scm.h"
+#include "opc/client.h"
+#include "opc/device.h"
+#include "opc/server.h"
+#include "sim/simulation.h"
+
+namespace oftt::opc {
+namespace {
+
+const Clsid kClsid = Guid::from_name("CLSID_ConnTestPlc");
+
+class ConnTest : public ::testing::Test {
+ protected:
+  ConnTest() : sim_(141) {
+    server_ = &sim_.add_node("server");
+    client_ = &sim_.add_node("client");
+    auto& net = sim_.add_network("lan");
+    net.attach(server_->id());
+    net.attach(client_->id());
+    server_->set_boot_script([](sim::Node& node) {
+      dcom::install_scm(node);
+      node.start_process("opcserver", [](sim::Process& proc) {
+        auto plc = std::make_shared<PlcDevice>("PLC", sim::milliseconds(10));
+        plc->add_input("Sig", std::make_unique<CounterSignal>());
+        install_opc_server(proc, kClsid, plc, "v");
+      });
+    });
+    client_->boot();
+    hmi_ = client_->start_process("hmi", nullptr);
+  }
+
+  sim::Simulation sim_;
+  sim::Node* server_;
+  sim::Node* client_;
+  std::shared_ptr<sim::Process> hmi_;
+};
+
+TEST_F(ConnTest, SubscribeBeforeServerBootsConnectsWhenItArrives) {
+  // Server node is still powered off; the connection keeps retrying
+  // with backoff and latches on once the node boots.
+  OpcConnection::Config cfg;
+  cfg.retry_backoff = sim::milliseconds(300);
+  OpcConnection conn(*hmi_, server_->id(), kClsid, cfg);
+  int updates = 0;
+  conn.subscribe({"Sig"}, [&](const std::vector<ItemState>&) { ++updates; });
+  sim_.run_for(sim::seconds(5));
+  EXPECT_FALSE(conn.connected());
+  EXPECT_GT(conn.failures_seen(), 2u) << "kept retrying";
+
+  server_->boot();
+  sim_.run_for(sim::seconds(5));
+  EXPECT_TRUE(conn.connected());
+  EXPECT_GT(updates, 0);
+}
+
+TEST_F(ConnTest, ReadAndWriteBeforeConnectedFailCleanly) {
+  OpcConnection conn(*hmi_, server_->id(), kClsid);
+  HRESULT read_hr = S_OK, write_hr = S_OK;
+  conn.read({"Sig"}, [&](HRESULT hr, const std::vector<ItemState>&) { read_hr = hr; });
+  conn.write("Sig", OpcValue::from_int(1), [&](HRESULT hr) { write_hr = hr; });
+  EXPECT_TRUE(FAILED(read_hr));
+  EXPECT_TRUE(FAILED(write_hr));
+}
+
+TEST_F(ConnTest, TwoIndependentConnectionsGetIndependentGroups) {
+  server_->boot();
+  auto hmi2 = client_->start_process("hmi2", nullptr);
+  OpcConnection a(*hmi_, server_->id(), kClsid);
+  OpcConnection b(*hmi2, server_->id(), kClsid);
+  int ua = 0, ub = 0;
+  a.subscribe({"Sig"}, [&](const std::vector<ItemState>&) { ++ua; });
+  b.subscribe({"Sig"}, [&](const std::vector<ItemState>&) { ++ub; });
+  sim_.run_for(sim::seconds(2));
+  EXPECT_TRUE(a.connected());
+  EXPECT_TRUE(b.connected());
+  EXPECT_GT(ua, 5);
+  EXPECT_GT(ub, 5);
+}
+
+TEST_F(ConnTest, ServerNodeCrashMidSubscriptionRecoversAfterReboot) {
+  server_->boot();
+  OpcConnection::Config cfg;
+  cfg.staleness_timeout = sim::milliseconds(500);
+  cfg.retry_backoff = sim::milliseconds(300);
+  OpcConnection conn(*hmi_, server_->id(), kClsid, cfg);
+  int updates = 0;
+  conn.subscribe({"Sig"}, [&](const std::vector<ItemState>&) { ++updates; });
+  sim_.run_for(sim::seconds(2));
+  ASSERT_TRUE(conn.connected());
+  int before = updates;
+
+  server_->crash();
+  sim_.run_for(sim::seconds(3));
+  EXPECT_EQ(updates, before) << "nothing while the node is dark";
+
+  server_->boot();  // boot script reinstalls SCM + server
+  sim_.run_for(sim::seconds(5));
+  EXPECT_GT(updates, before) << "recovered without caller involvement";
+  EXPECT_GT(conn.reconnects(), 0u);
+}
+
+TEST_F(ConnTest, UpdatesCountedPerBatchDelivery) {
+  server_->boot();
+  OpcConnection conn(*hmi_, server_->id(), kClsid);
+  conn.subscribe({"Sig"}, nullptr);  // null data handler is legal
+  sim_.run_for(sim::seconds(2));
+  EXPECT_GT(conn.updates_received(), 10u);
+}
+
+}  // namespace
+}  // namespace oftt::opc

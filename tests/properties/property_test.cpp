@@ -1,0 +1,235 @@
+// Property-style parameterized suites (TEST_P sweeps) over the
+// system's core invariants:
+//  * event-queue behaviour matches a reference model under random
+//    schedule/cancel workloads;
+//  * MSMQ delivers exactly-once under any loss rate;
+//  * checkpoints round-trip bit-exactly for any size/mode;
+//  * failover preserves the single-primary invariant across
+//    detection-timing configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/deployment.h"
+#include "msmq/queue_manager.h"
+#include "sim/simulation.h"
+#include "support/counter_app.h"
+
+namespace oftt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Event queue vs reference model
+// ---------------------------------------------------------------------
+
+class EventQueueModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueModel, MatchesReferenceUnderRandomWorkload) {
+  sim::Rng rng(GetParam());
+  sim::Simulation sim(1);
+  // Reference: map time -> fifo list of ids, with a cancelled set.
+  std::multimap<sim::SimTime, int> model;
+  std::set<int> cancelled;
+  std::vector<sim::EventHandle> handles;
+  std::vector<int> fired;
+  int next_id = 0;
+
+  for (int step = 0; step < 500; ++step) {
+    double action = rng.next_double();
+    if (action < 0.7) {
+      sim::SimTime at = sim.now() + rng.uniform(0, 1000);
+      int id = next_id++;
+      handles.push_back(sim.schedule_at(at, [id, &fired] { fired.push_back(id); }));
+      model.emplace(at, id);
+    } else if (!handles.empty()) {
+      std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(handles.size()) - 1));
+      sim.cancel(handles[pick]);
+      cancelled.insert(static_cast<int>(pick));
+    }
+  }
+  sim.run();
+
+  // Expected: all scheduled, in (time, insertion) order, minus cancelled.
+  std::vector<int> expected;
+  for (const auto& [at, id] : model) {
+    if (!cancelled.count(id)) expected.push_back(id);
+  }
+  // Cancellation maps handle index == id here (insertion order).
+  EXPECT_EQ(fired, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModel, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------
+// MSMQ exactly-once under loss
+// ---------------------------------------------------------------------
+
+struct LossCase {
+  double loss;
+  int messages;
+};
+
+class MsmqLossSweep : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(MsmqLossSweep, ExactlyOnceDeliveryUnderLoss) {
+  const LossCase& c = GetParam();
+  sim::Simulation sim(static_cast<std::uint64_t>(c.loss * 1000) + 3);
+  sim::Node& a = sim.add_node("a");
+  sim::Node& b = sim.add_node("b");
+  auto& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.attach(b.id());
+  net.set_loss(c.loss);
+  a.set_boot_script([](sim::Node& n) { msmq::QueueManager::install(n); });
+  b.set_boot_script([](sim::Node& n) { msmq::QueueManager::install(n); });
+  a.boot();
+  b.boot();
+  auto sender = a.start_process("src", nullptr);
+  auto receiver = b.start_process("dst", nullptr);
+  msmq::QueueManager::find(a)->set_route("q", b.id());
+
+  std::multiset<std::string> got;
+  msmq::MsmqApi::of(*receiver).subscribe("q", [&](const msmq::Message& m) {
+    got.insert(m.label);
+  });
+  for (int i = 0; i < c.messages; ++i) {
+    msmq::MsmqApi::of(*sender).send("q", "m" + std::to_string(i), Buffer{});
+  }
+  sim.run_for(sim::seconds(60));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(c.messages));
+  for (int i = 0; i < c.messages; ++i) {
+    EXPECT_EQ(got.count("m" + std::to_string(i)), 1u) << "message " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, MsmqLossSweep,
+                         ::testing::Values(LossCase{0.0, 40}, LossCase{0.1, 40},
+                                           LossCase{0.3, 40}, LossCase{0.5, 30},
+                                           LossCase{0.7, 20}),
+                         [](const ::testing::TestParamInfo<LossCase>& info) {
+                           return "loss" +
+                                  std::to_string(static_cast<int>(info.param.loss * 100));
+                         });
+
+// ---------------------------------------------------------------------
+// Checkpoint round-trip fidelity
+// ---------------------------------------------------------------------
+
+struct CkptCase {
+  std::size_t size;
+  core::CheckpointMode mode;
+};
+
+class CheckpointSweep : public ::testing::TestWithParam<CkptCase> {};
+
+TEST_P(CheckpointSweep, RoundTripsBitExactly) {
+  const CkptCase& c = GetParam();
+  sim::Simulation sim(9);
+  sim::Node& node = sim.add_node("n");
+  node.boot();
+  auto src = node.start_process("src", nullptr);
+  auto dst = node.start_process("dst", nullptr);
+  auto& srt = nt::NtRuntime::of(*src);
+  auto& drt = nt::NtRuntime::of(*dst);
+  auto& region = srt.memory().alloc("globals", c.size);
+  sim::Rng rng(c.size);
+  for (std::size_t i = 0; i < c.size; ++i) {
+    region.data()[i] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  std::vector<core::CellSpec> cells;
+  if (c.mode == core::CheckpointMode::kSelective) {
+    for (std::uint32_t off = 0; off + 16 <= c.size && cells.size() < 8; off += 128) {
+      cells.push_back({"globals", off, 16});
+    }
+  }
+  auto img = core::capture_checkpoint(srt, c.mode, cells, 1, 1, {});
+  // Through the marshaling layer, as the wire would carry it.
+  core::CheckpointImage decoded;
+  ASSERT_TRUE(core::CheckpointImage::unmarshal(img.marshal(), decoded));
+  drt.memory().alloc("globals", c.size);
+  ASSERT_EQ(core::restore_checkpoint(drt, decoded), 0);
+
+  auto* dst_region = drt.memory().find("globals");
+  if (c.mode == core::CheckpointMode::kFull) {
+    EXPECT_EQ(dst_region->snapshot(), region.snapshot());
+  } else {
+    for (const auto& cell : cells) {
+      for (std::uint32_t i = 0; i < cell.size; ++i) {
+        EXPECT_EQ(dst_region->data()[cell.offset + i], region.data()[cell.offset + i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndModes, CheckpointSweep,
+    ::testing::Values(CkptCase{16, core::CheckpointMode::kFull},
+                      CkptCase{1024, core::CheckpointMode::kFull},
+                      CkptCase{65536, core::CheckpointMode::kFull},
+                      CkptCase{1 << 20, core::CheckpointMode::kFull},
+                      CkptCase{1024, core::CheckpointMode::kSelective},
+                      CkptCase{65536, core::CheckpointMode::kSelective}),
+    [](const ::testing::TestParamInfo<CkptCase>& info) {
+      return (info.param.mode == core::CheckpointMode::kFull ? "full" : "sel") +
+             std::to_string(info.param.size);
+    });
+
+// ---------------------------------------------------------------------
+// Single-primary invariant across detection configurations
+// ---------------------------------------------------------------------
+
+struct FailoverCase {
+  sim::SimTime heartbeat;
+  int timeout_multiple;
+  std::uint64_t seed;
+};
+
+class FailoverSweep : public ::testing::TestWithParam<FailoverCase> {};
+
+TEST_P(FailoverSweep, ExactlyOnePrimaryAfterCrashAndRecovery) {
+  const FailoverCase& c = GetParam();
+  sim::Simulation sim(c.seed);
+  core::PairDeploymentOptions opts;
+  opts.engine.heartbeat_period = c.heartbeat;
+  opts.engine.peer_timeout = c.heartbeat * c.timeout_multiple;
+  opts.engine.component_timeout = c.heartbeat * c.timeout_multiple;
+  opts.app_factory = [](sim::Process& proc) {
+    proc.attachment<testsupport::CounterApp>(proc);
+  };
+  core::PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));
+  ASSERT_NE(dep.primary_node(), -1);
+
+  dep.node_a().os_crash(sim::seconds(4));  // crash + rejoin
+  sim.run_for(sim::seconds(15));
+
+  int primaries = 0;
+  if (dep.engine_a() && dep.engine_a()->role() == core::Role::kPrimary) ++primaries;
+  if (dep.engine_b() && dep.engine_b()->role() == core::Role::kPrimary) ++primaries;
+  EXPECT_EQ(primaries, 1);
+  EXPECT_EQ(dep.backup_node(), dep.node_a().id());
+  // The unit still works.
+  auto* app = testsupport::CounterApp::find(*dep.node_by_id(dep.primary_node()));
+  ASSERT_NE(app, nullptr);
+  std::int64_t before = app->count();
+  sim.run_for(sim::seconds(2));
+  EXPECT_GT(app->count(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FailoverSweep,
+    ::testing::Values(FailoverCase{sim::milliseconds(20), 4, 1},
+                      FailoverCase{sim::milliseconds(50), 3, 2},
+                      FailoverCase{sim::milliseconds(100), 5, 3},
+                      FailoverCase{sim::milliseconds(100), 5, 4},
+                      FailoverCase{sim::milliseconds(200), 3, 5},
+                      FailoverCase{sim::milliseconds(500), 2, 6}),
+    [](const ::testing::TestParamInfo<FailoverCase>& info) {
+      return "hb" + std::to_string(info.param.heartbeat / 1'000'000) + "ms_x" +
+             std::to_string(info.param.timeout_multiple) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace oftt

@@ -1,0 +1,397 @@
+// Simulation-kernel tests: event ordering, cancellation, strand/process
+// lifecycle, timers, and determinism.
+#include <gtest/gtest.h>
+
+#include "sim/disk.h"
+#include "sim/simulation.h"
+#include "sim/timer.h"
+
+namespace oftt::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrderWithFifoTies) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(2); });
+  sim.schedule_at(milliseconds(5), [&] { order.push_back(1); });
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(3); });  // same time: FIFO
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(10));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(milliseconds(1), [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(h.valid());
+}
+
+TEST(EventQueue, EventsScheduledDuringEventsRun) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(milliseconds(1), recurse);
+  };
+  sim.schedule_after(milliseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulation sim;
+  sim.run_until(seconds(3));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(Simulation, RunForIsRelative) {
+  Simulation sim;
+  sim.run_for(seconds(1));
+  sim.run_for(seconds(1));
+  EXPECT_EQ(sim.now(), seconds(2));
+}
+
+TEST(Process, KilledProcessEventsDoNotFire) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  int fired = 0;
+  proc->schedule_after(milliseconds(10), [&] { ++fired; });
+  proc->kill("test");
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(proc->alive());
+}
+
+TEST(Process, HungStrandDropsEventsButProcessStaysAlive) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  int main_fired = 0, ftim_fired = 0;
+  Strand& ftim = proc->create_strand("ftim");
+  proc->schedule_after(milliseconds(10), [&] { ++main_fired; });
+  ftim.schedule_after(milliseconds(10), [&] { ++ftim_fired; });
+  proc->main_strand().hang();
+  sim.run();
+  EXPECT_EQ(main_fired, 0) << "hung strand must not execute";
+  EXPECT_EQ(ftim_fired, 1) << "other threads in the process keep running";
+  EXPECT_TRUE(proc->alive());
+}
+
+TEST(Process, ComponentsDestroyedOnKillInReverseOrder) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  std::vector<int> destroyed;
+  struct Tracker {
+    Tracker(std::vector<int>* log, int id) : log_(log), id_(id) {}
+    ~Tracker() { log_->push_back(id_); }
+    std::vector<int>* log_;
+    int id_;
+  };
+  auto proc = node.start_process("p", [&](Process& p) {
+    p.add_component(std::make_shared<Tracker>(&destroyed, 1));
+    p.add_component(std::make_shared<Tracker>(&destroyed, 2));
+  });
+  proc->kill("test");
+  EXPECT_EQ(destroyed, (std::vector<int>{2, 1}));
+}
+
+TEST(Process, ExitSelfDefersDestruction) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  proc->schedule_after(milliseconds(1), [&] {
+    proc->exit_self("done");
+    // Still alive within our own frame.
+    EXPECT_TRUE(proc->alive());
+  });
+  sim.run();
+  EXPECT_FALSE(proc->alive());
+}
+
+TEST(Process, ExitListenersRun) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  std::string reason;
+  proc->on_exit([&](const std::string& r) { reason = r; });
+  proc->kill("segfault");
+  EXPECT_EQ(reason, "segfault");
+}
+
+TEST(Node, CrashKillsEverythingAndBlocksDelivery) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  Network& net = sim.add_network("lan");
+  net.attach(node.id());
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  int received = 0;
+  proc->bind("port", [&](const Datagram&) { ++received; });
+  node.crash();
+  EXPECT_FALSE(node.up());
+  EXPECT_FALSE(proc->alive());
+  EXPECT_EQ(node.last_failure(), NodeFailureKind::kPowerFailure);
+
+  Datagram d;
+  d.dst_node = node.id();
+  d.dst_port = "port";
+  node.deliver(d);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Node, RebootRunsBootScriptAgain) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  int boots = 0;
+  node.set_boot_script([&](Node&) { ++boots; });
+  node.boot();
+  node.os_crash(milliseconds(100));
+  EXPECT_FALSE(node.up());
+  EXPECT_EQ(node.last_failure(), NodeFailureKind::kOsCrash);
+  sim.run_for(milliseconds(200));
+  EXPECT_TRUE(node.up());
+  EXPECT_EQ(boots, 2);
+  EXPECT_EQ(node.boot_count(), 2);
+}
+
+TEST(Node, RestartProcessCreatesFreshInstance) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  int instances = 0;
+  node.start_process("app", [&](Process&) { ++instances; });
+  auto old_proc = node.find_process("app");
+  auto new_proc = node.restart_process("app");
+  EXPECT_EQ(instances, 2);
+  EXPECT_FALSE(old_proc->alive());
+  EXPECT_TRUE(new_proc->alive());
+  EXPECT_NE(old_proc->pid(), new_proc->pid());
+}
+
+TEST(Network, DeliversWithLatencyInRange) {
+  Simulation sim;
+  Node& a = sim.add_node("a");
+  Node& b = sim.add_node("b");
+  Network& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.attach(b.id());
+  net.set_latency(milliseconds(1), milliseconds(2));
+  a.boot();
+  b.boot();
+  auto pa = a.start_process("p", nullptr);
+  auto pb = b.start_process("p", nullptr);
+  SimTime arrival = -1;
+  pb->bind("x", [&](const Datagram& d) {
+    arrival = sim.now();
+    EXPECT_EQ(d.src_node, a.id());
+  });
+  pa->send(0, b.id(), "x", Buffer{1});
+  sim.run();
+  ASSERT_GE(arrival, milliseconds(1));
+  ASSERT_LE(arrival, milliseconds(2));
+  EXPECT_EQ(net.delivered(), 1u);
+}
+
+TEST(Network, LossDropsApproximatelyTheConfiguredFraction) {
+  Simulation sim(7);
+  Node& a = sim.add_node("a");
+  Node& b = sim.add_node("b");
+  Network& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.attach(b.id());
+  net.set_loss(0.3);
+  a.boot();
+  b.boot();
+  auto pa = a.start_process("p", nullptr);
+  auto pb = b.start_process("p", nullptr);
+  int received = 0;
+  pb->bind("x", [&](const Datagram&) { ++received; });
+  for (int i = 0; i < 1000; ++i) pa->send(0, b.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_NEAR(received, 700, 60);
+  EXPECT_EQ(net.dropped() + static_cast<std::uint64_t>(received), 1000u);
+}
+
+TEST(Network, PartitionBlocksCrossGroupTraffic) {
+  Simulation sim;
+  Node& a = sim.add_node("a");
+  Node& b = sim.add_node("b");
+  Node& c = sim.add_node("c");
+  Network& net = sim.add_network("lan");
+  for (auto* n : {&a, &b, &c}) {
+    net.attach(n->id());
+    n->boot();
+  }
+  auto pa = a.start_process("p", nullptr);
+  int b_got = 0, c_got = 0;
+  b.start_process("p", nullptr)->bind("x", [&](const Datagram&) { ++b_got; });
+  c.start_process("p", nullptr)->bind("x", [&](const Datagram&) { ++c_got; });
+
+  net.partition({{a.id(), b.id()}, {c.id()}});
+  pa->send(0, b.id(), "x", Buffer{});
+  pa->send(0, c.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+
+  net.heal();
+  pa->send(0, c.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(Network, PerLinkFailure) {
+  Simulation sim;
+  Node& a = sim.add_node("a");
+  Node& b = sim.add_node("b");
+  Network& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.attach(b.id());
+  a.boot();
+  b.boot();
+  auto pa = a.start_process("p", nullptr);
+  int got = 0;
+  b.start_process("p", nullptr)->bind("x", [&](const Datagram&) { ++got; });
+  net.set_link(a.id(), b.id(), false);
+  pa->send(0, b.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(got, 0);
+  net.set_link(a.id(), b.id(), true);
+  pa->send(0, b.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Network, LoopbackBypassesNetworkFaults) {
+  Simulation sim;
+  Node& a = sim.add_node("a");
+  Network& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.set_down(true);
+  a.boot();
+  auto p = a.start_process("p", nullptr);
+  int got = 0;
+  p->bind("x", [&](const Datagram&) { ++got; });
+  p->send(0, a.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(got, 1) << "local IPC must not traverse the dead LAN";
+}
+
+TEST(PeriodicTimer, FiresAtPeriodUntilStopped) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  int fires = 0;
+  PeriodicTimer timer(proc->main_strand());
+  timer.start(milliseconds(10), [&] {
+    if (++fires == 5) timer.stop();
+  });
+  sim.run_for(seconds(1));
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, RestartFromInsideCallback) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+  int fast = 0, slow = 0;
+  PeriodicTimer timer(proc->main_strand());
+  timer.start(milliseconds(10), [&] {
+    ++fast;
+    timer.start(milliseconds(100), [&] { ++slow; });
+  });
+  sim.run_for(milliseconds(350));
+  EXPECT_EQ(fast, 1);
+  EXPECT_EQ(slow, 3);
+}
+
+TEST(Rng, DeterministicAcrossRuns) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng root(123);
+  Rng x = root.fork("x");
+  Rng y = root.fork("y");
+  EXPECT_NE(x.next_u64(), y.next_u64());
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Simulation, IdenticalSeedsGiveIdenticalHistories) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    Node& a = sim.add_node("a");
+    Node& b = sim.add_node("b");
+    Network& net = sim.add_network("lan");
+    net.attach(a.id());
+    net.attach(b.id());
+    net.set_loss(0.5);
+    a.boot();
+    b.boot();
+    auto pa = a.start_process("p", nullptr);
+    std::vector<SimTime> arrivals;
+    b.start_process("p", nullptr)->bind("x", [&](const Datagram&) {
+      arrivals.push_back(sim.now());
+    });
+    for (int i = 0; i < 50; ++i) pa->send(0, b.id(), "x", Buffer{});
+    sim.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(DiskStore, SurvivesRebootSemantics) {
+  Simulation sim;
+  Node& node = sim.add_node("n");
+  auto& disk = DiskStore::of(sim);
+  disk.write(node.id(), "mq.q.inbox", Buffer{1, 2, 3});
+  node.boot();
+  node.crash();
+  node.boot();
+  auto read = disk.read(node.id(), "mq.q.inbox");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, (Buffer{1, 2, 3}));
+}
+
+TEST(DiskStore, PrefixEnumeration) {
+  Simulation sim;
+  auto& disk = DiskStore::of(sim);
+  disk.write(0, "mq.q.a", {});
+  disk.write(0, "mq.q.b", {});
+  disk.write(0, "mq.out", {});
+  disk.write(1, "mq.q.c", {});
+  auto keys = disk.keys_with_prefix(0, "mq.q.");
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace oftt::sim

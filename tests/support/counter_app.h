@@ -1,0 +1,54 @@
+// CounterApp: the minimal checkpointable OFTT application used across
+// tests and benches. Its whole state is a 64-bit counter (plus a filler
+// blob to make checkpoints bigger when asked) living in an nt memory
+// region; while active it increments the counter on a fixed tick.
+#pragma once
+
+#include "core/api.h"
+#include "nt/runtime.h"
+#include "sim/timer.h"
+
+namespace oftt::testsupport {
+
+struct CounterAppOptions {
+  core::FtimOptions ftim;
+  sim::SimTime tick = sim::milliseconds(50);
+  std::size_t state_bytes = 64;  // size of the "globals" region
+};
+
+class CounterApp {
+ public:
+  using Options = CounterAppOptions;
+
+  CounterApp(sim::Process& process, Options options = Options())
+      : process_(&process), timer_(process.main_strand()) {
+    auto& rt = nt::NtRuntime::of(process);
+    rt.create_thread_static("app_main", 0x401000);
+    region_ = &rt.memory().alloc("globals", std::max<std::size_t>(options.state_bytes, 16));
+    counter_ = nt::Cell<std::int64_t>(region_, 0);
+    core::OFTTInitialize(process, options.ftim);
+    core::Ftim& ftim = *core::Ftim::find(process);
+    ftim.on_activate([this, tick = options.tick](bool) {
+      timer_.start(tick, [this] { counter_.set(counter_.get() + 1); });
+    });
+    ftim.on_deactivate([this] { timer_.stop(); });
+  }
+
+  std::int64_t count() const { return counter_.get(); }
+  void set_count(std::int64_t v) { counter_.set(v); }
+  nt::Region& region() { return *region_; }
+  nt::Cell<std::int64_t>& counter_cell() { return counter_; }
+
+  static CounterApp* find(sim::Node& node, const std::string& process_name = "app") {
+    auto proc = node.find_process(process_name);
+    return proc && proc->alive() ? proc->find_attachment<CounterApp>() : nullptr;
+  }
+
+ private:
+  sim::Process* process_;
+  nt::Region* region_ = nullptr;
+  nt::Cell<std::int64_t> counter_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace oftt::testsupport

@@ -1,0 +1,22 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Silence the library by default; OFTT_LOG=debug/info/warn re-enables
+  // when debugging a failing scenario.
+  oftt::LogLevel level = oftt::LogLevel::kOff;
+  if (const char* env = std::getenv("OFTT_LOG")) {
+    if (!std::strcmp(env, "trace")) level = oftt::LogLevel::kTrace;
+    else if (!std::strcmp(env, "debug")) level = oftt::LogLevel::kDebug;
+    else if (!std::strcmp(env, "info")) level = oftt::LogLevel::kInfo;
+    else if (!std::strcmp(env, "warn")) level = oftt::LogLevel::kWarn;
+    else if (!std::strcmp(env, "error")) level = oftt::LogLevel::kError;
+  }
+  oftt::Logger::instance().set_level(level);
+  return RUN_ALL_TESTS();
+}
