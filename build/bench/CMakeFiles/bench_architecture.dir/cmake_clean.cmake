@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_architecture.dir/bench_architecture.cpp.o"
+  "CMakeFiles/bench_architecture.dir/bench_architecture.cpp.o.d"
+  "bench_architecture"
+  "bench_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint.dir/bench_checkpoint.cpp.o"
+  "CMakeFiles/bench_checkpoint.dir/bench_checkpoint.cpp.o.d"
+  "bench_checkpoint"
+  "bench_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcom_faults.dir/bench_dcom_faults.cpp.o"
+  "CMakeFiles/bench_dcom_faults.dir/bench_dcom_faults.cpp.o.d"
+  "bench_dcom_faults"
+  "bench_dcom_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcom_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dcom_faults.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo_failures.dir/bench_demo_failures.cpp.o"
+  "CMakeFiles/bench_demo_failures.dir/bench_demo_failures.cpp.o.d"
+  "bench_demo_failures"
+  "bench_demo_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diverter.dir/bench_diverter.cpp.o"
+  "CMakeFiles/bench_diverter.dir/bench_diverter.cpp.o.d"
+  "bench_diverter"
+  "bench_diverter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diverter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover.dir/bench_failover.cpp.o"
+  "CMakeFiles/bench_failover.dir/bench_failover.cpp.o.d"
+  "bench_failover"
+  "bench_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

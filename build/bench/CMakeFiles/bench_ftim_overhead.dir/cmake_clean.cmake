@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ftim_overhead.dir/bench_ftim_overhead.cpp.o"
+  "CMakeFiles/bench_ftim_overhead.dir/bench_ftim_overhead.cpp.o.d"
+  "bench_ftim_overhead"
+  "bench_ftim_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ftim_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

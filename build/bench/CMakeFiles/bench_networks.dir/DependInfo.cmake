@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_networks.cpp" "bench/CMakeFiles/bench_networks.dir/bench_networks.cpp.o" "gcc" "bench/CMakeFiles/bench_networks.dir/bench_networks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oftt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/oftt_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/msmq/CMakeFiles/oftt_msmq.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcom/CMakeFiles/oftt_dcom.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oftt_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/nt/CMakeFiles/oftt_nt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oftt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oftt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

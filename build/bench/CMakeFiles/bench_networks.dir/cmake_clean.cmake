@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_networks.dir/bench_networks.cpp.o"
+  "CMakeFiles/bench_networks.dir/bench_networks.cpp.o.d"
+  "bench_networks"
+  "bench_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_startup.dir/bench_startup.cpp.o"
+  "CMakeFiles/bench_startup.dir/bench_startup.cpp.o.d"
+  "bench_startup"
+  "bench_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

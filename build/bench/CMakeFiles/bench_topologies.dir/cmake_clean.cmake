@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topologies.dir/bench_topologies.cpp.o"
+  "CMakeFiles/bench_topologies.dir/bench_topologies.cpp.o.d"
+  "bench_topologies"
+  "bench_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watchdog.dir/bench_watchdog.cpp.o"
+  "CMakeFiles/bench_watchdog.dir/bench_watchdog.cpp.o.d"
+  "bench_watchdog"
+  "bench_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calltrack.dir/calltrack.cpp.o"
+  "CMakeFiles/calltrack.dir/calltrack.cpp.o.d"
+  "calltrack"
+  "calltrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calltrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for calltrack.
+# This may be replaced when dependencies are built.

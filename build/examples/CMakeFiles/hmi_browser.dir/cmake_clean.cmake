@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmi_browser.dir/hmi_browser.cpp.o"
+  "CMakeFiles/hmi_browser.dir/hmi_browser.cpp.o.d"
+  "hmi_browser"
+  "hmi_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmi_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scada_pipeline.dir/scada_pipeline.cpp.o"
+  "CMakeFiles/scada_pipeline.dir/scada_pipeline.cpp.o.d"
+  "scada_pipeline"
+  "scada_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scada_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

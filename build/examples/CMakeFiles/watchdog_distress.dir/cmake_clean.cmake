@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchdog_distress.dir/watchdog_distress.cpp.o"
+  "CMakeFiles/watchdog_distress.dir/watchdog_distress.cpp.o.d"
+  "watchdog_distress"
+  "watchdog_distress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchdog_distress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

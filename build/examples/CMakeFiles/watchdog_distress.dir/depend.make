@@ -1,0 +1,2 @@
+# Empty dependencies file for watchdog_distress.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_com.dir/runtime.cpp.o"
+  "CMakeFiles/oftt_com.dir/runtime.cpp.o.d"
+  "liboftt_com.a"
+  "liboftt_com.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_com.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

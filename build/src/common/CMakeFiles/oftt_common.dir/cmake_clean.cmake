@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_common.dir/bytes.cpp.o"
+  "CMakeFiles/oftt_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/oftt_common.dir/guid.cpp.o"
+  "CMakeFiles/oftt_common.dir/guid.cpp.o.d"
+  "CMakeFiles/oftt_common.dir/hresult.cpp.o"
+  "CMakeFiles/oftt_common.dir/hresult.cpp.o.d"
+  "CMakeFiles/oftt_common.dir/logging.cpp.o"
+  "CMakeFiles/oftt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/oftt_common.dir/strings.cpp.o"
+  "CMakeFiles/oftt_common.dir/strings.cpp.o.d"
+  "liboftt_common.a"
+  "liboftt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

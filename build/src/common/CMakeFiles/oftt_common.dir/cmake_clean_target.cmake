@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboftt_common.a"
+)

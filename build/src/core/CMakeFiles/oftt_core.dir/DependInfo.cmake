@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/oftt_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/oftt_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/diverter.cpp" "src/core/CMakeFiles/oftt_core.dir/diverter.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/diverter.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/oftt_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/engine_com.cpp" "src/core/CMakeFiles/oftt_core.dir/engine_com.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/engine_com.cpp.o.d"
+  "/root/repo/src/core/ftim.cpp" "src/core/CMakeFiles/oftt_core.dir/ftim.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/ftim.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/oftt_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/oftt_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/oftt_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msmq/CMakeFiles/oftt_msmq.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcom/CMakeFiles/oftt_dcom.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oftt_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/nt/CMakeFiles/oftt_nt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oftt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oftt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_core.dir/api.cpp.o"
+  "CMakeFiles/oftt_core.dir/api.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/oftt_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/diverter.cpp.o"
+  "CMakeFiles/oftt_core.dir/diverter.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/engine.cpp.o"
+  "CMakeFiles/oftt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/engine_com.cpp.o"
+  "CMakeFiles/oftt_core.dir/engine_com.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/ftim.cpp.o"
+  "CMakeFiles/oftt_core.dir/ftim.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/monitor.cpp.o"
+  "CMakeFiles/oftt_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/oftt_core.dir/wire.cpp.o"
+  "CMakeFiles/oftt_core.dir/wire.cpp.o.d"
+  "liboftt_core.a"
+  "liboftt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

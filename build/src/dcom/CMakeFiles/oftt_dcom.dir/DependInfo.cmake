@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcom/client.cpp" "src/dcom/CMakeFiles/oftt_dcom.dir/client.cpp.o" "gcc" "src/dcom/CMakeFiles/oftt_dcom.dir/client.cpp.o.d"
+  "/root/repo/src/dcom/orpc.cpp" "src/dcom/CMakeFiles/oftt_dcom.dir/orpc.cpp.o" "gcc" "src/dcom/CMakeFiles/oftt_dcom.dir/orpc.cpp.o.d"
+  "/root/repo/src/dcom/registry.cpp" "src/dcom/CMakeFiles/oftt_dcom.dir/registry.cpp.o" "gcc" "src/dcom/CMakeFiles/oftt_dcom.dir/registry.cpp.o.d"
+  "/root/repo/src/dcom/scm.cpp" "src/dcom/CMakeFiles/oftt_dcom.dir/scm.cpp.o" "gcc" "src/dcom/CMakeFiles/oftt_dcom.dir/scm.cpp.o.d"
+  "/root/repo/src/dcom/server.cpp" "src/dcom/CMakeFiles/oftt_dcom.dir/server.cpp.o" "gcc" "src/dcom/CMakeFiles/oftt_dcom.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/com/CMakeFiles/oftt_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oftt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oftt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

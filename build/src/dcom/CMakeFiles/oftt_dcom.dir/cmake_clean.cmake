@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_dcom.dir/client.cpp.o"
+  "CMakeFiles/oftt_dcom.dir/client.cpp.o.d"
+  "CMakeFiles/oftt_dcom.dir/orpc.cpp.o"
+  "CMakeFiles/oftt_dcom.dir/orpc.cpp.o.d"
+  "CMakeFiles/oftt_dcom.dir/registry.cpp.o"
+  "CMakeFiles/oftt_dcom.dir/registry.cpp.o.d"
+  "CMakeFiles/oftt_dcom.dir/scm.cpp.o"
+  "CMakeFiles/oftt_dcom.dir/scm.cpp.o.d"
+  "CMakeFiles/oftt_dcom.dir/server.cpp.o"
+  "CMakeFiles/oftt_dcom.dir/server.cpp.o.d"
+  "liboftt_dcom.a"
+  "liboftt_dcom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_dcom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for oftt_dcom.
+# This may be replaced when dependencies are built.

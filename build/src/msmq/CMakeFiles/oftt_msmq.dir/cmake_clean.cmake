@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_msmq.dir/queue_manager.cpp.o"
+  "CMakeFiles/oftt_msmq.dir/queue_manager.cpp.o.d"
+  "liboftt_msmq.a"
+  "liboftt_msmq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_msmq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oftt_msmq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_nt.dir/runtime.cpp.o"
+  "CMakeFiles/oftt_nt.dir/runtime.cpp.o.d"
+  "liboftt_nt.a"
+  "liboftt_nt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_nt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

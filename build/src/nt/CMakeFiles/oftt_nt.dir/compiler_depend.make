@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for oftt_nt.
+# This may be replaced when dependencies are built.

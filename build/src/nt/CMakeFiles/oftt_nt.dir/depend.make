@@ -1,0 +1,2 @@
+# Empty dependencies file for oftt_nt.
+# This may be replaced when dependencies are built.

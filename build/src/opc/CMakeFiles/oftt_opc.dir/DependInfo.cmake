@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opc/client.cpp" "src/opc/CMakeFiles/oftt_opc.dir/client.cpp.o" "gcc" "src/opc/CMakeFiles/oftt_opc.dir/client.cpp.o.d"
+  "/root/repo/src/opc/device.cpp" "src/opc/CMakeFiles/oftt_opc.dir/device.cpp.o" "gcc" "src/opc/CMakeFiles/oftt_opc.dir/device.cpp.o.d"
+  "/root/repo/src/opc/devices/telephone.cpp" "src/opc/CMakeFiles/oftt_opc.dir/devices/telephone.cpp.o" "gcc" "src/opc/CMakeFiles/oftt_opc.dir/devices/telephone.cpp.o.d"
+  "/root/repo/src/opc/proxy_stub.cpp" "src/opc/CMakeFiles/oftt_opc.dir/proxy_stub.cpp.o" "gcc" "src/opc/CMakeFiles/oftt_opc.dir/proxy_stub.cpp.o.d"
+  "/root/repo/src/opc/server.cpp" "src/opc/CMakeFiles/oftt_opc.dir/server.cpp.o" "gcc" "src/opc/CMakeFiles/oftt_opc.dir/server.cpp.o.d"
+  "/root/repo/src/opc/value.cpp" "src/opc/CMakeFiles/oftt_opc.dir/value.cpp.o" "gcc" "src/opc/CMakeFiles/oftt_opc.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcom/CMakeFiles/oftt_dcom.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oftt_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oftt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oftt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_opc.dir/client.cpp.o"
+  "CMakeFiles/oftt_opc.dir/client.cpp.o.d"
+  "CMakeFiles/oftt_opc.dir/device.cpp.o"
+  "CMakeFiles/oftt_opc.dir/device.cpp.o.d"
+  "CMakeFiles/oftt_opc.dir/devices/telephone.cpp.o"
+  "CMakeFiles/oftt_opc.dir/devices/telephone.cpp.o.d"
+  "CMakeFiles/oftt_opc.dir/proxy_stub.cpp.o"
+  "CMakeFiles/oftt_opc.dir/proxy_stub.cpp.o.d"
+  "CMakeFiles/oftt_opc.dir/server.cpp.o"
+  "CMakeFiles/oftt_opc.dir/server.cpp.o.d"
+  "CMakeFiles/oftt_opc.dir/value.cpp.o"
+  "CMakeFiles/oftt_opc.dir/value.cpp.o.d"
+  "liboftt_opc.a"
+  "liboftt_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

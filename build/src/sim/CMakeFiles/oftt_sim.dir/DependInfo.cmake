@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/oftt_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/oftt_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/oftt_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/oftt_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/oftt_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/oftt_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/oftt_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/oftt_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/oftt_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/oftt_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/oftt_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/oftt_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oftt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/oftt_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/oftt_sim.dir/network.cpp.o"
+  "CMakeFiles/oftt_sim.dir/network.cpp.o.d"
+  "CMakeFiles/oftt_sim.dir/node.cpp.o"
+  "CMakeFiles/oftt_sim.dir/node.cpp.o.d"
+  "CMakeFiles/oftt_sim.dir/process.cpp.o"
+  "CMakeFiles/oftt_sim.dir/process.cpp.o.d"
+  "CMakeFiles/oftt_sim.dir/rng.cpp.o"
+  "CMakeFiles/oftt_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/oftt_sim.dir/simulation.cpp.o"
+  "CMakeFiles/oftt_sim.dir/simulation.cpp.o.d"
+  "liboftt_sim.a"
+  "liboftt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_test.dir/com/com_test.cpp.o"
+  "CMakeFiles/com_test.dir/com/com_test.cpp.o.d"
+  "com_test"
+  "com_test.pdb"
+  "com_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcom_edge_test.dir/dcom/dcom_edge_test.cpp.o"
+  "CMakeFiles/dcom_edge_test.dir/dcom/dcom_edge_test.cpp.o.d"
+  "dcom_edge_test"
+  "dcom_edge_test.pdb"
+  "dcom_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcom_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcom_test.dir/dcom/dcom_test.cpp.o"
+  "CMakeFiles/dcom_test.dir/dcom/dcom_test.cpp.o.d"
+  "dcom_test"
+  "dcom_test.pdb"
+  "dcom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

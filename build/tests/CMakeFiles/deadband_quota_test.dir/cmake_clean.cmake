@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadband_quota_test.dir/opc/deadband_quota_test.cpp.o"
+  "CMakeFiles/deadband_quota_test.dir/opc/deadband_quota_test.cpp.o.d"
+  "deadband_quota_test"
+  "deadband_quota_test.pdb"
+  "deadband_quota_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadband_quota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diverter_test.dir/core/diverter_test.cpp.o"
+  "CMakeFiles/diverter_test.dir/core/diverter_test.cpp.o.d"
+  "diverter_test"
+  "diverter_test.pdb"
+  "diverter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diverter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_com_test.dir/core/engine_com_test.cpp.o"
+  "CMakeFiles/engine_com_test.dir/core/engine_com_test.cpp.o.d"
+  "engine_com_test"
+  "engine_com_test.pdb"
+  "engine_com_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_com_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

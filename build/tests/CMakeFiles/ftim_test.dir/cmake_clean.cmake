@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftim_test.dir/core/ftim_test.cpp.o"
+  "CMakeFiles/ftim_test.dir/core/ftim_test.cpp.o.d"
+  "ftim_test"
+  "ftim_test.pdb"
+  "ftim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

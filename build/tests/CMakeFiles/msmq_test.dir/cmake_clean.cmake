@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmq_test.dir/msmq/msmq_test.cpp.o"
+  "CMakeFiles/msmq_test.dir/msmq/msmq_test.cpp.o.d"
+  "msmq_test"
+  "msmq_test.pdb"
+  "msmq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

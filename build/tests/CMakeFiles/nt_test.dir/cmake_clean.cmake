@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_test.dir/nt/nt_test.cpp.o"
+  "CMakeFiles/nt_test.dir/nt/nt_test.cpp.o.d"
+  "nt_test"
+  "nt_test.pdb"
+  "nt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

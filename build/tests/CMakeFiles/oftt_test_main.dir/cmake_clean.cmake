@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oftt_test_main.dir/support/test_main.cpp.o"
+  "CMakeFiles/oftt_test_main.dir/support/test_main.cpp.o.d"
+  "liboftt_test_main.a"
+  "liboftt_test_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oftt_test_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opc_connection_test.dir/opc/opc_connection_test.cpp.o"
+  "CMakeFiles/opc_connection_test.dir/opc/opc_connection_test.cpp.o.d"
+  "opc_connection_test"
+  "opc_connection_test.pdb"
+  "opc_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opc_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opc_server_unit_test.dir/opc/opc_server_unit_test.cpp.o"
+  "CMakeFiles/opc_server_unit_test.dir/opc/opc_server_unit_test.cpp.o.d"
+  "opc_server_unit_test"
+  "opc_server_unit_test.pdb"
+  "opc_server_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opc_server_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

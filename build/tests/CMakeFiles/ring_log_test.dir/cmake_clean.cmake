@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_log_test.dir/nt/ring_log_test.cpp.o"
+  "CMakeFiles/ring_log_test.dir/nt/ring_log_test.cpp.o.d"
+  "ring_log_test"
+  "ring_log_test.pdb"
+  "ring_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup_test.dir/core/startup_test.cpp.o"
+  "CMakeFiles/startup_test.dir/core/startup_test.cpp.o.d"
+  "startup_test"
+  "startup_test.pdb"
+  "startup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

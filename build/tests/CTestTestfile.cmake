@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bytes_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/nt_test[1]_include.cmake")
+include("/root/repo/build/tests/com_test[1]_include.cmake")
+include("/root/repo/build/tests/dcom_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_test[1]_include.cmake")
+include("/root/repo/build/tests/msmq_test[1]_include.cmake")
+include("/root/repo/build/tests/opc_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/startup_test[1]_include.cmake")
+include("/root/repo/build/tests/watchdog_test[1]_include.cmake")
+include("/root/repo/build/tests/diverter_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_com_test[1]_include.cmake")
+include("/root/repo/build/tests/opc_server_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/ftim_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_log_test[1]_include.cmake")
+include("/root/repo/build/tests/deadband_quota_test[1]_include.cmake")
+include("/root/repo/build/tests/dcom_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/deployment_test[1]_include.cmake")
+include("/root/repo/build/tests/opc_connection_test[1]_include.cmake")
