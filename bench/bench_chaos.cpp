@@ -5,9 +5,14 @@
 // it: minutes of simulated plant time under random node crashes, NT
 // crashes, app crashes, hangs, and link flaps, measuring the fraction
 // of time the unit kept processing.
+#include <cmath>
+
 #include "bench_util.h"
 #include "core/availability.h"
 #include "core/deployment.h"
+#include "obs/json.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "sim/fault_plan.h"
 #include "support/counter_app.h"
 
@@ -18,10 +23,16 @@ namespace {
 
 struct ChaosResult {
   double availability = 0;
+  /// Integer parts-per-million mirror of `availability` for the
+  /// deterministic JSON export (no floating-point formatting).
+  std::int64_t availability_ppm = 0;
   int outages = 0;
   double longest_outage_s = 0;
+  std::int64_t longest_outage_ns = 0;
   std::uint64_t takeovers = 0;
   std::uint64_t local_restarts = 0;
+  /// Durations of complete failover traces under the storm (sim ns).
+  std::vector<std::int64_t> trace_totals;
 };
 
 /// The same workload without any middleware: it just runs when its
@@ -52,7 +63,11 @@ ChaosResult run_chaos(bool with_oftt, std::uint64_t seed, sim::SimTime duration)
     app.tick = sim::milliseconds(10);
     proc.attachment<testsupport::CounterApp>(proc, app);
   };
-  if (!with_oftt) {
+  if (with_oftt) {
+    // Deploy the Message Diverter so failover traces run to completion
+    // (detection -> ... -> reroute) and can be harvested below.
+    opts.with_diverter = true;
+  } else {
     // Baseline "bare PC": the same app with no engines, no FTIM, no
     // backup. Recovery only via the reboots the fault script models.
     opts.app_factory = nullptr;
@@ -124,10 +139,15 @@ ChaosResult run_chaos(bool with_oftt, std::uint64_t seed, sim::SimTime duration)
   sim.run_until(duration);
   ChaosResult res;
   res.availability = tracker->availability();
+  res.availability_ppm = std::llround(res.availability * 1e6);
   res.outages = tracker->outages();
+  res.longest_outage_ns = tracker->longest_outage();
   res.longest_outage_s = sim::to_seconds(tracker->longest_outage());
   res.takeovers = sim.counter_value("oftt.takeovers");
   res.local_restarts = sim.counter_value("oftt.local_restarts");
+  for (const auto& tr : sim.telemetry().spans().traces()) {
+    if (tr.complete()) res.trace_totals.push_back(tr.total());
+  }
   return res;
 }
 
@@ -143,24 +163,57 @@ int main() {
             " seeds; baseline = the same workload on a single unprotected PC");
   row({"deployment", "availability", "outages", "longest s", "takeovers", "restarts"});
   rule(6);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "chaos");
+  w.kv("seeds", static_cast<std::uint64_t>(kSeeds));
+  w.kv("duration_ns", static_cast<std::int64_t>(kDuration));
+  w.key("deployments");
+  w.begin_array();
   for (bool with_oftt : {false, true}) {
     std::vector<double> avail;
     int outages = 0;
     double longest = 0;
     std::uint64_t takeovers = 0, restarts = 0;
+    std::vector<std::int64_t> trace_totals;
+    w.begin_object();
+    w.kv("deployment", with_oftt ? "oftt_pair" : "single_pc");
+    w.key("runs");
+    w.begin_array();
     for (int s = 0; s < kSeeds; ++s) {
-      ChaosResult r = run_chaos(with_oftt, static_cast<std::uint64_t>(s) * 997 + 11,
-                                kDuration);
+      std::uint64_t seed = static_cast<std::uint64_t>(s) * 997 + 11;
+      ChaosResult r = run_chaos(with_oftt, seed, kDuration);
       avail.push_back(r.availability);
       outages += r.outages;
       longest = std::max(longest, r.longest_outage_s);
       takeovers += r.takeovers;
       restarts += r.local_restarts;
+      trace_totals.insert(trace_totals.end(), r.trace_totals.begin(), r.trace_totals.end());
+      w.begin_object();
+      w.kv("seed", seed);
+      w.kv("availability_ppm", r.availability_ppm);
+      w.kv("outages", r.outages);
+      w.kv("longest_outage_ns", r.longest_outage_ns);
+      w.kv("takeovers", r.takeovers);
+      w.kv("local_restarts", r.local_restarts);
+      w.end_object();
     }
+    w.end_array();
+    w.key("failover_total");
+    w.begin_object();
+    w.kv("n", static_cast<std::uint64_t>(trace_totals.size()));
+    w.kv("p50_ns", obs::percentile(trace_totals, 0.50));
+    w.kv("p99_ns", obs::percentile(trace_totals, 0.99));
+    w.end_object();
+    w.end_object();
     row({with_oftt ? "OFTT pair" : "single PC (no OFTT)", fmt_pct(stats_of(avail).mean, 2),
          fmt_int(outages), fmt(longest, 1), fmt_int(static_cast<long long>(takeovers)),
          fmt_int(static_cast<long long>(restarts))});
   }
+  w.end_array();
+  w.end_object();
+  write_file("BENCH_chaos.json", w.take());
   std::printf(
       "\n(the unprotected PC is down for every reboot and for every app crash until the\n"
       " next reboot; the OFTT pair turns most faults into sub-second switchovers, so its\n"

@@ -7,12 +7,17 @@
 // Reported per state size: image bytes on the wire, and the real CPU
 // cost of capture+marshal on this machine (the capture code is real
 // computation, not simulated).
+#include <array>
 #include <chrono>
 
 #include "bench_util.h"
 #include "common/strings.h"
 #include "core/checkpoint.h"
+#include "core/deployment.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
 #include "sim/simulation.h"
+#include "support/counter_app.h"
 
 using namespace oftt;
 using namespace oftt::bench;
@@ -47,6 +52,10 @@ int main() {
   row({"app state size", "full bytes", "sel bytes", "full us", "sel us", "ratio"});
   rule(6);
 
+  // (state size, full image bytes, selective image bytes) — the
+  // deterministic part of the table, exported to BENCH_checkpoint.json.
+  std::vector<std::array<std::uint64_t, 3>> size_rows;
+
   for (std::size_t size : {std::size_t{1} << 10, std::size_t{1} << 14, std::size_t{1} << 17,
                            std::size_t{1} << 20, std::size_t{1} << 22, std::size_t{1} << 24}) {
     sim::Simulation sim(1);
@@ -66,6 +75,7 @@ int main() {
         core::capture_checkpoint(rt, core::CheckpointMode::kSelective, cells, 1, 1, {});
     std::size_t full_bytes = full_img.marshal().size();
     std::size_t sel_bytes = sel_img.marshal().size();
+    size_rows.push_back({size, full_bytes, sel_bytes});
 
     int iters = size >= (1u << 22) ? 20 : 200;
     double full_us = time_capture_us(rt, core::CheckpointMode::kFull, {}, iters);
@@ -106,5 +116,44 @@ int main() {
            fmt(sel_bytes / period_s / 1024.0, 2)});
     }
   }
+
+  // Deterministic JSON export: the image sizes above plus the live
+  // checkpoint-bytes histogram from a short redundant-pair run (what the
+  // FTIM actually shipped, via the telemetry registry).
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "checkpoint");
+  w.key("image_sizes");
+  w.begin_array();
+  for (const auto& r : size_rows) {
+    w.begin_object();
+    w.kv("state_bytes", r[0]);
+    w.kv("full_bytes", r[1]);
+    w.kv("selective_bytes", r[2]);
+    w.end_object();
+  }
+  w.end_array();
+  {
+    sim::Simulation sim(17);
+    core::PairDeploymentOptions opts;
+    opts.app_factory = [](sim::Process& proc) {
+      proc.attachment<testsupport::CounterApp>(proc);
+    };
+    core::PairDeployment dep(sim, opts);
+    sim.run_for(sim::seconds(20));
+    obs::Histogram h = sim.telemetry().metrics().histogram("oftt.checkpoint_bytes", {});
+    w.key("pair_run_20s");
+    w.begin_object();
+    w.kv("seed", std::uint64_t{17});
+    w.kv("checkpoints_sent", sim.counter_value("oftt.checkpoints_sent"));
+    w.kv("checkpoints_received", sim.counter_value("oftt.checkpoints_received"));
+    w.kv("checkpoint_bytes_count", h.count());
+    w.kv("checkpoint_bytes_sum", h.sum());
+    w.kv("checkpoint_bytes_p50", h.quantile(0.50));
+    w.kv("checkpoint_bytes_p99", h.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  write_file("BENCH_checkpoint.json", w.take());
   return 0;
 }

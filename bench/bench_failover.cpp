@@ -8,6 +8,9 @@
 // the unit's application is active again (on either node) with state.
 #include "bench_util.h"
 #include "core/deployment.h"
+#include "obs/json.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "sim/simulation.h"
 #include "support/counter_app.h"
 
@@ -93,6 +96,115 @@ Result run_once(FailureClass failure, sim::SimTime hb_period, int timeout_multip
   return res;
 }
 
+// ---------------------------------------------------------------------
+// E2b — per-phase failover latency from the telemetry spans.
+// ---------------------------------------------------------------------
+
+/// One phase's samples across seeds, in sim-time nanoseconds (integers,
+/// so the JSON export is byte-identical for identical seeds).
+struct PhaseSamples {
+  std::vector<std::int64_t> detection, negotiation, promotion, replay, total;
+};
+
+enum class TraceClass { kNodeCrash, kNtCrash, kSwitchover };
+
+const char* trace_class_name(TraceClass c) {
+  switch (c) {
+    case TraceClass::kNodeCrash: return "node_crash";
+    case TraceClass::kNtCrash: return "nt_crash";
+    case TraceClass::kSwitchover: return "switchover";
+  }
+  return "?";
+}
+
+/// Run one failover with the Message Diverter deployed (so the replay
+/// phase completes) and harvest every complete trace's phase durations.
+void run_trace_once(TraceClass cls, std::uint64_t seed, PhaseSamples& out) {
+  sim::Simulation sim(seed);
+  core::PairDeploymentOptions opts;
+  opts.with_diverter = true;
+  opts.app_factory = [](sim::Process& proc) {
+    testsupport::CounterApp::Options app;
+    app.tick = sim::milliseconds(10);
+    proc.attachment<testsupport::CounterApp>(proc, app);
+  };
+  core::PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));
+  if (dep.primary_node() != dep.node_a().id()) return;
+
+  switch (cls) {
+    case TraceClass::kNodeCrash: dep.node_a().crash(); break;
+    case TraceClass::kNtCrash: dep.node_a().os_crash(); break;
+    case TraceClass::kSwitchover:
+      core::Engine::find(dep.node_a())->request_switchover("planned handoff");
+      break;
+  }
+  sim.run_for(sim::seconds(20));
+
+  for (const auto& t : sim.telemetry().spans().traces()) {
+    if (!t.complete()) continue;
+    out.detection.push_back(t.phase(obs::FailoverPhase::kDetection));
+    out.negotiation.push_back(t.phase(obs::FailoverPhase::kNegotiation));
+    out.promotion.push_back(t.phase(obs::FailoverPhase::kPromotion));
+    out.replay.push_back(t.phase(obs::FailoverPhase::kReplay));
+    out.total.push_back(t.total());
+  }
+}
+
+void json_phase(obs::JsonWriter& w, const char* name, const std::vector<std::int64_t>& xs) {
+  w.begin_object();
+  w.kv("phase", name);
+  w.kv("n", static_cast<std::uint64_t>(xs.size()));
+  w.kv("p50_ns", obs::percentile(xs, 0.50));
+  w.kv("p99_ns", obs::percentile(xs, 0.99));
+  w.kv("min_ns", xs.empty() ? std::int64_t{0} : *std::min_element(xs.begin(), xs.end()));
+  w.kv("max_ns", xs.empty() ? std::int64_t{0} : *std::max_element(xs.begin(), xs.end()));
+  w.end_object();
+}
+
+void run_e2b(int seeds) {
+  title("E2b: failover phase latencies (telemetry spans)",
+        "one failover per seed with the Message Diverter deployed; phases from the "
+        "detection -> negotiation -> promotion -> replay trace; p50/p99 over " +
+            std::to_string(seeds) + " seeds");
+  row({"class / phase", "p50 ms", "p99 ms", "traces"});
+  rule(4);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "failover_phases");
+  w.kv("seeds", static_cast<std::uint64_t>(seeds));
+  w.key("classes");
+  w.begin_array();
+  for (TraceClass cls :
+       {TraceClass::kNodeCrash, TraceClass::kNtCrash, TraceClass::kSwitchover}) {
+    PhaseSamples ps;
+    for (int s = 0; s < seeds; ++s) {
+      run_trace_once(cls, static_cast<std::uint64_t>(s) * 131 + 3, ps);
+    }
+    const std::vector<std::pair<const char*, const std::vector<std::int64_t>*>> phases = {
+        {"detection", &ps.detection}, {"negotiation", &ps.negotiation},
+        {"promotion", &ps.promotion}, {"replay", &ps.replay},
+        {"total", &ps.total}};
+    for (const auto& [name, xs] : phases) {
+      row({std::string(trace_class_name(cls)) + " " + name,
+           fmt(static_cast<double>(obs::percentile(*xs, 0.50)) / 1e6, 2),
+           fmt(static_cast<double>(obs::percentile(*xs, 0.99)) / 1e6, 2),
+           fmt_int(static_cast<long long>(xs->size()))});
+    }
+    w.begin_object();
+    w.kv("class", trace_class_name(cls));
+    w.key("phases");
+    w.begin_array();
+    for (const auto& [name, xs] : phases) json_phase(w, name, *xs);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_file("BENCH_failover.json", w.take());
+}
+
 }  // namespace
 
 int main() {
@@ -132,5 +244,7 @@ int main() {
       "\n(detection scales with the configured timeout; app failures are detected by the\n"
       " local engine's component heartbeat, node/NT failures by the peer engine over the\n"
       " LAN, middleware failures by the application-side FTIM's engine check)\n");
+
+  run_e2b(kSeeds);
   return 0;
 }

@@ -3,11 +3,15 @@
 // OFTT control-plane message rides on.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "common/bytes.h"
+#include "common/strings.h"
 #include "core/checkpoint.h"
 #include "core/wire.h"
 #include "dcom/orpc.h"
 #include "msmq/message.h"
+#include "obs/metrics.h"
 #include "opc/value.h"
 #include "sim/simulation.h"
 
@@ -172,6 +176,33 @@ void BM_StatusReportEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StatusReportEncode);
+
+void BM_CounterStringMapLookup(benchmark::State& state) {
+  // The pre-refactor hot path: every datagram built a key string and
+  // walked a string-keyed map (the old Simulation::counter(std::string)
+  // interface). Kept as the "before" half of the comparison.
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  const std::string suffix = "deliver";
+  for (auto _ : state) {
+    counters[cat("node.", suffix, ".count")] += 1;
+  }
+  benchmark::DoNotOptimize(counters);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterStringMapLookup);
+
+void BM_CounterHandleInc(benchmark::State& state) {
+  // The post-refactor hot path: the handle is resolved once at component
+  // construction; per datagram it is a null-checked pointer increment.
+  obs::MetricsRegistry metrics;
+  obs::Counter c = metrics.counter("node.deliver.count");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterHandleInc);
 
 void BM_SimulationEventThroughput(benchmark::State& state) {
   // How many discrete events per second the kernel itself sustains.

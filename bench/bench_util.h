@@ -45,6 +45,21 @@ inline std::string fmt_pct(double v, int prec = 1) {
   return buf;
 }
 
+/// Write `content` to `path` (overwrite). The benches use this for the
+/// BENCH_*.json exports; returns false (and logs) when the path is not
+/// writable rather than aborting the run.
+inline bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::printf("(could not write %s)\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu bytes)\n", path.c_str(), content.size());
+  return true;
+}
+
 struct Stats {
   double mean = 0, p50 = 0, p95 = 0, min = 0, max = 0;
   std::size_t n = 0;

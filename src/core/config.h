@@ -59,6 +59,10 @@ struct OfttConfig {
   // Status reporting.
   sim::SimTime status_report_period = sim::seconds(1);
 
+  // Telemetry: bound on the engine's operator-facing incident log
+  // (oldest entries evicted first once the cap is reached).
+  std::size_t event_history_cap = 256;
+
   RecoveryRule default_rule;
 };
 

@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "core/diverter.h"
 #include "core/engine.h"
 #include "core/ftim.h"
 #include "core/monitor.h"
@@ -39,6 +40,11 @@ struct PairDeploymentOptions {
   bool with_msmq = true;
   bool with_scm = true;
   bool with_monitor = true;
+  /// Run a Message Diverter on the test PC, routing `diverter_queue` to
+  /// the unit's current primary. Needs with_msmq. Completes the failover
+  /// timeline's replay phase (detection -> ... -> diverter reroute).
+  bool with_diverter = false;
+  std::string diverter_queue = "unit.q";
   /// Skew node B's boot by this much after node A (both at 0 = together).
   sim::SimTime node_b_boot_delay = 0;
   bool autostart = true;  // boot the pair immediately
@@ -74,6 +80,16 @@ class PairDeployment {
           p.attachment<SystemMonitor>(p);
         });
       }
+      if (options_.with_diverter && options_.with_msmq) {
+        DiverterOptions dopts;
+        dopts.unit = options_.unit;
+        dopts.queue = options_.diverter_queue;
+        dopts.node_a = node_a_->id();
+        dopts.node_b = node_b_->id();
+        node.start_process("diverter", [dopts](sim::Process& p) {
+          p.attachment<MessageDiverter>(p, dopts);
+        });
+      }
     });
 
     monitor_node_->boot();
@@ -98,6 +114,11 @@ class PairDeployment {
   SystemMonitor* monitor() {
     auto proc = monitor_node_->find_process("system_monitor");
     return proc ? proc->find_attachment<SystemMonitor>() : nullptr;
+  }
+
+  MessageDiverter* diverter() {
+    auto proc = monitor_node_->find_process("diverter");
+    return proc ? proc->find_attachment<MessageDiverter>() : nullptr;
   }
 
   Ftim* ftim_on(sim::Node& node) {

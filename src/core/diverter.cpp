@@ -46,6 +46,16 @@ void MessageDiverter::on_announce(const sim::Datagram& d) {
       primary_node_ = ra.node;
       primary_incarnation_ = ra.incarnation;
       apply_route();
+      // Closes the failover trace: external traffic now reaches the
+      // new primary again.
+      obs::Event e;
+      e.kind = obs::EventKind::kDiverterReroute;
+      e.node = process_->node().id();
+      e.unit = options_.unit;
+      e.detail = options_.queue;
+      e.a = static_cast<std::uint64_t>(ra.node);
+      e.b = ra.incarnation;
+      process_->sim().telemetry().bus().publish(std::move(e));
     } else if (ra.node == primary_node_) {
       primary_incarnation_ = ra.incarnation;
     }

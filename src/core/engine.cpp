@@ -9,11 +9,29 @@
 namespace oftt::core {
 namespace {
 constexpr const char* kEngineProcess = "oftt_engine";
+
+// obs cannot see core's Role enum (it sits below core in the layering),
+// so the span tracker keys on a mirrored constant. Keep them in sync.
+static_assert(static_cast<std::uint64_t>(Role::kPrimary) == obs::kRoleChangePrimary,
+              "obs::kRoleChangePrimary must mirror core::Role::kPrimary");
 }
 
 Engine::Engine(sim::Process& process, OfttConfig config)
     : process_(&process),
       config_(std::move(config)),
+      event_log_(config_.event_history_cap),
+      ctr_takeovers_(process.sim().telemetry().metrics().counter("oftt.takeovers")),
+      ctr_startup_shutdown_(
+          process.sim().telemetry().metrics().counter("oftt.startup_shutdown")),
+      ctr_component_failures_(
+          process.sim().telemetry().metrics().counter("oftt.component_failures")),
+      ctr_local_restarts_(process.sim().telemetry().metrics().counter("oftt.local_restarts")),
+      ctr_watchdog_expired_(
+          process.sim().telemetry().metrics().counter("oftt.watchdog_expired")),
+      ctr_dual_primary_(
+          process.sim().telemetry().metrics().counter("oftt.dual_primary_detected")),
+      ctr_distress_(process.sim().telemetry().metrics().counter("oftt.distress")),
+      ctr_bad_packet_(process.sim().telemetry().metrics().counter("oftt.engine_bad_packet")),
       hb_timer_(process.main_strand()),
       status_timer_(process.main_strand()) {
   process_->bind(kEnginePort, [this](const sim::Datagram& d) { on_datagram(d); });
@@ -114,7 +132,12 @@ void Engine::decide_alone() {
     // its peer shuts down to avoid dual-primary across a dead network.
     OFTT_LOG_WARN("oftt/engine", process_->node().name(),
                   ": no peer found after retries — shutting down");
-    ++process_->sim().counter("oftt.startup_shutdown");
+    ctr_startup_shutdown_.inc();
+    obs::Event e;
+    e.kind = obs::EventKind::kStartupShutdown;
+    e.detail = "no peer found after startup retries";
+    e.a = static_cast<std::uint64_t>(probe_rounds_);
+    record(std::move(e));
     role_ = Role::kShutdown;
     announce_role();
     send_status();
@@ -126,17 +149,24 @@ void Engine::decide_alone() {
 // Role transitions
 // ---------------------------------------------------------------------
 
-void Engine::log_event(std::string what) {
-  event_log_.push_back(Event{process_->sim().now(), std::move(what)});
-  if (event_log_.size() > 256) event_log_.pop_front();
+void Engine::record(obs::Event e) {
+  e.node = process_->node().id();
+  if (e.unit.empty()) e.unit = config_.unit_name;
+  e.at = process_->sim().now();
+  event_log_.append(e);  // bounded local copy for the operator
+  process_->sim().telemetry().bus().publish(std::move(e));
 }
 
 void Engine::enter_role(Role role) {
   if (role_ == role) return;
   OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": ", role_name(role_), " -> ",
                 role_name(role), " (incarnation ", incarnation_, ")");
-  log_event(cat("role ", role_name(role_), " -> ", role_name(role), " (inc ", incarnation_,
-                ")"));
+  obs::Event e;
+  e.kind = obs::EventKind::kRoleChange;
+  e.detail = cat("role ", role_name(role_), " -> ", role_name(role));
+  e.a = static_cast<std::uint64_t>(role);
+  e.b = incarnation_;
+  record(std::move(e));
   role_ = role;
   set_components_active(role_ == Role::kPrimary);
   announce_role();
@@ -147,7 +177,7 @@ void Engine::promote(const std::string& reason) {
   if (role_ == Role::kPrimary) return;
   OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": PROMOTING — ", reason);
   ++takeovers_;
-  ++process_->sim().counter("oftt.takeovers");
+  ctr_takeovers_.inc();
   incarnation_ = std::max(incarnation_, peer_incarnation_) + 1;
   negotiation_resolved_ = true;
   enter_role(Role::kPrimary);
@@ -191,6 +221,15 @@ void Engine::tick() {
   // Peer liveness: a backup promotes when the primary's heartbeat is
   // stale on *every* configured network.
   if (role_ == Role::kBackup && negotiation_resolved_ && !peer_visible()) {
+    // Open the failover trace: evidence is the last moment the primary
+    // was provably alive (freshest heartbeat on any network).
+    sim::SimTime evidence = 0;
+    for (const auto& [net, last] : peer_last_hb_) evidence = std::max(evidence, last);
+    obs::Event fe;
+    fe.kind = obs::EventKind::kFailureDetected;
+    fe.detail = cat("peer heartbeat timeout (", sim::to_millis(config_.peer_timeout), " ms)");
+    fe.a = static_cast<std::uint64_t>(evidence);
+    record(std::move(fe));
     promote(cat("peer heartbeat timeout (", sim::to_millis(config_.peer_timeout), " ms)"));
   }
 
@@ -204,7 +243,12 @@ void Engine::tick() {
       if (it->second.deadline != sim::kNever && now > it->second.deadline) {
         std::string wd = it->first;
         it = c.watchdogs.erase(it);
-        ++process_->sim().counter("oftt.watchdog_expired");
+        ctr_watchdog_expired_.inc();
+        obs::Event we;
+        we.kind = obs::EventKind::kWatchdogExpired;
+        we.component = c.reg.component;
+        we.detail = cat("watchdog '", wd, "' expired");
+        record(std::move(we));
         component_failed(c, cat("watchdog '", wd, "' expired"));
         break;  // component_failed may restart the process; stop iterating
       } else {
@@ -217,8 +261,12 @@ void Engine::tick() {
 void Engine::component_failed(Component& c, const std::string& why) {
   OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": component '", c.reg.component,
                 "' FAILED: ", why);
-  ++process_->sim().counter("oftt.component_failures");
-  log_event(cat("component '", c.reg.component, "' failed: ", why));
+  ctr_component_failures_.inc();
+  obs::Event e;
+  e.kind = obs::EventKind::kComponentFailed;
+  e.component = c.reg.component;
+  e.detail = cat("component '", c.reg.component, "' failed: ", why);
+  record(std::move(e));
   c.state = ComponentState::kFailed;
   send_status();
 
@@ -248,10 +296,15 @@ void Engine::component_failed(Component& c, const std::string& why) {
 void Engine::restart_component(Component& c) {
   c.state = ComponentState::kRestarting;
   ++c.restarts;
-  ++process_->sim().counter("oftt.local_restarts");
+  ctr_local_restarts_.inc();
   sim::Node& node = process_->node();
   OFTT_LOG_INFO("oftt/engine", node.name(), ": restarting process '", c.reg.process_name, "'");
-  log_event(cat("local restart #", c.restarts, " of '", c.reg.component, "'"));
+  obs::Event e;
+  e.kind = obs::EventKind::kComponentRestart;
+  e.component = c.reg.component;
+  e.detail = cat("local restart #", c.restarts, " of '", c.reg.component, "'");
+  e.a = static_cast<std::uint64_t>(c.restarts);
+  record(std::move(e));
   // Grace so the fresh instance has time to register and heartbeat.
   c.last_hb = process_->sim().now() + config_.component_timeout;
   c.watchdogs.clear();
@@ -259,6 +312,14 @@ void Engine::restart_component(Component& c) {
 }
 
 void Engine::do_switchover(const std::string& reason) {
+  // A deliberate transfer of control still opens a failover trace: the
+  // "evidence" and the decision coincide (detection phase is zero), and
+  // the peer's promotion / activation / reroute milestones follow.
+  obs::Event fe;
+  fe.kind = obs::EventKind::kFailureDetected;
+  fe.detail = cat("switchover: ", reason);
+  fe.a = static_cast<std::uint64_t>(process_->sim().now());
+  record(std::move(fe));
   Takeover t;
   t.from_node = process_->node().id();
   t.incarnation = incarnation_;
@@ -369,7 +430,14 @@ void Engine::on_datagram(const sim::Datagram& d) {
       } else if (role_ == Role::kPrimary && hb.role == Role::kPrimary) {
         // Dual primary (e.g. healed partition): highest incarnation
         // wins; ties go to the lower node id.
-        ++process_->sim().counter("oftt.dual_primary_detected");
+        ctr_dual_primary_.inc();
+        obs::Event e;
+        e.kind = obs::EventKind::kDualPrimary;
+        e.detail = cat("dual primary with node ", hb.node, " (peer inc ", hb.incarnation,
+                       ", ours ", incarnation_, ")");
+        e.a = static_cast<std::uint64_t>(hb.node);
+        e.b = hb.incarnation;
+        record(std::move(e));
         bool peer_wins = hb.incarnation > incarnation_ ||
                          (hb.incarnation == incarnation_ &&
                           hb.node < process_->node().id());
@@ -444,8 +512,12 @@ void Engine::on_datagram(const sim::Datagram& d) {
       if (!FtDistress::decode(d.payload, distress)) return;
       OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": DISTRESS from '",
                     distress.component, "': ", distress.reason);
-      log_event(cat("distress from '", distress.component, "': ", distress.reason));
-      ++process_->sim().counter("oftt.distress");
+      ctr_distress_.inc();
+      obs::Event e;
+      e.kind = obs::EventKind::kDistress;
+      e.component = distress.component;
+      e.detail = cat("distress from '", distress.component, "': ", distress.reason);
+      record(std::move(e));
       if (role_ == Role::kPrimary && peer_visible()) {
         do_switchover(cat("distress from '", distress.component, "': ", distress.reason));
       }
@@ -496,7 +568,7 @@ void Engine::on_datagram(const sim::Datagram& d) {
       break;
     }
     default:
-      ++process_->sim().counter("oftt.engine_bad_packet");
+      ctr_bad_packet_.inc();
       break;
   }
 }

@@ -16,7 +16,6 @@
 // which is also who restarts it if it dies (failure class d).
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -25,6 +24,8 @@
 #include "common/hresult.h"
 #include "core/config.h"
 #include "core/wire.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/node.h"
 #include "sim/timer.h"
 
@@ -75,12 +76,11 @@ class Engine {
   std::uint64_t takeovers() const { return takeovers_; }
 
   /// Bounded in-memory event history (role changes, failures,
-  /// recoveries) — what an operator pulls after an incident.
-  struct Event {
-    sim::SimTime at = 0;
-    std::string what;
-  };
-  const std::deque<Event>& event_log() const { return event_log_; }
+  /// recoveries) — what an operator pulls after an incident. Every
+  /// entry is also published on the simulation-wide telemetry bus;
+  /// this is the engine-local bounded copy. Cap comes from
+  /// OfttConfig::event_history_cap.
+  const obs::EventLog& event_log() const { return event_log_; }
 
  private:
   void on_datagram(const sim::Datagram& d);
@@ -106,8 +106,11 @@ class Engine {
   void send_peer(const Buffer& payload);
   void send_status();
   void announce_role();
-  void log_event(std::string what);
   void send_set_active(const Component& c, bool active);
+
+  /// Stamp unit/node, append to the local incident log, publish on the
+  /// telemetry bus.
+  void record(obs::Event e);
 
   sim::Process* process_;
   OfttConfig config_;
@@ -124,7 +127,17 @@ class Engine {
 
   std::map<std::string, Component> components_;
   std::set<std::pair<int, std::string>> role_subscribers_;
-  std::deque<Event> event_log_;
+  obs::EventLog event_log_;
+
+  // Pre-resolved metric handles (no string-keyed lookups at use sites).
+  obs::Counter ctr_takeovers_;
+  obs::Counter ctr_startup_shutdown_;
+  obs::Counter ctr_component_failures_;
+  obs::Counter ctr_local_restarts_;
+  obs::Counter ctr_watchdog_expired_;
+  obs::Counter ctr_dual_primary_;
+  obs::Counter ctr_distress_;
+  obs::Counter ctr_bad_packet_;
 
   sim::PeriodicTimer hb_timer_;
   sim::PeriodicTimer status_timer_;

@@ -17,6 +17,15 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
       strand_(&process.create_strand("ftim")),
       rt_(&nt::NtRuntime::of(process)),
       port_(ftim_port(process.name())),
+      ctr_ckpt_sent_(process.sim().telemetry().metrics().counter("oftt.checkpoints_sent")),
+      ctr_ckpt_received_(
+          process.sim().telemetry().metrics().counter("oftt.checkpoints_received")),
+      ctr_ckpt_corrupt_(
+          process.sim().telemetry().metrics().counter("oftt.checkpoints_corrupt")),
+      ctr_engine_restarts_(
+          process.sim().telemetry().metrics().counter("oftt.engine_restarts")),
+      ckpt_bytes_(process.sim().telemetry().metrics().histogram(
+          "oftt.checkpoint_bytes", {256, 1024, 4096, 16384, 65536, 262144})),
       hb_timer_(*strand_),
       ckpt_timer_(*strand_),
       engine_check_timer_(*strand_) {
@@ -81,6 +90,18 @@ void Ftim::send_engine(const Buffer& payload) {
   process_->send(0, process_->node().id(), kEnginePort, payload, port_);
 }
 
+void Ftim::publish_event(obs::EventKind kind, std::string detail, std::uint64_t a,
+                         std::uint64_t b) {
+  obs::Event e;
+  e.kind = kind;
+  e.node = process_->node().id();
+  e.component = options_.component;
+  e.detail = std::move(detail);
+  e.a = a;
+  e.b = b;
+  process_->sim().telemetry().bus().publish(std::move(e));
+}
+
 void Ftim::heartbeat_tick() {
   FtHeartbeat hb;
   hb.component = options_.component;
@@ -98,7 +119,9 @@ void Ftim::take_checkpoint() {
   Buffer blob = img.marshal();
   last_checkpoint_bytes_ = blob.size();
   ++checkpoints_sent_;
-  ++process_->sim().counter("oftt.checkpoints_sent");
+  ctr_ckpt_sent_.inc();
+  ckpt_bytes_.record(static_cast<std::int64_t>(blob.size()));
+  publish_event(obs::EventKind::kCheckpointTaken, "", ckpt_seq_, blob.size());
   sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
   if (options_.peer_node < 0) return;
   Buffer frame = encode_checkpoint(options_.component, blob);
@@ -180,10 +203,15 @@ void Ftim::handle_set_active(const SetActive& msg) {
       OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
                     ": ACTIVATED with checkpoint seq ", latest_->seq,
                     anomalies ? " (anomalies)" : "");
+      publish_event(obs::EventKind::kCheckpointApplied, "restored on activation",
+                    latest_->seq, static_cast<std::uint64_t>(anomalies));
     } else {
       OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
                     ": ACTIVATED cold (no checkpoint)");
     }
+    publish_event(obs::EventKind::kComponentActivated,
+                  restored ? "activated from checkpoint" : "activated cold",
+                  latest_ ? latest_->seq : 0, incarnation_);
     if (options_.kind == FtimKind::kOpcClient) {
       ckpt_timer_.start(options_.checkpoint_period, [this] { take_checkpoint(); });
     }
@@ -191,6 +219,7 @@ void Ftim::handle_set_active(const SetActive& msg) {
   } else {
     ckpt_timer_.stop();
     OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(), ": DEACTIVATED");
+    publish_event(obs::EventKind::kComponentDeactivated, "", 0, incarnation_);
     if (on_deactivate_) on_deactivate_();
   }
 }
@@ -209,7 +238,7 @@ void Ftim::on_port(const sim::Datagram& d) {
       CheckpointImage img;
       if (!CheckpointImage::unmarshal(blob, img)) {
         ++checkpoints_rejected_;
-        ++process_->sim().counter("oftt.checkpoints_corrupt");
+        ctr_ckpt_corrupt_.inc();
         return;
       }
       // Reject stale images: lower incarnation, or not newer than held.
@@ -221,7 +250,7 @@ void Ftim::on_port(const sim::Datagram& d) {
       std::uint64_t acked_seq = img.seq;
       latest_ = std::move(img);
       ++checkpoints_received_;
-      ++process_->sim().counter("oftt.checkpoints_received");
+      ctr_ckpt_received_.inc();
       // Confirm receipt so the primary can watch replication lag.
       if (options_.peer_node >= 0) {
         int net = options_.networks[0];
@@ -250,7 +279,8 @@ void Ftim::check_engine() {
   if (engine && engine->alive()) return;
   OFTT_LOG_WARN("oftt/ftim", process_->node().name(), "/", process_->name(),
                 ": engine is down — restarting it");
-  ++process_->sim().counter("oftt.engine_restarts");
+  ctr_engine_restarts_.inc();
+  publish_event(obs::EventKind::kEngineRestart, "engine dead, restarting", 0, 0);
   process_->node().restart_process(kEngineProcess);
   // The fresh engine knows nothing; re-register right away.
   register_with_engine();

@@ -24,6 +24,8 @@
 #include "core/config.h"
 #include "core/wire.h"
 #include "nt/runtime.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 #include "sim/timer.h"
 
 namespace oftt::core {
@@ -106,6 +108,8 @@ class Ftim {
   void handle_set_active(const SetActive& msg);
   void check_engine();
   void send_engine(const Buffer& payload);
+  void publish_event(obs::EventKind kind, std::string detail, std::uint64_t a,
+                     std::uint64_t b);
   std::string disk_key() const { return "oftt.ckpt." + options_.component; }
 
   sim::Process* process_;
@@ -130,6 +134,12 @@ class Ftim {
   std::size_t last_checkpoint_bytes_ = 0;
   std::function<void(bool)> on_activate_;
   std::function<void()> on_deactivate_;
+  // Pre-resolved metric handles for the periodic checkpoint path.
+  obs::Counter ctr_ckpt_sent_;
+  obs::Counter ctr_ckpt_received_;
+  obs::Counter ctr_ckpt_corrupt_;
+  obs::Counter ctr_engine_restarts_;
+  obs::Histogram ckpt_bytes_;
   sim::PeriodicTimer hb_timer_;
   sim::PeriodicTimer ckpt_timer_;
   sim::PeriodicTimer engine_check_timer_;

@@ -10,22 +10,35 @@ namespace oftt::core {
 
 SystemMonitor::SystemMonitor(sim::Process& process) : process_(&process) {
   process_->bind(kMonitorPort, [this](const sim::Datagram& d) { on_report(d); });
+  // Role transitions come from the typed bus, not from diffing lossy
+  // StatusReports: subscribe to kRoleChange only, guarded by this
+  // process's main-strand life so delivery stops the instant the
+  // process dies (even before the attachment destructor runs).
+  auto life = process.main_strand().life();
+  sub_ = process_->sim().telemetry().bus().subscribe(
+      obs::mask_of(obs::EventKind::kRoleChange),
+      [this](const obs::Event& e) { on_role_event(e); },
+      [life] { return life->runnable(); });
+}
+
+SystemMonitor::~SystemMonitor() {
+  process_->sim().telemetry().bus().unsubscribe(sub_);
+}
+
+void SystemMonitor::on_role_event(const obs::Event& e) {
+  Role to = static_cast<Role>(e.a);
+  auto key = std::make_pair(e.unit, e.node);
+  auto it = last_roles_.find(key);
+  Role from = it == last_roles_.end() ? Role::kUnknown : it->second;
+  last_roles_[key] = to;
+  transitions_.push_back(Transition{e.at, e.unit, e.node, from, to});
 }
 
 void SystemMonitor::on_report(const sim::Datagram& d) {
   StatusReport sr;
   if (!StatusReport::decode(d.payload, sr)) return;
   ++reports_;
-  auto key = std::make_pair(sr.unit, sr.node);
-  auto it = views_.find(key);
-  if (it != views_.end() && it->second.report.role != sr.role) {
-    transitions_.push_back(Transition{process_->sim().now(), sr.unit, sr.node,
-                                      it->second.report.role, sr.role});
-  } else if (it == views_.end()) {
-    transitions_.push_back(
-        Transition{process_->sim().now(), sr.unit, sr.node, Role::kUnknown, sr.role});
-  }
-  NodeView& v = views_[key];
+  NodeView& v = views_[std::make_pair(sr.unit, sr.node)];
   v.report = std::move(sr);
   v.last_seen = process_->sim().now();
 }

@@ -1,7 +1,14 @@
 // The System Monitor (§2.2.4): displays the status of hardware, OS,
 // OFTT components and applications. Purely observational — "it does not
 // need to be present for the operation of the OFTT fault tolerance
-// provisions" — so it only consumes StatusReports.
+// provisions".
+//
+// Two feeds: StatusReports arrive as datagrams from each engine (the
+// networked, lossy view an operator's screen shows), while the role
+// transition history comes from the telemetry event bus — typed
+// kRoleChange events, filtered by subscription mask, with a liveness
+// guard so a killed monitor process stops receiving deliveries without
+// any bookkeeping at the death site.
 #pragma once
 
 #include <map>
@@ -9,6 +16,7 @@
 #include <vector>
 
 #include "core/wire.h"
+#include "obs/event_bus.h"
 #include "sim/process.h"
 
 namespace oftt::core {
@@ -16,6 +24,10 @@ namespace oftt::core {
 class SystemMonitor {
  public:
   explicit SystemMonitor(sim::Process& process);
+  ~SystemMonitor();
+
+  SystemMonitor(const SystemMonitor&) = delete;
+  SystemMonitor& operator=(const SystemMonitor&) = delete;
 
   struct NodeView {
     StatusReport report;
@@ -44,11 +56,16 @@ class SystemMonitor {
 
  private:
   void on_report(const sim::Datagram& d);
+  void on_role_event(const obs::Event& e);
 
   sim::Process* process_;
   std::map<std::pair<std::string, int>, NodeView> views_;
   std::vector<Transition> transitions_;
+  // Last role seen per (unit, node) on the bus — gives each transition
+  // its `from` side.
+  std::map<std::pair<std::string, int>, Role> last_roles_;
   std::uint64_t reports_ = 0;
+  obs::EventBus::SubscriberId sub_ = 0;
 };
 
 }  // namespace oftt::core

@@ -11,6 +11,11 @@ namespace oftt::dcom {
 OrpcClient::OrpcClient(sim::Process& process)
     : process_(&process),
       reply_port_(cat("orpcc.", process.name())),
+      ctr_activate_timeout_(
+          process.sim().telemetry().metrics().counter("orpc.activate_timeout")),
+      ctr_bad_packet_(process.sim().telemetry().metrics().counter("orpc.bad_packet")),
+      ctr_late_response_(process.sim().telemetry().metrics().counter("orpc.late_response")),
+      ctr_call_timeout_(process.sim().telemetry().metrics().counter("orpc.call_timeout")),
       ping_timer_(process.main_strand()) {
   process_->bind(reply_port_, [this](const sim::Datagram& d) { on_datagram(d); });
   ping_timer_.start(config_.ping_period, [this] { ping_sweep(); });
@@ -93,7 +98,7 @@ void OrpcClient::activate(int node, const Clsid& clsid, const Iid& iid, Activate
     if (it == activations_.end()) return;
     auto h = std::move(it->second.handler);
     activations_.erase(it);
-    ++process_->sim().counter("orpc.activate_timeout");
+    ctr_activate_timeout_.inc();
     h(RPC_E_TIMEOUT, ObjectRef{});
   });
   activations_.emplace(id, std::move(pending));
@@ -112,7 +117,7 @@ com::ComPtr<com::IUnknown> OrpcClient::unmarshal(const ObjectRef& ref) {
 void OrpcClient::on_datagram(const sim::Datagram& d) {
   ResponsePacket resp;
   if (!decode_response(d.payload, resp)) {
-    ++process_->sim().counter("orpc.bad_packet");
+    ctr_bad_packet_.inc();
     return;
   }
   if (auto it = calls_.find(resp.call_id); it != calls_.end()) {
@@ -137,7 +142,7 @@ void OrpcClient::on_datagram(const sim::Datagram& d) {
     return;
   }
   // Late response after timeout: drop.
-  ++process_->sim().counter("orpc.late_response");
+  ctr_late_response_.inc();
 }
 
 void OrpcClient::fail_call(std::uint64_t call_id, HRESULT hr) {
@@ -145,7 +150,7 @@ void OrpcClient::fail_call(std::uint64_t call_id, HRESULT hr) {
   if (it == calls_.end()) return;
   auto handler = std::move(it->second.handler);
   calls_.erase(it);
-  ++process_->sim().counter("orpc.call_timeout");
+  ctr_call_timeout_.inc();
   Buffer empty;
   BinaryReader r(empty);
   handler(hr, r);

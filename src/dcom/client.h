@@ -17,6 +17,7 @@
 #include "com/unknown.h"
 #include "dcom/orpc.h"
 #include "dcom/registry.h"
+#include "obs/metrics.h"
 #include "sim/timer.h"
 
 namespace oftt::dcom {
@@ -95,6 +96,11 @@ class OrpcClient {
   // (node, port) -> oid -> refcount held by live proxies.
   std::map<std::pair<int, std::string>, std::map<std::uint64_t, int>> ping_refs_;
   std::set<ProxyBase*> live_proxies_;
+  // Pre-resolved metric handles for the call completion paths.
+  obs::Counter ctr_activate_timeout_;
+  obs::Counter ctr_bad_packet_;
+  obs::Counter ctr_late_response_;
+  obs::Counter ctr_call_timeout_;
   sim::PeriodicTimer ping_timer_;
 };
 

@@ -11,6 +11,8 @@ namespace oftt::dcom {
 OrpcServer::OrpcServer(sim::Process& process)
     : process_(&process),
       port_(cat("orpc.", process.name())),
+      ctr_bad_packet_(process.sim().telemetry().metrics().counter("orpc.bad_packet")),
+      ctr_gc_reclaimed_(process.sim().telemetry().metrics().counter("orpc.gc_reclaimed")),
       gc_timer_(process.main_strand()) {
   process_->bind(port_, [this](const sim::Datagram& d) { on_datagram(d); });
   gc_timer_.start(config_.ping_period, [this] { gc_sweep(); });
@@ -57,14 +59,14 @@ void OrpcServer::on_datagram(const sim::Datagram& d) {
       if (decode_ping(d.payload, ping)) handle_ping(ping);
       break;
     }
-    default: ++process_->sim().counter("orpc.bad_packet"); break;
+    default: ctr_bad_packet_.inc(); break;
   }
 }
 
 void OrpcServer::handle_request(const sim::Datagram& d) {
   RequestPacket req;
   if (!decode_request(d.payload, req)) {
-    ++process_->sim().counter("orpc.bad_packet");
+    ctr_bad_packet_.inc();
     return;
   }
   ResponsePacket resp;
@@ -122,7 +124,7 @@ void OrpcServer::gc_sweep() {
   for (auto it = exports_.begin(); it != exports_.end();) {
     if (!it->second.pinned && now - it->second.last_ping > limit) {
       OFTT_LOG_DEBUG("dcom", process_->name(), ": GC reclaimed oid ", it->first);
-      ++process_->sim().counter("orpc.gc_reclaimed");
+      ctr_gc_reclaimed_.inc();
       it = exports_.erase(it);
     } else {
       ++it;

@@ -11,6 +11,7 @@
 #include "com/runtime.h"
 #include "dcom/orpc.h"
 #include "dcom/registry.h"
+#include "obs/metrics.h"
 #include "sim/timer.h"
 
 namespace oftt::dcom {
@@ -70,6 +71,9 @@ class OrpcServer {
   std::uint64_t next_oid_ = 1;
   std::map<std::uint64_t, Export> exports_;
   OrpcConfig config_;
+  // Pre-resolved metric handles (dispatch + GC paths).
+  obs::Counter ctr_bad_packet_;
+  obs::Counter ctr_gc_reclaimed_;
   sim::PeriodicTimer gc_timer_;
 };
 

@@ -14,6 +14,12 @@ constexpr const char* kOutgoingPersistKey = "mq.out";
 
 QueueManager::QueueManager(sim::Process& process)
     : process_(&process),
+      ctr_bad_packet_(process.sim().telemetry().metrics().counter("msmq.bad_packet")),
+      ctr_quota_rejected_(
+          process.sim().telemetry().metrics().counter("msmq.quota_rejected")),
+      ctr_dead_lettered_(process.sim().telemetry().metrics().counter("msmq.dead_lettered")),
+      outgoing_depth_gauge_(process.sim().telemetry().metrics().gauge(
+          cat("msmq.outgoing_depth.", process.node().name()))),
       retry_timer_(process.main_strand()),
       redelivery_timer_(process.main_strand()) {
   process_->bind(kMsmqPort, [this](const sim::Datagram& d) { on_datagram(d); });
@@ -78,7 +84,7 @@ void QueueManager::on_datagram(const sim::Datagram& d) {
     case MqPacket::kRecvAck: handle_recv_ack(r); break;
     case MqPacket::kXfer: handle_xfer(d, r); break;
     case MqPacket::kXferAck: handle_xfer_ack(r); break;
-    default: ++process_->sim().counter("msmq.bad_packet"); break;
+    default: ctr_bad_packet_.inc(); break;
   }
 }
 
@@ -177,7 +183,7 @@ void QueueManager::accept_local(Message msg) {
   if (config_.queue_quota > 0 &&
       q.ready.size() + q.unacked.size() >= config_.queue_quota) {
     ++quota_rejections_;
-    ++process_->sim().counter("msmq.quota_rejected");
+    ctr_quota_rejected_.inc();
     return;
   }
   q.ready.push_back(std::move(msg));
@@ -210,7 +216,7 @@ void QueueManager::transmit_sweep() {
       // Exhausted: dead-letter locally.
       OFTT_LOG_WARN("msmq", process_->node().name(), ": dead-lettering msg ", e.msg.id,
                     " for queue ", e.msg.queue);
-      ++process_->sim().counter("msmq.dead_lettered");
+      ctr_dead_lettered_.inc();
       Message dl = std::move(e.msg);
       dl.label = cat("DLQ:", dl.queue, ":", dl.label);
       dl.queue = kDeadLetterQueue;
@@ -244,6 +250,7 @@ void QueueManager::transmit_sweep() {
     ++it;
   }
   if (persisted_dirty) persist_outgoing();
+  outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
 }
 
 void QueueManager::persist_queue(const std::string& qname) {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "msmq/message.h"
+#include "obs/metrics.h"
 #include "sim/disk.h"
 #include "sim/node.h"
 #include "sim/timer.h"
@@ -112,6 +113,12 @@ class QueueManager {
   std::uint64_t next_seq_ = 1;
   std::uint64_t transmits_ = 0, retries_ = 0, duplicates_dropped_ = 0;
   std::uint64_t quota_rejections_ = 0;
+  // Pre-resolved metric handles (shared cells across all QM instances);
+  // the outgoing-depth gauge is per-process state, re-asserted on sweep.
+  obs::Counter ctr_bad_packet_;
+  obs::Counter ctr_quota_rejected_;
+  obs::Counter ctr_dead_lettered_;
+  obs::Gauge outgoing_depth_gauge_;
   sim::PeriodicTimer retry_timer_;
   sim::PeriodicTimer redelivery_timer_;
 };

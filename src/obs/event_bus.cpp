@@ -1,0 +1,86 @@
+#include "obs/event_bus.h"
+
+#include <algorithm>
+
+namespace oftt::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRoleChange: return "role_change";
+    case EventKind::kFailureDetected: return "failure_detected";
+    case EventKind::kComponentFailed: return "component_failed";
+    case EventKind::kComponentRestart: return "component_restart";
+    case EventKind::kDistress: return "distress";
+    case EventKind::kWatchdogExpired: return "watchdog_expired";
+    case EventKind::kDualPrimary: return "dual_primary";
+    case EventKind::kStartupShutdown: return "startup_shutdown";
+    case EventKind::kComponentActivated: return "component_activated";
+    case EventKind::kComponentDeactivated: return "component_deactivated";
+    case EventKind::kCheckpointTaken: return "checkpoint_taken";
+    case EventKind::kCheckpointApplied: return "checkpoint_applied";
+    case EventKind::kEngineRestart: return "engine_restart";
+    case EventKind::kDiverterReroute: return "diverter_reroute";
+    case EventKind::kNodeDown: return "node_down";
+    case EventKind::kNodeUp: return "node_up";
+    case EventKind::kMaxKind: break;
+  }
+  return "unknown";
+}
+
+EventBus::SubscriberId EventBus::subscribe(EventMask mask, Handler handler, AliveFn alive) {
+  Subscription sub;
+  sub.id = next_id_++;
+  sub.mask = mask;
+  sub.handler = std::move(handler);
+  sub.alive = std::move(alive);
+  subs_.push_back(std::move(sub));
+  return subs_.back().id;
+}
+
+void EventBus::unsubscribe(SubscriberId id) {
+  for (auto& sub : subs_) {
+    if (sub.id == id) {
+      sub.dead = true;
+      needs_prune_ = true;
+    }
+  }
+  if (dispatch_depth_ == 0) prune();
+}
+
+void EventBus::publish(Event e) {
+  e.at = clock_ ? clock_() : 0;
+  ++published_;
+  const EventMask mask = mask_of(e.kind);
+  // Index-based: a handler may subscribe (push_back) or unsubscribe
+  // during dispatch; new subscribers do not see the in-flight event.
+  ++dispatch_depth_;
+  const std::size_t count = subs_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    Subscription& sub = subs_[i];
+    if (sub.dead || (sub.mask & mask) == 0) continue;
+    if (sub.alive && !sub.alive()) {
+      sub.dead = true;
+      needs_prune_ = true;
+      continue;
+    }
+    sub.handler(e);
+  }
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0 && needs_prune_) prune();
+  history_.append(std::move(e));
+}
+
+std::size_t EventBus::subscriber_count() {
+  for (auto& sub : subs_) {
+    if (!sub.dead && sub.alive && !sub.alive()) sub.dead = true;
+  }
+  prune();
+  return subs_.size();
+}
+
+void EventBus::prune() {
+  std::erase_if(subs_, [](const Subscription& s) { return s.dead; });
+  needs_prune_ = false;
+}
+
+}  // namespace oftt::obs

@@ -1,0 +1,74 @@
+// EventBus: the typed telemetry channel every OFTT component publishes
+// into. Subscribers register a kind-filter (bitmask) plus an optional
+// liveness guard; a subscriber whose guard reports dead (e.g. its
+// process was killed) is pruned lazily at the next publish, so
+// unsubscribe-on-process-death needs no explicit bookkeeping at the
+// death site.
+//
+// Publishing is allocation-light: the Event is stamped with the current
+// sim time, dispatched to matching live subscribers, and appended to
+// the bounded sim-wide history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/event_log.h"
+
+namespace oftt::obs {
+
+class EventBus {
+ public:
+  using SubscriberId = std::uint64_t;
+  using Handler = std::function<void(const Event&)>;
+  using AliveFn = std::function<bool()>;
+  using ClockFn = std::function<sim::SimTime()>;
+
+  explicit EventBus(ClockFn clock) : clock_(std::move(clock)) {}
+
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Register a handler for every published event whose kind is in
+  /// `mask`. If `alive` is given, the subscription dies automatically
+  /// once it returns false (checked before each delivery).
+  SubscriberId subscribe(EventMask mask, Handler handler, AliveFn alive = nullptr);
+  SubscriberId subscribe_all(Handler handler, AliveFn alive = nullptr) {
+    return subscribe(kAllEvents, std::move(handler), std::move(alive));
+  }
+  void unsubscribe(SubscriberId id);
+
+  /// Stamp `e.at` with the current sim time, deliver to matching
+  /// subscribers, append to the history.
+  void publish(Event e);
+
+  const EventLog& history() const { return history_; }
+  void set_history_cap(std::size_t cap) { history_.set_cap(cap); }
+
+  std::uint64_t published() const { return published_; }
+  /// Live subscribers (prunes dead ones first).
+  std::size_t subscriber_count();
+
+ private:
+  struct Subscription {
+    SubscriberId id = 0;
+    EventMask mask = 0;
+    Handler handler;
+    AliveFn alive;
+    bool dead = false;
+  };
+
+  void prune();
+
+  ClockFn clock_;
+  std::vector<Subscription> subs_;
+  SubscriberId next_id_ = 1;
+  EventLog history_;
+  std::uint64_t published_ = 0;
+  int dispatch_depth_ = 0;
+  bool needs_prune_ = false;
+};
+
+}  // namespace oftt::obs

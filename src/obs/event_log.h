@@ -1,0 +1,51 @@
+// A bounded, eviction-ordered event history. Used twice: the EventBus
+// keeps one as the sim-wide history, and each Engine keeps one as its
+// operator-facing incident log (the paper's "status reporting" record an
+// operator pulls after an incident). The bound is a hard cap — the
+// oldest entry is evicted first, and the number of evictions is counted
+// so a reader can tell the log wrapped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "obs/event.h"
+
+namespace oftt::obs {
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t cap = 256) : cap_(cap == 0 ? 1 : cap) {}
+
+  void append(Event e) {
+    entries_.push_back(std::move(e));
+    while (entries_.size() > cap_) {
+      entries_.pop_front();
+      ++evicted_;
+    }
+  }
+
+  const std::deque<Event>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  std::size_t cap() const { return cap_; }
+  void set_cap(std::size_t cap) {
+    cap_ = cap == 0 ? 1 : cap;
+    while (entries_.size() > cap_) {
+      entries_.pop_front();
+      ++evicted_;
+    }
+  }
+
+  /// Entries dropped off the front since construction.
+  std::uint64_t evicted() const { return evicted_; }
+
+ private:
+  std::size_t cap_;
+  std::deque<Event> entries_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace oftt::obs

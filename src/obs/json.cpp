@@ -1,0 +1,219 @@
+#include "obs/json.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/telemetry.h"
+
+namespace oftt::obs {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  append_escaped(k);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  append_escaped(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+namespace {
+
+void write_trace(JsonWriter& w, const FailoverTrace& t) {
+  w.begin_object();
+  w.kv("id", t.id);
+  w.kv("unit", t.unit);
+  w.kv("node", t.node);
+  w.kv("reason", t.reason);
+  w.kv("complete", t.complete());
+  auto stamp = [&w](std::string_view k, sim::SimTime v) {
+    w.key(k);
+    if (v < 0) {
+      w.null();
+    } else {
+      w.value(static_cast<std::int64_t>(v));
+    }
+  };
+  stamp("evidence_at_ns", t.evidence_at);
+  stamp("detected_at_ns", t.detected_at);
+  stamp("promoted_at_ns", t.promoted_at);
+  stamp("active_at_ns", t.active_at);
+  stamp("rerouted_at_ns", t.rerouted_at);
+  w.key("phases_ns");
+  w.begin_object();
+  for (FailoverPhase p : {FailoverPhase::kDetection, FailoverPhase::kNegotiation,
+                          FailoverPhase::kPromotion, FailoverPhase::kReplay}) {
+    stamp(failover_phase_name(p), t.phase(p));
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_event(JsonWriter& w, const Event& e) {
+  w.begin_object();
+  w.kv("at_ns", static_cast<std::int64_t>(e.at));
+  w.kv("kind", event_kind_name(e.kind));
+  w.kv("node", e.node);
+  if (!e.unit.empty()) w.kv("unit", e.unit);
+  if (!e.component.empty()) w.kv("component", e.component);
+  if (!e.detail.empty()) w.kv("detail", e.detail);
+  if (e.a != 0) w.kv("a", e.a);
+  if (e.b != 0) w.kv("b", e.b);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string export_json(const Telemetry& telemetry, bool include_history) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, cell] : telemetry.metrics().counters()) {
+    w.kv(name, cell->value);
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, cell] : telemetry.metrics().gauges()) {
+    w.kv(name, cell->value);
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, cell] : telemetry.metrics().histograms()) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", cell->count);
+    w.kv("sum", cell->sum);
+    if (cell->count > 0) {
+      w.kv("min", cell->min);
+      w.kv("max", cell->max);
+      w.kv("p50", cell->quantile(0.50));
+      w.kv("p99", cell->quantile(0.99));
+    }
+    w.key("bounds");
+    w.begin_array();
+    for (std::int64_t b : cell->bounds) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (std::uint64_t c : cell->counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("traces");
+  w.begin_array();
+  for (const FailoverTrace& t : telemetry.spans().traces()) write_trace(w, t);
+  w.end_array();
+
+  w.key("events");
+  w.begin_object();
+  w.kv("published", telemetry.bus().published());
+  w.kv("evicted", telemetry.bus().history().evicted());
+  if (include_history) {
+    w.key("history");
+    w.begin_array();
+    for (const Event& e : telemetry.bus().history().entries()) write_event(w, e);
+    w.end_array();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+std::int64_t percentile(std::vector<std::int64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[idx];
+}
+
+}  // namespace oftt::obs

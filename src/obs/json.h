@@ -1,0 +1,62 @@
+// Minimal deterministic JSON writer plus the telemetry exporter the
+// benches use to produce BENCH_*.json. Determinism is a contract:
+// object keys are emitted in the order written (the exporter iterates
+// sorted maps), numbers are integers (sim-time nanoseconds — no
+// floating-point formatting), and strings are escaped byte-for-byte the
+// same way every run. Two runs with the same seed therefore produce
+// byte-identical output, which the deterministic-telemetry tests check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oftt::obs {
+
+class Telemetry;
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: key + value.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  void append_escaped(std::string_view s);
+
+  std::string out_;
+  // True when the next element at this depth needs a ',' first.
+  std::vector<bool> need_comma_{false};
+  bool pending_key_ = false;
+};
+
+/// Full telemetry dump: counters, gauges, histograms, failover traces,
+/// and the bounded event history. Deterministic for a given seed.
+std::string export_json(const Telemetry& telemetry, bool include_history = true);
+
+/// Exact nearest-rank percentile of a sample set (q in 0..1); 0 when
+/// empty. Used by the benches for per-phase p50/p99.
+std::int64_t percentile(std::vector<std::int64_t> samples, double q);
+
+}  // namespace oftt::obs

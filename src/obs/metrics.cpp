@@ -1,0 +1,90 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace oftt::obs {
+namespace detail {
+
+void HistogramCell::record(std::int64_t v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  std::size_t i = 0;
+  while (i < bounds.size() && v > bounds[i]) ++i;
+  ++counts[i];
+}
+
+std::int64_t HistogramCell::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, nearest-rank).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    std::uint64_t next = seen + counts[i];
+    if (rank <= next) {
+      std::int64_t lo = i == 0 ? min : bounds[i - 1];
+      std::int64_t hi = i < bounds.size() ? bounds[i] : max;
+      lo = std::clamp(lo, min, max);
+      hi = std::clamp(hi, min, max);
+      if (hi <= lo || counts[i] == 1) return hi;
+      // Linear interpolation across the bucket's samples.
+      double frac = static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+      return lo + static_cast<std::int64_t>(static_cast<double>(hi - lo) * frac);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+}  // namespace detail
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_cells_.emplace_back();
+    it = counters_.emplace(std::string(name), &counter_cells_.back()).first;
+  }
+  return Counter(it->second);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_cells_.emplace_back();
+    it = gauges_.emplace(std::string(name), &gauge_cells_.back()).first;
+  }
+  return Gauge(it->second);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::vector<std::int64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histogram_cells_.emplace_back();
+    detail::HistogramCell& cell = histogram_cells_.back();
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    cell.bounds = std::move(bounds);
+    cell.counts.assign(cell.bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), &cell).first;
+  }
+  return Histogram(it->second);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value;
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value;
+}
+
+}  // namespace oftt::obs

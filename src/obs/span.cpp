@@ -1,0 +1,108 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace oftt::obs {
+
+const char* failover_phase_name(FailoverPhase phase) {
+  switch (phase) {
+    case FailoverPhase::kDetection: return "detection";
+    case FailoverPhase::kNegotiation: return "negotiation";
+    case FailoverPhase::kPromotion: return "promotion";
+    case FailoverPhase::kReplay: return "replay";
+  }
+  return "?";
+}
+
+sim::SimTime FailoverTrace::phase(FailoverPhase p) const {
+  auto gap = [](sim::SimTime from, sim::SimTime to) -> sim::SimTime {
+    if (from < 0 || to < 0) return -1;
+    return to >= from ? to - from : 0;
+  };
+  switch (p) {
+    case FailoverPhase::kDetection: return gap(evidence_at, detected_at);
+    case FailoverPhase::kNegotiation: return gap(detected_at, promoted_at);
+    case FailoverPhase::kPromotion: return gap(promoted_at, active_at);
+    case FailoverPhase::kReplay: return gap(active_at, rerouted_at);
+  }
+  return -1;
+}
+
+sim::SimTime FailoverTrace::total() const {
+  sim::SimTime last = std::max({detected_at, promoted_at, active_at, rerouted_at});
+  if (evidence_at < 0 || last < 0) return -1;
+  return last - evidence_at;
+}
+
+FailoverSpans::FailoverSpans(EventBus& bus) : bus_(&bus) {
+  sub_ = bus_->subscribe(
+      mask_of(EventKind::kFailureDetected, EventKind::kRoleChange,
+              EventKind::kComponentActivated, EventKind::kDiverterReroute),
+      [this](const Event& e) { on_event(e); });
+}
+
+FailoverSpans::~FailoverSpans() { bus_->unsubscribe(sub_); }
+
+FailoverTrace* FailoverSpans::open_trace(const std::string& unit) {
+  for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+    if (it->unit == unit && !it->complete()) return &*it;
+  }
+  return nullptr;
+}
+
+void FailoverSpans::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kFailureDetected: {
+      FailoverTrace t;
+      t.id = next_id_++;
+      t.unit = e.unit;
+      t.reason = e.detail;
+      t.evidence_at = static_cast<sim::SimTime>(e.a);
+      t.detected_at = e.at;
+      traces_.push_back(std::move(t));
+      break;
+    }
+    case EventKind::kRoleChange: {
+      if (e.a != kRoleChangePrimary) return;
+      FailoverTrace* t = open_trace(e.unit);
+      if (t != nullptr && t->promoted_at < 0) {
+        t->promoted_at = e.at;
+        t->node = e.node;
+      }
+      break;
+    }
+    case EventKind::kComponentActivated: {
+      for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+        if (!it->complete() && it->promoted_at >= 0 && it->node == e.node &&
+            it->active_at < 0) {
+          it->active_at = e.at;
+          break;
+        }
+      }
+      break;
+    }
+    case EventKind::kDiverterReroute: {
+      FailoverTrace* t = open_trace(e.unit);
+      if (t != nullptr && t->promoted_at >= 0 &&
+          static_cast<int>(e.a) == t->node && t->rerouted_at < 0) {
+        t->rerouted_at = e.at;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<sim::SimTime> FailoverSpans::durations(FailoverPhase phase,
+                                                   bool complete_only) const {
+  std::vector<sim::SimTime> out;
+  for (const FailoverTrace& t : traces_) {
+    if (complete_only && !t.complete()) continue;
+    sim::SimTime d = t.phase(phase);
+    if (d >= 0) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace oftt::obs

@@ -1,0 +1,82 @@
+// Failover spans: scoped trace records stitching one failover incident
+// — detection, negotiation, promotion, diverter replay — into a single
+// causally-ordered timeline. The tracker is a pure EventBus subscriber:
+// components only publish their local events; the tracker correlates
+// them by unit and node into FailoverTrace records.
+//
+// Phase anatomy (all timestamps in sim time, so identical seeds yield
+// byte-identical traces):
+//
+//   evidence_at   last proof of life from the failed side (or the
+//                 handoff decision instant for operator switchover)
+//   detected_at   an engine concluded failure (kFailureDetected)
+//   promoted_at   the surviving engine entered PRIMARY (kRoleChange)
+//   active_at     the application component on the new primary went
+//                 active, state restored (kComponentActivated)
+//   rerouted_at   the Message Diverter repointed the unit's logical
+//                 queue at the new primary (kDiverterReroute)
+//
+//   detection   = detected_at - evidence_at
+//   negotiation = promoted_at - detected_at
+//   promotion   = active_at   - promoted_at
+//   replay      = rerouted_at - active_at
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.h"
+
+namespace oftt::obs {
+
+enum class FailoverPhase { kDetection, kNegotiation, kPromotion, kReplay };
+
+const char* failover_phase_name(FailoverPhase phase);
+
+struct FailoverTrace {
+  std::uint64_t id = 0;
+  std::string unit;
+  int node = -1;  // node that ended up primary
+  std::string reason;
+  sim::SimTime evidence_at = -1;
+  sim::SimTime detected_at = -1;
+  sim::SimTime promoted_at = -1;
+  sim::SimTime active_at = -1;
+  sim::SimTime rerouted_at = -1;
+
+  bool complete() const { return rerouted_at >= 0; }
+  /// Phase duration, or -1 if either endpoint is missing.
+  sim::SimTime phase(FailoverPhase p) const;
+  /// evidence -> latest recorded milestone.
+  sim::SimTime total() const;
+};
+
+class FailoverSpans {
+ public:
+  /// Subscribes to `bus`; lives as long as the bus (both are owned by
+  /// the Telemetry facade, which guarantees the lifetimes).
+  explicit FailoverSpans(EventBus& bus);
+  ~FailoverSpans();
+
+  FailoverSpans(const FailoverSpans&) = delete;
+  FailoverSpans& operator=(const FailoverSpans&) = delete;
+
+  /// All traces, in open order; incomplete traces have -1 milestones.
+  const std::vector<FailoverTrace>& traces() const { return traces_; }
+
+  /// Durations of one phase across traces (complete traces only when
+  /// `complete_only`), in trace order.
+  std::vector<sim::SimTime> durations(FailoverPhase phase, bool complete_only = true) const;
+
+ private:
+  void on_event(const Event& e);
+  FailoverTrace* open_trace(const std::string& unit);
+
+  EventBus* bus_;
+  EventBus::SubscriberId sub_ = 0;
+  std::vector<FailoverTrace> traces_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace oftt::obs

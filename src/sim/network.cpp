@@ -16,7 +16,14 @@ int pick_network(Simulation& sim, int a, int b) {
 }
 
 Network::Network(Simulation& sim, std::string name, int id)
-    : sim_(sim), name_(std::move(name)), id_(id), rng_(sim.fork_rng(cat("net:", name_))) {}
+    : sim_(sim),
+      name_(std::move(name)),
+      id_(id),
+      rng_(sim.fork_rng(cat("net:", name_))),
+      ctr_unreachable_(sim.telemetry().metrics().counter(cat(name_, ".unreachable"))),
+      ctr_lost_(sim.telemetry().metrics().counter(cat(name_, ".lost"))),
+      payload_bytes_(sim.telemetry().metrics().histogram(
+          "net.payload_bytes", {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})) {}
 
 void Network::set_link(int a, int b, bool up) {
   auto key = std::minmax(a, b);
@@ -63,14 +70,15 @@ bool Network::reachable(int a, int b) const {
 bool Network::send(Datagram d) {
   if (!attached(d.src_node)) return false;
   ++sent_;
+  payload_bytes_.record(static_cast<std::int64_t>(d.payload.size()));
   if (!attached(d.dst_node) || !reachable(d.src_node, d.dst_node)) {
     ++dropped_;
-    ++sim_.counter(cat(name_, ".unreachable"));
+    ctr_unreachable_.inc();
     return true;  // datagram silently lost in the fabric
   }
   if (loss_ > 0.0 && rng_.chance(loss_)) {
     ++dropped_;
-    ++sim_.counter(cat(name_, ".lost"));
+    ctr_lost_.inc();
     return true;
   }
   SimTime latency = latency_min_ == latency_max_

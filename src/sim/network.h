@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/message.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -82,6 +83,11 @@ class Network {
   std::map<int, int> partition_group_;  // node -> group (empty = healed)
   Rng rng_;
   std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
+  // Pre-resolved metric handles: the per-datagram path must not do
+  // string-keyed map lookups.
+  obs::Counter ctr_unreachable_;
+  obs::Counter ctr_lost_;
+  obs::Histogram payload_bytes_;
 };
 
 }  // namespace oftt::sim

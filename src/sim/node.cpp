@@ -7,7 +7,12 @@
 namespace oftt::sim {
 
 Node::Node(Simulation& sim, std::string name, int id)
-    : sim_(sim), name_(std::move(name)), id_(id) {}
+    : sim_(sim),
+      name_(std::move(name)),
+      id_(id),
+      ctr_deliver_down_(sim.telemetry().metrics().counter("node.deliver_down")),
+      ctr_deliver_no_port_(sim.telemetry().metrics().counter("node.deliver_no_port")),
+      ctr_deliver_dead_strand_(sim.telemetry().metrics().counter("node.deliver_dead_strand")) {}
 
 void Node::boot() {
   if (up_) return;
@@ -15,6 +20,13 @@ void Node::boot() {
   ++boot_count_;
   last_failure_ = NodeFailureKind::kNone;
   OFTT_LOG_INFO("sim/node", name_, " booted (boot #", boot_count_, ")");
+  {
+    obs::Event e;
+    e.kind = obs::EventKind::kNodeUp;
+    e.node = id_;
+    e.a = static_cast<std::uint64_t>(boot_count_);
+    sim_.telemetry().bus().publish(std::move(e));
+  }
   if (boot_script_) boot_script_(*this);
 }
 
@@ -22,6 +34,7 @@ void Node::crash() {
   if (!up_) return;
   OFTT_LOG_WARN("sim/node", name_, " POWER FAILURE");
   last_failure_ = NodeFailureKind::kPowerFailure;
+  publish_down("power failure");
   kill_all_processes("node power failure");
   up_ = false;
   ports_.clear();
@@ -31,10 +44,20 @@ void Node::os_crash(SimTime reboot_after) {
   if (!up_) return;
   OFTT_LOG_WARN("sim/node", name_, " NT CRASH (blue screen)");
   last_failure_ = NodeFailureKind::kOsCrash;
+  publish_down("NT crash (blue screen)");
   kill_all_processes("NT crash");
   up_ = false;
   ports_.clear();
   if (reboot_after != kNever) reboot(reboot_after);
+}
+
+void Node::publish_down(const char* why) {
+  obs::Event e;
+  e.kind = obs::EventKind::kNodeDown;
+  e.node = id_;
+  e.detail = why;
+  e.a = static_cast<std::uint64_t>(last_failure_);
+  sim_.telemetry().bus().publish(std::move(e));
 }
 
 void Node::reboot(SimTime delay) {
@@ -93,17 +116,17 @@ bool Node::port_bound(const std::string& port) const { return ports_.count(port)
 
 void Node::deliver(const Datagram& d) {
   if (!up_) {
-    ++sim_.counter("node.deliver_down");
+    ctr_deliver_down_.inc();
     return;
   }
   auto it = ports_.find(d.dst_port);
   if (it == ports_.end()) {
-    ++sim_.counter("node.deliver_no_port");
+    ctr_deliver_no_port_.inc();
     OFTT_LOG_TRACE("sim/node", name_, ": no listener on port '", d.dst_port, "'");
     return;
   }
   if (!it->second.life->runnable()) {
-    ++sim_.counter("node.deliver_dead_strand");
+    ctr_deliver_dead_strand_.inc();
     return;
   }
   // Copy the handler: it may unbind (erase) itself during execution.

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace oftt::sim {
@@ -66,6 +67,7 @@ class Node {
 
  private:
   void kill_all_processes(const std::string& reason);
+  void publish_down(const char* why);
 
   Simulation& sim_;
   std::string name_;
@@ -83,6 +85,11 @@ class Node {
   std::map<std::string, PortEntry> ports_;
   std::map<std::string, std::shared_ptr<Process>> processes_;
   std::map<std::string, Process::Factory> factories_;
+  // Pre-resolved delivery-path metric handles (shared names across all
+  // nodes — they address the same registry cells).
+  obs::Counter ctr_deliver_down_;
+  obs::Counter ctr_deliver_no_port_;
+  obs::Counter ctr_deliver_dead_strand_;
 };
 
 }  // namespace oftt::sim

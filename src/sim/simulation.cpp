@@ -6,11 +6,10 @@
 
 namespace oftt::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
-  Logger::instance().set_clock([this] { return now_; });
-}
+Simulation::Simulation(std::uint64_t seed)
+    : telemetry_([this] { return now_; }), rng_(seed) {}
 
-Simulation::~Simulation() { Logger::instance().set_clock(nullptr); }
+Simulation::~Simulation() = default;
 
 EventHandle Simulation::schedule_at(SimTime at, EventFn fn) {
   assert(at >= now_);

@@ -11,6 +11,7 @@
 #include <typeindex>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -56,14 +57,15 @@ class Simulation {
   /// Drain the queue (bounded by max_events as a runaway guard).
   void run(std::uint64_t max_events = 100'000'000);
 
-  /// Named monotonic counters for cheap instrumentation
-  /// ("net0.dropped", "msmq.retries", ...).
-  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  /// The telemetry subsystem: event bus, metrics registry, failover
+  /// spans. Hot paths resolve metric handles once at construction; the
+  /// string-keyed reads below are for tests and benches only.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
+
   std::uint64_t counter_value(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return telemetry_.metrics().counter_value(name);
   }
-  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
 
   // Internal: Strand scheduling funnels through here.
   EventHandle schedule_on(SimTime at, std::shared_ptr<StrandLife> life, EventFn fn);
@@ -84,11 +86,13 @@ class Simulation {
 
  private:
   SimTime now_ = 0;
+  // Declared first so it outlives nodes/networks during teardown (their
+  // metric handles point into the registry).
+  obs::Telemetry telemetry_;
   EventQueue queue_;
   Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Network>> networks_;
-  std::map<std::string, std::uint64_t> counters_;
   std::map<std::type_index, std::shared_ptr<void>> attachments_;
 };
 

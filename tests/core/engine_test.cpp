@@ -175,5 +175,34 @@ TEST(Engine, RebootedBackupCatchesUpThroughCheckpoints) {
   EXPECT_GE(r.i64(), count_mid);
 }
 
+TEST(Engine, EventHistoryCapEvictsOldestFirst) {
+  sim::Simulation sim(81);
+  auto opts = app_options(false);
+  opts.engine.event_history_cap = 4;  // tiny operator log
+  PairDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(3));
+  // Churn roles until the log has wrapped several times.
+  for (int i = 0; i < 8; ++i) {
+    int primary = dep.primary_node();
+    if (primary < 0) break;
+    Engine::find(*dep.node_by_id(primary))->request_switchover("churn");
+    sim.run_for(sim::seconds(1));
+  }
+  const auto& log = dep.engine_a()->event_log();
+  EXPECT_EQ(log.cap(), 4u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_GT(log.evicted(), 0u) << "the churn must have wrapped the log";
+  // Eviction is oldest-first: what remains is the newest suffix, still
+  // in monotone time order.
+  const auto& entries = log.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].at, entries[i - 1].at);
+  }
+  // The retained tail is recent: everything left was recorded after the
+  // evicted prefix, so the oldest survivor is younger than the churn
+  // start.
+  EXPECT_GT(entries.front().at, sim::seconds(3));
+}
+
 }  // namespace
 }  // namespace oftt::core

@@ -34,16 +34,18 @@ TEST(EventLog, RecordsRoleChangesAndFailures) {
   const auto& log = dep.engine_a()->event_log();
   ASSERT_FALSE(log.empty());
   bool saw_role = false, saw_failure = false, saw_restart = false;
-  for (const auto& e : log) {
-    if (e.what.find("role") != std::string::npos) saw_role = true;
-    if (e.what.find("failed") != std::string::npos) saw_failure = true;
-    if (e.what.find("local restart") != std::string::npos) saw_restart = true;
+  for (const auto& e : log.entries()) {
+    if (e.kind == obs::EventKind::kRoleChange) saw_role = true;
+    if (e.kind == obs::EventKind::kComponentFailed) saw_failure = true;
+    if (e.kind == obs::EventKind::kComponentRestart) saw_restart = true;
   }
   EXPECT_TRUE(saw_role);
   EXPECT_TRUE(saw_failure);
   EXPECT_TRUE(saw_restart);
   // Timestamps are monotone.
-  for (std::size_t i = 1; i < log.size(); ++i) EXPECT_GE(log[i].at, log[i - 1].at);
+  const auto& entries = log.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_GE(entries[i].at, entries[i - 1].at);
 }
 
 TEST(EventLog, IsBounded) {

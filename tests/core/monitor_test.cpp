@@ -1,0 +1,98 @@
+// System Monitor tests: the role-transition feed now arrives over the
+// telemetry event bus — these cover the subscription (transitions are
+// derived from kRoleChange events), the kind filter (unrelated events
+// do not disturb the history), and liveness-guarded unsubscription when
+// the monitor's process dies.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "obs/event_bus.h"
+#include "obs/telemetry.h"
+#include "support/counter_app.h"
+
+namespace oftt {
+namespace {
+
+using core::PairDeployment;
+using core::PairDeploymentOptions;
+using core::Role;
+using testsupport::CounterApp;
+
+PairDeploymentOptions app_options() {
+  PairDeploymentOptions opts;
+  opts.app_factory = [](sim::Process& proc) { proc.attachment<CounterApp>(proc); };
+  return opts;
+}
+
+TEST(Monitor, DerivesTransitionsFromBusEvents) {
+  sim::Simulation sim(71);
+  PairDeployment dep(sim, app_options());
+  sim.run_for(sim::seconds(5));
+
+  auto* mon = dep.monitor();
+  ASSERT_NE(mon, nullptr);
+  // Startup: both engines announced a role; the first transition per
+  // node comes from the unknown state.
+  bool saw_primary = false, saw_backup = false;
+  for (const auto& t : mon->transitions()) {
+    EXPECT_EQ(t.unit, "unit");
+    if (t.to == Role::kPrimary) saw_primary = true;
+    if (t.to == Role::kBackup) saw_backup = true;
+  }
+  EXPECT_TRUE(saw_primary);
+  EXPECT_TRUE(saw_backup);
+
+  // Failover: the backup's promotion shows up with the correct `from`.
+  std::size_t before = mon->transitions().size();
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(5));
+  ASSERT_GT(mon->transitions().size(), before);
+  bool saw_promotion = false;
+  for (std::size_t i = before; i < mon->transitions().size(); ++i) {
+    const auto& t = mon->transitions()[i];
+    if (t.node == dep.node_b().id() && t.from == Role::kBackup && t.to == Role::kPrimary) {
+      saw_promotion = true;
+    }
+  }
+  EXPECT_TRUE(saw_promotion);
+}
+
+TEST(Monitor, FiltersOutNonRoleEvents) {
+  sim::Simulation sim(72);
+  PairDeployment dep(sim, app_options());
+  sim.run_for(sim::seconds(5));
+  auto* mon = dep.monitor();
+  ASSERT_NE(mon, nullptr);
+
+  std::size_t before = mon->transitions().size();
+  obs::Event e;
+  e.kind = obs::EventKind::kCheckpointTaken;
+  e.unit = "unit";
+  e.a = 99;
+  sim.telemetry().bus().publish(e);
+  EXPECT_EQ(mon->transitions().size(), before)
+      << "the monitor's mask admits only kRoleChange";
+}
+
+TEST(Monitor, UnsubscribesWhenItsProcessDies) {
+  sim::Simulation sim(73);
+  PairDeployment dep(sim, app_options());
+  sim.run_for(sim::seconds(5));
+  ASSERT_NE(dep.monitor(), nullptr);
+
+  std::size_t live_before = sim.telemetry().bus().subscriber_count();
+  ASSERT_GE(live_before, 1u);
+  dep.monitor_node().find_process("system_monitor")->kill("injected");
+
+  // Role churn after the death: publishing must neither crash nor
+  // deliver into the dead monitor.
+  dep.node_a().crash();
+  sim.run_for(sim::seconds(5));
+  EXPECT_EQ(dep.primary_node(), dep.node_b().id());
+  EXPECT_LT(sim.telemetry().bus().subscriber_count(), live_before)
+      << "the dead monitor's subscription is gone";
+  EXPECT_EQ(dep.monitor(), nullptr);
+}
+
+}  // namespace
+}  // namespace oftt
