@@ -155,7 +155,7 @@ ChaosResult run_chaos(bool with_oftt, std::uint64_t seed, sim::SimTime duration)
 
 int main() {
   Logger::instance().set_level(LogLevel::kOff);
-  const int kSeeds = 5;
+  const int kSeeds = seeds_or(5);
   const sim::SimTime kDuration = sim::minutes(20);
   title("E9: availability under a sustained random fault storm",
         "20 simulated minutes, a random fault every ~20 s (power, BSOD, app crash, "

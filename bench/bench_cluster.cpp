@@ -1,0 +1,188 @@
+// Experiment E8 — N-replica cluster mode (src/cluster/): what does
+// generalizing the paper's node pair to N replicas cost, and what does
+// it buy?
+//
+//  E8a: steady-state message overhead. Every member heartbeats every
+//       other member (O(N^2) datagrams) and the primary gossips its
+//       membership view; measured as datagrams/s on the wire for
+//       N in {2,3,5,9}, engine-only deployments so nothing else talks.
+//  E8b: failover latency. Kill the primary and time the rank-1 backup's
+//       quorum-gated promotion: detection (peer timeout), ack
+//       collection (PromoteRequest -> majority PromoteAck), negotiation
+//       and promotion, per N, p50/p99 across seeds. N=2 needs no acks
+//       (quorum 1) — the spread from N=2 to N=9 is the price of
+//       split-brain safety.
+//
+// Exports BENCH_cluster.json.
+#include "bench_util.h"
+#include "core/deployment.h"
+#include "obs/json.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+#include "sim/simulation.h"
+#include "support/counter_app.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+constexpr int kReplicaCounts[] = {2, 3, 5, 9};
+
+// ---------------------------------------------------------------------
+// E8a — steady-state heartbeat/gossip overhead.
+// ---------------------------------------------------------------------
+
+struct OverheadResult {
+  std::int64_t dgrams_per_sec = 0;  // whole cluster
+  std::int64_t per_member = 0;
+};
+
+OverheadResult run_overhead(int replicas, std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  core::ClusterDeploymentOptions opts;
+  opts.replicas = replicas;
+  // Engine-only: no monitor, no MSMQ, no SCM, no app — every datagram
+  // on the wire is membership traffic (heartbeats, gossip, campaigns).
+  opts.with_monitor = false;
+  opts.with_msmq = false;
+  opts.with_scm = false;
+  core::ClusterDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));  // converge the startup election
+
+  const sim::SimTime window = sim::seconds(10);
+  std::uint64_t before = sim.network(0).sent();
+  sim.run_for(window);
+  std::uint64_t delta = sim.network(0).sent() - before;
+
+  OverheadResult r;
+  r.dgrams_per_sec =
+      static_cast<std::int64_t>(delta / static_cast<std::uint64_t>(sim::to_seconds(window)));
+  r.per_member = r.dgrams_per_sec / replicas;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// E8b — failover latency per cluster size.
+// ---------------------------------------------------------------------
+
+struct PhaseSamples {
+  std::vector<std::int64_t> detection, ack_collection, negotiation, promotion, total;
+  std::vector<std::int64_t> observed;  // injection -> new primary, by polling
+};
+
+void run_failover_once(int replicas, std::uint64_t seed, PhaseSamples& out) {
+  sim::Simulation sim(seed);
+  core::ClusterDeploymentOptions opts;
+  opts.replicas = replicas;
+  opts.with_diverter = true;  // the replay phase only completes with one
+  opts.app_factory = [](sim::Process& proc) {
+    testsupport::CounterApp::Options app;
+    app.tick = sim::milliseconds(10);
+    proc.attachment<testsupport::CounterApp>(proc, app);
+  };
+  core::ClusterDeployment dep(sim, opts);
+  sim.run_for(sim::seconds(5));
+  if (dep.primary_node() != dep.node(0).id()) return;
+
+  sim::SimTime injected = sim.now();
+  dep.node(0).crash();
+
+  sim::SimTime deadline = injected + sim::seconds(30);
+  while (sim.now() < deadline && dep.primary_node() < 0) {
+    sim.run_for(sim::milliseconds(1));
+  }
+  if (dep.primary_node() < 0) return;
+  out.observed.push_back(sim.now() - injected);
+  sim.run_for(sim::seconds(10));  // let the trace close (replay/reroute)
+
+  for (const auto& t : sim.telemetry().spans().traces()) {
+    if (!t.complete()) continue;
+    out.detection.push_back(t.phase(obs::FailoverPhase::kDetection));
+    out.ack_collection.push_back(t.phase(obs::FailoverPhase::kAckCollection));
+    out.negotiation.push_back(t.phase(obs::FailoverPhase::kNegotiation));
+    out.promotion.push_back(t.phase(obs::FailoverPhase::kPromotion));
+    out.total.push_back(t.total());
+  }
+}
+
+void json_phase(obs::JsonWriter& w, const char* name, const std::vector<std::int64_t>& xs) {
+  w.begin_object();
+  w.kv("phase", name);
+  w.kv("n", static_cast<std::uint64_t>(xs.size()));
+  w.kv("p50_ns", obs::percentile(xs, 0.50));
+  w.kv("p99_ns", obs::percentile(xs, 0.99));
+  w.end_object();
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  const int kSeeds = seeds_or(15);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "cluster");
+  w.kv("seeds", static_cast<std::uint64_t>(kSeeds));
+  w.key("sizes");
+  w.begin_array();
+
+  title("E8a: steady-state membership overhead",
+        "engine-only clusters; every datagram is heartbeat/gossip/campaign traffic; "
+        "all-to-all heartbeats make this O(N^2)");
+  row({"replicas", "quorum", "dgrams/s", "per member"});
+  rule(4);
+  std::vector<OverheadResult> overhead;
+  for (int n : kReplicaCounts) {
+    OverheadResult r = run_overhead(n, 11);
+    overhead.push_back(r);
+    row({fmt_int(n), fmt_int(cluster::quorum_required(static_cast<std::size_t>(n))),
+         fmt_int(r.dgrams_per_sec), fmt_int(r.per_member)});
+  }
+
+  title("E8b: failover latency vs cluster size",
+        "kill the primary; rank-1 backup must campaign, collect a majority of "
+        "PromoteAcks, and promote; p50/p99 over " +
+            std::to_string(kSeeds) + " seeds");
+  row({"N / phase", "p50 ms", "p99 ms", "traces"});
+  rule(4);
+  for (std::size_t i = 0; i < std::size(kReplicaCounts); ++i) {
+    int n = kReplicaCounts[i];
+    PhaseSamples ps;
+    for (int s = 0; s < kSeeds; ++s) {
+      run_failover_once(n, static_cast<std::uint64_t>(s) * 131 + 3, ps);
+    }
+    const std::vector<std::pair<const char*, const std::vector<std::int64_t>*>> phases = {
+        {"detection", &ps.detection},   {"ack_collection", &ps.ack_collection},
+        {"negotiation", &ps.negotiation}, {"promotion", &ps.promotion},
+        {"total", &ps.total},           {"observed", &ps.observed}};
+    for (const auto& [name, xs] : phases) {
+      row({"N=" + std::to_string(n) + " " + name,
+           fmt(static_cast<double>(obs::percentile(*xs, 0.50)) / 1e6, 2),
+           fmt(static_cast<double>(obs::percentile(*xs, 0.99)) / 1e6, 2),
+           fmt_int(static_cast<long long>(xs->size()))});
+    }
+
+    w.begin_object();
+    w.kv("replicas", n);
+    w.kv("quorum", static_cast<std::uint64_t>(
+                       cluster::quorum_required(static_cast<std::size_t>(n))));
+    w.kv("steady_dgrams_per_sec", overhead[i].dgrams_per_sec);
+    w.kv("steady_dgrams_per_sec_per_member", overhead[i].per_member);
+    w.key("failover_phases");
+    w.begin_array();
+    for (const auto& [name, xs] : phases) json_phase(w, name, *xs);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_file("BENCH_cluster.json", w.take());
+
+  std::printf(
+      "\n(detection dominates and is configuration-bound — peer_timeout — so failover\n"
+      " latency is nearly flat in N; ack collection adds one LAN round trip once N > 2;\n"
+      " the steady-state cost of that safety grows quadratically with N)\n");
+  return 0;
+}

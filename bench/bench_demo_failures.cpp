@@ -127,7 +127,7 @@ DemoResult run_demo(int failure_class, std::uint64_t seed) {
 
 int main() {
   Logger::instance().set_level(LogLevel::kOff);
-  const int kSeeds = 8;
+  const int kSeeds = seeds_or(8);
   const char* names[] = {"(a) node failure", "(b) NT crash", "(c) app failure",
                          "(d) OFTT middleware"};
 

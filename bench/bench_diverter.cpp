@@ -127,7 +127,7 @@ Outcome run_once(msmq::DeliveryMode mode, bool save_per_event, std::uint64_t see
 
 int main() {
   Logger::instance().set_level(LogLevel::kOff);
-  const int kSeeds = 10;
+  const int kSeeds = seeds_or(10);
   title("E4: message continuity through a mid-stream switchover",
         "source streams 100 msg/s; primary node crashes mid-stream; totals over " +
             std::to_string(kSeeds) +

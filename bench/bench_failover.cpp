@@ -209,7 +209,7 @@ void run_e2b(int seeds) {
 
 int main() {
   Logger::instance().set_level(LogLevel::kOff);
-  const int kSeeds = 15;
+  const int kSeeds = seeds_or(15);
 
   title("E2: detection latency and recovery time per failure class",
         "mean over " + std::to_string(kSeeds) +

@@ -52,7 +52,7 @@ Outcome run(bool dual, std::uint64_t seed) {
 
 int main() {
   Logger::instance().set_level(LogLevel::kOff);
-  const int kSeeds = 10;
+  const int kSeeds = seeds_or(10);
   title("E8: one vs dual Ethernet under link flapping (design ablation)",
         "the pair's LAN0 link flaps 6x for 2 s each; heartbeat timeout 500 ms; totals "
         "over " + std::to_string(kSeeds) + " seeds");

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -11,6 +12,19 @@
 #include "common/logging.h"
 
 namespace oftt::bench {
+
+/// CI smoke mode: when OFTT_BENCH_SMOKE is set (non-empty, not "0"),
+/// benches shrink their seed/iteration counts so every binary finishes
+/// in a few seconds. The numbers are meaningless then — the point is
+/// exercising each harness end to end (build, run, JSON export) on
+/// every change, not measuring.
+inline bool smoke_mode() {
+  const char* v = std::getenv("OFTT_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// `full` seeds normally, a tiny count under OFTT_BENCH_SMOKE.
+inline int seeds_or(int full, int smoke = 2) { return smoke_mode() ? smoke : full; }
 
 inline void title(const std::string& name, const std::string& what) {
   std::printf("\n%s\n%s\n", name.c_str(), std::string(name.size(), '=').c_str());

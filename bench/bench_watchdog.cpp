@@ -54,7 +54,7 @@ double measure_detection_ms(sim::SimTime wd_timeout, std::uint64_t seed) {
 
 int main() {
   Logger::instance().set_level(LogLevel::kOff);
-  const int kSeeds = 10;
+  const int kSeeds = seeds_or(10);
   title("E7: hang-detection latency vs watchdog timeout",
         "application main thread wedged while FTIM heartbeats continue; " +
             std::to_string(kSeeds) + " seeds per point");

@@ -1,0 +1,148 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace oftt::cluster {
+
+const char* member_role_name(MemberRole r) {
+  switch (r) {
+    case MemberRole::kUnknown: return "unknown";
+    case MemberRole::kPrimary: return "primary";
+    case MemberRole::kBackup: return "backup";
+    case MemberRole::kDead: return "dead";
+  }
+  return "?";
+}
+
+int quorum_required(std::size_t view_size) {
+  if (view_size <= 2) return 1;
+  return static_cast<int>(view_size / 2) + 1;
+}
+
+MembershipView MembershipView::initial(const std::vector<int>& nodes) {
+  MembershipView v;
+  v.members.reserve(nodes.size());
+  int rank = 0;
+  for (int node : nodes) {
+    Member m;
+    m.node = node;
+    m.rank = rank++;
+    v.members.push_back(m);
+  }
+  return v;
+}
+
+const Member* MembershipView::find(int node) const {
+  for (const Member& m : members) {
+    if (m.node == node) return &m;
+  }
+  return nullptr;
+}
+
+Member* MembershipView::find(int node) {
+  for (Member& m : members) {
+    if (m.node == node) return &m;
+  }
+  return nullptr;
+}
+
+const Member* MembershipView::primary() const {
+  for (const Member& m : members) {
+    if (m.role == MemberRole::kPrimary) return &m;
+  }
+  return nullptr;
+}
+
+bool MembershipView::superseded_by(const MembershipView& other) const {
+  if (other.incarnation != incarnation) return other.incarnation > incarnation;
+  return other.version > version;
+}
+
+bool MembershipView::merge(const MembershipView& other) {
+  if (superseded_by(other)) {
+    // Adopt the newer view wholesale, but never lose a fresher local
+    // heartbeat observation: the owner's view of a member may be staler
+    // than what we heard ourselves.
+    MembershipView adopted = other;
+    for (Member& m : adopted.members) {
+      if (const Member* mine = find(m.node)) {
+        m.last_heartbeat = std::max(m.last_heartbeat, mine->last_heartbeat);
+      }
+    }
+    bool structural = adopted.members.size() != members.size();
+    if (!structural) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (members[i].node != adopted.members[i].node ||
+            members[i].rank != adopted.members[i].rank ||
+            members[i].role != adopted.members[i].role) {
+          structural = true;
+          break;
+        }
+      }
+    }
+    *this = std::move(adopted);
+    return structural;
+  }
+  if (other.incarnation == incarnation && other.version == version) {
+    for (Member& m : members) {
+      if (const Member* theirs = other.find(m.node)) {
+        m.last_heartbeat = std::max(m.last_heartbeat, theirs->last_heartbeat);
+      }
+    }
+  }
+  return false;
+}
+
+void MembershipView::encode(BinaryWriter& w) const {
+  w.u64(version);
+  w.u32(incarnation);
+  w.u16(static_cast<std::uint16_t>(members.size()));
+  for (const Member& m : members) {
+    w.i32(m.node);
+    w.i32(m.rank);
+    w.u8(static_cast<std::uint8_t>(m.role));
+    w.u32(m.incarnation);
+    w.i64(m.last_heartbeat);
+  }
+}
+
+bool MembershipView::decode(BinaryReader& r, MembershipView& out) {
+  out = MembershipView{};
+  out.version = r.u64();
+  out.incarnation = r.u32();
+  std::uint16_t n = r.u16();
+  if (r.failed()) return false;
+  out.members.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    Member m;
+    m.node = r.i32();
+    m.rank = r.i32();
+    std::uint8_t role = r.u8();
+    if (role > static_cast<std::uint8_t>(MemberRole::kDead)) return false;
+    m.role = static_cast<MemberRole>(role);
+    m.incarnation = r.u32();
+    m.last_heartbeat = r.i64();
+    if (r.failed()) return false;
+    out.members.push_back(m);
+  }
+  return !r.failed();
+}
+
+std::string MembershipView::summary() const {
+  std::string s = "v" + std::to_string(version) + " inc" + std::to_string(incarnation) + ":";
+  for (const Member& m : members) {
+    char mark = '?';
+    switch (m.role) {
+      case MemberRole::kPrimary: mark = '*'; break;
+      case MemberRole::kBackup: mark = '.'; break;
+      case MemberRole::kDead: mark = '!'; break;
+      case MemberRole::kUnknown: mark = '?'; break;
+    }
+    s += ' ';
+    s += std::to_string(m.node);
+    s += mark;
+  }
+  return s;
+}
+
+}  // namespace oftt::cluster

@@ -1,0 +1,99 @@
+// MembershipView: the versioned node list at the heart of N-replica
+// role management. The paper's OFTT Engine knows exactly one peer; this
+// module generalizes that to a ranked member list so an execution unit
+// can run one primary plus N-1 backups with deterministic succession.
+//
+// The view is a small replicated datum, not a consensus log: the
+// primary owns it (bumps `version` on every change and gossips it with
+// its heartbeats), and everyone else adopts whichever view carries the
+// highest (incarnation, version) pair. Promotions go through the
+// quorum gate (see cluster/quorum.h), so two views can only compete
+// across a partition — and at most one side of a partition can reach
+// quorum over the full member list.
+//
+// Layering: cluster sits below core (core/engine delegates its role
+// decisions here) and above common/sim; it knows nothing about
+// processes, datagrams, or the engine wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/time.h"
+
+namespace oftt::cluster {
+
+enum class MemberRole : std::uint8_t {
+  kUnknown = 0,
+  kPrimary = 1,
+  kBackup = 2,
+  /// Declared failed and re-ranked to the back of the succession order;
+  /// kept in the list (quorum counts the full configured membership).
+  kDead = 3,
+};
+
+const char* member_role_name(MemberRole r);
+
+struct Member {
+  int node = -1;
+  /// Succession order: rank 0 is the primary, rank 1 its first
+  /// successor, and so on. Survivors re-rank after every promotion.
+  int rank = 0;
+  MemberRole role = MemberRole::kUnknown;
+  std::uint32_t incarnation = 0;
+  /// Freshest proof of life the view's owner has for this member.
+  sim::SimTime last_heartbeat = 0;
+
+  bool operator==(const Member&) const = default;
+};
+
+/// Votes needed before a backup may self-promote: a strict majority of
+/// the FULL configured membership (dead members still count — the
+/// static-quorum rule is what keeps a minority partition from ever
+/// promoting). A two-member view cannot form a majority without the
+/// failed peer, so N=2 degrades to the paper's pair protocol: the
+/// survivor's own vote suffices and the split-brain window is closed
+/// after the fact by incarnation arbitration.
+int quorum_required(std::size_t view_size);
+
+struct MembershipView {
+  /// Bumped by the owner on every membership/rank change.
+  std::uint64_t version = 0;
+  /// Incarnation of the primary this view was built for. Views compare
+  /// by (incarnation, version), so a freshly promoted primary's view
+  /// supersedes any number of updates from its predecessor.
+  std::uint32_t incarnation = 0;
+  std::vector<Member> members;  // kept sorted by rank
+
+  /// Rank-ordered initial view: nodes[i] gets rank i, role unknown.
+  static MembershipView initial(const std::vector<int>& nodes);
+
+  const Member* find(int node) const;
+  Member* find(int node);
+  const Member* primary() const;
+  std::size_t size() const { return members.size(); }
+  int quorum() const { return quorum_required(members.size()); }
+  bool knows(int node) const { return find(node) != nullptr; }
+
+  /// True when `other` strictly supersedes this view.
+  bool superseded_by(const MembershipView& other) const;
+  /// Adopt `other` if it supersedes this view; on an identical
+  /// (incarnation, version) pair, only freshen per-member heartbeat
+  /// observations. Returns true when the member list itself changed.
+  bool merge(const MembershipView& other);
+
+  /// Wire format (embedded in core's ViewGossip / StatusReport).
+  void encode(BinaryWriter& w) const;
+  static bool decode(BinaryReader& r, MembershipView& out);
+
+  /// One-line operator rendering: "v3 inc2: 1*P 2.B 0!D" (rank order;
+  /// * primary, . backup, ! dead, ? unknown).
+  std::string summary() const;
+
+  bool operator==(const MembershipView&) const = default;
+};
+
+}  // namespace oftt::cluster

@@ -1,0 +1,18 @@
+#include "cluster/quorum.h"
+
+namespace oftt::cluster {
+
+bool VoteLedger::grant(std::uint32_t incarnation, int candidate) {
+  if (incarnation > granted_incarnation_) {
+    granted_incarnation_ = incarnation;
+    granted_candidate_ = candidate;
+    return true;
+  }
+  if (incarnation == granted_incarnation_ && candidate == granted_candidate_ &&
+      granted_candidate_ >= 0) {
+    return true;  // retransmitted request from the same candidate
+  }
+  return false;
+}
+
+}  // namespace oftt::cluster

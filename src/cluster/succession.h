@@ -1,0 +1,40 @@
+// SuccessionPlanner: deterministic rank-ordered promotion.
+//
+// Succession is a pure function of (view, live set): the live member
+// with the lowest rank is the designated successor, so every survivor
+// that can see the same view computes the same answer without any
+// coordination round. Coordination only enters through the quorum gate
+// (cluster/quorum.h) — the successor still has to collect majority
+// acks before it may act on the plan.
+#pragma once
+
+#include <set>
+
+#include "cluster/membership.h"
+
+namespace oftt::cluster {
+
+class SuccessionPlanner {
+ public:
+  /// The node every survivor should expect to take over: the
+  /// lowest-ranked member of `view` that is in `live`. Dead members are
+  /// skipped even if (stalely) listed live. Returns -1 if nobody
+  /// qualifies.
+  static int successor(const MembershipView& view, const std::set<int>& live);
+
+  /// Rewrite `view` for `new_primary` taking over at `incarnation`:
+  /// the new primary gets rank 0, live survivors re-rank 1..k in their
+  /// previous relative order, and members not in `live` are marked dead
+  /// and ranked after every survivor (still counted for quorum).
+  /// Bumps the view version.
+  static void promote(MembershipView& view, int new_primary, std::uint32_t incarnation,
+                      const std::set<int>& live);
+
+  /// A previously dead member came back: readmit it as a backup with
+  /// the worst rank (it re-earns seniority from the back of the line).
+  /// No-op if the node is unknown or not dead. Bumps the version on
+  /// change; returns true if the view changed.
+  static bool rejoin(MembershipView& view, int node);
+};
+
+}  // namespace oftt::cluster

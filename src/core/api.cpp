@@ -16,13 +16,17 @@ HRESULT OFTTInitialize(sim::Process& process, FtimOptions options,
   if (engine_config != nullptr && Engine::find(process.node()) == nullptr) {
     Engine::install(process.node(), *engine_config);
   }
-  // The FTIM learns the pair configuration from the node's engine when
-  // the application did not spell it out.
-  if (options.peer_node < 0) {
+  // The FTIM learns the pair/cluster configuration from the node's
+  // engine when the application did not spell it out.
+  if (options.peer_node < 0 && options.peer_nodes.empty()) {
     if (Engine* engine = Engine::find(process.node())) {
       options.peer_node = engine->config().peer_node;
       options.networks = engine->config().networks;
       options.heartbeat_period = engine->config().heartbeat_period;
+      if (engine->config().cluster_mode()) {
+        // Checkpoint fan-out: every other replica of the unit.
+        options.peer_nodes = engine->config().cluster_peers(process.node().id());
+      }
     }
   }
   process.attachment<Ftim>(process, options);

@@ -3,6 +3,7 @@
 // erroneous-shutdown bug.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,24 @@ struct OfttConfig {
   int peer_node = -1;              // node id of the partner
   std::vector<int> networks = {0};  // one or dual Ethernet (Fig. 1)
   int monitor_node = -1;            // where the System Monitor lives (-1: none)
+
+  /// Cluster mode (N-replica role management): node ids of every member
+  /// of the execution unit, self included, in initial succession-rank
+  /// order. Size >= 2 switches the engine from pair negotiation to
+  /// membership-view gossip with quorum-gated promotion; empty keeps
+  /// the paper's pair protocol.
+  std::vector<int> cluster_nodes;
+  /// Cluster mode: a primary that can no longer see a live majority of
+  /// the configured membership steps down to backup (keeps a minority
+  /// partition's old primary from serving stale state).
+  bool quorum_stepdown = true;
+
+  bool cluster_mode() const { return cluster_nodes.size() >= 2; }
+  std::vector<int> cluster_peers(int self) const {
+    std::vector<int> peers = cluster_nodes;
+    peers.erase(std::remove(peers.begin(), peers.end(), self), peers.end());
+    return peers;
+  }
 
   // Failure detection.
   sim::SimTime heartbeat_period = sim::milliseconds(100);

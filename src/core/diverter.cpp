@@ -24,7 +24,9 @@ void MessageDiverter::subscribe() {
   sub.subscriber_node = process_->node().id();
   sub.subscriber_port = port_;
   Buffer payload = sub.encode();
-  for (int node : {options_.node_a, options_.node_b}) {
+  std::vector<int> targets = options_.nodes;
+  if (targets.empty()) targets = {options_.node_a, options_.node_b};
+  for (int node : targets) {
     if (node < 0) continue;
     int net = sim::pick_network(process_->sim(), process_->node().id(), node);
     if (net < 0) continue;

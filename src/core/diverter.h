@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/wire.h"
@@ -21,6 +22,10 @@ struct DiverterOptions {
   std::string queue;  // logical queue the unit's application consumes
   int node_a = -1;
   int node_b = -1;
+  /// Cluster mode: every replica's node id. When non-empty this takes
+  /// precedence over node_a/node_b — the diverter subscribes to every
+  /// member's engine, since any of them can become primary.
+  std::vector<int> nodes;
   sim::SimTime resubscribe_period = sim::seconds(1);
 };
 

@@ -2,6 +2,9 @@
 
 #include "core/engine_com.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "sim/simulation.h"
@@ -40,12 +43,42 @@ Engine::Engine(sim::Process& process, OfttConfig config)
     send_status();
     announce_role();  // refresh subscribers even without changes
   });
+  started_at_ = process_->sim().now();
+  if (config_.cluster_mode()) {
+    // N-replica role management: no pairwise probe exchange. The
+    // engine starts from the configured rank-ordered view; the initial
+    // primary emerges through the same quorum-gated election that
+    // handles failover (see cluster_tick).
+    view_ = cluster::MembershipView::initial(config_.cluster_nodes);
+    member_last_hb_[process_->node().id()] = started_at_;
+    OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": engine up, unit '",
+                  config_.unit_name, "', cluster of ", config_.cluster_nodes.size(),
+                  " (quorum ", view_.quorum(), ")");
+    return;
+  }
   OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": engine up, unit '",
                 config_.unit_name, "', peer node ", config_.peer_node);
   probe_round();
 }
 
 std::shared_ptr<sim::Process> Engine::install(sim::Node& node, OfttConfig config) {
+  if (config.peer_node == node.id()) {
+    throw std::invalid_argument(
+        cat("Engine::install: peer_node ", config.peer_node,
+            " is this node — a node cannot be its own backup"));
+  }
+  if (config.cluster_mode()) {
+    std::vector<int> sorted = config.cluster_nodes;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument(
+          "Engine::install: cluster_nodes contains a duplicate node id");
+    }
+    if (std::find(sorted.begin(), sorted.end(), node.id()) == sorted.end()) {
+      throw std::invalid_argument(
+          cat("Engine::install: cluster_nodes must include this node (", node.id(), ")"));
+    }
+  }
   return node.start_process(kEngineProcess, [config](sim::Process& proc) {
     proc.attachment<Engine>(proc, config);
     install_engine_com(proc);  // the engine's remotely activatable COM face
@@ -60,6 +93,13 @@ Engine* Engine::find(sim::Node& node) {
 
 bool Engine::peer_visible() const {
   sim::SimTime now = process_->sim().now();
+  if (config_.cluster_mode()) {
+    for (int peer : config_.cluster_peers(process_->node().id())) {
+      auto it = member_last_hb_.find(peer);
+      if (it != member_last_hb_.end() && now - it->second < config_.peer_timeout) return true;
+    }
+    return false;
+  }
   for (const auto& [net, last] : peer_last_hb_) {
     if (now - last < config_.peer_timeout) return true;
   }
@@ -210,6 +250,12 @@ void Engine::send_set_active(const Component& c, bool active) {
 void Engine::tick() {
   sim::SimTime now = process_->sim().now();
 
+  if (config_.cluster_mode()) {
+    cluster_tick(now);
+    check_components(now);
+    return;
+  }
+
   // Peer heartbeat out, on every configured network.
   PeerHeartbeat hb;
   hb.node = process_->node().id();
@@ -233,6 +279,10 @@ void Engine::tick() {
     promote(cat("peer heartbeat timeout (", sim::to_millis(config_.peer_timeout), " ms)"));
   }
 
+  check_components(now);
+}
+
+void Engine::check_components(sim::SimTime now) {
   // Component heartbeats and watchdogs.
   for (auto& [name, c] : components_) {
     if (c.state == ComponentState::kUp && now - c.last_hb > config_.component_timeout) {
@@ -256,6 +306,320 @@ void Engine::tick() {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Cluster mode: membership view, ranked succession, quorum-gated
+// promotion
+// ---------------------------------------------------------------------
+
+std::set<int> Engine::live_members(sim::SimTime now) const {
+  std::set<int> live;
+  live.insert(process_->node().id());
+  for (int peer : config_.cluster_peers(process_->node().id())) {
+    auto it = member_last_hb_.find(peer);
+    if (it != member_last_hb_.end() && now - it->second < config_.peer_timeout) {
+      live.insert(peer);
+    }
+  }
+  return live;
+}
+
+void Engine::cluster_tick(sim::SimTime now) {
+  int self = process_->node().id();
+
+  // Heartbeat every configured member on every configured network.
+  PeerHeartbeat hb;
+  hb.node = self;
+  hb.role = role_;
+  hb.incarnation = incarnation_;
+  hb.seq = ++hb_seq_;
+  Buffer hb_payload = hb.encode();
+  for (int peer : config_.cluster_peers(self)) send_to_member(peer, hb_payload);
+
+  member_last_hb_[self] = now;
+  if (auto* me = view_.find(self)) me->last_heartbeat = now;
+
+  if (role_ == Role::kPrimary) {
+    // Fold our liveness observations into the view we own.
+    for (auto& m : view_.members) {
+      auto it = member_last_hb_.find(m.node);
+      if (it != member_last_hb_.end()) {
+        m.last_heartbeat = std::max(m.last_heartbeat, it->second);
+      }
+    }
+    // Readmit rebooted members: a dead member heartbeating again
+    // rejoins as a backup at the back of the succession order.
+    for (int peer : config_.cluster_peers(self)) {
+      const cluster::Member* m = view_.find(peer);
+      auto it = member_last_hb_.find(peer);
+      if (m != nullptr && m->role == cluster::MemberRole::kDead &&
+          it != member_last_hb_.end() && now - it->second < config_.peer_timeout) {
+        if (cluster::SuccessionPlanner::rejoin(view_, peer)) {
+          obs::Event e;
+          e.kind = obs::EventKind::kViewChange;
+          e.detail = cat("member ", peer, " rejoined: ", view_.summary());
+          e.a = view_.version;
+          e.b = view_.incarnation;
+          record(std::move(e));
+        }
+      }
+    }
+    // Quorum stepdown: a primary that cannot see a live majority of the
+    // configured membership must stop serving (it may be the minority
+    // side of a partition while the majority elects a successor).
+    if (config_.quorum_stepdown &&
+        static_cast<int>(live_members(now).size()) < view_.quorum()) {
+      demote(cat("quorum lost: ", live_members(now).size(), " live of ",
+                 view_.size(), ", need ", view_.quorum()));
+      return;
+    }
+    gossip_view();
+    return;
+  }
+
+  // Backup / negotiating: watch the primary; campaign when we are the
+  // designated successor and the primary is provably stale.
+  const cluster::Member* prim = view_.primary();
+  if (prim != nullptr) {
+    auto it = member_last_hb_.find(prim->node);
+    sim::SimTime seen = it != member_last_hb_.end() ? it->second : 0;
+    // Join grace: a freshly (re)booted engine has heard nothing yet —
+    // give the primary one full timeout from our own start.
+    seen = std::max(seen, started_at_);
+    if (now - seen < config_.peer_timeout) {
+      if (campaign_.active) campaign_.clear();  // primary is back
+      return;
+    }
+  } else {
+    // No primary has ever been elected (startup). Give the other
+    // members the startup probe window to boot and be counted before
+    // the lowest-ranked live member claims the role.
+    if (now - started_at_ < config_.startup_probe_timeout) return;
+  }
+
+  std::set<int> live = live_members(now);
+  if (campaign_.active) {
+    // Retransmit on a fixed cadence; give up after a few rounds so the
+    // successor choice can be recomputed against fresh liveness.
+    if (now - campaign_.started >=
+        2 * config_.heartbeat_period * (campaign_.retries + 1)) {
+      if (++campaign_.retries > 4) {
+        OFTT_LOG_WARN("oftt/engine", process_->node().name(),
+                      ": promotion campaign for incarnation ", campaign_.incarnation,
+                      " timed out without quorum");
+        campaign_.clear();
+      } else {
+        send_campaign_requests();
+      }
+    }
+    return;
+  }
+  if (cluster::SuccessionPlanner::successor(view_, live) != process_->node().id()) return;
+
+  if (prim != nullptr) {
+    auto it = member_last_hb_.find(prim->node);
+    sim::SimTime evidence = std::max(it != member_last_hb_.end() ? it->second : 0, started_at_);
+    start_campaign(now,
+                   cat("primary node ", prim->node, " heartbeat timeout (",
+                       sim::to_millis(config_.peer_timeout), " ms)"),
+                   evidence, /*had_primary=*/true);
+  } else {
+    start_campaign(now, "startup election", now, /*had_primary=*/false);
+  }
+}
+
+void Engine::start_campaign(sim::SimTime now, const std::string& reason,
+                            sim::SimTime evidence, bool had_primary) {
+  campaign_.clear();
+  campaign_.active = true;
+  campaign_.incarnation = std::max(incarnation_, view_.incarnation) + 1;
+  campaign_.started = now;
+  campaign_.reason = reason;
+  campaign_.evidence = evidence;
+  // Our own ledger entry: we will refuse any rival candidate at this
+  // incarnation, which is what makes concurrent candidates mutually
+  // exclusive.
+  votes_.grant(campaign_.incarnation, process_->node().id());
+  if (had_primary) {
+    // Open the failover trace. Startup elections record no failure:
+    // nothing failed, there is simply no primary yet.
+    obs::Event fe;
+    fe.kind = obs::EventKind::kFailureDetected;
+    fe.detail = reason;
+    fe.a = static_cast<std::uint64_t>(evidence);
+    record(std::move(fe));
+  }
+  obs::Event e;
+  e.kind = obs::EventKind::kPromotionRequested;
+  e.detail = cat("campaigning for incarnation ", campaign_.incarnation, ": ", reason);
+  e.a = campaign_.incarnation;
+  e.b = static_cast<std::uint64_t>(view_.quorum());
+  record(std::move(e));
+  send_campaign_requests();
+  maybe_promote_on_quorum();  // N=2: our own vote already is a majority
+}
+
+void Engine::send_campaign_requests() {
+  PromoteRequest req;
+  req.candidate = process_->node().id();
+  req.unit = config_.unit_name;
+  req.incarnation = campaign_.incarnation;
+  req.view_version = view_.version;
+  req.reason = campaign_.reason;
+  Buffer payload = req.encode();
+  for (int peer : config_.cluster_peers(process_->node().id())) {
+    send_to_member(peer, payload);
+  }
+}
+
+void Engine::maybe_promote_on_quorum() {
+  if (!campaign_.active || campaign_.tally() < view_.quorum()) return;
+  sim::SimTime now = process_->sim().now();
+  obs::Event e;
+  e.kind = obs::EventKind::kPromotionQuorum;
+  e.detail = cat("quorum for incarnation ", campaign_.incarnation, ": ", campaign_.tally(),
+                 " of ", view_.quorum(), " votes");
+  e.a = static_cast<std::uint64_t>(campaign_.tally());
+  e.b = static_cast<std::uint64_t>(view_.quorum());
+  record(std::move(e));
+  std::string reason = campaign_.reason;
+  std::uint32_t inc = campaign_.incarnation;
+  campaign_.clear();
+  cluster::SuccessionPlanner::promote(view_, process_->node().id(), inc, live_members(now));
+  incarnation_ = inc;
+  negotiation_resolved_ = true;
+  ++takeovers_;
+  ctr_takeovers_.inc();
+  OFTT_LOG_WARN("oftt/engine", process_->node().name(), ": PROMOTING (quorum) — ", reason);
+  enter_role(Role::kPrimary);
+  gossip_view();
+}
+
+void Engine::cluster_handoff(const std::string& reason) {
+  sim::SimTime now = process_->sim().now();
+  std::set<int> live = live_members(now);
+  std::set<int> others = live;
+  others.erase(process_->node().id());
+  int succ = cluster::SuccessionPlanner::successor(view_, others);
+  if (succ < 0) return;  // callers check peer_visible() first
+  // Primary-led view change: no quorum round needed — the incumbent
+  // still owns the view and simply publishes its successor.
+  obs::Event fe;
+  fe.kind = obs::EventKind::kFailureDetected;
+  fe.detail = cat("switchover: ", reason);
+  fe.a = static_cast<std::uint64_t>(now);
+  record(std::move(fe));
+  cluster::SuccessionPlanner::promote(view_, succ, incarnation_ + 1, live);
+  obs::Event ve;
+  ve.kind = obs::EventKind::kViewChange;
+  ve.detail = cat("handoff to node ", succ, ": ", view_.summary());
+  ve.a = view_.version;
+  ve.b = view_.incarnation;
+  record(std::move(ve));
+  gossip_view();
+  demote(cat("switchover: ", reason));
+}
+
+void Engine::gossip_view() {
+  ViewGossip g;
+  g.from_node = process_->node().id();
+  g.unit = config_.unit_name;
+  g.view = view_;
+  Buffer payload = g.encode();
+  // Every configured member, dead ones included: a rebooted node
+  // resynchronizes its view from this broadcast, no join protocol.
+  for (int peer : config_.cluster_peers(process_->node().id())) {
+    send_to_member(peer, payload);
+  }
+}
+
+void Engine::handle_view_gossip(const ViewGossip& g, sim::SimTime now) {
+  member_last_hb_[g.from_node] = now;
+  bool changed = view_.merge(g.view);
+  if (changed) {
+    obs::Event e;
+    e.kind = obs::EventKind::kViewChange;
+    e.detail = cat("adopted view from node ", g.from_node, ": ", view_.summary());
+    e.a = view_.version;
+    e.b = view_.incarnation;
+    record(std::move(e));
+  }
+  // A view at or beyond our proposed incarnation means someone already
+  // won (or the primary is alive and publishing): stand down.
+  if (campaign_.active && view_.incarnation >= campaign_.incarnation) campaign_.clear();
+
+  const cluster::Member* prim = view_.primary();
+  if (prim == nullptr) return;
+  int self = process_->node().id();
+  if (prim->node == self) {
+    if (role_ != Role::kPrimary) {
+      // Handoff: the incumbent planned our promotion and published it.
+      incarnation_ = view_.incarnation;
+      negotiation_resolved_ = true;
+      ++takeovers_;
+      ctr_takeovers_.inc();
+      OFTT_LOG_WARN("oftt/engine", process_->node().name(),
+                    ": PROMOTING — designated by view ", view_.summary());
+      enter_role(Role::kPrimary);
+      gossip_view();
+    } else {
+      incarnation_ = std::max(incarnation_, view_.incarnation);
+    }
+    return;
+  }
+  if (role_ == Role::kPrimary && view_.incarnation >= incarnation_) {
+    demote(cat("superseded by node ", prim->node, " (incarnation ", view_.incarnation, ")"));
+    return;
+  }
+  if (role_ != Role::kPrimary) {
+    incarnation_ = view_.incarnation;
+    if (role_ == Role::kNegotiating) {
+      negotiation_resolved_ = true;
+      enter_role(Role::kBackup);
+    }
+  }
+}
+
+void Engine::handle_promote_request(const sim::Datagram& d, const PromoteRequest& req,
+                                    sim::SimTime now) {
+  member_last_hb_[req.candidate] = now;
+  bool granted = false;
+  if (role_ != Role::kPrimary && req.incarnation > view_.incarnation) {
+    // Partition safety: refuse while the primary is demonstrably alive
+    // to us, even if it looks dead to the candidate.
+    const cluster::Member* prim = view_.primary();
+    bool primary_fresh = false;
+    if (prim != nullptr) {
+      auto it = member_last_hb_.find(prim->node);
+      primary_fresh = it != member_last_hb_.end() &&
+                      now - it->second < 2 * config_.heartbeat_period;
+    }
+    if (!primary_fresh) {
+      granted = votes_.grant(req.incarnation, req.candidate);
+    }
+  }
+  if (granted && campaign_.active && req.candidate != process_->node().id() &&
+      req.incarnation >= campaign_.incarnation) {
+    // We just endorsed a rival at a higher incarnation; our own
+    // campaign can no longer win this round.
+    campaign_.clear();
+  }
+  PromoteAck ack;
+  ack.voter = process_->node().id();
+  ack.candidate = req.candidate;
+  ack.incarnation = req.incarnation;
+  ack.granted = granted;
+  process_->send(d.network_id, d.src_node, kEnginePort, ack.encode(), kEnginePort);
+}
+
+void Engine::handle_promote_ack(const PromoteAck& ack) {
+  if (!campaign_.active || ack.candidate != process_->node().id() ||
+      ack.incarnation != campaign_.incarnation || !ack.granted) {
+    return;
+  }
+  campaign_.votes.insert(ack.voter);
+  maybe_promote_on_quorum();
 }
 
 void Engine::component_failed(Component& c, const std::string& why) {
@@ -312,6 +676,10 @@ void Engine::restart_component(Component& c) {
 }
 
 void Engine::do_switchover(const std::string& reason) {
+  if (config_.cluster_mode()) {
+    cluster_handoff(reason);
+    return;
+  }
   // A deliberate transfer of control still opens a failover trace: the
   // "evidence" and the decision coincide (detection phase is zero), and
   // the peer's promotion / activation / reroute milestones follow.
@@ -362,6 +730,12 @@ void Engine::send_peer(const Buffer& payload) {
   }
 }
 
+void Engine::send_to_member(int node, const Buffer& payload) {
+  for (int net : config_.networks) {
+    process_->send(net, node, kEnginePort, payload, kEnginePort);
+  }
+}
+
 void Engine::send_status() {
   if (config_.monitor_node < 0) return;
   StatusReport sr;
@@ -370,6 +744,7 @@ void Engine::send_status() {
   sr.role = role_;
   sr.incarnation = incarnation_;
   sr.peer_visible = peer_visible();
+  if (config_.cluster_mode()) sr.view = view_;
   for (const auto& [name, c] : components_) {
     sr.components.push_back(
         ComponentStatus{c.reg.component, c.state, c.restarts, c.heartbeats});
@@ -421,6 +796,28 @@ void Engine::on_datagram(const sim::Datagram& d) {
     case MsgKind::kPeerHeartbeat: {
       PeerHeartbeat hb;
       if (!PeerHeartbeat::decode(d.payload, hb)) return;
+      if (config_.cluster_mode()) {
+        if (!view_.knows(hb.node)) return;  // not a configured member
+        member_last_hb_[hb.node] = now;
+        if (role_ == Role::kPrimary && hb.role == Role::kPrimary) {
+          // Dual primary after a healed partition: same arbitration as
+          // the pair protocol — highest incarnation wins, ties go to
+          // the lower node id.
+          ctr_dual_primary_.inc();
+          obs::Event e;
+          e.kind = obs::EventKind::kDualPrimary;
+          e.detail = cat("dual primary with node ", hb.node, " (peer inc ", hb.incarnation,
+                         ", ours ", incarnation_, ")");
+          e.a = static_cast<std::uint64_t>(hb.node);
+          e.b = hb.incarnation;
+          record(std::move(e));
+          bool peer_wins = hb.incarnation > incarnation_ ||
+                           (hb.incarnation == incarnation_ &&
+                            hb.node < process_->node().id());
+          if (peer_wins) demote("dual-primary resolution");
+        }
+        break;
+      }
       peer_last_hb_[d.network_id] = now;
       peer_role_ = hb.role;
       peer_incarnation_ = hb.incarnation;
@@ -450,10 +847,33 @@ void Engine::on_datagram(const sim::Datagram& d) {
     case MsgKind::kTakeover: {
       Takeover t;
       if (!Takeover::decode(d.payload, t)) return;
+      if (config_.cluster_mode()) break;  // cluster handoff goes via view gossip
       peer_incarnation_ = t.incarnation;
       if (role_ != Role::kPrimary) {
         promote(cat("takeover handoff: ", t.reason));
       }
+      break;
+    }
+    case MsgKind::kViewGossip: {
+      ViewGossip g;
+      if (!ViewGossip::decode(d.payload, g)) return;
+      if (!config_.cluster_mode() || !view_.knows(g.from_node)) return;
+      handle_view_gossip(g, now);
+      break;
+    }
+    case MsgKind::kPromoteRequest: {
+      PromoteRequest req;
+      if (!PromoteRequest::decode(d.payload, req)) return;
+      if (!config_.cluster_mode() || !view_.knows(req.candidate)) return;
+      handle_promote_request(d, req, now);
+      break;
+    }
+    case MsgKind::kPromoteAck: {
+      PromoteAck ack;
+      if (!PromoteAck::decode(d.payload, ack)) return;
+      if (!config_.cluster_mode() || !view_.knows(ack.voter)) return;
+      member_last_hb_[ack.voter] = now;
+      handle_promote_ack(ack);
       break;
     }
     case MsgKind::kFtRegister: {

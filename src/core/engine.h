@@ -21,6 +21,9 @@
 #include <set>
 #include <string>
 
+#include "cluster/membership.h"
+#include "cluster/quorum.h"
+#include "cluster/succession.h"
 #include "common/hresult.h"
 #include "core/config.h"
 #include "core/wire.h"
@@ -75,6 +78,11 @@ class Engine {
   int startup_probe_rounds() const { return probe_rounds_; }
   std::uint64_t takeovers() const { return takeovers_; }
 
+  /// Cluster mode (config().cluster_mode()): this engine's current
+  /// membership view and whether a promotion campaign is in flight.
+  const cluster::MembershipView& view() const { return view_; }
+  bool campaigning() const { return campaign_.active; }
+
   /// Bounded in-memory event history (role changes, failures,
   /// recoveries) — what an operator pulls after an incident. Every
   /// entry is also published on the simulation-wide telemetry bus;
@@ -98,12 +106,28 @@ class Engine {
 
   // detection & recovery
   void tick();
+  void check_components(sim::SimTime now);
   void component_failed(Component& c, const std::string& why);
   void do_switchover(const std::string& reason);
   void restart_component(Component& c);
 
+  // cluster mode (N-replica role management)
+  void cluster_tick(sim::SimTime now);
+  std::set<int> live_members(sim::SimTime now) const;
+  void start_campaign(sim::SimTime now, const std::string& reason, sim::SimTime evidence,
+                      bool had_primary);
+  void send_campaign_requests();
+  void maybe_promote_on_quorum();
+  void cluster_handoff(const std::string& reason);
+  void gossip_view();
+  void handle_view_gossip(const ViewGossip& g, sim::SimTime now);
+  void handle_promote_request(const sim::Datagram& d, const PromoteRequest& req,
+                              sim::SimTime now);
+  void handle_promote_ack(const PromoteAck& ack);
+
   // messaging
   void send_peer(const Buffer& payload);
+  void send_to_member(int node, const Buffer& payload);
   void send_status();
   void announce_role();
   void send_set_active(const Component& c, bool active);
@@ -124,6 +148,13 @@ class Engine {
   std::map<int, sim::SimTime> peer_last_hb_;  // by network id
   std::uint32_t peer_incarnation_ = 0;
   Role peer_role_ = Role::kUnknown;
+
+  // Cluster mode (empty / inert when config_.cluster_mode() is false).
+  cluster::MembershipView view_;
+  std::map<int, sim::SimTime> member_last_hb_;  // freshest across networks
+  cluster::VoteLedger votes_;
+  cluster::Campaign campaign_;
+  sim::SimTime started_at_ = 0;
 
   std::map<std::string, Component> components_;
   std::set<std::pair<int, std::string>> role_subscribers_;

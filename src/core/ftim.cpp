@@ -1,5 +1,7 @@
 #include "core/ftim.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "sim/simulation.h"
@@ -30,6 +32,8 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
       ckpt_timer_(*strand_),
       engine_check_timer_(*strand_) {
   if (options_.component.empty()) options_.component = process.name();
+  ckpt_peers_ = options_.peer_nodes;
+  if (ckpt_peers_.empty() && options_.peer_node >= 0) ckpt_peers_ = {options_.peer_node};
 
   // The FTIM thread owns the control/checkpoint port.
   strand_->bind(port_, [this](const sim::Datagram& d) { on_port(d); });
@@ -123,12 +127,30 @@ void Ftim::take_checkpoint() {
   ckpt_bytes_.record(static_cast<std::int64_t>(blob.size()));
   publish_event(obs::EventKind::kCheckpointTaken, "", ckpt_seq_, blob.size());
   sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
-  if (options_.peer_node < 0) return;
+  if (ckpt_peers_.empty()) return;
   Buffer frame = encode_checkpoint(options_.component, blob);
-  // Ship on the first configured network; alternate on the dual-network
-  // configuration for a little extra loss resilience.
+  // Fan out to every live backup replica. Ship on the first configured
+  // network; alternate on the dual-network configuration for a little
+  // extra loss resilience.
   int net = options_.networks[ckpt_seq_ % options_.networks.size()];
-  process_->send(net, options_.peer_node, port_, frame, port_);
+  for (int peer : ckpt_peers_) {
+    process_->send(net, peer, port_, frame, port_);
+  }
+}
+
+std::uint64_t Ftim::min_acked_seq() const {
+  if (ckpt_peers_.empty()) return 0;
+  std::uint64_t lowest = ~std::uint64_t{0};
+  for (int peer : ckpt_peers_) {
+    auto it = acked_by_peer_.find(peer);
+    lowest = std::min(lowest, it != acked_by_peer_.end() ? it->second : 0);
+  }
+  return lowest;
+}
+
+std::uint64_t Ftim::acked_by(int node) const {
+  auto it = acked_by_peer_.find(node);
+  return it != acked_by_peer_.end() ? it->second : 0;
 }
 
 HRESULT Ftim::save_now() {
@@ -251,12 +273,11 @@ void Ftim::on_port(const sim::Datagram& d) {
       latest_ = std::move(img);
       ++checkpoints_received_;
       ctr_ckpt_received_.inc();
-      // Confirm receipt so the primary can watch replication lag.
-      if (options_.peer_node >= 0) {
-        int net = options_.networks[0];
-        process_->send(net, options_.peer_node, port_,
-                       encode_checkpoint_ack(options_.component, acked_seq), port_);
-      }
+      // Confirm receipt so the primary can watch replication lag. Reply
+      // to whoever sent the image — with checkpoint fan-out the sender
+      // is whichever replica is currently primary, not a fixed peer.
+      process_->send(d.network_id, d.src_node, port_,
+                     encode_checkpoint_ack(options_.component, acked_seq), port_);
       // Keep the local-disk copy current so a restarted instance on
       // this node recovers the newest state it ever saw.
       sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
@@ -267,6 +288,8 @@ void Ftim::on_port(const sim::Datagram& d) {
       std::uint64_t seq = 0;
       if (!decode_checkpoint_ack(d.payload, component, seq)) return;
       if (seq > peer_acked_seq_) peer_acked_seq_ = seq;
+      std::uint64_t& acked = acked_by_peer_[d.src_node];
+      acked = std::max(acked, seq);
       break;
     }
     default:

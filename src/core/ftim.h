@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -37,6 +38,10 @@ struct FtimOptions {
   sim::SimTime checkpoint_period = sim::milliseconds(500);
   sim::SimTime heartbeat_period = sim::milliseconds(100);
   int peer_node = -1;
+  /// Cluster mode: checkpoint fan-out targets — every other replica of
+  /// the execution unit. When empty, falls back to {peer_node} (pair
+  /// mode). Filled by OFTTInitialize from the engine's cluster_nodes.
+  std::vector<int> peer_nodes;
   std::vector<int> networks = {0};
   /// Recovery-rule overrides (-1: engine default).
   int max_local_restarts = -1;
@@ -84,12 +89,19 @@ class Ftim {
 
   // --- introspection (tests / benches / monitor) ---
   std::uint64_t checkpoints_sent() const { return checkpoints_sent_; }
-  /// Highest checkpoint seq the peer has acknowledged (primary side).
+  /// Highest checkpoint seq any peer has acknowledged (primary side).
   std::uint64_t peer_acked_seq() const { return peer_acked_seq_; }
-  /// Checkpoints taken but not (yet) confirmed by the peer.
+  /// Checkpoints taken but not (yet) confirmed by any peer.
   std::uint64_t replication_lag() const {
     return ckpt_seq_ > peer_acked_seq_ ? ckpt_seq_ - peer_acked_seq_ : 0;
   }
+  /// Lowest seq acknowledged across ALL fan-out peers (0 until every
+  /// peer has acked something) — the cluster replication watermark.
+  std::uint64_t min_acked_seq() const;
+  /// Highest seq a specific peer node has acknowledged (0 if none).
+  std::uint64_t acked_by(int node) const;
+  /// Effective checkpoint destinations (peer_nodes, or {peer_node}).
+  const std::vector<int>& checkpoint_peers() const { return ckpt_peers_; }
   std::uint64_t checkpoints_received() const { return checkpoints_received_; }
   std::uint64_t checkpoints_rejected() const { return checkpoints_rejected_; }
   std::size_t last_checkpoint_bytes() const { return last_checkpoint_bytes_; }
@@ -127,6 +139,8 @@ class Ftim {
   std::set<std::uint32_t> hooked_tids_;
   nt::NtRuntime::CreateThreadFn original_create_thread_;
   std::optional<CheckpointImage> latest_;
+  std::vector<int> ckpt_peers_;               // resolved fan-out targets
+  std::map<int, std::uint64_t> acked_by_peer_;  // node -> highest acked seq
   std::uint64_t checkpoints_sent_ = 0;
   std::uint64_t peer_acked_seq_ = 0;
   std::uint64_t checkpoints_received_ = 0;

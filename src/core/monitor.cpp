@@ -61,6 +61,15 @@ int SystemMonitor::primary_of(const std::string& unit) const {
   return best;
 }
 
+const cluster::MembershipView* SystemMonitor::membership_of(const std::string& unit) const {
+  const cluster::MembershipView* best = nullptr;
+  for (const auto& [key, v] : views_) {
+    if (key.first != unit || v.report.view.members.empty()) continue;
+    if (best == nullptr || best->superseded_by(v.report.view)) best = &v.report.view;
+  }
+  return best;
+}
+
 bool SystemMonitor::node_silent(const std::string& unit, int node,
                                 sim::SimTime staleness) const {
   const NodeView* v = view(unit, node);
@@ -71,6 +80,23 @@ bool SystemMonitor::node_silent(const std::string& unit, int node,
 std::string SystemMonitor::render() const {
   std::ostringstream os;
   os << "=== OFTT System Monitor @ " << sim::to_seconds(process_->sim().now()) << "s ===\n";
+  // Cluster units first: one membership line per unit (rank order, the
+  // succession plan an operator needs during an incident).
+  {
+    std::string last_unit;
+    for (const auto& [key, v] : views_) {
+      if (key.first == last_unit) continue;
+      last_unit = key.first;
+      if (const cluster::MembershipView* mv = membership_of(key.first)) {
+        os << "unit '" << key.first << "' membership " << mv->summary() << " (quorum "
+           << mv->quorum() << "/" << mv->size() << ")\n";
+        for (const auto& m : mv->members) {
+          os << "    rank " << m.rank << ": node " << m.node << " "
+             << cluster::member_role_name(m.role) << "\n";
+        }
+      }
+    }
+  }
   for (const auto& [key, v] : views_) {
     os << "unit '" << key.first << "' node " << key.second << ": " << role_name(v.report.role)
        << " inc=" << v.report.incarnation << (v.report.peer_visible ? "" : " [PEER LOST]")

@@ -45,6 +45,10 @@ class SystemMonitor {
   const NodeView* view(const std::string& unit, int node) const;
   /// Current primary node of a unit, or -1.
   int primary_of(const std::string& unit) const;
+  /// Cluster mode: the freshest membership view reported for a unit
+  /// (highest (incarnation, version) across reporters). Null when no
+  /// reporter carries one (pair mode).
+  const cluster::MembershipView* membership_of(const std::string& unit) const;
   /// True when no report from (unit, node) within `staleness`.
   bool node_silent(const std::string& unit, int node, sim::SimTime staleness) const;
 

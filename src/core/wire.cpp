@@ -233,6 +233,8 @@ Buffer StatusReport::encode() const {
     w.i32(c.restarts);
     w.u64(c.heartbeats);
   }
+  w.boolean(!view.members.empty());
+  if (!view.members.empty()) view.encode(w);
   return std::move(w).take();
 }
 
@@ -253,6 +255,10 @@ bool StatusReport::decode(const Buffer& b, StatusReport& out) {
     c.restarts = r.i32();
     c.heartbeats = r.u64();
     out.components.push_back(std::move(c));
+  }
+  out.view = cluster::MembershipView{};
+  if (!r.failed() && r.boolean()) {
+    if (!cluster::MembershipView::decode(r, out.view)) return false;
   }
   return !r.failed();
 }
@@ -288,6 +294,69 @@ bool SubscribeRoles::decode(const Buffer& b, SubscribeRoles& out) {
   if (!begin_read(b, MsgKind::kSubscribeRoles, r)) return false;
   out.subscriber_node = r.i32();
   out.subscriber_port = r.str();
+  return !r.failed();
+}
+
+Buffer ViewGossip::encode() const {
+  BinaryWriter w = begin(MsgKind::kViewGossip);
+  w.u8(kClusterWireVersion);
+  w.i32(from_node);
+  w.str(unit);
+  view.encode(w);
+  return std::move(w).take();
+}
+
+bool ViewGossip::decode(const Buffer& b, ViewGossip& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kViewGossip, r)) return false;
+  if (r.u8() != kClusterWireVersion) return false;
+  out.from_node = r.i32();
+  out.unit = r.str();
+  if (!cluster::MembershipView::decode(r, out.view)) return false;
+  return !r.failed();
+}
+
+Buffer PromoteRequest::encode() const {
+  BinaryWriter w = begin(MsgKind::kPromoteRequest);
+  w.u8(kClusterWireVersion);
+  w.i32(candidate);
+  w.str(unit);
+  w.u32(incarnation);
+  w.u64(view_version);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+bool PromoteRequest::decode(const Buffer& b, PromoteRequest& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kPromoteRequest, r)) return false;
+  if (r.u8() != kClusterWireVersion) return false;
+  out.candidate = r.i32();
+  out.unit = r.str();
+  out.incarnation = r.u32();
+  out.view_version = r.u64();
+  out.reason = r.str();
+  return !r.failed();
+}
+
+Buffer PromoteAck::encode() const {
+  BinaryWriter w = begin(MsgKind::kPromoteAck);
+  w.u8(kClusterWireVersion);
+  w.i32(voter);
+  w.i32(candidate);
+  w.u32(incarnation);
+  w.boolean(granted);
+  return std::move(w).take();
+}
+
+bool PromoteAck::decode(const Buffer& b, PromoteAck& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kPromoteAck, r)) return false;
+  if (r.u8() != kClusterWireVersion) return false;
+  out.voter = r.i32();
+  out.candidate = r.i32();
+  out.incarnation = r.u32();
+  out.granted = r.boolean();
   return !r.failed();
 }
 

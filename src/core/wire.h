@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/membership.h"
 #include "common/bytes.h"
 #include "core/config.h"
 
@@ -42,7 +43,16 @@ enum class MsgKind : std::uint8_t {
   // FTIM -> FTIM
   kCheckpoint = 40,
   kCheckpointAck = 41,
+  // engine <-> engine, cluster mode (N-replica role management)
+  kViewGossip = 50,
+  kPromoteRequest = 51,
+  kPromoteAck = 52,
 };
+
+/// Version tag carried by the cluster messages so mixed-version
+/// clusters fail closed: a decoder that sees an unknown version rejects
+/// the frame instead of misparsing it.
+inline constexpr std::uint8_t kClusterWireVersion = 1;
 
 std::uint8_t wire_kind(const Buffer& payload);
 
@@ -161,6 +171,9 @@ struct StatusReport {
   std::uint32_t incarnation = 0;
   bool peer_visible = false;
   std::vector<ComponentStatus> components;
+  /// Cluster mode only: the reporter's membership view (empty members
+  /// list in pair mode — the monitor falls back to the pair rendering).
+  cluster::MembershipView view;
   Buffer encode() const;
   static bool decode(const Buffer& b, StatusReport& out);
 };
@@ -179,6 +192,40 @@ struct SubscribeRoles {
   std::string subscriber_port;
   Buffer encode() const;
   static bool decode(const Buffer& b, SubscribeRoles& out);
+};
+
+/// The primary's periodic membership broadcast (cluster mode). Sent to
+/// every configured member — including ones marked dead, so a rebooted
+/// node resynchronizes its view without a separate join protocol.
+struct ViewGossip {
+  int from_node = -1;
+  std::string unit;
+  cluster::MembershipView view;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, ViewGossip& out);
+};
+
+/// A backup that believes the primary failed asks the surviving members
+/// to ack its promotion at `incarnation` (see cluster/quorum.h).
+struct PromoteRequest {
+  int candidate = -1;
+  std::string unit;
+  std::uint32_t incarnation = 0;   // proposed (current + 1)
+  std::uint64_t view_version = 0;  // candidate's view when it decided
+  std::string reason;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, PromoteRequest& out);
+};
+
+/// Voter's reply. `granted` is false when the voter still sees a live
+/// primary or already voted for a different candidate this incarnation.
+struct PromoteAck {
+  int voter = -1;
+  int candidate = -1;
+  std::uint32_t incarnation = 0;
+  bool granted = false;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, PromoteAck& out);
 };
 
 /// Checkpoint frame: kind byte + component + image blob.

@@ -41,7 +41,11 @@ enum class EventKind : std::uint32_t {
   // Simulation: node-level faults.
   kNodeDown = 14,             // a = NodeFailureKind
   kNodeUp = 15,               // a = boot count
-  kMaxKind = 16,              // one past the last kind (mask width)
+  // Cluster: N-replica role management (quorum-gated promotion).
+  kPromotionRequested = 16,   // a = proposed incarnation, b = votes needed
+  kPromotionQuorum = 17,      // a = votes collected (incl self), b = votes needed
+  kViewChange = 18,           // a = view version, b = view incarnation
+  kMaxKind = 19,              // one past the last kind (mask width)
 };
 
 const char* event_kind_name(EventKind kind);

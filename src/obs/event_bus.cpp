@@ -22,6 +22,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kDiverterReroute: return "diverter_reroute";
     case EventKind::kNodeDown: return "node_down";
     case EventKind::kNodeUp: return "node_up";
+    case EventKind::kPromotionRequested: return "promotion_requested";
+    case EventKind::kPromotionQuorum: return "promotion_quorum";
+    case EventKind::kViewChange: return "view_change";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

@@ -116,13 +116,19 @@ void write_trace(JsonWriter& w, const FailoverTrace& t) {
   };
   stamp("evidence_at_ns", t.evidence_at);
   stamp("detected_at_ns", t.detected_at);
+  stamp("quorum_at_ns", t.quorum_at);
   stamp("promoted_at_ns", t.promoted_at);
   stamp("active_at_ns", t.active_at);
   stamp("rerouted_at_ns", t.rerouted_at);
+  if (t.quorum_at >= 0) {
+    w.kv("quorum_votes", t.quorum_votes);
+    w.kv("quorum_needed", t.quorum_needed);
+  }
   w.key("phases_ns");
   w.begin_object();
-  for (FailoverPhase p : {FailoverPhase::kDetection, FailoverPhase::kNegotiation,
-                          FailoverPhase::kPromotion, FailoverPhase::kReplay}) {
+  for (FailoverPhase p :
+       {FailoverPhase::kDetection, FailoverPhase::kAckCollection,
+        FailoverPhase::kNegotiation, FailoverPhase::kPromotion, FailoverPhase::kReplay}) {
     stamp(failover_phase_name(p), t.phase(p));
   }
   w.end_object();

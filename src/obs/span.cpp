@@ -7,6 +7,7 @@ namespace oftt::obs {
 const char* failover_phase_name(FailoverPhase phase) {
   switch (phase) {
     case FailoverPhase::kDetection: return "detection";
+    case FailoverPhase::kAckCollection: return "ack_collection";
     case FailoverPhase::kNegotiation: return "negotiation";
     case FailoverPhase::kPromotion: return "promotion";
     case FailoverPhase::kReplay: return "replay";
@@ -21,7 +22,9 @@ sim::SimTime FailoverTrace::phase(FailoverPhase p) const {
   };
   switch (p) {
     case FailoverPhase::kDetection: return gap(evidence_at, detected_at);
-    case FailoverPhase::kNegotiation: return gap(detected_at, promoted_at);
+    case FailoverPhase::kAckCollection: return gap(detected_at, quorum_at);
+    case FailoverPhase::kNegotiation:
+      return gap(quorum_at >= 0 ? quorum_at : detected_at, promoted_at);
     case FailoverPhase::kPromotion: return gap(promoted_at, active_at);
     case FailoverPhase::kReplay: return gap(active_at, rerouted_at);
   }
@@ -29,15 +32,16 @@ sim::SimTime FailoverTrace::phase(FailoverPhase p) const {
 }
 
 sim::SimTime FailoverTrace::total() const {
-  sim::SimTime last = std::max({detected_at, promoted_at, active_at, rerouted_at});
+  sim::SimTime last = std::max({detected_at, quorum_at, promoted_at, active_at, rerouted_at});
   if (evidence_at < 0 || last < 0) return -1;
   return last - evidence_at;
 }
 
 FailoverSpans::FailoverSpans(EventBus& bus) : bus_(&bus) {
   sub_ = bus_->subscribe(
-      mask_of(EventKind::kFailureDetected, EventKind::kRoleChange,
-              EventKind::kComponentActivated, EventKind::kDiverterReroute),
+      mask_of(EventKind::kFailureDetected, EventKind::kPromotionQuorum,
+              EventKind::kRoleChange, EventKind::kComponentActivated,
+              EventKind::kDiverterReroute),
       [this](const Event& e) { on_event(e); });
 }
 
@@ -60,6 +64,15 @@ void FailoverSpans::on_event(const Event& e) {
       t.evidence_at = static_cast<sim::SimTime>(e.a);
       t.detected_at = e.at;
       traces_.push_back(std::move(t));
+      break;
+    }
+    case EventKind::kPromotionQuorum: {
+      FailoverTrace* t = open_trace(e.unit);
+      if (t != nullptr && t->quorum_at < 0 && t->promoted_at < 0) {
+        t->quorum_at = e.at;
+        t->quorum_votes = e.a;
+        t->quorum_needed = e.b;
+      }
       break;
     }
     case EventKind::kRoleChange: {

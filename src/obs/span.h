@@ -10,16 +10,19 @@
 //   evidence_at   last proof of life from the failed side (or the
 //                 handoff decision instant for operator switchover)
 //   detected_at   an engine concluded failure (kFailureDetected)
+//   quorum_at     a cluster candidate collected a promotion quorum
+//                 (kPromotionQuorum; absent in pair mode, -1)
 //   promoted_at   the surviving engine entered PRIMARY (kRoleChange)
 //   active_at     the application component on the new primary went
 //                 active, state restored (kComponentActivated)
 //   rerouted_at   the Message Diverter repointed the unit's logical
 //                 queue at the new primary (kDiverterReroute)
 //
-//   detection   = detected_at - evidence_at
-//   negotiation = promoted_at - detected_at
-//   promotion   = active_at   - promoted_at
-//   replay      = rerouted_at - active_at
+//   detection      = detected_at - evidence_at
+//   ack_collection = quorum_at   - detected_at   (cluster mode only)
+//   negotiation    = promoted_at - (quorum_at if set else detected_at)
+//   promotion      = active_at   - promoted_at
+//   replay         = rerouted_at - active_at
 #pragma once
 
 #include <cstdint>
@@ -30,7 +33,7 @@
 
 namespace oftt::obs {
 
-enum class FailoverPhase { kDetection, kNegotiation, kPromotion, kReplay };
+enum class FailoverPhase { kDetection, kAckCollection, kNegotiation, kPromotion, kReplay };
 
 const char* failover_phase_name(FailoverPhase phase);
 
@@ -41,9 +44,12 @@ struct FailoverTrace {
   std::string reason;
   sim::SimTime evidence_at = -1;
   sim::SimTime detected_at = -1;
+  sim::SimTime quorum_at = -1;   // cluster mode only; -1 in pair mode
   sim::SimTime promoted_at = -1;
   sim::SimTime active_at = -1;
   sim::SimTime rerouted_at = -1;
+  std::uint64_t quorum_votes = 0;   // votes collected (incl candidate's own)
+  std::uint64_t quorum_needed = 0;  // majority threshold for the view
 
   bool complete() const { return rerouted_at >= 0; }
   /// Phase duration, or -1 if either endpoint is missing.

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "sim/simulation.h"
 
@@ -91,18 +92,18 @@ class FaultPlan {
                [this, network] { sim_->network(network).heal(); });
   }
 
-  /// Schedule every declared fault. Call once.
+  /// Schedule every declared fault. Idempotent: a second call is a
+  /// no-op (steps are never scheduled twice).
   void arm() {
-    for (auto& step : steps_) {
-      sim_->schedule_at(step.at, [this, &step] {
-        journal_.push_back(Injection{sim_->now(), step.what});
-        step.fn();
-      });
-    }
+    if (armed_) return;
     armed_ = true;
+    for (const Step& step : steps_) schedule(step);
   }
 
   bool armed() const { return armed_; }
+  /// True if a step was declared after arm() — a scenario-authoring
+  /// smell (see add()); such steps are still scheduled, just flagged.
+  bool mutated_after_arm() const { return mutated_after_arm_; }
   std::size_t size() const { return steps_.size(); }
   const std::vector<Injection>& journal() const { return journal_; }
 
@@ -113,8 +114,28 @@ class FaultPlan {
     std::function<void()> fn;
   };
 
+  /// The scheduled lambda copies the step's payload: steps_ may grow
+  /// (reallocate) after arm(), so capturing a reference into the vector
+  /// would dangle.
+  void schedule(const Step& step) {
+    sim_->schedule_at(step.at, [this, what = step.what, fn = step.fn] {
+      journal_.push_back(Injection{sim_->now(), what});
+      fn();
+    });
+  }
+
   FaultPlan& add(SimTime at, std::string what, std::function<void()> fn) {
     steps_.push_back(Step{at, std::move(what), std::move(fn)});
+    if (armed_) {
+      // Declaring faults after arm() used to leave them silently
+      // unscheduled. Flag the late mutation loudly, but schedule the
+      // step anyway so the plan's declared contents and its scheduled
+      // contents never diverge.
+      mutated_after_arm_ = true;
+      OFTT_LOG_WARN("sim/fault_plan", "step '", steps_.back().what,
+                    "' added after arm(); declare all steps before arming");
+      schedule(steps_.back());
+    }
     return *this;
   }
 
@@ -122,6 +143,7 @@ class FaultPlan {
   std::vector<Step> steps_;
   std::vector<Injection> journal_;
   bool armed_ = false;
+  bool mutated_after_arm_ = false;
 };
 
 }  // namespace oftt::sim

@@ -98,5 +98,51 @@ TEST(Deployment, StaggeredBootViaOptionsFormsPair) {
   EXPECT_EQ(dep.backup_node(), dep.node_b().id());
 }
 
+// Nonsensical timing/loss configs must be rejected at construction with
+// a clear message, not simulated into confusing misbehaviour.
+TEST(DeploymentValidation, RejectsNonsensicalOptions) {
+  sim::Simulation sim(137);
+  {
+    PairDeploymentOptions opts;
+    opts.engine.heartbeat_period = 0;  // would spin at scheduler resolution
+    EXPECT_THROW(PairDeployment(sim, opts), std::invalid_argument);
+  }
+  {
+    PairDeploymentOptions opts;
+    opts.engine.heartbeat_period = sim::milliseconds(100);
+    opts.engine.peer_timeout = sim::milliseconds(50);  // expires between heartbeats
+    EXPECT_THROW(PairDeployment(sim, opts), std::invalid_argument);
+  }
+  {
+    PairDeploymentOptions opts;
+    opts.engine.component_timeout = -1;
+    EXPECT_THROW(PairDeployment(sim, opts), std::invalid_argument);
+  }
+  {
+    PairDeploymentOptions opts;
+    opts.net_loss = 1.5;
+    EXPECT_THROW(PairDeployment(sim, opts), std::invalid_argument);
+  }
+  {
+    PairDeploymentOptions opts;
+    opts.node_b_boot_delay = -sim::seconds(1);
+    EXPECT_THROW(PairDeployment(sim, opts), std::invalid_argument);
+  }
+}
+
+TEST(DeploymentValidation, ErrorMessagesNameTheOffendingKnob) {
+  sim::Simulation sim(138);
+  PairDeploymentOptions opts;
+  opts.engine.heartbeat_period = sim::milliseconds(100);
+  opts.engine.peer_timeout = sim::milliseconds(10);
+  try {
+    PairDeployment dep(sim, opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("peer_timeout"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("heartbeat_period"), std::string::npos) << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace oftt::core

@@ -231,5 +231,153 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.seed);
     });
 
+// ---------------------------------------------------------------------
+// Cluster wire messages: round-trip under fuzzed contents, fail-closed
+// under version skew, and graceful rejection of every truncation.
+// ---------------------------------------------------------------------
+
+std::string random_string(sim::Rng& rng, int max_len = 12) {
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ._-/'\"\\";
+  std::string s;
+  std::int64_t n = rng.uniform(0, max_len);
+  for (std::int64_t i = 0; i < n; ++i) {
+    s += alphabet[rng.uniform(0, static_cast<std::int64_t>(sizeof alphabet) - 2)];
+  }
+  return s;
+}
+
+cluster::MembershipView random_view(sim::Rng& rng) {
+  cluster::MembershipView v;
+  v.version = static_cast<std::uint64_t>(rng.uniform(0, 1'000'000));
+  v.incarnation = static_cast<std::uint32_t>(rng.uniform(0, 100'000));
+  std::int64_t n = rng.uniform(1, 9);
+  for (std::int64_t i = 0; i < n; ++i) {
+    cluster::Member m;
+    m.node = static_cast<int>(rng.uniform(0, 1'000));
+    m.rank = static_cast<int>(i);
+    m.role = static_cast<cluster::MemberRole>(rng.uniform(0, 3));
+    m.incarnation = static_cast<std::uint32_t>(rng.uniform(0, 100'000));
+    m.last_heartbeat = rng.uniform(0, 1'000'000'000'000);
+    v.members.push_back(m);
+  }
+  return v;
+}
+
+/// Every strict prefix of a well-formed frame must be rejected (the
+/// reader fails closed on underflow), and so must a frame claiming an
+/// unknown cluster wire version.
+template <typename Msg>
+void check_rejections(const Buffer& frame) {
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Buffer prefix(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(len));
+    Msg out;
+    EXPECT_FALSE(Msg::decode(prefix, out)) << "truncated to " << len << " bytes";
+  }
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{core::kClusterWireVersion + 1},
+                           std::uint8_t{0xFF}}) {
+    Buffer skewed = frame;
+    skewed[1] = bad;  // [0] is the kind byte, [1] the version tag
+    Msg out;
+    EXPECT_FALSE(Msg::decode(skewed, out))
+        << "version " << int(bad) << " must fail closed";
+  }
+}
+
+class ClusterWireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterWireFuzz, ViewGossipRoundTrips) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    core::ViewGossip g;
+    g.from_node = static_cast<int>(rng.uniform(-1, 1'000));
+    g.unit = random_string(rng);
+    g.view = random_view(rng);
+    Buffer frame = g.encode();
+    core::ViewGossip out;
+    ASSERT_TRUE(core::ViewGossip::decode(frame, out));
+    EXPECT_EQ(out.from_node, g.from_node);
+    EXPECT_EQ(out.unit, g.unit);
+    EXPECT_EQ(out.view, g.view);
+    if (iter == 0) check_rejections<core::ViewGossip>(frame);
+  }
+}
+
+TEST_P(ClusterWireFuzz, PromoteRequestRoundTrips) {
+  sim::Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 50; ++iter) {
+    core::PromoteRequest req;
+    req.candidate = static_cast<int>(rng.uniform(-1, 1'000));
+    req.unit = random_string(rng);
+    req.incarnation = static_cast<std::uint32_t>(rng.uniform(0, 1'000'000));
+    req.view_version = static_cast<std::uint64_t>(rng.uniform(0, 1'000'000'000));
+    req.reason = random_string(rng, 40);
+    Buffer frame = req.encode();
+    core::PromoteRequest out;
+    ASSERT_TRUE(core::PromoteRequest::decode(frame, out));
+    EXPECT_EQ(out.candidate, req.candidate);
+    EXPECT_EQ(out.unit, req.unit);
+    EXPECT_EQ(out.incarnation, req.incarnation);
+    EXPECT_EQ(out.view_version, req.view_version);
+    EXPECT_EQ(out.reason, req.reason);
+    if (iter == 0) check_rejections<core::PromoteRequest>(frame);
+  }
+}
+
+TEST_P(ClusterWireFuzz, PromoteAckRoundTrips) {
+  sim::Rng rng(GetParam() + 2000);
+  for (int iter = 0; iter < 50; ++iter) {
+    core::PromoteAck ack;
+    ack.voter = static_cast<int>(rng.uniform(-1, 1'000));
+    ack.candidate = static_cast<int>(rng.uniform(-1, 1'000));
+    ack.incarnation = static_cast<std::uint32_t>(rng.uniform(0, 1'000'000));
+    ack.granted = rng.chance(0.5);
+    Buffer frame = ack.encode();
+    core::PromoteAck out;
+    ASSERT_TRUE(core::PromoteAck::decode(frame, out));
+    EXPECT_EQ(out.voter, ack.voter);
+    EXPECT_EQ(out.candidate, ack.candidate);
+    EXPECT_EQ(out.incarnation, ack.incarnation);
+    EXPECT_EQ(out.granted, ack.granted);
+    if (iter == 0) check_rejections<core::PromoteAck>(frame);
+  }
+}
+
+TEST_P(ClusterWireFuzz, StatusReportCarriesViewAcrossVersionsOfItself) {
+  sim::Rng rng(GetParam() + 3000);
+  for (int iter = 0; iter < 50; ++iter) {
+    core::StatusReport sr;
+    sr.unit = random_string(rng);
+    sr.node = static_cast<int>(rng.uniform(-1, 1'000));
+    sr.role = static_cast<core::Role>(rng.uniform(0, 3));
+    sr.incarnation = static_cast<std::uint32_t>(rng.uniform(0, 1'000'000));
+    sr.peer_visible = rng.chance(0.5);
+    if (rng.chance(0.5)) sr.view = random_view(rng);  // else pair mode: empty
+    Buffer frame = sr.encode();
+    core::StatusReport out;
+    ASSERT_TRUE(core::StatusReport::decode(frame, out));
+    EXPECT_EQ(out.unit, sr.unit);
+    EXPECT_EQ(out.node, sr.node);
+    EXPECT_EQ(out.view, sr.view);
+    EXPECT_EQ(out.view.members.empty(), sr.view.members.empty());
+  }
+}
+
+TEST(ClusterWire, MembershipDecodeRejectsUnknownRole) {
+  cluster::MembershipView v = cluster::MembershipView::initial({1, 2});
+  BinaryWriter w;
+  v.encode(w);
+  Buffer frame = std::move(w).take();
+  // The role byte of the first member: version u64 + incarnation u32 +
+  // count u16 + node i32 + rank i32 = offset 22.
+  frame[22] = 0x7F;
+  BinaryReader r(frame);
+  cluster::MembershipView out;
+  EXPECT_FALSE(cluster::MembershipView::decode(r, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterWireFuzz,
+                         ::testing::Values(1, 7, 42, 1337, 9001));
+
 }  // namespace
 }  // namespace oftt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/disk.h"
+#include "sim/fault_plan.h"
 #include "sim/simulation.h"
 #include "sim/timer.h"
 
@@ -391,6 +392,59 @@ TEST(DiskStore, PrefixEnumeration) {
   disk.write(1, "mq.q.c", {});
   auto keys = disk.keys_with_prefix(0, "mq.q.");
   EXPECT_EQ(keys.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan arming semantics
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, ArmIsIdempotent) {
+  Simulation sim;
+  sim.add_node("n");
+  FaultPlan plan(sim);
+  plan.crash_node(milliseconds(10), 0);
+  plan.arm();
+  plan.arm();  // second call must not schedule the steps again
+  EXPECT_TRUE(plan.armed());
+  sim.run();
+  EXPECT_EQ(plan.journal().size(), 1u) << "double-arm must not double-inject";
+  EXPECT_FALSE(plan.mutated_after_arm());
+}
+
+TEST(FaultPlan, StepAddedAfterArmIsFlaggedAndStillRuns) {
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  n.boot();
+  FaultPlan plan(sim);
+  plan.crash_node(milliseconds(10), n.id());
+  plan.arm();
+  // Late declaration: used to be silently unscheduled. Now it is
+  // flagged as a scenario-authoring smell but still injected, so the
+  // plan's declared and scheduled contents never diverge.
+  plan.boot_node(milliseconds(20), n.id());
+  EXPECT_TRUE(plan.mutated_after_arm());
+  EXPECT_EQ(plan.size(), 2u);
+  sim.run();
+  EXPECT_EQ(plan.journal().size(), 2u);
+  EXPECT_TRUE(n.up()) << "the post-arm boot step must have executed";
+}
+
+TEST(FaultPlan, StepsSurviveVectorReallocationAfterArm) {
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  n.boot();
+  FaultPlan plan(sim);
+  plan.crash_node(milliseconds(5), n.id());
+  plan.arm();
+  // Growing the plan reallocates its step vector; the already-scheduled
+  // closures must not reference into the old storage.
+  for (int i = 0; i < 64; ++i) {
+    plan.boot_node(milliseconds(100 + i), n.id());
+  }
+  sim.run();
+  EXPECT_EQ(plan.journal().size(), 65u);
+  EXPECT_EQ(plan.journal().front().what, "crash node 0");
+  EXPECT_TRUE(n.up());
 }
 
 }  // namespace
