@@ -14,4 +14,27 @@ std::uint64_t fnv64(const void* data, std::size_t n) {
 
 std::uint64_t fnv64(const Buffer& b) { return fnv64(b.data(), b.size()); }
 
+namespace {
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const Buffer& b) { return crc32(b.data(), b.size()); }
+
 }  // namespace oftt

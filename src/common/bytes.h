@@ -141,4 +141,11 @@ class BinaryReader {
 std::uint64_t fnv64(const Buffer& b);
 std::uint64_t fnv64(const void* data, std::size_t n);
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used to frame records in
+/// the durable journal: unlike FNV it detects all burst errors up to 32
+/// bits, which is what torn-write and bit-rot detection on a log tail
+/// needs.
+std::uint32_t crc32(const void* data, std::size_t n);
+std::uint32_t crc32(const Buffer& b);
+
 }  // namespace oftt

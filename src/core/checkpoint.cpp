@@ -18,6 +18,7 @@ std::size_t CheckpointImage::payload_bytes() const {
 Buffer CheckpointImage::marshal() const {
   BinaryWriter w;
   w.u64(seq);
+  w.u64(base_seq);
   w.u32(incarnation);
   w.u8(static_cast<std::uint8_t>(mode));
   w.i64(taken_at);
@@ -55,15 +56,22 @@ bool CheckpointImage::unmarshal(const Buffer& buf, CheckpointImage& out) {
   BinaryReader r(buf.data(), buf.size() - 8);
   out = CheckpointImage{};
   out.seq = r.u64();
+  out.base_seq = r.u64();
   out.incarnation = r.u32();
   out.mode = static_cast<CheckpointMode>(r.u8());
   out.taken_at = r.i64();
+  // Each declared count is validated against the bytes actually left in
+  // the buffer (at the minimum size an entry can serialize to) BEFORE
+  // any loop allocates: a garbage count in an otherwise checksum-valid
+  // buffer must be rejected, not fed to push_back a billion times.
   std::uint32_t nregions = r.u32();
+  if (nregions > r.remaining() / 8) return false;  // name len + blob len
   for (std::uint32_t i = 0; i < nregions && !r.failed(); ++i) {
     std::string name = r.str();
     out.regions[name] = r.blob();
   }
   std::uint32_t ncells = r.u32();
+  if (ncells > r.remaining() / 12) return false;  // name len + offset + blob len
   for (std::uint32_t i = 0; i < ncells && !r.failed(); ++i) {
     SelectiveCell c;
     c.region = r.str();
@@ -72,6 +80,7 @@ bool CheckpointImage::unmarshal(const Buffer& buf, CheckpointImage& out) {
     out.cells.push_back(std::move(c));
   }
   std::uint32_t nctx = r.u32();
+  if (nctx > r.remaining() / 8) return false;  // name len + blob len
   for (std::uint32_t i = 0; i < nctx && !r.failed(); ++i) {
     std::string name = r.str();
     out.task_contexts[name] = r.blob();
@@ -96,7 +105,8 @@ CheckpointImage capture_checkpoint(nt::NtRuntime& rt, CheckpointMode mode,
     }
   } else {
     for (const auto& spec : cells) {
-      nt::Region* region = rt.memory().find(spec.region);
+      // Const view: capturing must not disturb the dirty tracking.
+      const nt::Region* region = rt.memory().find(spec.region);
       if (region == nullptr || spec.offset + spec.size > region->size()) continue;
       SelectiveCell c;
       c.region = spec.region;
@@ -109,6 +119,60 @@ CheckpointImage capture_checkpoint(nt::NtRuntime& rt, CheckpointMode mode,
     img.task_contexts[task->name()] = task->capture_context().serialize();
   }
   return img;
+}
+
+CheckpointImage capture_delta_checkpoint(nt::NtRuntime& rt, std::uint64_t seq,
+                                         std::uint64_t base_seq, std::uint32_t incarnation,
+                                         const std::vector<nt::Task*>& discoverable_tasks) {
+  CheckpointImage img;
+  img.seq = seq;
+  img.base_seq = base_seq;
+  img.incarnation = incarnation;
+  img.mode = CheckpointMode::kDelta;
+  img.taken_at = 0;
+  for (const auto& [name, region_ptr] : rt.memory().regions()) {
+    // Const view: capturing must not disturb the dirty tracking (the
+    // non-const data() overload marks the whole region dirty).
+    const nt::Region& region = *region_ptr;
+    if (!region.dirty()) continue;
+    if (region.dirty_all()) {
+      img.regions[name] = region.snapshot();
+      continue;
+    }
+    const std::uint8_t* base = region.data();
+    for (const nt::Region::Range& range : region.dirty_ranges()) {
+      SelectiveCell c;
+      c.region = name;
+      c.offset = static_cast<std::uint32_t>(range.begin);
+      c.bytes.assign(base + range.begin, base + range.end);
+      img.cells.push_back(std::move(c));
+    }
+  }
+  for (nt::Task* task : discoverable_tasks) {
+    img.task_contexts[task->name()] = task->capture_context().serialize();
+  }
+  return img;
+}
+
+int apply_delta(CheckpointImage& base, const CheckpointImage& delta) {
+  int anomalies = 0;
+  for (const auto& [name, bytes] : delta.regions) base.regions[name] = bytes;
+  for (const auto& c : delta.cells) {
+    auto it = base.regions.find(c.region);
+    if (it == base.regions.end() || c.offset + c.bytes.size() > it->second.size()) {
+      ++anomalies;
+      continue;
+    }
+    std::memcpy(it->second.data() + c.offset, c.bytes.data(), c.bytes.size());
+  }
+  for (const auto& [name, ctx] : delta.task_contexts) base.task_contexts[name] = ctx;
+  base.seq = delta.seq;
+  base.incarnation = delta.incarnation;
+  base.taken_at = delta.taken_at;
+  if (anomalies > 0) {
+    OFTT_LOG_WARN("oftt/ckpt", "delta ", delta.seq, " applied with ", anomalies, " anomalies");
+  }
+  return anomalies;
 }
 
 int restore_checkpoint(nt::NtRuntime& rt, const CheckpointImage& image) {

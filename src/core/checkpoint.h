@@ -19,7 +19,16 @@
 
 namespace oftt::core {
 
-enum class CheckpointMode : std::uint8_t { kFull = 0, kSelective = 1 };
+enum class CheckpointMode : std::uint8_t {
+  kFull = 0,
+  kSelective = 1,
+  /// Only what changed since checkpoint `base_seq`: regions that were
+  /// wholly rewritten travel as region blobs, precise dirty byte ranges
+  /// travel as cells. Applies only on top of an image whose seq ==
+  /// base_seq (same incarnation); otherwise the receiver must demand a
+  /// full resync.
+  kDelta = 2,
+};
 
 struct SelectiveCell {
   std::string region;
@@ -29,6 +38,8 @@ struct SelectiveCell {
 
 struct CheckpointImage {
   std::uint64_t seq = 0;
+  /// For kDelta: the seq this delta applies on top of. 0 otherwise.
+  std::uint64_t base_seq = 0;
   std::uint32_t incarnation = 0;
   CheckpointMode mode = CheckpointMode::kFull;
   sim::SimTime taken_at = 0;
@@ -56,6 +67,21 @@ CheckpointImage capture_checkpoint(nt::NtRuntime& rt, CheckpointMode mode,
                                    const std::vector<CellSpec>& cells, std::uint64_t seq,
                                    std::uint32_t incarnation,
                                    const std::vector<nt::Task*>& discoverable_tasks);
+
+/// Capture a delta checkpoint: regions whose dirty tracking collapsed
+/// to "everything" ship as whole-region blobs, precise dirty ranges
+/// ship as cells, task contexts always ship (they are tiny and change
+/// every quantum). Does NOT clear dirty state — the caller clears it
+/// once the delta is durable.
+CheckpointImage capture_delta_checkpoint(nt::NtRuntime& rt, std::uint64_t seq,
+                                         std::uint64_t base_seq, std::uint32_t incarnation,
+                                         const std::vector<nt::Task*>& discoverable_tasks);
+
+/// Merge a delta into the base image it chains on (caller has already
+/// verified base.seq == delta.base_seq and matching incarnation). The
+/// base advances to the delta's seq. Returns anomaly count (cells that
+/// missed their region or overran it).
+int apply_delta(CheckpointImage& base, const CheckpointImage& delta);
 
 /// Apply an image to a process's NT runtime (the backup side of a
 /// switchover). Unknown regions are created; size mismatches are

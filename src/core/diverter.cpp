@@ -12,11 +12,42 @@ MessageDiverter::MessageDiverter(sim::Process& process, DiverterOptions options)
       port_(cat("oftt.divert.", process.name())),
       resubscribe_timer_(process.main_strand()) {
   process_->bind(port_, [this](const sim::Datagram& d) { on_announce(d); });
+  if (options_.durable_sends) {
+    store::JournalOptions jopts;
+    jopts.auto_compact = false;  // a pure message log has no snapshots
+    jopts.max_segments = options_.send_journal_max_segments;
+    journal_ = std::make_unique<store::Journal>(process.sim(), process.node().id(),
+                                                "oftt.dvrt." + options_.unit, jopts);
+    replay_journal();
+  }
   subscribe();
   resubscribe_timer_.start(options_.resubscribe_period, [this] {
     subscribe();
     apply_route();  // re-assert the route (the QM may have restarted)
   });
+}
+
+void MessageDiverter::replay_journal() {
+  std::vector<store::Record> records = journal_->recover();
+  if (records.empty()) return;
+  // Re-drive every journaled recoverable send through the fresh QM.
+  // wipe() first: send() re-journals each message, so surviving ones
+  // stay durable without accumulating duplicates across restarts.
+  journal_->wipe();
+  for (store::Record& r : records) {
+    if (r.type != store::RecordType::kMessage) continue;
+    BinaryReader reader(r.payload);
+    std::string label = reader.str();
+    Buffer body = reader.blob();
+    auto mode = static_cast<msmq::DeliveryMode>(reader.u8());
+    if (reader.failed()) continue;
+    ++replayed_sends_;
+    send(label, std::move(body), mode);
+  }
+  if (replayed_sends_ > 0) {
+    OFTT_LOG_INFO("oftt/diverter", process_->name(), ": replayed ", replayed_sends_,
+                  " journaled sends for unit '", options_.unit, "'");
+  }
 }
 
 void MessageDiverter::subscribe() {
@@ -75,6 +106,18 @@ void MessageDiverter::apply_route() {
 }
 
 void MessageDiverter::send(const std::string& label, Buffer body, msmq::DeliveryMode mode) {
+  // Journal BEFORE handing off: if this process dies inside the QM call
+  // the message is still re-driven on restart. Express messages are
+  // explicitly lossy, so only recoverable ones are journaled.
+  if (journal_ && mode == msmq::DeliveryMode::kRecoverable) {
+    BinaryWriter w;
+    w.str(label);
+    w.blob(body);
+    w.u8(static_cast<std::uint8_t>(mode));
+    if (journal_->append(store::RecordType::kMessage, ++msg_seq_, 0, std::move(w).take())) {
+      ++journaled_sends_;
+    }
+  }
   msmq::MsmqApi::of(*process_).send(options_.queue, label, std::move(body), mode);
 }
 

@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/config.h"
 #include "core/wire.h"
 #include "msmq/queue_manager.h"
 #include "sim/timer.h"
+#include "store/journal.h"
 
 namespace oftt::core {
 
@@ -27,6 +30,14 @@ struct DiverterOptions {
   /// member's engine, since any of them can become primary.
   std::vector<int> nodes;
   sim::SimTime resubscribe_period = sim::seconds(1);
+  /// Journal recoverable sends to the node-local durable store and
+  /// replay them after a restart: covers the window where the message
+  /// left the application but the local QM died before persisting it.
+  /// MSMQ's at-least-once contract makes the possible duplicate benign.
+  bool durable_sends = true;
+  /// Bound on the send journal (it has no snapshots to compact against;
+  /// the oldest segment is dropped instead).
+  std::size_t send_journal_max_segments = 4;
 };
 
 class MessageDiverter {
@@ -39,11 +50,16 @@ class MessageDiverter {
 
   int current_primary() const { return primary_node_; }
   std::uint64_t reroutes() const { return reroutes_; }
+  /// Recoverable sends re-driven from the journal after a restart.
+  std::uint64_t replayed_sends() const { return replayed_sends_; }
+  std::uint64_t journaled_sends() const { return journaled_sends_; }
+  const store::Journal* send_journal() const { return journal_.get(); }
 
  private:
   void on_announce(const sim::Datagram& d);
   void subscribe();
   void apply_route();
+  void replay_journal();
 
   sim::Process* process_;
   DiverterOptions options_;
@@ -52,6 +68,10 @@ class MessageDiverter {
   int last_primary_ = -1;  // survives transient "no primary" gaps
   std::uint32_t primary_incarnation_ = 0;
   std::uint64_t reroutes_ = 0;
+  std::unique_ptr<store::Journal> journal_;
+  std::uint64_t msg_seq_ = 0;
+  std::uint64_t replayed_sends_ = 0;
+  std::uint64_t journaled_sends_ = 0;
   sim::PeriodicTimer resubscribe_timer_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sim/disk.h"
 #include "sim/simulation.h"
 
 namespace oftt::core {
@@ -44,6 +45,7 @@ Engine::Engine(sim::Process& process, OfttConfig config)
     announce_role();  // refresh subscribers even without changes
   });
   started_at_ = process_->sim().now();
+  restore_role_hint();
   if (config_.cluster_mode()) {
     // N-replica role management: no pairwise probe exchange. The
     // engine starts from the configured rank-ordered view; the initial
@@ -208,9 +210,37 @@ void Engine::enter_role(Role role) {
   e.b = incarnation_;
   record(std::move(e));
   role_ = role;
+  persist_role_hint();
   set_components_active(role_ == Role::kPrimary);
   announce_role();
   send_status();
+}
+
+void Engine::persist_role_hint() {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(role_));
+  w.u32(incarnation_);
+  sim::DiskStore::of(process_->sim())
+      .write(process_->node().id(), "oftt.role." + config_.unit_name, std::move(w).take());
+}
+
+void Engine::restore_role_hint() {
+  auto blob = sim::DiskStore::of(process_->sim())
+                  .read(process_->node().id(), "oftt.role." + config_.unit_name);
+  if (!blob) return;
+  BinaryReader r(*blob);
+  Role stored_role = static_cast<Role>(r.u8());
+  std::uint32_t stored_inc = r.u32();
+  if (r.failed()) return;
+  // Seed the incarnation clock from before the reboot: a former primary
+  // must not come back announcing a *stale* incarnation, or its probes
+  // would look older than the promoted peer's reign and the negotiation
+  // could regress. The role itself is still negotiated fresh — the hint
+  // only says what this node last was, not what it is now.
+  incarnation_ = std::max(incarnation_, stored_inc);
+  role_hint_restored_ = true;
+  OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": restored role hint (last ",
+                role_name(stored_role), ", incarnation ", stored_inc, ")");
 }
 
 void Engine::promote(const std::string& reason) {

@@ -77,6 +77,9 @@ class Engine {
   // Introspection for tests and benches.
   int startup_probe_rounds() const { return probe_rounds_; }
   std::uint64_t takeovers() const { return takeovers_; }
+  /// True when this engine seeded its incarnation clock from the
+  /// on-disk role hint a previous incarnation persisted (cold restart).
+  bool role_hint_restored() const { return role_hint_restored_; }
 
   /// Cluster mode (config().cluster_mode()): this engine's current
   /// membership view and whether a promotion campaign is in flight.
@@ -103,6 +106,11 @@ class Engine {
   void demote(const std::string& reason);
   void enter_role(Role role);
   void set_components_active(bool active);
+  /// Durable role hint ("oftt.role.<unit>" on the node's disk): written
+  /// on every role change, read at boot so a rebooted engine rejoins
+  /// with a current incarnation clock instead of a stale one.
+  void persist_role_hint();
+  void restore_role_hint();
 
   // detection & recovery
   void tick();
@@ -142,6 +150,7 @@ class Engine {
   std::uint32_t incarnation_ = 0;
   int probe_rounds_ = 0;
   bool negotiation_resolved_ = false;
+  bool role_hint_restored_ = false;
   std::uint64_t hb_seq_ = 0;
   std::uint64_t takeovers_ = 0;
 

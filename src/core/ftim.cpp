@@ -26,8 +26,16 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
           process.sim().telemetry().metrics().counter("oftt.checkpoints_corrupt")),
       ctr_engine_restarts_(
           process.sim().telemetry().metrics().counter("oftt.engine_restarts")),
+      ctr_full_bytes_(
+          process.sim().telemetry().metrics().counter("oftt.ckpt_full_bytes")),
+      ctr_delta_bytes_(
+          process.sim().telemetry().metrics().counter("oftt.ckpt_delta_bytes")),
+      ctr_journal_recoveries_(
+          process.sim().telemetry().metrics().counter("oftt.journal_recoveries")),
       ckpt_bytes_(process.sim().telemetry().metrics().histogram(
           "oftt.checkpoint_bytes", {256, 1024, 4096, 16384, 65536, 262144})),
+      replay_records_(process.sim().telemetry().metrics().histogram(
+          "oftt.recovery_replay_records", {1, 2, 4, 8, 16, 32, 64})),
       hb_timer_(*strand_),
       ckpt_timer_(*strand_),
       engine_check_timer_(*strand_) {
@@ -50,16 +58,16 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
     original_create_thread_ = std::move(original);
   }
 
-  // A restarted instance recovers the newest checkpoint from local disk
-  // (either one it took as primary or one it received as backup), so a
-  // local restart after a transient fault does not lose state.
-  auto& disk = sim::DiskStore::of(process.sim());
-  if (auto blob = disk.read(process.node().id(), disk_key())) {
-    CheckpointImage img;
-    if (CheckpointImage::unmarshal(*blob, img)) {
-      ckpt_seq_ = img.seq;
-      latest_ = std::move(img);
-    }
+  // A restarted instance recovers the newest checkpoint chain from the
+  // node-local journal (state it took as primary or received as
+  // backup), so a local restart — or a full node reboot — does not come
+  // back empty and only needs the missing suffix from the peers.
+  if (options_.journal_checkpoints) {
+    store::JournalOptions jopts;
+    jopts.segment_bytes = options_.journal_segment_bytes;
+    journal_ = std::make_unique<store::Journal>(process.sim(), process.node().id(),
+                                                "oftt.jrnl." + options_.component, jopts);
+    recover_from_journal();
   }
 
   register_with_engine();
@@ -115,18 +123,41 @@ void Ftim::heartbeat_tick() {
   if (++hb_count_ % 10 == 0) register_with_engine();
 }
 
+bool Ftim::next_checkpoint_is_delta() const {
+  if (options_.checkpoint_mode != CheckpointMode::kFull) return false;
+  if (options_.full_checkpoint_interval <= 1) return false;
+  if (force_full_ || ckpt_seq_ == 0) return false;
+  return ckpts_since_full_ + 1 < options_.full_checkpoint_interval;
+}
+
 void Ftim::take_checkpoint() {
   if (!active_ || options_.kind != FtimKind::kOpcClient) return;
-  CheckpointImage img = capture_checkpoint(*rt_, options_.checkpoint_mode, cells_, ++ckpt_seq_,
-                                           incarnation_, discoverable_tasks());
+  const bool delta = next_checkpoint_is_delta();
+  const std::uint64_t base = ckpt_seq_;
+  CheckpointImage img =
+      delta ? capture_delta_checkpoint(*rt_, ++ckpt_seq_, base, incarnation_,
+                                       discoverable_tasks())
+            : capture_checkpoint(*rt_, options_.checkpoint_mode, cells_, ++ckpt_seq_,
+                                 incarnation_, discoverable_tasks());
   img.taken_at = process_->sim().now();
+  // Everything up to this instant is captured: the dirty tracking now
+  // measures what the NEXT delta must carry.
+  rt_->memory().clear_all_dirty();
+  if (delta) {
+    ++ckpts_since_full_;
+  } else {
+    ckpts_since_full_ = 0;
+    force_full_ = false;
+  }
   Buffer blob = img.marshal();
   last_checkpoint_bytes_ = blob.size();
   ++checkpoints_sent_;
+  if (delta) ++delta_checkpoints_sent_; else ++full_checkpoints_sent_;
   ctr_ckpt_sent_.inc();
   ckpt_bytes_.record(static_cast<std::int64_t>(blob.size()));
-  publish_event(obs::EventKind::kCheckpointTaken, "", ckpt_seq_, blob.size());
-  sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
+  publish_event(obs::EventKind::kCheckpointTaken, delta ? "delta" : "full", ckpt_seq_,
+                blob.size());
+  journal_checkpoint(img, blob);
   if (ckpt_peers_.empty()) return;
   Buffer frame = encode_checkpoint(options_.component, blob);
   // Fan out to every live backup replica. Ship on the first configured
@@ -135,7 +166,64 @@ void Ftim::take_checkpoint() {
   int net = options_.networks[ckpt_seq_ % options_.networks.size()];
   for (int peer : ckpt_peers_) {
     process_->send(net, peer, port_, frame, port_);
+    if (delta) {
+      delta_bytes_sent_ += blob.size();
+      ctr_delta_bytes_.inc(static_cast<std::int64_t>(blob.size()));
+    } else {
+      full_bytes_sent_ += blob.size();
+      ctr_full_bytes_.inc(static_cast<std::int64_t>(blob.size()));
+    }
   }
+}
+
+void Ftim::journal_checkpoint(const CheckpointImage& img, const Buffer& blob) {
+  if (!journal_) return;
+  const bool is_delta = img.mode == CheckpointMode::kDelta;
+  if (!journal_->append(
+          is_delta ? store::RecordType::kDelta : store::RecordType::kSnapshot, img.seq,
+          is_delta ? img.base_seq : 0, blob)) {
+    OFTT_LOG_WARN("oftt/ftim", process_->node().name(), "/", process_->name(),
+                  ": journal append failed for seq ", img.seq, " (disk full?)");
+  }
+}
+
+void Ftim::recover_from_journal() {
+  store::RecoveredImage rec = journal_->recover_image();
+  if (!rec.valid) return;
+  CheckpointImage img;
+  if (!CheckpointImage::unmarshal(rec.snapshot, img)) return;
+  std::uint64_t replayed = 1;
+  for (const store::Record& d : rec.deltas) {
+    CheckpointImage delta;
+    if (!CheckpointImage::unmarshal(d.payload, delta)) break;
+    if (delta.incarnation != img.incarnation || delta.base_seq != img.seq) break;
+    apply_delta(img, delta);
+    ++replayed;
+  }
+  ckpt_seq_ = img.seq;
+  latest_ = std::move(img);
+  recovered_from_journal_ = true;
+  journal_replayed_records_ = replayed;
+  ctr_journal_recoveries_.inc();
+  replay_records_.record(static_cast<std::int64_t>(replayed));
+  OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                ": recovered checkpoint seq ", latest_->seq, " from local journal (",
+                replayed, " records)");
+  publish_event(obs::EventKind::kJournalRecovered, "recovered from local journal", replayed,
+                latest_->seq);
+  // Ask the peers for the suffix this node missed while it was down.
+  // Whoever is currently primary answers; everyone else ignores it.
+  if (ckpt_peers_.empty()) return;
+  CheckpointPull pull;
+  pull.component = options_.component;
+  pull.have_seq = latest_->seq;
+  pull.have_incarnation = latest_->incarnation;
+  pull.from_node = process_->node().id();
+  Buffer frame = pull.encode();
+  for (int peer : ckpt_peers_) {
+    process_->send(options_.networks[0], peer, port_, frame, port_);
+  }
+  resync_pending_ = true;
 }
 
 std::uint64_t Ftim::min_acked_seq() const {
@@ -218,6 +306,9 @@ void Ftim::handle_set_active(const SetActive& msg) {
   if (msg.active == active_) return;
   active_ = msg.active;
   if (active_) {
+    // A restore marks every region dirty and starts a new incarnation:
+    // the first checkpoint of this reign must be self-contained.
+    force_full_ = true;
     bool restored = false;
     if (latest_) {
       int anomalies = restore_checkpoint(*rt_, *latest_);
@@ -254,47 +345,206 @@ void Ftim::on_port(const sim::Datagram& d) {
       break;
     }
     case MsgKind::kCheckpoint: {
-      std::string component;
-      Buffer blob;
-      if (!decode_checkpoint(d.payload, component, blob)) return;
-      CheckpointImage img;
-      if (!CheckpointImage::unmarshal(blob, img)) {
-        ++checkpoints_rejected_;
-        ctr_ckpt_corrupt_.inc();
-        return;
-      }
-      // Reject stale images: lower incarnation, or not newer than held.
-      if (latest_ && (img.incarnation < latest_->incarnation ||
-                      (img.incarnation == latest_->incarnation && img.seq <= latest_->seq))) {
-        ++checkpoints_rejected_;
-        return;
-      }
-      std::uint64_t acked_seq = img.seq;
-      latest_ = std::move(img);
-      ++checkpoints_received_;
-      ctr_ckpt_received_.inc();
-      // Confirm receipt so the primary can watch replication lag. Reply
-      // to whoever sent the image — with checkpoint fan-out the sender
-      // is whichever replica is currently primary, not a fixed peer.
-      process_->send(d.network_id, d.src_node, port_,
-                     encode_checkpoint_ack(options_.component, acked_seq), port_);
-      // Keep the local-disk copy current so a restarted instance on
-      // this node recovers the newest state it ever saw.
-      sim::DiskStore::of(process_->sim()).write(process_->node().id(), disk_key(), blob);
+      handle_checkpoint(d);
       break;
     }
     case MsgKind::kCheckpointAck: {
       std::string component;
       std::uint64_t seq = 0;
-      if (!decode_checkpoint_ack(d.payload, component, seq)) return;
+      bool need_full = false;
+      if (!decode_checkpoint_ack(d.payload, component, seq, need_full)) return;
+      if (need_full) {
+        // The peer could not apply a delta (sequence gap / wrong
+        // incarnation): fall back to a self-contained image next round.
+        ++need_full_nacks_;
+        force_full_ = true;
+      }
       if (seq > peer_acked_seq_) peer_acked_seq_ = seq;
       std::uint64_t& acked = acked_by_peer_[d.src_node];
       acked = std::max(acked, seq);
       break;
     }
+    case MsgKind::kCheckpointPull: {
+      CheckpointPull msg;
+      if (CheckpointPull::decode(d.payload, msg)) handle_checkpoint_pull(msg);
+      break;
+    }
+    case MsgKind::kCheckpointBatch: {
+      handle_checkpoint_batch(d);
+      break;
+    }
     default:
       break;
   }
+}
+
+bool Ftim::accept_image(CheckpointImage&& img, const Buffer& blob) {
+  if (img.mode == CheckpointMode::kDelta) {
+    // A delta only makes sense on top of the exact image it was cut
+    // against. Anything else (lost delta, reboot, new incarnation) is a
+    // gap.
+    if (!latest_ || latest_->incarnation != img.incarnation ||
+        latest_->seq != img.base_seq) {
+      ++checkpoints_rejected_;
+      return false;
+    }
+    journal_checkpoint(img, blob);
+    apply_delta(*latest_, img);
+    ++deltas_applied_;
+    ++checkpoints_received_;
+    ctr_ckpt_received_.inc();
+    return true;
+  }
+  // Reject stale images: lower incarnation, or not newer than held.
+  if (latest_ && (img.incarnation < latest_->incarnation ||
+                  (img.incarnation == latest_->incarnation && img.seq <= latest_->seq))) {
+    ++checkpoints_rejected_;
+    return false;
+  }
+  // Journal before adopting: a crash between the two leaves the
+  // journal ahead of memory, which recovery tolerates (it replays the
+  // newest durable chain).
+  journal_checkpoint(img, blob);
+  latest_ = std::move(img);
+  ++checkpoints_received_;
+  ++full_checkpoints_received_;
+  ctr_ckpt_received_.inc();
+  return true;
+}
+
+void Ftim::handle_checkpoint(const sim::Datagram& d) {
+  std::string component;
+  Buffer blob;
+  if (!decode_checkpoint(d.payload, component, blob)) return;
+  CheckpointImage img;
+  if (!CheckpointImage::unmarshal(blob, img)) {
+    ++checkpoints_rejected_;
+    ctr_ckpt_corrupt_.inc();
+    return;
+  }
+  const bool is_delta = img.mode == CheckpointMode::kDelta;
+  const std::uint64_t seq = img.seq;
+  if (!accept_image(std::move(img), blob)) {
+    if (is_delta) {
+      if (resync_pending_ && resync_stash_.size() < kResyncStashMax) {
+        // A live delta raced ahead of the pull reply: hold it until
+        // the batch lands instead of nacking (which would force a
+        // redundant full checkpoint).
+        resync_stash_[seq] = blob;
+        return;
+      }
+      // Stash overflow means the reply was probably lost: fall back to
+      // the nack path so the primary resyncs us with a full image.
+      resync_pending_ = false;
+      resync_stash_.clear();
+      // Nack with need_full so the primary resyncs us; a stale full
+      // image needs no reply.
+      process_->send(
+          d.network_id, d.src_node, port_,
+          encode_checkpoint_ack(options_.component, latest_ ? latest_->seq : 0,
+                                /*need_full=*/true),
+          port_);
+    }
+    return;
+  }
+  if (resync_pending_) drain_resync_stash();
+  // Confirm receipt so the primary can watch replication lag. Reply
+  // to whoever sent the image — with checkpoint fan-out the sender
+  // is whichever replica is currently primary, not a fixed peer.
+  process_->send(d.network_id, d.src_node, port_,
+                 encode_checkpoint_ack(options_.component, latest_->seq), port_);
+}
+
+void Ftim::handle_checkpoint_batch(const sim::Datagram& d) {
+  std::string component;
+  std::vector<Buffer> blobs;
+  if (!decode_checkpoint_batch(d.payload, component, blobs)) return;
+  std::uint64_t applied = 0;
+  for (const Buffer& blob : blobs) {
+    CheckpointImage img;
+    if (!CheckpointImage::unmarshal(blob, img)) {
+      ++checkpoints_rejected_;
+      ctr_ckpt_corrupt_.inc();
+      break;
+    }
+    if (!accept_image(std::move(img), blob)) {
+      // The chain no longer lines up with what we hold (e.g. the
+      // primary moved past it): ask for a full resync and stop.
+      process_->send(
+          d.network_id, d.src_node, port_,
+          encode_checkpoint_ack(options_.component, latest_ ? latest_->seq : 0,
+                                /*need_full=*/true),
+          port_);
+      return;
+    }
+    ++applied;
+  }
+  if (applied > 0) {
+    // Retry stashed live deltas before acking so the ack carries the
+    // furthest seq this node actually holds.
+    drain_resync_stash();
+    process_->send(d.network_id, d.src_node, port_,
+                   encode_checkpoint_ack(options_.component, latest_->seq), port_);
+  }
+}
+
+void Ftim::drain_resync_stash() {
+  resync_pending_ = false;
+  auto stash = std::move(resync_stash_);
+  resync_stash_.clear();
+  for (auto& [seq, blob] : stash) {
+    CheckpointImage img;
+    if (!CheckpointImage::unmarshal(blob, img)) continue;
+    accept_image(std::move(img), blob);  // stale / still-gapped: dropped
+  }
+}
+
+void Ftim::handle_checkpoint_pull(const CheckpointPull& msg) {
+  // Only the active primary owns the authoritative chain; everyone else
+  // stays quiet and lets it answer.
+  if (!active_ || options_.kind != FtimKind::kOpcClient) return;
+  if (msg.component != options_.component || msg.from_node < 0) return;
+  // Delta-suffix path: the requester's recovered state is a valid base
+  // in our current incarnation, and our journal still holds an unbroken
+  // delta chain from there to the newest checkpoint. (Compaction on the
+  // last full checkpoint retires older-incarnation records, so chain
+  // ids cannot alias across incarnations.)
+  if (journal_ && msg.have_seq > 0 && msg.have_incarnation == incarnation_) {
+    std::vector<Buffer> suffix;
+    std::size_t suffix_bytes = 0;
+    std::uint64_t cur = msg.have_seq;
+    std::vector<store::Record> records = journal_->recover();
+    for (store::Record& r : records) {
+      if (r.type == store::RecordType::kDelta && r.base == cur) {
+        cur = r.id;
+        suffix_bytes += r.payload.size();
+        suffix.push_back(std::move(r.payload));
+      }
+    }
+    if (cur == ckpt_seq_) {
+      if (!suffix.empty()) {
+        // One ordered batch frame: separate datagrams would be
+        // reordered by network latency jitter, and a delta chain only
+        // applies in order.
+        process_->send(options_.networks[0], msg.from_node, port_,
+                       encode_checkpoint_batch(options_.component, suffix), port_);
+        delta_bytes_sent_ += suffix_bytes;
+        ctr_delta_bytes_.inc(static_cast<std::int64_t>(suffix_bytes));
+      }
+      ++pulls_served_delta_;
+      OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                    ": resynced node ", msg.from_node, " with ", suffix.size(),
+                    " deltas (", suffix_bytes, " bytes)");
+      publish_event(obs::EventKind::kResyncDelta, "delta suffix resync", suffix.size(),
+                    suffix_bytes);
+      return;
+    }
+  }
+  // Chain broken (or nothing in common): broadcast a fresh full image.
+  ++pulls_served_full_;
+  publish_event(obs::EventKind::kResyncFull, "full resync", ckpt_seq_ + 1, 0);
+  force_full_ = true;
+  take_checkpoint();
 }
 
 void Ftim::check_engine() {

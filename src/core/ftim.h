@@ -28,6 +28,7 @@
 #include "obs/event.h"
 #include "obs/metrics.h"
 #include "sim/timer.h"
+#include "store/journal.h"
 
 namespace oftt::core {
 
@@ -53,6 +54,16 @@ struct FtimOptions {
   /// Restart a dead engine (checked every engine_check_period).
   bool restart_engine_if_dead = true;
   sim::SimTime engine_check_period = sim::milliseconds(500);
+  /// Journal every checkpoint taken or received to the node-local
+  /// durable store, so a cold restart recovers from its own disk and
+  /// only pulls the missing suffix from the primary.
+  bool journal_checkpoints = true;
+  /// kFull mode only: every Nth checkpoint is a self-contained image,
+  /// the ones between ship as deltas of the dirty regions. 1 disables
+  /// deltas (every checkpoint full). Selective mode always ships its
+  /// (already small) designated cells.
+  std::uint32_t full_checkpoint_interval = 8;
+  std::size_t journal_segment_bytes = 64 * 1024;
 };
 
 class Ftim {
@@ -105,6 +116,23 @@ class Ftim {
   std::uint64_t checkpoints_received() const { return checkpoints_received_; }
   std::uint64_t checkpoints_rejected() const { return checkpoints_rejected_; }
   std::size_t last_checkpoint_bytes() const { return last_checkpoint_bytes_; }
+  // Delta-checkpoint accounting (primary side).
+  std::uint64_t full_checkpoints_sent() const { return full_checkpoints_sent_; }
+  std::uint64_t delta_checkpoints_sent() const { return delta_checkpoints_sent_; }
+  std::uint64_t full_bytes_sent() const { return full_bytes_sent_; }
+  std::uint64_t delta_bytes_sent() const { return delta_bytes_sent_; }
+  std::uint64_t need_full_nacks() const { return need_full_nacks_; }
+  // Backup / restart side.
+  std::uint64_t deltas_applied() const { return deltas_applied_; }
+  std::uint64_t full_checkpoints_received() const { return full_checkpoints_received_; }
+  /// True when the constructor rebuilt `latest_checkpoint()` from the
+  /// node-local journal (the cold-restart recovery path).
+  bool recovered_from_journal() const { return recovered_from_journal_; }
+  std::uint64_t journal_replayed_records() const { return journal_replayed_records_; }
+  // Resync-pull servicing (primary side).
+  std::uint64_t pulls_served_delta() const { return pulls_served_delta_; }
+  std::uint64_t pulls_served_full() const { return pulls_served_full_; }
+  const store::Journal* journal() const { return journal_.get(); }
   bool has_checkpoint() const { return latest_.has_value(); }
   const CheckpointImage* latest_checkpoint() const {
     return latest_ ? &*latest_ : nullptr;
@@ -118,11 +146,26 @@ class Ftim {
   void heartbeat_tick();
   void take_checkpoint();
   void handle_set_active(const SetActive& msg);
+  void handle_checkpoint(const sim::Datagram& d);
+  void handle_checkpoint_batch(const sim::Datagram& d);
+  void handle_checkpoint_pull(const CheckpointPull& msg);
+  /// Journal + adopt/apply one incoming image (full or delta). False
+  /// when it cannot be used from the current state (gap, stale, wrong
+  /// incarnation) — the caller decides whether that warrants a nack.
+  bool accept_image(CheckpointImage&& img, const Buffer& blob);
+  /// Resync landed (batch or full applied): retry every stashed live
+  /// delta in seq order; whatever still doesn't chain is dropped.
+  void drain_resync_stash();
   void check_engine();
   void send_engine(const Buffer& payload);
   void publish_event(obs::EventKind kind, std::string detail, std::uint64_t a,
                      std::uint64_t b);
-  std::string disk_key() const { return "oftt.ckpt." + options_.component; }
+  /// Replay the local journal into latest_ (cold-restart recovery),
+  /// then ask the peers for whatever suffix this node missed.
+  void recover_from_journal();
+  void journal_checkpoint(const CheckpointImage& img, const Buffer& blob);
+  /// Should the next checkpoint be a delta of the last one?
+  bool next_checkpoint_is_delta() const;
 
   sim::Process* process_;
   FtimOptions options_;
@@ -139,6 +182,7 @@ class Ftim {
   std::set<std::uint32_t> hooked_tids_;
   nt::NtRuntime::CreateThreadFn original_create_thread_;
   std::optional<CheckpointImage> latest_;
+  std::unique_ptr<store::Journal> journal_;
   std::vector<int> ckpt_peers_;               // resolved fan-out targets
   std::map<int, std::uint64_t> acked_by_peer_;  // node -> highest acked seq
   std::uint64_t checkpoints_sent_ = 0;
@@ -146,6 +190,29 @@ class Ftim {
   std::uint64_t checkpoints_received_ = 0;
   std::uint64_t checkpoints_rejected_ = 0;
   std::size_t last_checkpoint_bytes_ = 0;
+  /// The next checkpoint must be self-contained: set at start, on
+  /// activation (a restore dirties everything anyway) and when a peer
+  /// nacks a delta it could not apply.
+  bool force_full_ = true;
+  std::uint32_t ckpts_since_full_ = 0;
+  std::uint64_t full_checkpoints_sent_ = 0;
+  std::uint64_t delta_checkpoints_sent_ = 0;
+  std::uint64_t full_bytes_sent_ = 0;
+  std::uint64_t delta_bytes_sent_ = 0;
+  std::uint64_t need_full_nacks_ = 0;
+  std::uint64_t deltas_applied_ = 0;
+  std::uint64_t full_checkpoints_received_ = 0;
+  bool recovered_from_journal_ = false;
+  std::uint64_t journal_replayed_records_ = 0;
+  /// Cold-restart resync in flight: live deltas taken after the pull
+  /// was served can outrun the batch reply on the wire. Instead of
+  /// nacking them (forcing a redundant full), they wait here until the
+  /// batch lands; bounded so a lost reply degrades to a nack.
+  bool resync_pending_ = false;
+  std::map<std::uint64_t, Buffer> resync_stash_;  // seq -> checkpoint blob
+  static constexpr std::size_t kResyncStashMax = 16;
+  std::uint64_t pulls_served_delta_ = 0;
+  std::uint64_t pulls_served_full_ = 0;
   std::function<void(bool)> on_activate_;
   std::function<void()> on_deactivate_;
   // Pre-resolved metric handles for the periodic checkpoint path.
@@ -153,7 +220,11 @@ class Ftim {
   obs::Counter ctr_ckpt_received_;
   obs::Counter ctr_ckpt_corrupt_;
   obs::Counter ctr_engine_restarts_;
+  obs::Counter ctr_full_bytes_;
+  obs::Counter ctr_delta_bytes_;
+  obs::Counter ctr_journal_recoveries_;
   obs::Histogram ckpt_bytes_;
+  obs::Histogram replay_records_;
   sim::PeriodicTimer hb_timer_;
   sim::PeriodicTimer ckpt_timer_;
   sim::PeriodicTimer engine_check_timer_;

@@ -375,18 +375,64 @@ bool decode_checkpoint(const Buffer& b, std::string& component, Buffer& image) {
   return !r.failed();
 }
 
-Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq) {
+Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq,
+                             bool need_full) {
   BinaryWriter w = begin(MsgKind::kCheckpointAck);
   w.str(component);
   w.u64(seq);
+  w.boolean(need_full);
   return std::move(w).take();
 }
 
-bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq) {
+bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq,
+                           bool& need_full) {
   BinaryReader r(b);
   if (!begin_read(b, MsgKind::kCheckpointAck, r)) return false;
   component = r.str();
   seq = r.u64();
+  need_full = r.boolean();
+  return !r.failed();
+}
+
+Buffer CheckpointPull::encode() const {
+  BinaryWriter w = begin(MsgKind::kCheckpointPull);
+  w.str(component);
+  w.u64(have_seq);
+  w.u32(have_incarnation);
+  w.i32(from_node);
+  return std::move(w).take();
+}
+
+bool CheckpointPull::decode(const Buffer& b, CheckpointPull& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kCheckpointPull, r)) return false;
+  out.component = r.str();
+  out.have_seq = r.u64();
+  out.have_incarnation = r.u32();
+  out.from_node = r.i32();
+  return !r.failed();
+}
+
+Buffer encode_checkpoint_batch(const std::string& component,
+                               const std::vector<Buffer>& images) {
+  BinaryWriter w = begin(MsgKind::kCheckpointBatch);
+  w.str(component);
+  w.u32(static_cast<std::uint32_t>(images.size()));
+  for (const Buffer& image : images) w.blob(image);
+  return std::move(w).take();
+}
+
+bool decode_checkpoint_batch(const Buffer& b, std::string& component,
+                             std::vector<Buffer>& images) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kCheckpointBatch, r)) return false;
+  component = r.str();
+  std::uint32_t n = r.u32();
+  // A blob serializes to at least its 4-byte length: reject garbage
+  // counts before the loop allocates anything.
+  if (n > r.remaining() / 4) return false;
+  images.clear();
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) images.push_back(r.blob());
   return !r.failed();
 }
 

@@ -43,6 +43,8 @@ enum class MsgKind : std::uint8_t {
   // FTIM -> FTIM
   kCheckpoint = 40,
   kCheckpointAck = 41,
+  kCheckpointPull = 42,
+  kCheckpointBatch = 43,
   // engine <-> engine, cluster mode (N-replica role management)
   kViewGossip = 50,
   kPromoteRequest = 51,
@@ -233,8 +235,34 @@ Buffer encode_checkpoint(const std::string& component, const Buffer& image);
 bool decode_checkpoint(const Buffer& b, std::string& component, Buffer& image);
 
 /// Checkpoint acknowledgement: the backup confirms (component, seq) so
-/// the primary can observe replication lag.
-Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq);
-bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq);
+/// the primary can observe replication lag. `need_full` is the nack a
+/// backup raises when it cannot apply a delta (sequence gap, wrong
+/// incarnation) and needs a self-contained image to resync.
+Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq,
+                             bool need_full = false);
+bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq,
+                           bool& need_full);
+
+/// Cold-restart resync request (FTIM -> primary FTIM): "I recovered my
+/// local journal up to (have_incarnation, have_seq) — send me what I'm
+/// missing." The primary replies with one kCheckpointBatch carrying the
+/// chained delta suffix when the requester's state is a valid base, or
+/// broadcasts a fresh full image otherwise.
+struct CheckpointPull {
+  std::string component;
+  std::uint64_t have_seq = 0;
+  std::uint32_t have_incarnation = 0;
+  int from_node = -1;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, CheckpointPull& out);
+};
+
+/// Ordered checkpoint batch: the delta-suffix reply to a CheckpointPull.
+/// One frame instead of N — per-datagram network latency jitter would
+/// reorder separate frames, and a delta chain only applies in order.
+Buffer encode_checkpoint_batch(const std::string& component,
+                               const std::vector<Buffer>& images);
+bool decode_checkpoint_batch(const Buffer& b, std::string& component,
+                             std::vector<Buffer>& images);
 
 }  // namespace oftt::core

@@ -9,6 +9,7 @@
 // checkpointing.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <map>
@@ -22,17 +23,33 @@ namespace oftt::nt {
 
 class Region {
  public:
-  Region(std::string name, std::size_t size) : name_(std::move(name)), bytes_(size, 0) {}
+  /// A half-open dirty byte range [begin, end).
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// A freshly allocated region is wholly dirty: it did not exist at
+  /// the last checkpoint, so a delta must carry all of it.
+  Region(std::string name, std::size_t size)
+      : name_(std::move(name)), bytes_(size, 0), dirty_all_(true) {}
 
   const std::string& name() const { return name_; }
   std::size_t size() const { return bytes_.size(); }
-  std::uint8_t* data() { return bytes_.data(); }
+  /// Mutable access marks the whole region dirty: the caller holds a
+  /// raw pointer the tracker cannot see through, so the only safe
+  /// answer is "anything may have changed".
+  std::uint8_t* data() {
+    dirty_all_ = true;
+    return bytes_.data();
+  }
   const std::uint8_t* data() const { return bytes_.data(); }
 
   Buffer snapshot() const { return bytes_; }
   void restore(const Buffer& image) {
     assert(image.size() == bytes_.size());
     bytes_ = image;
+    dirty_all_ = true;
   }
 
   /// Read/write a POD at an offset (bounds-checked).
@@ -49,11 +66,62 @@ class Region {
     static_assert(std::is_trivially_copyable_v<T>);
     assert(offset + sizeof(T) <= bytes_.size());
     std::memcpy(bytes_.data() + offset, &v, sizeof(T));
+    mark_dirty(offset, sizeof(T));
+  }
+
+  /// Explicit dirty designation for code that wrote through a cached
+  /// data() pointer but knows exactly what it touched.
+  void mark_dirty(std::size_t offset, std::size_t n) {
+    if (dirty_all_ || n == 0) return;
+    insert_range(offset, offset + n);
+  }
+
+  // --- dirty-region tracking (delta checkpoints) ---
+  bool dirty() const { return dirty_all_ || !dirty_ranges_.empty(); }
+  bool dirty_all() const { return dirty_all_; }
+  /// Coalesced dirty byte ranges; meaningless while dirty_all().
+  const std::vector<Range>& dirty_ranges() const { return dirty_ranges_; }
+  /// Bytes a delta of this region would carry (whole size if dirty_all).
+  std::size_t dirty_bytes() const {
+    if (dirty_all_) return bytes_.size();
+    std::size_t n = 0;
+    for (const Range& r : dirty_ranges_) n += r.end - r.begin;
+    return n;
+  }
+  /// Checkpoint taken: the region is clean relative to it.
+  void clear_dirty() {
+    dirty_all_ = false;
+    dirty_ranges_.clear();
   }
 
  private:
+  /// Insert [begin, end) into the sorted range set, merging neighbours.
+  /// Past kMaxRanges the bookkeeping would cost more than it saves, so
+  /// the tracker degrades to dirty_all (a full-region delta).
+  void insert_range(std::size_t begin, std::size_t end) {
+    static constexpr std::size_t kMaxRanges = 64;
+    std::size_t i = 0;
+    while (i < dirty_ranges_.size() && dirty_ranges_[i].end < begin) ++i;
+    std::size_t j = i;
+    while (j < dirty_ranges_.size() && dirty_ranges_[j].begin <= end) {
+      begin = std::min(begin, dirty_ranges_[j].begin);
+      end = std::max(end, dirty_ranges_[j].end);
+      ++j;
+    }
+    dirty_ranges_.erase(dirty_ranges_.begin() + static_cast<std::ptrdiff_t>(i),
+                        dirty_ranges_.begin() + static_cast<std::ptrdiff_t>(j));
+    dirty_ranges_.insert(dirty_ranges_.begin() + static_cast<std::ptrdiff_t>(i),
+                         Range{begin, end});
+    if (dirty_ranges_.size() > kMaxRanges) {
+      dirty_ranges_.clear();
+      dirty_all_ = true;
+    }
+  }
+
   std::string name_;
   Buffer bytes_;
+  bool dirty_all_ = true;
+  std::vector<Range> dirty_ranges_;
 };
 
 /// A typed window onto a region slice — the ergonomic way applications
@@ -110,6 +178,12 @@ class MemorySpace {
     std::size_t n = 0;
     for (const auto& [_, r] : regions_) n += r->size();
     return n;
+  }
+
+  /// Checkpoint boundary: every region becomes clean relative to the
+  /// image just captured.
+  void clear_all_dirty() {
+    for (auto& [_, r] : regions_) r->clear_dirty();
   }
 
  private:

@@ -45,7 +45,11 @@ enum class EventKind : std::uint32_t {
   kPromotionRequested = 16,   // a = proposed incarnation, b = votes needed
   kPromotionQuorum = 17,      // a = votes collected (incl self), b = votes needed
   kViewChange = 18,           // a = view version, b = view incarnation
-  kMaxKind = 19,              // one past the last kind (mask width)
+  // Durable store: local journal recovery and resync after reboot.
+  kJournalRecovered = 19,     // a = records replayed, b = recovered seq
+  kResyncDelta = 20,          // a = deltas shipped, b = bytes shipped
+  kResyncFull = 21,           // a = seq shipped, b = bytes shipped
+  kMaxKind = 22,              // one past the last kind (mask width)
 };
 
 const char* event_kind_name(EventKind kind);

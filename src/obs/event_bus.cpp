@@ -25,6 +25,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kPromotionRequested: return "promotion_requested";
     case EventKind::kPromotionQuorum: return "promotion_quorum";
     case EventKind::kViewChange: return "view_change";
+    case EventKind::kJournalRecovered: return "journal_recovered";
+    case EventKind::kResyncDelta: return "resync_delta";
+    case EventKind::kResyncFull: return "resync_full";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

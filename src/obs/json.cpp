@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "obs/telemetry.h"
@@ -63,6 +64,18 @@ void JsonWriter::value(std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%" PRIu64, v);
   out_ += buf;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  char buf[32];
+  // %g keeps the output compact; JSON has no inf/nan, so clamp to null.
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";
+  }
 }
 
 void JsonWriter::value(bool v) {

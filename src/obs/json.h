@@ -28,6 +28,7 @@ class JsonWriter {
   void value(std::int64_t v);
   void value(std::uint64_t v);
   void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
   void value(bool v);
   void null();
 

@@ -1,7 +1,12 @@
 // DiskStore: per-node persistent storage that survives process death and
 // node reboot (but is unreachable while the node is down) — the
-// simulated hard disk. MSMQ recoverable messages and OFTT persistent
-// role hints live here.
+// simulated hard disk. MSMQ recoverable messages, the durable
+// checkpoint/message journal (src/store/), and OFTT persistent role
+// hints live here.
+//
+// Writes are accounted per node and can be made to fail like a full
+// disk: set_capacity() caps a node's used bytes, and fail_writes() is
+// the chaos hook that rejects every write outright (a dying disk).
 #pragma once
 
 #include <map>
@@ -18,15 +23,49 @@ class DiskStore {
  public:
   static DiskStore& of(Simulation& sim) { return sim.attachment<DiskStore>(); }
 
-  void write(int node, const std::string& key, Buffer value) {
+  /// Store `value` under (node, key). Returns false — and stores
+  /// nothing — when the node's disk is failed or the write would push
+  /// used bytes past the node's capacity (a full disk: the existing
+  /// value stays intact, exactly like a failed overwrite on NTFS).
+  bool write(int node, const std::string& key, Buffer value) {
+    auto& acct = accounts_[node];
+    if (acct.fail_writes) return false;
+    auto it = data_.find({node, key});
+    std::size_t old_bytes = it != data_.end() ? it->second.size() : 0;
+    if (acct.capacity != 0 &&
+        acct.used_bytes - old_bytes + value.size() > acct.capacity) {
+      return false;
+    }
+    acct.used_bytes = acct.used_bytes - old_bytes + value.size();
     data_[{node, key}] = std::move(value);
+    return true;
   }
   std::optional<Buffer> read(int node, const std::string& key) const {
     auto it = data_.find({node, key});
     if (it == data_.end()) return std::nullopt;
     return it->second;
   }
-  void erase(int node, const std::string& key) { data_.erase({node, key}); }
+  void erase(int node, const std::string& key) {
+    auto it = data_.find({node, key});
+    if (it == data_.end()) return;
+    accounts_[node].used_bytes -= it->second.size();
+    data_.erase(it);
+  }
+
+  /// Erase every key of a node starting with `prefix`; returns bytes
+  /// reclaimed. This is what journal compaction uses to retire whole
+  /// segments.
+  std::size_t erase_prefix(int node, const std::string& prefix) {
+    std::size_t reclaimed = 0;
+    auto it = data_.lower_bound({node, prefix});
+    while (it != data_.end() && it->first.first == node &&
+           it->first.second.rfind(prefix, 0) == 0) {
+      reclaimed += it->second.size();
+      it = data_.erase(it);
+    }
+    accounts_[node].used_bytes -= reclaimed;
+    return reclaimed;
+  }
 
   std::vector<std::string> keys_with_prefix(int node, const std::string& prefix) const {
     std::vector<std::string> out;
@@ -37,8 +76,35 @@ class DiskStore {
     return out;
   }
 
+  /// Bytes currently stored for a node (sum of value sizes).
+  std::size_t used_bytes(int node) const {
+    auto it = accounts_.find(node);
+    return it != accounts_.end() ? it->second.used_bytes : 0;
+  }
+
+  /// Cap a node's disk at `bytes` (0 = unlimited). Writes that would
+  /// exceed the cap fail; existing data is never truncated.
+  void set_capacity(int node, std::size_t bytes) { accounts_[node].capacity = bytes; }
+  std::size_t capacity(int node) const {
+    auto it = accounts_.find(node);
+    return it != accounts_.end() ? it->second.capacity : 0;
+  }
+
+  /// Chaos hook: make every write on `node` fail (FaultPlan::disk_full).
+  void fail_writes(int node, bool fail) { accounts_[node].fail_writes = fail; }
+  bool writes_failing(int node) const {
+    auto it = accounts_.find(node);
+    return it != accounts_.end() && it->second.fail_writes;
+  }
+
  private:
+  struct Account {
+    std::size_t used_bytes = 0;
+    std::size_t capacity = 0;  // 0 = unlimited
+    bool fail_writes = false;
+  };
   std::map<std::pair<int, std::string>, Buffer> data_;
+  std::map<int, Account> accounts_;
 };
 
 }  // namespace oftt::sim

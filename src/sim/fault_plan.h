@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sim/disk.h"
 #include "sim/simulation.h"
 
 namespace oftt::sim {
@@ -75,6 +76,19 @@ class FaultPlan {
       link(start + (2 * i + 1) * period, network, a, b, /*up=*/true);
     }
     return *this;
+  }
+
+  /// Fail every disk write on a node from `at` (a full / dying disk —
+  /// failure mode for the durable journal and MSMQ persistence).
+  FaultPlan& disk_full(SimTime at, int node) {
+    return add(at, cat("disk full on node ", node),
+               [this, node] { DiskStore::of(*sim_).fail_writes(node, true); });
+  }
+
+  /// Writes succeed again from `at` (operator freed space / swapped disk).
+  FaultPlan& disk_restore(SimTime at, int node) {
+    return add(at, cat("disk restored on node ", node),
+               [this, node] { DiskStore::of(*sim_).fail_writes(node, false); });
   }
 
   FaultPlan& network_down(SimTime at, int network, bool down) {

@@ -1,0 +1,165 @@
+// Durable state store: a log-structured write-ahead journal on the
+// node's simulated disk (sim::DiskStore).
+//
+// The paper's recovery manager restarts failed applications and leans
+// on MSMQ *recoverable* messages surviving node death — but the OFTT
+// checkpoints themselves previously existed only in the peer FTIM's
+// memory (plus one loose disk key), so a rebooted node came back empty
+// and had to re-fetch everything over the wire. The journal gives every
+// node a cheap local recovery tier below the expensive global one
+// (replay your own disk before resyncing from the primary), following
+// the escalation idea of the DIR Net line of work.
+//
+// Format: the journal is a sequence of fixed-name segments
+// ("<prefix>.seg.<%08u>") on the DiskStore. Each segment holds
+// CRC-framed, length-prefixed records:
+//
+//   [u32 magic][u32 frame_len][u32 crc][u8 type][u64 id][u64 base][payload]
+//    \------------- header -------------/\------ crc covers this ------/
+//
+//   frame_len = bytes after the crc field (type..payload)
+//   crc      = CRC-32 over type..payload
+//   type     = kSnapshot | kDelta | kMessage
+//   id       = record sequence id (checkpoint seq / message ordinal)
+//   base     = for kDelta: the id this delta applies on top of
+//
+// Write path: append() frames the record into the active segment and
+// rewrites that segment's DiskStore value (the moral equivalent of an
+// fwrite+fsync of the tail). When the active segment exceeds
+// segment_bytes the journal rotates to a fresh one. Appending a
+// kSnapshot retires every strictly older segment — they are wholly
+// shadowed by the newer snapshot — via compact().
+//
+// Read path: recover() scans segments in order and returns every intact
+// record. A corrupt or torn record ends the scan of its segment (frame
+// boundaries after it are untrustworthy); a torn tail in the *last*
+// segment is the expected crash signature and simply truncates the
+// recovered suffix. recover_image() additionally folds the records into
+// "newest snapshot + the delta chain on top of it", which is what a
+// cold-restarting FTIM replays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "obs/metrics.h"
+
+namespace oftt::sim {
+class Simulation;
+}
+
+namespace oftt::store {
+
+enum class RecordType : std::uint8_t {
+  kSnapshot = 1,  // self-contained image; shadows everything before it
+  kDelta = 2,     // applies on top of record `base`
+  kMessage = 3,   // journaled in-flight message (diverter retry state)
+};
+
+struct Record {
+  RecordType type = RecordType::kSnapshot;
+  std::uint64_t id = 0;
+  std::uint64_t base = 0;
+  Buffer payload;
+};
+
+struct JournalOptions {
+  /// Rotate the active segment once it exceeds this many bytes.
+  std::size_t segment_bytes = 64 * 1024;
+  /// Retire segments older than the newest snapshot automatically on
+  /// every snapshot append.
+  bool auto_compact = true;
+  /// For snapshot-free journals (pure message logs): keep at most this
+  /// many segments, dropping the oldest. 0 = unbounded.
+  std::size_t max_segments = 0;
+};
+
+/// What recover_image() reconstructs: the newest durable snapshot plus
+/// the consecutive delta suffix on top of it, in apply order.
+struct RecoveredImage {
+  Buffer snapshot;
+  std::uint64_t snapshot_id = 0;
+  std::vector<Record> deltas;  // base-chained, ascending ids
+  /// id of the newest record in the chain (snapshot_id if no deltas).
+  std::uint64_t last_id = 0;
+  bool valid = false;  // false: no intact snapshot found
+};
+
+class Journal {
+ public:
+  /// Opens (and scans) the journal stored under `prefix` on `node`'s
+  /// disk. Existing segments are inventoried so appends continue where
+  /// the previous incarnation stopped.
+  Journal(sim::Simulation& sim, int node, std::string prefix,
+          JournalOptions options = JournalOptions());
+
+  /// Append one record; returns false when the disk refused the write
+  /// (full/failed disk) — the record is then NOT durable and the
+  /// in-memory segment image is rolled back so a later retry re-frames
+  /// cleanly.
+  bool append(RecordType type, std::uint64_t id, std::uint64_t base, const Buffer& payload);
+
+  /// Retire every segment strictly older than the one holding the
+  /// newest snapshot record; returns bytes reclaimed.
+  std::size_t compact();
+
+  /// Scan all segments and return every intact record in log order.
+  std::vector<Record> recover() const;
+
+  /// Fold recover() into newest-snapshot + chained delta suffix.
+  RecoveredImage recover_image() const;
+
+  /// Destroy the journal on disk (all segments).
+  void wipe();
+
+  // --- introspection ---
+  std::size_t segment_count() const { return segments_.size(); }
+  std::uint64_t records_appended() const { return records_appended_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  std::uint64_t append_failures() const { return append_failures_; }
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t bytes_reclaimed() const { return bytes_reclaimed_; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  struct Segment {
+    std::uint32_t index = 0;
+    std::size_t bytes = 0;
+    bool has_snapshot = false;
+    std::uint64_t max_snapshot_id = 0;
+  };
+
+  std::string segment_key(std::uint32_t index) const;
+  Segment& active_segment();
+  void rotate();
+  void drop_oldest_over_cap();
+  /// Parse one segment's bytes; appends intact records to `out` and
+  /// stops at the first corrupt/torn frame. Returns the number of valid
+  /// bytes — the trustworthy prefix appends may continue after.
+  static std::size_t scan_segment(const Buffer& bytes, std::vector<Record>* out);
+
+  sim::Simulation* sim_;
+  int node_;
+  std::string prefix_;
+  JournalOptions options_;
+  std::vector<Segment> segments_;  // ascending index order
+  Buffer active_bytes_;            // in-memory image of the active segment
+
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t append_failures_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t bytes_reclaimed_ = 0;
+
+  // Shared metric cells across all journals in a simulation.
+  obs::Counter ctr_bytes_written_;
+  obs::Counter ctr_records_;
+  obs::Counter ctr_append_failures_;
+  obs::Counter ctr_reclaimed_;
+  obs::Gauge segments_gauge_;
+};
+
+}  // namespace oftt::store

@@ -3,7 +3,9 @@
 // full-vs-selective (OFTTSelSave) modes.
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
 #include "core/checkpoint.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 
 namespace oftt::core {
@@ -135,6 +137,144 @@ TEST_F(CheckpointTest, SelectiveCellOutOfRangeSkipped) {
   CheckpointImage img =
       capture_checkpoint(*src_, CheckpointMode::kSelective, cells, 1, 1, {});
   EXPECT_TRUE(img.cells.empty()) << "invalid designation must not capture garbage";
+}
+
+// --- delta checkpoints (dirty-region tracking driven) ---
+
+TEST_F(CheckpointTest, DeltaCarriesOnlyDirtyRanges) {
+  auto& g = src_->memory().alloc("globals", 256);
+  g.write<std::uint64_t>(0, 1);
+  g.write<std::uint64_t>(128, 2);
+  src_->memory().clear_all_dirty();  // a full checkpoint was just taken
+
+  g.write<std::uint64_t>(128, 3);  // the only mutation since
+
+  CheckpointImage delta = capture_delta_checkpoint(*src_, 2, 1, 1, {});
+  EXPECT_EQ(delta.mode, CheckpointMode::kDelta);
+  EXPECT_EQ(delta.base_seq, 1u);
+  EXPECT_TRUE(delta.regions.empty()) << "no whole-region blobs for a range write";
+  ASSERT_EQ(delta.cells.size(), 1u);
+  EXPECT_EQ(delta.cells[0].offset, 128u);
+  EXPECT_EQ(delta.cells[0].bytes.size(), 8u);
+}
+
+TEST_F(CheckpointTest, DeltaSkipsCleanRegionsAndShipsNewRegionsWhole) {
+  src_->memory().alloc("old", 64);
+  src_->memory().clear_all_dirty();
+  src_->memory().alloc("fresh", 32).write<std::uint8_t>(0, 7);
+
+  CheckpointImage delta = capture_delta_checkpoint(*src_, 2, 1, 1, {});
+  EXPECT_EQ(delta.regions.count("old"), 0u) << "untouched region must not ship";
+  ASSERT_EQ(delta.regions.count("fresh"), 1u) << "new region is all-dirty: ships whole";
+  EXPECT_EQ(delta.regions.at("fresh").size(), 32u);
+}
+
+TEST_F(CheckpointTest, DeltaFarSmallerThanFullForSparseWrites) {
+  auto& g = src_->memory().alloc("globals", 1 << 20);  // 1 MiB of app state
+  src_->memory().clear_all_dirty();
+  g.write<std::uint64_t>(512, 42);
+
+  auto full = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 2, 1, {});
+  auto delta = capture_delta_checkpoint(*src_, 2, 1, 1, {});
+  EXPECT_GT(full.marshal().size(), (1u << 20));
+  EXPECT_LT(delta.marshal().size(), 256u);
+}
+
+TEST_F(CheckpointTest, ApplyDeltaMergesIntoBaseAndRestoresCorrectly) {
+  auto& g = src_->memory().alloc("globals", 256);
+  g.write<std::uint64_t>(0, 10);
+  g.write<std::uint64_t>(64, 20);
+  CheckpointImage base = capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {});
+  src_->memory().clear_all_dirty();
+
+  g.write<std::uint64_t>(64, 21);
+  CheckpointImage delta = capture_delta_checkpoint(*src_, 2, 1, 1, {});
+  EXPECT_EQ(apply_delta(base, delta), 0);
+  EXPECT_EQ(base.seq, 2u);
+
+  restore_checkpoint(*dst_, base);
+  EXPECT_EQ(dst_->memory().find("globals")->read<std::uint64_t>(0), 10u);
+  EXPECT_EQ(dst_->memory().find("globals")->read<std::uint64_t>(64), 21u);
+}
+
+TEST_F(CheckpointTest, ApplyDeltaCountsCellsOutsideBase) {
+  CheckpointImage base;
+  base.seq = 1;
+  base.regions["g"] = Buffer(16);
+  CheckpointImage delta;
+  delta.seq = 2;
+  SelectiveCell missing{"nope", 0, Buffer(4)};
+  SelectiveCell overrun{"g", 12, Buffer(8)};
+  delta.cells = {missing, overrun};
+  EXPECT_EQ(apply_delta(base, delta), 2);
+  EXPECT_EQ(base.seq, 2u) << "merge still advances despite the anomalies";
+}
+
+// --- unmarshal hardening: hostile buffers must be rejected cheaply ---
+
+namespace fuzz {
+/// A checksum-valid image header followed by a declared element count —
+/// the checksum passes, so only the count validation stands between the
+/// parser and a multi-gigabyte allocation loop.
+Buffer image_with_declared_region_count(std::uint32_t count) {
+  BinaryWriter w;
+  w.u64(1);                                              // seq
+  w.u64(0);                                              // base_seq
+  w.u32(1);                                              // incarnation
+  w.u8(static_cast<std::uint8_t>(CheckpointMode::kFull));  // mode
+  w.i64(0);                                              // taken_at
+  w.u32(count);                                          // nregions
+  w.u64(fnv64(w.data()));
+  return std::move(w).take();
+}
+}  // namespace fuzz
+
+TEST_F(CheckpointTest, UnmarshalRejectsHugeDeclaredCounts) {
+  CheckpointImage out;
+  EXPECT_FALSE(CheckpointImage::unmarshal(fuzz::image_with_declared_region_count(0xFFFFFFFF), out));
+  EXPECT_FALSE(CheckpointImage::unmarshal(fuzz::image_with_declared_region_count(1u << 20), out));
+  // A count of zero for every section is a legitimate (empty) image.
+  BinaryWriter w;
+  w.u64(1);
+  w.u64(0);
+  w.u32(1);
+  w.u8(static_cast<std::uint8_t>(CheckpointMode::kFull));
+  w.i64(0);
+  w.u32(0);  // regions
+  w.u32(0);  // cells
+  w.u32(0);  // task contexts
+  w.u64(fnv64(w.data()));
+  EXPECT_TRUE(CheckpointImage::unmarshal(std::move(w).take(), out));
+}
+
+TEST_F(CheckpointTest, UnmarshalSurvivesTruncationSweep) {
+  src_->memory().alloc("g", 64).write<std::uint32_t>(0, 0xAB);
+  auto& task = src_->create_thread_static("main", 0x401000);
+  task.set_context_provider([] { return Buffer{1, 2, 3}; });
+  Buffer blob =
+      capture_checkpoint(*src_, CheckpointMode::kFull, {}, 1, 1, {&task}).marshal();
+
+  // Every strict prefix must be rejected — never parsed into a
+  // half-filled image, never crashed on.
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    CheckpointImage out;
+    EXPECT_FALSE(CheckpointImage::unmarshal(Buffer(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(len)), out))
+        << "prefix of " << len << " bytes must not unmarshal";
+  }
+  CheckpointImage out;
+  EXPECT_TRUE(CheckpointImage::unmarshal(blob, out));
+}
+
+TEST_F(CheckpointTest, UnmarshalSurvivesRandomGarbage) {
+  sim::Rng rng(0xC0FFEE);
+  for (int round = 0; round < 200; ++round) {
+    Buffer junk(static_cast<std::size_t>(rng.uniform(0, 512)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    CheckpointImage out;
+    // The odds of 512 random bytes carrying a valid trailing fnv64 of
+    // themselves are negligible; the parser must simply say no.
+    EXPECT_FALSE(CheckpointImage::unmarshal(junk, out));
+  }
 }
 
 // The §3.1 reproduction at the checkpoint level: without the IAT hook a

@@ -159,6 +159,33 @@ TEST(Wire, CheckpointFrameRoundTrip) {
   EXPECT_EQ(out, image);
 }
 
+TEST(Wire, CheckpointBatchRoundTripPreservesOrder) {
+  std::vector<Buffer> images{{1, 2, 3}, {}, {4}, Buffer(300, 0xAB)};
+  Buffer frame = encode_checkpoint_batch("calltrack", images);
+  std::string component;
+  std::vector<Buffer> out;
+  ASSERT_TRUE(decode_checkpoint_batch(frame, component, out));
+  EXPECT_EQ(component, "calltrack");
+  EXPECT_EQ(out, images);
+}
+
+TEST(Wire, CheckpointBatchRejectsTruncationAndBogusCounts) {
+  Buffer frame = encode_checkpoint_batch("c", {{1, 2}, {3, 4, 5}});
+  std::string component;
+  std::vector<Buffer> out;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    Buffer t(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_checkpoint_batch(t, component, out)) << "cut at " << cut;
+  }
+  // A declared count far past the remaining bytes must fail the count
+  // guard, not attempt a giant allocation. Count sits right after the
+  // kind byte + component string.
+  Buffer bogus = encode_checkpoint_batch("c", {});
+  ASSERT_GE(bogus.size(), 4u);
+  for (std::size_t i = bogus.size() - 4; i < bogus.size(); ++i) bogus[i] = 0xFF;
+  EXPECT_FALSE(decode_checkpoint_batch(bogus, component, out));
+}
+
 TEST(Wire, TruncatedFramesRejected) {
   StatusReport sr;
   sr.unit = "u";
