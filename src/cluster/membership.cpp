@@ -112,6 +112,10 @@ bool MembershipView::decode(BinaryReader& r, MembershipView& out) {
   out.incarnation = r.u32();
   std::uint16_t n = r.u16();
   if (r.failed()) return false;
+  // A member serializes to 21 bytes (i32 node + i32 rank + u8 role +
+  // u32 incarnation + i64 last_heartbeat): reject garbage counts before
+  // reserve() allocates anything.
+  if (n > r.remaining() / 21) return false;
   out.members.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) {
     Member m;

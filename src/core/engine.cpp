@@ -53,6 +53,28 @@ Engine::Engine(sim::Process& process, OfttConfig config)
     // handles failover (see cluster_tick).
     view_ = cluster::MembershipView::initial(config_.cluster_nodes);
     member_last_hb_[process_->node().id()] = started_at_;
+    // View gossip and promotion rounds ride reliable sessions so a
+    // single lost datagram never stalls a view change or an election.
+    // Small window + drop-oldest queue: only the newest view matters,
+    // and a dead member must not accumulate an unbounded backlog.
+    transport::SessionConfig scfg;
+    scfg.networks = config_.networks;
+    scfg.window_bytes = 4096;
+    scfg.queue_cap = 8;
+    scfg.queue_policy = transport::QueuePolicy::kDropOldest;
+    scfg.rto_initial = sim::milliseconds(50);
+    scfg.rto_max = sim::milliseconds(400);
+    ep_ = std::make_unique<transport::Endpoint>(process.main_strand(), kEnginePort, scfg);
+    ep_->on_deliver([this](int src_node, int network_id, const Buffer& payload) {
+      sim::Datagram d;
+      d.network_id = network_id;
+      d.src_node = src_node;
+      d.src_port = kEnginePort;
+      d.dst_node = process_->node().id();
+      d.dst_port = kEnginePort;
+      d.payload = payload;
+      dispatch(d);
+    });
     OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": engine up, unit '",
                   config_.unit_name, "', cluster of ", config_.cluster_nodes.size(),
                   " (quorum ", view_.quorum(), ")");
@@ -499,7 +521,7 @@ void Engine::send_campaign_requests() {
   req.reason = campaign_.reason;
   Buffer payload = req.encode();
   for (int peer : config_.cluster_peers(process_->node().id())) {
-    send_to_member(peer, payload);
+    ep_->send(peer, payload);
   }
 }
 
@@ -559,8 +581,10 @@ void Engine::gossip_view() {
   Buffer payload = g.encode();
   // Every configured member, dead ones included: a rebooted node
   // resynchronizes its view from this broadcast, no join protocol.
+  // Rides the session — the drop-oldest queue sheds superseded views
+  // to unreachable members instead of hoarding them.
   for (int peer : config_.cluster_peers(process_->node().id())) {
-    send_to_member(peer, payload);
+    ep_->send(peer, payload);
   }
 }
 
@@ -640,7 +664,9 @@ void Engine::handle_promote_request(const sim::Datagram& d, const PromoteRequest
   ack.candidate = req.candidate;
   ack.incarnation = req.incarnation;
   ack.granted = granted;
-  process_->send(d.network_id, d.src_node, kEnginePort, ack.encode(), kEnginePort);
+  // The vote rides the session back to the candidate: losing a granted
+  // ack would stall the election for a full campaign retry.
+  ep_->send(d.src_node, ack.encode());
 }
 
 void Engine::handle_promote_ack(const PromoteAck& ack) {
@@ -803,6 +829,14 @@ void Engine::announce_role() {
 // ---------------------------------------------------------------------
 
 void Engine::on_datagram(const sim::Datagram& d) {
+  // Session frames (cluster gossip / promotion) are consumed by the
+  // endpoint and re-delivered through dispatch(); everything else —
+  // heartbeats, probes, FTIM loopback — is raw by design.
+  if (ep_ && ep_->handle(d)) return;
+  dispatch(d);
+}
+
+void Engine::dispatch(const sim::Datagram& d) {
   sim::SimTime now = process_->sim().now();
   switch (static_cast<MsgKind>(wire_kind(d.payload))) {
     case MsgKind::kProbe: {

@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "sim/node.h"
 #include "sim/timer.h"
+#include "transport/session.h"
 
 namespace oftt::core {
 
@@ -95,6 +96,10 @@ class Engine {
 
  private:
   void on_datagram(const sim::Datagram& d);
+  /// The shared message switch: raw datagrams land here after the
+  /// session endpoint declines them; session-delivered payloads arrive
+  /// re-wrapped so both paths hit the same dispatch.
+  void dispatch(const sim::Datagram& d);
 
   // startup negotiation
   void probe_round();
@@ -159,6 +164,11 @@ class Engine {
   Role peer_role_ = Role::kUnknown;
 
   // Cluster mode (empty / inert when config_.cluster_mode() is false).
+  /// Reliable sessions for view gossip and promotion rounds: a single
+  /// lost datagram must not stall a view change or an election.
+  /// Heartbeats and probes deliberately stay raw — failure detection
+  /// must feel loss (see DESIGN.md, transport section).
+  std::unique_ptr<transport::Endpoint> ep_;
   cluster::MembershipView view_;
   std::map<int, sim::SimTime> member_last_hb_;  // freshest across networks
   cluster::VoteLedger votes_;

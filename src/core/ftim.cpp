@@ -46,6 +46,23 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
   // The FTIM thread owns the control/checkpoint port.
   strand_->bind(port_, [this](const sim::Datagram& d) { on_port(d); });
 
+  // All FTIM <-> FTIM traffic (checkpoints, deltas, pulls, pull replies,
+  // nacks) rides a reliable ordered session per peer. Checkpoint frames
+  // are tagged with their seq so the session's acked-tag watermark is
+  // the replication watermark. Engine control (SetActive) stays raw: it
+  // is loopback-only and idempotent.
+  transport::SessionConfig scfg;
+  scfg.networks = options_.networks;
+  scfg.window_bytes = 1024 * 1024;
+  scfg.queue_cap = 128;
+  scfg.queue_policy = transport::QueuePolicy::kReject;
+  scfg.rto_initial = sim::milliseconds(50);
+  scfg.rto_max = sim::milliseconds(500);
+  ep_ = std::make_unique<transport::Endpoint>(*strand_, port_, scfg);
+  ep_->on_deliver([this](int src_node, int network_id, const Buffer& payload) {
+    on_frame(src_node, network_id, payload);
+  });
+
   if (options_.install_iat_hook) {
     // Intercept CreateThread so dynamically created threads become
     // discoverable for checkpointing (§3.1).
@@ -160,12 +177,17 @@ void Ftim::take_checkpoint() {
   journal_checkpoint(img, blob);
   if (ckpt_peers_.empty()) return;
   Buffer frame = encode_checkpoint(options_.component, blob);
-  // Fan out to every live backup replica. Ship on the first configured
-  // network; alternate on the dual-network configuration for a little
-  // extra loss resilience.
-  int net = options_.networks[ckpt_seq_ % options_.networks.size()];
+  // Fan out to every backup replica over its session; the session
+  // handles retransmission, ordering and (on the dual-network
+  // configuration) alternating networks across retries.
   for (int peer : ckpt_peers_) {
-    process_->send(net, peer, port_, frame, port_);
+    if (!ep_->send(peer, frame, /*tag=*/ckpt_seq_)) {
+      // Session queue full — the peer has been unreachable long enough
+      // to absorb the whole window. Shed this frame; the stream resumes
+      // self-contained once the peer is back.
+      force_full_ = true;
+      continue;
+    }
     if (delta) {
       delta_bytes_sent_ += blob.size();
       ctr_delta_bytes_.inc(static_cast<std::int64_t>(blob.size()));
@@ -220,26 +242,23 @@ void Ftim::recover_from_journal() {
   pull.have_incarnation = latest_->incarnation;
   pull.from_node = process_->node().id();
   Buffer frame = pull.encode();
-  for (int peer : ckpt_peers_) {
-    process_->send(options_.networks[0], peer, port_, frame, port_);
-  }
-  resync_pending_ = true;
+  for (int peer : ckpt_peers_) ep_->send(peer, frame);
+}
+
+std::uint64_t Ftim::peer_acked_seq() const {
+  std::uint64_t highest = 0;
+  for (int peer : ckpt_peers_) highest = std::max(highest, ep_->acked_tag(peer));
+  return highest;
 }
 
 std::uint64_t Ftim::min_acked_seq() const {
   if (ckpt_peers_.empty()) return 0;
   std::uint64_t lowest = ~std::uint64_t{0};
-  for (int peer : ckpt_peers_) {
-    auto it = acked_by_peer_.find(peer);
-    lowest = std::min(lowest, it != acked_by_peer_.end() ? it->second : 0);
-  }
+  for (int peer : ckpt_peers_) lowest = std::min(lowest, ep_->acked_tag(peer));
   return lowest;
 }
 
-std::uint64_t Ftim::acked_by(int node) const {
-  auto it = acked_by_peer_.find(node);
-  return it != acked_by_peer_.end() ? it->second : 0;
-}
+std::uint64_t Ftim::acked_by(int node) const { return ep_->acked_tag(node); }
 
 HRESULT Ftim::save_now() {
   if (!active_) return OFTT_E_NOT_PRIMARY;
@@ -338,39 +357,37 @@ void Ftim::handle_set_active(const SetActive& msg) {
 }
 
 void Ftim::on_port(const sim::Datagram& d) {
-  switch (static_cast<MsgKind>(wire_kind(d.payload))) {
+  // Session frames first: the endpoint consumes transport data/acks and
+  // re-delivers application payloads through on_frame in order.
+  if (ep_ && ep_->handle(d)) return;
+  on_frame(d.src_node, d.network_id, d.payload);
+}
+
+void Ftim::on_frame(int src_node, int network_id, const Buffer& payload) {
+  (void)network_id;
+  switch (static_cast<MsgKind>(wire_kind(payload))) {
     case MsgKind::kSetActive: {
       SetActive msg;
-      if (SetActive::decode(d.payload, msg)) handle_set_active(msg);
+      if (SetActive::decode(payload, msg)) handle_set_active(msg);
       break;
     }
     case MsgKind::kCheckpoint: {
-      handle_checkpoint(d);
+      handle_checkpoint(src_node, payload);
       break;
     }
-    case MsgKind::kCheckpointAck: {
+    case MsgKind::kCheckpointNack: {
       std::string component;
-      std::uint64_t seq = 0;
-      bool need_full = false;
-      if (!decode_checkpoint_ack(d.payload, component, seq, need_full)) return;
-      if (need_full) {
-        // The peer could not apply a delta (sequence gap / wrong
-        // incarnation): fall back to a self-contained image next round.
-        ++need_full_nacks_;
-        force_full_ = true;
-      }
-      if (seq > peer_acked_seq_) peer_acked_seq_ = seq;
-      std::uint64_t& acked = acked_by_peer_[d.src_node];
-      acked = std::max(acked, seq);
+      std::uint64_t have_seq = 0;
+      if (!decode_checkpoint_nack(payload, component, have_seq)) return;
+      // The peer could not apply a delta (sequence gap / wrong
+      // incarnation): fall back to a self-contained image next round.
+      ++need_full_nacks_;
+      force_full_ = true;
       break;
     }
     case MsgKind::kCheckpointPull: {
       CheckpointPull msg;
-      if (CheckpointPull::decode(d.payload, msg)) handle_checkpoint_pull(msg);
-      break;
-    }
-    case MsgKind::kCheckpointBatch: {
-      handle_checkpoint_batch(d);
+      if (CheckpointPull::decode(payload, msg)) handle_checkpoint_pull(msg);
       break;
     }
     default:
@@ -378,28 +395,30 @@ void Ftim::on_port(const sim::Datagram& d) {
   }
 }
 
-bool Ftim::accept_image(CheckpointImage&& img, const Buffer& blob) {
+Ftim::Accept Ftim::accept_image(CheckpointImage&& img, const Buffer& blob) {
   if (img.mode == CheckpointMode::kDelta) {
-    // A delta only makes sense on top of the exact image it was cut
-    // against. Anything else (lost delta, reboot, new incarnation) is a
-    // gap.
     if (!latest_ || latest_->incarnation != img.incarnation ||
         latest_->seq != img.base_seq) {
       ++checkpoints_rejected_;
-      return false;
+      // Distinguish "already have it" from "cannot get there from
+      // here": only a genuine gap warrants forcing a full image.
+      const bool stale =
+          latest_ && (img.incarnation < latest_->incarnation ||
+                      (img.incarnation == latest_->incarnation && img.seq <= latest_->seq));
+      return stale ? Accept::kStale : Accept::kGap;
     }
     journal_checkpoint(img, blob);
     apply_delta(*latest_, img);
     ++deltas_applied_;
     ++checkpoints_received_;
     ctr_ckpt_received_.inc();
-    return true;
+    return Accept::kApplied;
   }
   // Reject stale images: lower incarnation, or not newer than held.
   if (latest_ && (img.incarnation < latest_->incarnation ||
                   (img.incarnation == latest_->incarnation && img.seq <= latest_->seq))) {
     ++checkpoints_rejected_;
-    return false;
+    return Accept::kStale;
   }
   // Journal before adopting: a crash between the two leaves the
   // journal ahead of memory, which recovery tolerates (it replays the
@@ -409,13 +428,13 @@ bool Ftim::accept_image(CheckpointImage&& img, const Buffer& blob) {
   ++checkpoints_received_;
   ++full_checkpoints_received_;
   ctr_ckpt_received_.inc();
-  return true;
+  return Accept::kApplied;
 }
 
-void Ftim::handle_checkpoint(const sim::Datagram& d) {
+void Ftim::handle_checkpoint(int src_node, const Buffer& payload) {
   std::string component;
   Buffer blob;
-  if (!decode_checkpoint(d.payload, component, blob)) return;
+  if (!decode_checkpoint(payload, component, blob)) return;
   CheckpointImage img;
   if (!CheckpointImage::unmarshal(blob, img)) {
     ++checkpoints_rejected_;
@@ -423,79 +442,22 @@ void Ftim::handle_checkpoint(const sim::Datagram& d) {
     return;
   }
   const bool is_delta = img.mode == CheckpointMode::kDelta;
-  const std::uint64_t seq = img.seq;
-  if (!accept_image(std::move(img), blob)) {
-    if (is_delta) {
-      if (resync_pending_ && resync_stash_.size() < kResyncStashMax) {
-        // A live delta raced ahead of the pull reply: hold it until
-        // the batch lands instead of nacking (which would force a
-        // redundant full checkpoint).
-        resync_stash_[seq] = blob;
-        return;
-      }
-      // Stash overflow means the reply was probably lost: fall back to
-      // the nack path so the primary resyncs us with a full image.
-      resync_pending_ = false;
-      resync_stash_.clear();
-      // Nack with need_full so the primary resyncs us; a stale full
-      // image needs no reply.
-      process_->send(
-          d.network_id, d.src_node, port_,
-          encode_checkpoint_ack(options_.component, latest_ ? latest_->seq : 0,
-                                /*need_full=*/true),
-          port_);
-    }
-    return;
-  }
-  if (resync_pending_) drain_resync_stash();
-  // Confirm receipt so the primary can watch replication lag. Reply
-  // to whoever sent the image — with checkpoint fan-out the sender
-  // is whichever replica is currently primary, not a fixed peer.
-  process_->send(d.network_id, d.src_node, port_,
-                 encode_checkpoint_ack(options_.component, latest_->seq), port_);
-}
-
-void Ftim::handle_checkpoint_batch(const sim::Datagram& d) {
-  std::string component;
-  std::vector<Buffer> blobs;
-  if (!decode_checkpoint_batch(d.payload, component, blobs)) return;
-  std::uint64_t applied = 0;
-  for (const Buffer& blob : blobs) {
-    CheckpointImage img;
-    if (!CheckpointImage::unmarshal(blob, img)) {
-      ++checkpoints_rejected_;
-      ctr_ckpt_corrupt_.inc();
+  switch (accept_image(std::move(img), blob)) {
+    case Accept::kApplied:
+    case Accept::kStale:
+      // No explicit ack: the transport session already confirmed the
+      // tagged frame, which is what the primary's watermark reads.
+      // Stale re-deliveries (session reset, raced pull reply) drop
+      // silently — nacking them would force a redundant full.
       break;
-    }
-    if (!accept_image(std::move(img), blob)) {
-      // The chain no longer lines up with what we hold (e.g. the
-      // primary moved past it): ask for a full resync and stop.
-      process_->send(
-          d.network_id, d.src_node, port_,
-          encode_checkpoint_ack(options_.component, latest_ ? latest_->seq : 0,
-                                /*need_full=*/true),
-          port_);
-      return;
-    }
-    ++applied;
-  }
-  if (applied > 0) {
-    // Retry stashed live deltas before acking so the ack carries the
-    // furthest seq this node actually holds.
-    drain_resync_stash();
-    process_->send(d.network_id, d.src_node, port_,
-                   encode_checkpoint_ack(options_.component, latest_->seq), port_);
-  }
-}
-
-void Ftim::drain_resync_stash() {
-  resync_pending_ = false;
-  auto stash = std::move(resync_stash_);
-  resync_stash_.clear();
-  for (auto& [seq, blob] : stash) {
-    CheckpointImage img;
-    if (!CheckpointImage::unmarshal(blob, img)) continue;
-    accept_image(std::move(img), blob);  // stale / still-gapped: dropped
+    case Accept::kGap:
+      // A delta whose base we do not hold: ask the primary for a
+      // self-contained image. (Full images never gap.)
+      if (is_delta) {
+        ep_->send(src_node,
+                  encode_checkpoint_nack(options_.component, latest_ ? latest_->seq : 0));
+      }
+      break;
   }
 }
 
@@ -510,7 +472,11 @@ void Ftim::handle_checkpoint_pull(const CheckpointPull& msg) {
   // last full checkpoint retires older-incarnation records, so chain
   // ids cannot alias across incarnations.)
   if (journal_ && msg.have_seq > 0 && msg.have_incarnation == incarnation_) {
-    std::vector<Buffer> suffix;
+    struct SuffixDelta {
+      std::uint64_t seq;
+      Buffer blob;
+    };
+    std::vector<SuffixDelta> suffix;
     std::size_t suffix_bytes = 0;
     std::uint64_t cur = msg.have_seq;
     std::vector<store::Record> records = journal_->recover();
@@ -518,16 +484,20 @@ void Ftim::handle_checkpoint_pull(const CheckpointPull& msg) {
       if (r.type == store::RecordType::kDelta && r.base == cur) {
         cur = r.id;
         suffix_bytes += r.payload.size();
-        suffix.push_back(std::move(r.payload));
+        suffix.push_back(SuffixDelta{r.id, std::move(r.payload)});
       }
     }
     if (cur == ckpt_seq_) {
+      // Ship the chain as individual session frames: the session keeps
+      // them in order on the wire (the old single-frame batch existed
+      // only because separate datagrams reordered under latency
+      // jitter), and any live delta taken after this point queues
+      // strictly behind them on the same session.
+      for (SuffixDelta& d : suffix) {
+        ep_->send(msg.from_node, encode_checkpoint(options_.component, d.blob),
+                  /*tag=*/d.seq);
+      }
       if (!suffix.empty()) {
-        // One ordered batch frame: separate datagrams would be
-        // reordered by network latency jitter, and a delta chain only
-        // applies in order.
-        process_->send(options_.networks[0], msg.from_node, port_,
-                       encode_checkpoint_batch(options_.component, suffix), port_);
         delta_bytes_sent_ += suffix_bytes;
         ctr_delta_bytes_.inc(static_cast<std::int64_t>(suffix_bytes));
       }

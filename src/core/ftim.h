@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "sim/timer.h"
 #include "store/journal.h"
+#include "transport/session.h"
 
 namespace oftt::core {
 
@@ -101,10 +102,13 @@ class Ftim {
   // --- introspection (tests / benches / monitor) ---
   std::uint64_t checkpoints_sent() const { return checkpoints_sent_; }
   /// Highest checkpoint seq any peer has acknowledged (primary side).
-  std::uint64_t peer_acked_seq() const { return peer_acked_seq_; }
+  /// Backed by the transport session's per-peer ack watermark — the
+  /// hand-rolled kCheckpointAck frames this used to require are gone.
+  std::uint64_t peer_acked_seq() const;
   /// Checkpoints taken but not (yet) confirmed by any peer.
   std::uint64_t replication_lag() const {
-    return ckpt_seq_ > peer_acked_seq_ ? ckpt_seq_ - peer_acked_seq_ : 0;
+    const std::uint64_t acked = peer_acked_seq();
+    return ckpt_seq_ > acked ? ckpt_seq_ - acked : 0;
   }
   /// Lowest seq acknowledged across ALL fan-out peers (0 until every
   /// peer has acked something) — the cluster replication watermark.
@@ -141,21 +145,26 @@ class Ftim {
   std::vector<nt::Task*> discoverable_tasks() const;
 
  private:
+  /// Outcome of offering an incoming image to the local state.
+  ///   kApplied — adopted (full) or merged (delta).
+  ///   kStale   — we already hold this or newer; drop silently. With
+  ///              ordered session delivery this happens only when a
+  ///              session reset re-delivers, or a pull reply races a
+  ///              journal-recovered node that caught up another way.
+  ///   kGap     — a delta whose base we do not hold: only this warrants
+  ///              a need-full nack.
+  enum class Accept { kApplied, kStale, kGap };
+
   void on_port(const sim::Datagram& d);
+  /// Dispatch one application frame (session-delivered or raw local).
+  void on_frame(int src_node, int network_id, const Buffer& payload);
   void register_with_engine();
   void heartbeat_tick();
   void take_checkpoint();
   void handle_set_active(const SetActive& msg);
-  void handle_checkpoint(const sim::Datagram& d);
-  void handle_checkpoint_batch(const sim::Datagram& d);
+  void handle_checkpoint(int src_node, const Buffer& payload);
   void handle_checkpoint_pull(const CheckpointPull& msg);
-  /// Journal + adopt/apply one incoming image (full or delta). False
-  /// when it cannot be used from the current state (gap, stale, wrong
-  /// incarnation) — the caller decides whether that warrants a nack.
-  bool accept_image(CheckpointImage&& img, const Buffer& blob);
-  /// Resync landed (batch or full applied): retry every stashed live
-  /// delta in seq order; whatever still doesn't chain is dropped.
-  void drain_resync_stash();
+  Accept accept_image(CheckpointImage&& img, const Buffer& blob);
   void check_engine();
   void send_engine(const Buffer& payload);
   void publish_event(obs::EventKind kind, std::string detail, std::uint64_t a,
@@ -183,10 +192,13 @@ class Ftim {
   nt::NtRuntime::CreateThreadFn original_create_thread_;
   std::optional<CheckpointImage> latest_;
   std::unique_ptr<store::Journal> journal_;
+  /// Reliable ordered sessions to the peer FTIMs: checkpoints, deltas,
+  /// pulls, pull replies and nacks all ride it. Each checkpoint frame is
+  /// tagged with its seq, so the session's per-peer acked-tag watermark
+  /// IS the replication watermark.
+  std::unique_ptr<transport::Endpoint> ep_;
   std::vector<int> ckpt_peers_;               // resolved fan-out targets
-  std::map<int, std::uint64_t> acked_by_peer_;  // node -> highest acked seq
   std::uint64_t checkpoints_sent_ = 0;
-  std::uint64_t peer_acked_seq_ = 0;
   std::uint64_t checkpoints_received_ = 0;
   std::uint64_t checkpoints_rejected_ = 0;
   std::size_t last_checkpoint_bytes_ = 0;
@@ -204,13 +216,6 @@ class Ftim {
   std::uint64_t full_checkpoints_received_ = 0;
   bool recovered_from_journal_ = false;
   std::uint64_t journal_replayed_records_ = 0;
-  /// Cold-restart resync in flight: live deltas taken after the pull
-  /// was served can outrun the batch reply on the wire. Instead of
-  /// nacking them (forcing a redundant full), they wait here until the
-  /// batch lands; bounded so a lost reply degrades to a nack.
-  bool resync_pending_ = false;
-  std::map<std::uint64_t, Buffer> resync_stash_;  // seq -> checkpoint blob
-  static constexpr std::size_t kResyncStashMax = 16;
   std::uint64_t pulls_served_delta_ = 0;
   std::uint64_t pulls_served_full_ = 0;
   std::function<void(bool)> on_activate_;

@@ -247,6 +247,10 @@ bool StatusReport::decode(const Buffer& b, StatusReport& out) {
   out.incarnation = r.u32();
   out.peer_visible = r.boolean();
   std::uint32_t n = r.u32();
+  // A component status serializes to at least 17 bytes (4-byte name
+  // length + u8 state + i32 restarts + u64 heartbeats): reject garbage
+  // counts before the loop allocates anything.
+  if (n > r.remaining() / 17) return false;
   out.components.clear();
   for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
     ComponentStatus c;
@@ -375,23 +379,20 @@ bool decode_checkpoint(const Buffer& b, std::string& component, Buffer& image) {
   return !r.failed();
 }
 
-Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq,
-                             bool need_full) {
-  BinaryWriter w = begin(MsgKind::kCheckpointAck);
+Buffer encode_checkpoint_nack(const std::string& component, std::uint64_t have_seq) {
+  BinaryWriter w = begin(MsgKind::kCheckpointNack);
   w.str(component);
-  w.u64(seq);
-  w.boolean(need_full);
+  w.u64(have_seq);
   return std::move(w).take();
 }
 
-bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq,
-                           bool& need_full) {
+bool decode_checkpoint_nack(const Buffer& b, std::string& component,
+                            std::uint64_t& have_seq) {
   BinaryReader r(b);
-  if (!begin_read(b, MsgKind::kCheckpointAck, r)) return false;
+  if (!begin_read(b, MsgKind::kCheckpointNack, r)) return false;
   component = r.str();
-  seq = r.u64();
-  need_full = r.boolean();
-  return !r.failed();
+  have_seq = r.u64();
+  return !r.failed() && r.at_end();
 }
 
 Buffer CheckpointPull::encode() const {
@@ -410,29 +411,6 @@ bool CheckpointPull::decode(const Buffer& b, CheckpointPull& out) {
   out.have_seq = r.u64();
   out.have_incarnation = r.u32();
   out.from_node = r.i32();
-  return !r.failed();
-}
-
-Buffer encode_checkpoint_batch(const std::string& component,
-                               const std::vector<Buffer>& images) {
-  BinaryWriter w = begin(MsgKind::kCheckpointBatch);
-  w.str(component);
-  w.u32(static_cast<std::uint32_t>(images.size()));
-  for (const Buffer& image : images) w.blob(image);
-  return std::move(w).take();
-}
-
-bool decode_checkpoint_batch(const Buffer& b, std::string& component,
-                             std::vector<Buffer>& images) {
-  BinaryReader r(b);
-  if (!begin_read(b, MsgKind::kCheckpointBatch, r)) return false;
-  component = r.str();
-  std::uint32_t n = r.u32();
-  // A blob serializes to at least its 4-byte length: reject garbage
-  // counts before the loop allocates anything.
-  if (n > r.remaining() / 4) return false;
-  images.clear();
-  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) images.push_back(r.blob());
   return !r.failed();
 }
 

@@ -40,11 +40,13 @@ enum class MsgKind : std::uint8_t {
   kRoleAnnounce = 31,
   // diverter -> engine
   kSubscribeRoles = 32,
-  // FTIM -> FTIM
+  // FTIM -> FTIM (all of it rides transport::Endpoint sessions, which
+  // provide ordering, retransmission and the ack watermark; 41/43 were
+  // kCheckpointAck/kCheckpointBatch before the session layer subsumed
+  // per-checkpoint acks and the one-frame batch workaround)
   kCheckpoint = 40,
-  kCheckpointAck = 41,
+  kCheckpointNack = 41,
   kCheckpointPull = 42,
-  kCheckpointBatch = 43,
   // engine <-> engine, cluster mode (N-replica role management)
   kViewGossip = 50,
   kPromoteRequest = 51,
@@ -234,20 +236,21 @@ struct PromoteAck {
 Buffer encode_checkpoint(const std::string& component, const Buffer& image);
 bool decode_checkpoint(const Buffer& b, std::string& component, Buffer& image);
 
-/// Checkpoint acknowledgement: the backup confirms (component, seq) so
-/// the primary can observe replication lag. `need_full` is the nack a
-/// backup raises when it cannot apply a delta (sequence gap, wrong
-/// incarnation) and needs a self-contained image to resync.
-Buffer encode_checkpoint_ack(const std::string& component, std::uint64_t seq,
-                             bool need_full = false);
-bool decode_checkpoint_ack(const Buffer& b, std::string& component, std::uint64_t& seq,
-                           bool& need_full);
+/// Delta nack: a backup received a delta it cannot apply from its
+/// current state (sequence gap ahead of what it holds, or a newer
+/// incarnation it has no base for) and needs a self-contained image to
+/// resync. Per-checkpoint *acks* no longer exist on the wire — the
+/// transport session's ack watermark carries replication progress.
+Buffer encode_checkpoint_nack(const std::string& component, std::uint64_t have_seq);
+bool decode_checkpoint_nack(const Buffer& b, std::string& component,
+                            std::uint64_t& have_seq);
 
 /// Cold-restart resync request (FTIM -> primary FTIM): "I recovered my
 /// local journal up to (have_incarnation, have_seq) — send me what I'm
-/// missing." The primary replies with one kCheckpointBatch carrying the
-/// chained delta suffix when the requester's state is a valid base, or
-/// broadcasts a fresh full image otherwise.
+/// missing." The primary replies with the chained delta suffix as
+/// individual session frames (the session keeps them in order) when the
+/// requester's state is a valid base, or broadcasts a fresh full image
+/// otherwise.
 struct CheckpointPull {
   std::string component;
   std::uint64_t have_seq = 0;
@@ -256,13 +259,5 @@ struct CheckpointPull {
   Buffer encode() const;
   static bool decode(const Buffer& b, CheckpointPull& out);
 };
-
-/// Ordered checkpoint batch: the delta-suffix reply to a CheckpointPull.
-/// One frame instead of N — per-datagram network latency jitter would
-/// reorder separate frames, and a delta chain only applies in order.
-Buffer encode_checkpoint_batch(const std::string& component,
-                               const std::vector<Buffer>& images);
-bool decode_checkpoint_batch(const Buffer& b, std::string& component,
-                             std::vector<Buffer>& images);
 
 }  // namespace oftt::core

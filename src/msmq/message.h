@@ -2,7 +2,8 @@
 //
 // Two planes:
 //   app <-> local queue manager:  SEND / SUBSCRIBE / DELIVER / RECV-ACK
-//   queue manager <-> queue manager:  XFER / XFER-ACK (store-and-forward)
+//   queue manager <-> queue manager:  XFER (store-and-forward, riding
+//   the reliable transport session — see src/transport/)
 //
 // Express messages live in memory only; recoverable messages are
 // persisted to the node's disk store and survive a reboot — the
@@ -56,8 +57,11 @@ enum class MqPacket : std::uint8_t {
   kSubscribe = 2,  // app -> local QM
   kDeliver = 3,    // QM -> app
   kRecvAck = 4,    // app -> QM
-  kXfer = 5,       // QM -> QM
-  kXferAck = 6,    // QM -> QM
+  kXfer = 5,       // QM -> QM (session-delivered)
+  /// Retired: QM-to-QM acknowledgement now comes from the transport
+  /// session's ack watermark. Value stays reserved so old captures and
+  /// the transport kind-byte pin keep their meaning.
+  kXferAck = 6,
 };
 
 /// Well-known queue-manager port on every node.

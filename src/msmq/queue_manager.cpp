@@ -10,6 +10,13 @@ namespace {
 constexpr const char* kQueuePersistPrefix = "mq.q.";
 constexpr const char* kOutgoingPersistKey = "mq.out";
 
+Buffer encode_xfer(const Message& msg) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MqPacket::kXfer));
+  msg.marshal(w);
+  return std::move(w).take();
+}
+
 }  // namespace
 
 QueueManager::QueueManager(sim::Process& process)
@@ -20,11 +27,34 @@ QueueManager::QueueManager(sim::Process& process)
       ctr_dead_lettered_(process.sim().telemetry().metrics().counter("msmq.dead_lettered")),
       outgoing_depth_gauge_(process.sim().telemetry().metrics().gauge(
           cat("msmq.outgoing_depth.", process.node().name()))),
-      retry_timer_(process.main_strand()),
       redelivery_timer_(process.main_strand()) {
   process_->bind(kMsmqPort, [this](const sim::Datagram& d) { on_datagram(d); });
+  transport::SessionConfig sc;
+  sc.networks = {config_.preferred_network};
+  sc.rto_initial = sim::milliseconds(200);
+  sc.rto_max = sim::milliseconds(500);
+  sc.queue_cap = 1 << 20;  // store-and-forward: the disk is the limit
+  sc.queue_policy = transport::QueuePolicy::kReject;
+  ep_ = std::make_unique<transport::Endpoint>(process.main_strand(), kMsmqPort,
+                                              std::move(sc));
+  ep_->on_deliver([this](int, int, const Buffer& payload) {
+    BinaryReader r(payload);
+    if (static_cast<MqPacket>(r.u8()) != MqPacket::kXfer) {
+      ctr_bad_packet_.inc();
+      return;
+    }
+    handle_xfer(r);
+  });
   restore_from_disk();
-  retry_timer_.start(config_.retry_period, [this] { transmit_sweep(); });
+  // Transfers restored from disk dispatch one tick later, so a boot
+  // script's synchronous set_route() can repoint them first.
+  process_->main_strand().schedule_after(sim::milliseconds(1), [this] {
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, e] : outgoing_) {
+      if (e.dispatched_to < 0) ids.push_back(id);
+    }
+    for (std::uint64_t id : ids) dispatch_entry(id);
+  });
   redelivery_timer_.start(config_.redelivery_timeout, [this] {
     sim::SimTime now = process_->sim().now();
     for (auto& [qname, q] : queues_) {
@@ -61,6 +91,22 @@ void QueueManager::set_route(const std::string& queue, int node) {
   } else {
     routes_[queue] = node;
   }
+  // Chase the new destination: any outgoing transfer whose resolved
+  // route no longer matches where it sits in a session gets cancelled
+  // there and re-dispatched (possibly delivered locally).
+  std::vector<std::uint64_t> stale;
+  for (const auto& [id, e] : outgoing_) {
+    if (e.msg.queue != queue) continue;
+    int dest = route(e.msg.queue);
+    if (dest == e.dispatched_to) continue;
+    stale.push_back(id);
+  }
+  for (std::uint64_t id : stale) {
+    OutgoingEntry& e = outgoing_[id];
+    if (e.dispatched_to >= 0) ep_->cancel(e.dispatched_to, id);
+    e.dispatched_to = -1;
+    dispatch_entry(id);
+  }
 }
 
 int QueueManager::route(const std::string& queue) const {
@@ -76,14 +122,14 @@ std::size_t QueueManager::local_depth(const std::string& queue) const {
 std::size_t QueueManager::outgoing_depth() const { return outgoing_.size(); }
 
 void QueueManager::on_datagram(const sim::Datagram& d) {
+  if (ep_ && ep_->handle(d)) return;
   BinaryReader r(d.payload);
   auto kind = static_cast<MqPacket>(r.u8());
   switch (kind) {
     case MqPacket::kSend: handle_send(r); break;
     case MqPacket::kSubscribe: handle_subscribe(r); break;
     case MqPacket::kRecvAck: handle_recv_ack(r); break;
-    case MqPacket::kXfer: handle_xfer(d, r); break;
-    case MqPacket::kXferAck: handle_xfer_ack(r); break;
+    case MqPacket::kXfer: handle_xfer(r); break;  // raw/local path
     default: ctr_bad_packet_.inc(); break;
   }
 }
@@ -107,9 +153,68 @@ void QueueManager::handle_send(BinaryReader& r) {
   entry.msg = std::move(msg);
   entry.first_attempt = process_->sim().now();
   std::uint64_t id = entry.msg.id;
+  bool recoverable = entry.msg.mode == DeliveryMode::kRecoverable;
   outgoing_.emplace(id, std::move(entry));
-  if (outgoing_[id].msg.mode == DeliveryMode::kRecoverable) persist_outgoing();
-  transmit_sweep();
+  if (recoverable) persist_outgoing();
+  dispatch_entry(id);
+  outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
+}
+
+void QueueManager::dispatch_entry(std::uint64_t id) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;
+  OutgoingEntry& e = it->second;
+  int dest = route(e.msg.queue);
+  if (dest < 0 || dest == process_->node().id()) {
+    // Route points home: deliver locally and retire the entry.
+    Message msg = std::move(e.msg);
+    bool recoverable = msg.mode == DeliveryMode::kRecoverable;
+    outgoing_.erase(it);
+    if (recoverable) persist_outgoing();
+    outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
+    accept_local(std::move(msg));
+    return;
+  }
+  if (e.dispatched_to < 0) {
+    // First dispatch: arm the time-to-reach-queue deadline. The check
+    // re-reads the entry, so completion or rerouting in the meantime is
+    // harmless.
+    sim::SimTime ttl = config_.time_to_reach_queue;
+    sim::SimTime elapsed = process_->sim().now() - e.first_attempt;
+    sim::SimTime delay = ttl > elapsed ? ttl - elapsed : 0;
+    process_->main_strand().schedule_after(delay + sim::milliseconds(1),
+                                           [this, id] { dead_letter_entry(id); });
+  }
+  e.dispatched_to = dest;
+  ep_->send(dest, encode_xfer(e.msg), /*tag=*/id,
+            [this, id](std::uint64_t) { complete_entry(id); });
+}
+
+void QueueManager::complete_entry(std::uint64_t id) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;
+  bool recoverable = it->second.msg.mode == DeliveryMode::kRecoverable;
+  outgoing_.erase(it);
+  if (recoverable) persist_outgoing();
+  outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
+}
+
+void QueueManager::dead_letter_entry(std::uint64_t id) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;  // delivered or rerouted home
+  OutgoingEntry& e = it->second;
+  if (process_->sim().now() - e.first_attempt < config_.time_to_reach_queue) return;
+  OFTT_LOG_WARN("msmq", process_->node().name(), ": dead-lettering msg ", e.msg.id,
+                " for queue ", e.msg.queue);
+  ctr_dead_lettered_.inc();
+  if (e.dispatched_to >= 0) ep_->cancel(e.dispatched_to, id);
+  Message dl = std::move(e.msg);
+  dl.label = cat("DLQ:", dl.queue, ":", dl.label);
+  dl.queue = kDeadLetterQueue;
+  outgoing_.erase(it);
+  persist_outgoing();
+  outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
+  accept_local(std::move(dl));
 }
 
 void QueueManager::handle_subscribe(BinaryReader& r) {
@@ -138,33 +243,19 @@ void QueueManager::handle_recv_ack(BinaryReader& r) {
   }
 }
 
-void QueueManager::handle_xfer(const sim::Datagram& d, BinaryReader& r) {
+void QueueManager::handle_xfer(BinaryReader& r) {
   Message msg = Message::unmarshal(r);
   if (r.failed()) return;
-  // Ack unconditionally (dedup makes re-acks harmless).
-  BinaryWriter w;
-  w.u8(static_cast<std::uint8_t>(MqPacket::kXferAck));
-  w.u64(msg.id);
-  int net = sim::pick_network(process_->sim(), process_->node().id(), d.src_node);
-  if (net >= 0) {
-    process_->send(net, d.src_node, kMsmqPort, std::move(w).take(), kMsmqPort);
-  }
+  // The session already suppressed retransmitted duplicates; this
+  // message-id check catches what it cannot — the same transfer
+  // re-dispatched on a different session after a reroute or a sender
+  // session reset.
   LocalQueue& q = queue_ref(msg.queue);
   if (!q.seen_ids.insert(msg.id).second) {
     ++duplicates_dropped_;
     return;
   }
   accept_local(std::move(msg));
-}
-
-void QueueManager::handle_xfer_ack(BinaryReader& r) {
-  std::uint64_t id = r.u64();
-  if (r.failed()) return;
-  auto it = outgoing_.find(id);
-  if (it == outgoing_.end()) return;
-  bool recoverable = it->second.msg.mode == DeliveryMode::kRecoverable;
-  outgoing_.erase(it);
-  if (recoverable) persist_outgoing();
 }
 
 std::size_t QueueManager::purge(const std::string& queue) {
@@ -205,52 +296,6 @@ void QueueManager::pump_queue(const std::string& qname) {
                       InFlightDelivery{std::move(msg), process_->sim().now()});
     process_->send(0, process_->node().id(), q.subscriber.port, std::move(w).take(), kMsmqPort);
   }
-}
-
-void QueueManager::transmit_sweep() {
-  sim::SimTime now = process_->sim().now();
-  bool persisted_dirty = false;
-  for (auto it = outgoing_.begin(); it != outgoing_.end();) {
-    OutgoingEntry& e = it->second;
-    if (now - e.first_attempt > config_.time_to_reach_queue) {
-      // Exhausted: dead-letter locally.
-      OFTT_LOG_WARN("msmq", process_->node().name(), ": dead-lettering msg ", e.msg.id,
-                    " for queue ", e.msg.queue);
-      ctr_dead_lettered_.inc();
-      Message dl = std::move(e.msg);
-      dl.label = cat("DLQ:", dl.queue, ":", dl.label);
-      dl.queue = kDeadLetterQueue;
-      persisted_dirty = true;
-      it = outgoing_.erase(it);
-      accept_local(std::move(dl));
-      continue;
-    }
-    // Re-resolve the route on every attempt — the diverter may have
-    // repointed the logical queue at the new primary.
-    int dest = route(e.msg.queue);
-    if (dest >= 0 && dest != process_->node().id()) {
-      int net = sim::pick_network(process_->sim(), process_->node().id(), dest);
-      if (net >= 0) {
-        BinaryWriter w;
-        w.u8(static_cast<std::uint8_t>(MqPacket::kXfer));
-        e.msg.marshal(w);
-        process_->send(net, dest, kMsmqPort, std::move(w).take(), kMsmqPort);
-        ++transmits_;
-        if (e.attempts > 0) ++retries_;
-        ++e.attempts;
-      }
-    } else if (dest < 0 || dest == process_->node().id()) {
-      // Route now points home: deliver locally.
-      Message msg = std::move(e.msg);
-      persisted_dirty = true;
-      it = outgoing_.erase(it);
-      accept_local(std::move(msg));
-      continue;
-    }
-    ++it;
-  }
-  if (persisted_dirty) persist_outgoing();
-  outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
 }
 
 void QueueManager::persist_queue(const std::string& qname) {
@@ -320,6 +365,7 @@ void QueueManager::restore_from_disk() {
       e.msg = std::move(m);
       outgoing_.emplace(e.msg.id, std::move(e));
     }
+    outgoing_depth_gauge_.set(static_cast<std::int64_t>(outgoing_.size()));
   }
 }
 

@@ -4,10 +4,13 @@
 // Responsibilities:
 //   * local queues: arrival storage, subscriber delivery with
 //     redelivery until the app acks (at-least-once to the app; the
-//     arrival path QM->QM is exactly-once via dedup);
-//   * outgoing store-and-forward: transmit to the destination node's
-//     QM, retry on missing ack, route re-resolution on every retry (the
-//     hook the Message Diverter uses to chase the current primary);
+//     arrival path QM->QM is exactly-once via the transport session,
+//     belt-and-braces message-id dedup on top);
+//   * outgoing store-and-forward: QM-to-QM transfers ride a reliable
+//     transport session (retransmission with backoff replaced the old
+//     fixed-period retry sweep); a route change cancels the in-flight
+//     frame and re-dispatches to the new destination (the hook the
+//     Message Diverter uses to chase the current primary);
 //   * dead-lettering when a message exhausts its time-to-reach-queue;
 //   * persistence of recoverable messages to the node's disk.
 #pragma once
@@ -23,6 +26,7 @@
 #include "sim/disk.h"
 #include "sim/node.h"
 #include "sim/timer.h"
+#include "transport/session.h"
 
 namespace oftt::msmq {
 
@@ -30,7 +34,6 @@ struct QueueManagerConfig {
   /// Per-queue quota (messages); arrivals beyond it are rejected and
   /// counted, like an MSMQ quota-full queue. 0 = unlimited.
   std::size_t queue_quota = 0;
-  sim::SimTime retry_period = sim::milliseconds(200);
   sim::SimTime redelivery_timeout = sim::milliseconds(500);
   sim::SimTime time_to_reach_queue = sim::seconds(30);  // then dead-letter
   int preferred_network = 0;
@@ -58,9 +61,15 @@ class QueueManager {
   std::size_t local_depth(const std::string& queue) const;
   std::size_t outgoing_depth() const;
   std::size_t dead_letter_count() const { return local_depth(kDeadLetterQueue); }
-  std::uint64_t transmits() const { return transmits_; }
-  std::uint64_t retries() const { return retries_; }
-  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  /// Total QM-to-QM frame transmissions (first sends + retransmits).
+  std::uint64_t transmits() const { return ep_->data_sent() + ep_->retransmits(); }
+  /// Retransmissions the session layer performed on our behalf.
+  std::uint64_t retries() const { return ep_->retransmits(); }
+  /// Transfers suppressed as duplicates: by the session's sequence check
+  /// (lost acks) plus the message-id dedup (session resets, reroutes).
+  std::uint64_t duplicates_dropped() const {
+    return duplicates_dropped_ + ep_->duplicate_frames();
+  }
   std::uint64_t quota_rejections() const { return quota_rejections_; }
 
   /// Administrative purge of a local queue; returns messages removed.
@@ -87,19 +96,26 @@ class QueueManager {
   struct OutgoingEntry {
     Message msg;
     sim::SimTime first_attempt = 0;
-    int attempts = 0;
+    /// Node the transfer is currently dispatched to on the session
+    /// (tagged with the message id); -1 = not dispatched yet.
+    int dispatched_to = -1;
   };
 
   void on_datagram(const sim::Datagram& d);
   void handle_send(BinaryReader& r);
   void handle_subscribe(BinaryReader& r);
   void handle_recv_ack(BinaryReader& r);
-  void handle_xfer(const sim::Datagram& d, BinaryReader& r);
-  void handle_xfer_ack(BinaryReader& r);
+  void handle_xfer(BinaryReader& r);
 
   void accept_local(Message msg);
   void pump_queue(const std::string& queue);
-  void transmit_sweep();
+  /// Resolve the route and hand the transfer to the session (or deliver
+  /// locally when the route points home). Arms the TTL dead-letter
+  /// deadline on first dispatch.
+  void dispatch_entry(std::uint64_t id);
+  /// Peer acked the transfer: the entry's job is done.
+  void complete_entry(std::uint64_t id);
+  void dead_letter_entry(std::uint64_t id);
   void persist_queue(const std::string& queue);
   void persist_outgoing();
   void restore_from_disk();
@@ -111,15 +127,18 @@ class QueueManager {
   std::map<std::uint64_t, OutgoingEntry> outgoing_;  // by message id
   std::map<std::string, int> routes_;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t transmits_ = 0, retries_ = 0, duplicates_dropped_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
   std::uint64_t quota_rejections_ = 0;
+  /// Reliable QM-to-QM sessions: transfers are tagged with the message
+  /// id so a route change can cancel the in-flight frame by id and the
+  /// ack callback can retire exactly the right outgoing entry.
+  std::unique_ptr<transport::Endpoint> ep_;
   // Pre-resolved metric handles (shared cells across all QM instances);
-  // the outgoing-depth gauge is per-process state, re-asserted on sweep.
+  // the outgoing-depth gauge is per-process state.
   obs::Counter ctr_bad_packet_;
   obs::Counter ctr_quota_rejected_;
   obs::Counter ctr_dead_lettered_;
   obs::Gauge outgoing_depth_gauge_;
-  sim::PeriodicTimer retry_timer_;
   sim::PeriodicTimer redelivery_timer_;
 };
 

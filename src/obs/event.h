@@ -49,7 +49,9 @@ enum class EventKind : std::uint32_t {
   kJournalRecovered = 19,     // a = records replayed, b = recovered seq
   kResyncDelta = 20,          // a = deltas shipped, b = bytes shipped
   kResyncFull = 21,           // a = seq shipped, b = bytes shipped
-  kMaxKind = 22,              // one past the last kind (mask width)
+  // Transport: reliable session layer.
+  kSessionReset = 22,         // a = peer node id, b = new tx epoch
+  kMaxKind = 23,              // one past the last kind (mask width)
 };
 
 const char* event_kind_name(EventKind kind);

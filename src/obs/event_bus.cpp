@@ -28,6 +28,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kJournalRecovered: return "journal_recovered";
     case EventKind::kResyncDelta: return "resync_delta";
     case EventKind::kResyncFull: return "resync_full";
+    case EventKind::kSessionReset: return "session_reset";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

@@ -22,6 +22,7 @@ Network::Network(Simulation& sim, std::string name, int id)
       rng_(sim.fork_rng(cat("net:", name_))),
       ctr_unreachable_(sim.telemetry().metrics().counter(cat(name_, ".unreachable"))),
       ctr_lost_(sim.telemetry().metrics().counter(cat(name_, ".lost"))),
+      ctr_duplicated_(sim.telemetry().metrics().counter(cat(name_, ".duplicated"))),
       payload_bytes_(sim.telemetry().metrics().histogram(
           "net.payload_bytes", {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})) {}
 
@@ -81,17 +82,30 @@ bool Network::send(Datagram d) {
     ctr_lost_.inc();
     return true;
   }
-  SimTime latency = latency_min_ == latency_max_
-                        ? latency_min_
-                        : latency_min_ + rng_.uniform(0, latency_max_ - latency_min_);
+  int copies = 1;
+  if (dup_ > 0.0 && rng_.chance(dup_)) {
+    ++copies;
+    ++duplicated_;
+    ctr_duplicated_.inc();
+  }
+  SimTime serialization = 0;
   if (bandwidth_ > 0.0) {
-    latency += static_cast<SimTime>(static_cast<double>(d.payload.size()) / bandwidth_ * 1e9);
+    serialization =
+        static_cast<SimTime>(static_cast<double>(d.payload.size()) / bandwidth_ * 1e9);
   }
   int dst = d.dst_node;
-  sim_.schedule_after(latency, [this, dst, dgram = std::move(d)] {
-    ++delivered_;
-    sim_.node(dst).deliver(dgram);
-  });
+  for (int i = 0; i < copies; ++i) {
+    // Each copy draws its own latency, so a duplicate can overtake the
+    // original — the nastier of the two orderings for receivers.
+    SimTime latency = latency_min_ == latency_max_
+                          ? latency_min_
+                          : latency_min_ + rng_.uniform(0, latency_max_ - latency_min_);
+    latency += serialization;
+    sim_.schedule_after(latency, [this, dst, dgram = d] {
+      ++delivered_;
+      sim_.node(dst).deliver(dgram);
+    });
+  }
   return true;
 }
 

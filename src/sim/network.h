@@ -46,6 +46,11 @@ class Network {
   double bandwidth() const { return bandwidth_; }
   /// Independent per-datagram loss probability.
   void set_loss(double p) { loss_ = p; }
+  /// Independent per-datagram duplication probability: with probability p
+  /// a surviving datagram is delivered twice, each copy with its own
+  /// latency draw (so the duplicate may arrive first). Real switches do
+  /// this during spanning-tree reconvergence; protocols must tolerate it.
+  void set_duplicate(double p) { dup_ = p; }
   /// Take the whole segment down / up (cable pull at the switch).
   void set_down(bool down) { down_ = down; }
   bool down() const { return down_; }
@@ -66,6 +71,7 @@ class Network {
   std::uint64_t sent() const { return sent_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
 
  private:
   bool reachable(int a, int b) const;
@@ -78,15 +84,17 @@ class Network {
   SimTime latency_max_ = microseconds(300);
   double bandwidth_ = 0.0;
   double loss_ = 0.0;
+  double dup_ = 0.0;
   bool down_ = false;
   std::set<std::pair<int, int>> dead_links_;
   std::map<int, int> partition_group_;  // node -> group (empty = healed)
   Rng rng_;
-  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
+  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0, duplicated_ = 0;
   // Pre-resolved metric handles: the per-datagram path must not do
   // string-keyed map lookups.
   obs::Counter ctr_unreachable_;
   obs::Counter ctr_lost_;
+  obs::Counter ctr_duplicated_;
   obs::Histogram payload_bytes_;
 };
 

@@ -32,6 +32,12 @@ class Simulation {
   Rng& rng() { return rng_; }
   Rng fork_rng(std::string_view name) const { return rng_.fork(name); }
 
+  /// Monotonic epoch counter, never reused within a simulation. Transport
+  /// sessions stamp their frames with one so a peer that reboots (new
+  /// endpoint instance, new epoch) can never confuse stale traffic from a
+  /// previous life with the current conversation.
+  std::uint64_t next_epoch() { return next_epoch_++; }
+
   /// Global (always-fires) scheduling; used by fault injectors and
   /// harnesses. Application code schedules through its Strand instead.
   EventHandle schedule_at(SimTime at, EventFn fn);
@@ -86,6 +92,7 @@ class Simulation {
 
  private:
   SimTime now_ = 0;
+  std::uint64_t next_epoch_ = 1;
   // Declared first so it outlives nodes/networks during teardown (their
   // metric handles point into the registry).
   obs::Telemetry telemetry_;

@@ -1,0 +1,222 @@
+// Reliable, ordered session transport over sim::Network datagrams.
+//
+// Before this layer existed, three subsystems each improvised reliability
+// on raw datagrams: FTIM carried its own checkpoint acks plus a bounded
+// stash for deltas that reordered under latency jitter, the cluster's
+// view gossip simply tolerated loss, and the MSMQ queue manager ran a
+// fixed 200 ms retry timer. An Endpoint subsumes all three: per-peer
+// sessions with sequence numbers, cumulative + selective acks,
+// retransmission with exponential backoff and jitter, a reorder buffer,
+// an in-flight byte window for backpressure, and session reset keyed on
+// peer incarnation so a rebooted node never sees stale frames.
+//
+// What deliberately does NOT ride this layer: engine heartbeats and
+// probes. Failure detection must *feel* loss — a heartbeat that is
+// retransmitted until it gets through would mask the very silence the
+// detector exists to observe. See DESIGN.md §transport.
+//
+// Wire format (first payload byte discriminates; values chosen outside
+// every MsgKind/MqPacket range so handle() can cheaply reject app frames):
+//   data  [u8 0xD1][u64 epoch][u64 seq][u8 flags][blob payload]
+//   ack   [u8 0xD2][u64 rx_instance][u64 tx_epoch][u64 cum][u64 sack]
+// flags bit 0 marks a *void* frame: a cancelled payload whose sequence
+// slot must still advance the receiver's cumulative counter (otherwise a
+// cancel would leave a hole that stalls everything behind it).
+// `epoch` identifies one tx-session incarnation (monotonic per
+// Simulation, never reused); `rx_instance` identifies the receiving
+// Endpoint's lifetime, so a sender notices a peer reboot from the first
+// ack the reborn peer emits and resets the session — renumbering and
+// re-dispatching everything unacknowledged under a fresh epoch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "obs/metrics.h"
+#include "sim/message.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace oftt::transport {
+
+/// Frame discriminator bytes. MsgKind stops well below 0xD0 and MqPacket
+/// below 0x10; wire_test pins the non-collision.
+inline constexpr std::uint8_t kDataFrame = 0xD1;
+inline constexpr std::uint8_t kAckFrame = 0xD2;
+
+/// Cheap pre-parse test: does this payload claim to be a transport frame?
+inline bool is_transport_frame(const Buffer& payload) {
+  return !payload.empty() && (payload[0] == kDataFrame || payload[0] == kAckFrame);
+}
+
+/// What to do when the send queue (frames waiting for window space) is
+/// full. kReject makes send() return false — FTIM uses that as a signal
+/// to fall back to a full checkpoint. kDropOldest sheds the oldest
+/// queued frame — right for gossip, where only the newest view matters.
+enum class QueuePolicy { kReject, kDropOldest };
+
+struct SessionConfig {
+  /// Networks to send on; retransmissions alternate across them (the
+  /// paper's dual-Ethernet trick: a retry should not trust the path
+  /// that just failed).
+  std::vector<int> networks;
+  /// Max unacknowledged payload bytes per peer before frames queue.
+  /// A frame larger than the whole window is still admitted when the
+  /// session is idle, alone.
+  std::size_t window_bytes = 256 * 1024;
+  /// Max frames queued behind the window per peer.
+  std::size_t queue_cap = 1024;
+  QueuePolicy queue_policy = QueuePolicy::kReject;
+  sim::SimTime rto_initial = sim::milliseconds(50);
+  sim::SimTime rto_max = sim::milliseconds(500);
+  double rto_backoff = 2.0;
+  /// Each retransmission timer is stretched by up to this fraction
+  /// (uniform), so synchronized senders decorrelate.
+  double rto_jitter = 0.1;
+  /// Max out-of-order frames buffered per peer; beyond this, gapped
+  /// frames are dropped and retransmission fills the hole.
+  std::size_t reorder_cap = 64;
+};
+
+/// One reliable endpoint bound to (strand, port). The owner keeps the
+/// datagram port bound and funnels arriving datagrams through handle();
+/// non-transport traffic on the same port passes through untouched, so
+/// session and raw frames can share a port during refactors.
+class Endpoint {
+ public:
+  /// Delivery callback: exactly-once, in-order per (peer, rx lifetime).
+  using DeliverFn = std::function<void(int src_node, int network_id, const Buffer& payload)>;
+  /// Per-frame ack callback, invoked when the peer acknowledges the
+  /// frame. `tag` is the caller's opaque id from send().
+  using AckFn = std::function<void(std::uint64_t tag)>;
+
+  Endpoint(sim::Strand& strand, std::string port, SessionConfig config);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  void on_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Feed an arriving datagram. Returns true when the datagram was a
+  /// transport frame (consumed — including malformed ones, which are
+  /// dropped and counted); false means "not mine, parse it yourself".
+  bool handle(const sim::Datagram& d);
+
+  /// Queue a payload for reliable in-order delivery to `peer`. Returns
+  /// false only when the queue is full under QueuePolicy::kReject.
+  /// `tag` (optional, non-zero) names the frame for acked_tag()/cancel();
+  /// `on_acked` (optional) fires when the peer acknowledges it.
+  bool send(int peer, Buffer payload, std::uint64_t tag = 0, AckFn on_acked = nullptr);
+
+  /// Drop every queued or in-flight frame to `peer` carrying `tag`
+  /// (non-zero). Queued frames are removed outright; in-flight ones are
+  /// *voided* (their sequence slot still completes, empty, so later
+  /// frames are not stalled). Returns how many frames were cancelled.
+  /// Frames already delivered are beyond recall.
+  std::size_t cancel(int peer, std::uint64_t tag);
+
+  /// Highest tag the peer has acknowledged (its rx has delivered it to
+  /// the application). 0 until the first tagged ack. Watermark survives
+  /// session resets — it reflects what the peer *processed*, which a
+  /// reboot does not un-process.
+  std::uint64_t acked_tag(int peer) const;
+
+  // Introspection for callers, tests and benches.
+  std::uint64_t data_sent() const { return data_sent_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t duplicate_frames() const { return duplicate_frames_; }
+  std::uint64_t stale_frames() const { return stale_frames_; }
+  std::uint64_t session_resets() const { return session_resets_; }
+  std::uint64_t malformed_frames() const { return malformed_frames_; }
+  std::uint64_t queue_drops() const { return queue_drops_; }
+  std::size_t inflight_bytes() const;
+  std::size_t queued_frames() const;
+
+ private:
+  struct QueuedFrame {
+    Buffer payload;
+    std::uint64_t tag = 0;
+    AckFn on_acked;
+  };
+  struct InflightFrame {
+    Buffer payload;
+    std::uint64_t tag = 0;
+    AckFn on_acked;
+    int attempts = 0;
+    bool voided = false;
+    /// Selectively acknowledged: the peer holds it in its reorder buffer
+    /// but has NOT delivered it yet. Suppresses retransmission only —
+    /// the frame is retired (and its callback fired) when the peer's
+    /// cumulative counter passes it, and it must survive to be
+    /// re-dispatched on a session reset: a sacked-but-undelivered frame
+    /// dies with the peer's reorder buffer if the peer reboots.
+    bool sacked = false;
+  };
+  struct TxSession {
+    std::uint64_t epoch = 0;
+    std::uint64_t next_seq = 1;
+    /// rx_instance of the peer endpoint we last heard from; 0 = unknown.
+    std::uint64_t peer_instance = 0;
+    std::map<std::uint64_t, InflightFrame> inflight;  // seq-ordered
+    std::deque<QueuedFrame> queue;
+    std::size_t inflight_bytes = 0;
+    std::uint64_t max_acked_tag = 0;
+  };
+  struct ReorderEntry {
+    Buffer payload;
+    bool voided = false;
+  };
+  struct RxSession {
+    std::uint64_t epoch = 0;
+    std::uint64_t cum = 0;  // highest in-order seq delivered
+    std::map<std::uint64_t, ReorderEntry> reorder;
+  };
+
+  TxSession& tx_session(int peer);
+  void admit(int peer, TxSession& ts, QueuedFrame qf);
+  void pump(int peer, TxSession& ts);
+  void transmit(int peer, TxSession& ts, std::uint64_t seq);
+  void on_rto(int peer, std::uint64_t epoch, std::uint64_t seq);
+  void reset_session(int peer, TxSession& ts, std::uint64_t new_peer_instance);
+  void handle_data(const sim::Datagram& d, BinaryReader& r);
+  void handle_ack(const sim::Datagram& d, BinaryReader& r);
+  void send_ack(const sim::Datagram& d, const RxSession& rx);
+  void retire(TxSession& ts, std::map<std::uint64_t, InflightFrame>::iterator it);
+
+  sim::Strand* strand_;
+  sim::Process* process_;
+  std::string port_;
+  SessionConfig config_;
+  sim::Rng rng_;
+  /// This endpoint's lifetime id, stamped into every ack we emit.
+  std::uint64_t instance_;
+  DeliverFn deliver_;
+  std::map<int, TxSession> tx_;
+  std::map<int, RxSession> rx_;
+
+  std::uint64_t data_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t duplicate_frames_ = 0;
+  std::uint64_t stale_frames_ = 0;
+  std::uint64_t session_resets_ = 0;
+  std::uint64_t malformed_frames_ = 0;
+  std::uint64_t queue_drops_ = 0;
+
+  obs::Counter ctr_data_sent_;
+  obs::Counter ctr_retransmits_;
+  obs::Counter ctr_dup_frames_;
+  obs::Counter ctr_stale_frames_;
+  obs::Counter ctr_session_resets_;
+  obs::Gauge gauge_inflight_bytes_;
+  obs::Histogram hist_rto_ms_;
+  obs::Histogram hist_reorder_depth_;
+};
+
+}  // namespace oftt::transport
