@@ -181,9 +181,14 @@ int main() {
     w.kv("deployment", with_oftt ? "oftt_pair" : "single_pc");
     w.key("runs");
     w.begin_array();
+    // Runs are independent simulations: sweep them across the thread
+    // pool, then merge (and emit JSON) serially in seed order.
+    std::vector<ChaosResult> runs = sweep_seeds(kSeeds, [&](int s) {
+      return run_chaos(with_oftt, static_cast<std::uint64_t>(s) * 997 + 11, kDuration);
+    });
     for (int s = 0; s < kSeeds; ++s) {
       std::uint64_t seed = static_cast<std::uint64_t>(s) * 997 + 11;
-      ChaosResult r = run_chaos(with_oftt, seed, kDuration);
+      const ChaosResult& r = runs[static_cast<std::size_t>(s)];
       avail.push_back(r.availability);
       outages += r.outages;
       longest = std::max(longest, r.longest_outage_s);

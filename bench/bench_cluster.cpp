@@ -149,9 +149,24 @@ int main() {
   rule(4);
   for (std::size_t i = 0; i < std::size(kReplicaCounts); ++i) {
     int n = kReplicaCounts[i];
+    // One independent simulation per seed: run them on the sweep pool
+    // and concatenate the phase samples in seed order afterwards, which
+    // reproduces the old serial loop's sample order exactly.
+    std::vector<PhaseSamples> runs = sweep_seeds(kSeeds, [&](int s) {
+      PhaseSamples one;
+      run_failover_once(n, static_cast<std::uint64_t>(s) * 131 + 3, one);
+      return one;
+    });
     PhaseSamples ps;
-    for (int s = 0; s < kSeeds; ++s) {
-      run_failover_once(n, static_cast<std::uint64_t>(s) * 131 + 3, ps);
+    for (const PhaseSamples& one : runs) {
+      for (auto [dst, src] : {std::pair{&ps.detection, &one.detection},
+                              {&ps.ack_collection, &one.ack_collection},
+                              {&ps.negotiation, &one.negotiation},
+                              {&ps.promotion, &one.promotion},
+                              {&ps.total, &one.total},
+                              {&ps.observed, &one.observed}}) {
+        dst->insert(dst->end(), src->begin(), src->end());
+      }
     }
     const std::vector<std::pair<const char*, const std::vector<std::int64_t>*>> phases = {
         {"detection", &ps.detection},   {"ack_collection", &ps.ack_collection},

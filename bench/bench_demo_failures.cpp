@@ -140,8 +140,10 @@ int main() {
     int survived = 0;
     std::vector<double> outages;
     std::int64_t before_sum = 0, retained_sum = 0;
+    std::vector<DemoResult> runs = sweep_seeds(
+        kSeeds, [&](int s) { return run_demo(f, static_cast<std::uint64_t>(s) * 131 + 17); });
     for (int s = 0; s < kSeeds; ++s) {
-      DemoResult r = run_demo(f, static_cast<std::uint64_t>(s) * 131 + 17);
+      const DemoResult& r = runs[static_cast<std::size_t>(s)];
       if (r.survived) {
         ++survived;
         outages.push_back(r.outage_ms);

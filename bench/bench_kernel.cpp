@@ -1,0 +1,239 @@
+// Experiment E12 — the discrete-event kernel hot path itself: how many
+// events per second can `sim::Simulation` schedule, fire and cancel?
+// Every other experiment in EXPERIMENTS.md is bottlenecked by this
+// loop, so its cost is measured directly, on three workload shapes:
+//
+//  schedule_fire — self-rescheduling one-shot chains (the shape of
+//       datagram delivery and deadline events): each fired event
+//       schedules its successor at a pseudo-random short delay.
+//  cancel_heavy — the RTO/watchdog pattern: most scheduled events are
+//       cancelled before they fire (a completion races a timeout and
+//       usually wins). Exercises O(1) cancel plus tombstone reclaim.
+//  timer_heavy — steady-state heartbeat traffic: hundreds of
+//       PeriodicTimers on process strands at engine-like periods, the
+//       event mix that dominates cluster runs at large N.
+//
+// Reported as events/sec and ns/event of *wall* time (sim time is free;
+// the wall cost of the kernel loop is exactly what this bench exists to
+// measure). Exports BENCH_kernel.json.
+//
+// CI perf-smoke lane: with OFTT_BENCH_ENFORCE_FLOOR set, the run fails
+// (exit 1) if any workload's events/sec drops below 70% of the
+// checked-in floor in kernel_floor.h — a >30% kernel regression gate.
+#include <chrono>
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "kernel_floor.h"
+#include "obs/json.h"
+#include "sim/simulation.h"
+#include "sim/timer.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct KernelResult {
+  std::uint64_t fired = 0;      // events that executed
+  std::uint64_t scheduled = 0;  // schedule() calls
+  std::uint64_t cancelled = 0;  // cancel() calls that hit a live event
+  double wall_s = 0;
+  /// Primary metric: kernel operations (schedule + fire + cancel) per
+  /// wall second.
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(fired + scheduled + cancelled) / wall_s : 0;
+  }
+  double ns_per_event() const {
+    std::uint64_t ops = fired + scheduled + cancelled;
+    return ops > 0 ? wall_s * 1e9 / static_cast<double>(ops) : 0;
+  }
+  /// Determinism probe: FNV-1a over the sim-time of every fired event.
+  std::uint64_t history_hash = 14695981039346656037ull;
+};
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+}
+
+// ---------------------------------------------------------------------
+// schedule_fire — self-rescheduling one-shot chains.
+// ---------------------------------------------------------------------
+
+KernelResult run_schedule_fire(std::uint64_t seed, std::uint64_t target_events) {
+  sim::Simulation sim(seed);
+  KernelResult res;
+  constexpr int kChains = 64;
+  // Deterministic per-chain delay pattern; no rng in the hot loop.
+  std::function<void(int)> hop = [&](int chain) {
+    ++res.fired;
+    fold(res.history_hash, static_cast<std::uint64_t>(sim.now()));
+    if (res.fired + kChains > target_events) return;
+    sim::SimTime delay = sim::microseconds(10 + (res.fired * 7 + static_cast<std::uint64_t>(chain) * 13) % 190);
+    ++res.scheduled;
+    sim.schedule_after(delay, [&hop, chain] { hop(chain); });
+  };
+  auto t0 = Clock::now();
+  for (int c = 0; c < kChains; ++c) {
+    ++res.scheduled;
+    sim.schedule_after(sim::microseconds(static_cast<std::int64_t>(c)), [&hop, c] { hop(c); });
+  }
+  sim.run();
+  res.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// cancel_heavy — completion races a timeout; the timeout mostly loses.
+// ---------------------------------------------------------------------
+
+KernelResult run_cancel_heavy(std::uint64_t seed, std::uint64_t target_ops) {
+  sim::Simulation sim(seed);
+  KernelResult res;
+  constexpr int kPerBatch = 100;
+  std::vector<sim::EventHandle> timeouts;
+  timeouts.reserve(kPerBatch);
+  std::function<void()> batch = [&] {
+    ++res.fired;
+    fold(res.history_hash, static_cast<std::uint64_t>(sim.now()));
+    // Schedule a batch of "timeouts" 10 ms out, then cancel 90% of them
+    // (the completion arrived); the survivors fire as normal events.
+    timeouts.clear();
+    for (int i = 0; i < kPerBatch; ++i) {
+      ++res.scheduled;
+      timeouts.push_back(sim.schedule_after(sim::milliseconds(10), [&res, &sim] {
+        ++res.fired;
+        fold(res.history_hash, static_cast<std::uint64_t>(sim.now()));
+      }));
+    }
+    for (int i = 0; i < kPerBatch; ++i) {
+      if (i % 10 == 0) continue;  // every 10th survives to fire
+      sim.cancel(timeouts[static_cast<std::size_t>(i)]);
+      ++res.cancelled;
+    }
+    if (res.scheduled < target_ops) {
+      ++res.scheduled;
+      sim.schedule_after(sim::milliseconds(1), batch);
+    }
+  };
+  auto t0 = Clock::now();
+  ++res.scheduled;
+  sim.schedule_after(sim::milliseconds(1), batch);
+  sim.run();
+  res.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// timer_heavy — heartbeat-shaped periodic traffic on process strands.
+// ---------------------------------------------------------------------
+
+KernelResult run_timer_heavy(std::uint64_t seed, int timers, sim::SimTime duration) {
+  sim::Simulation sim(seed);
+  KernelResult res;
+  constexpr int kNodes = 8;
+  std::vector<sim::Node*> nodes;
+  for (int n = 0; n < kNodes; ++n) {
+    nodes.push_back(&sim.add_node("n" + std::to_string(n)));
+    nodes.back()->boot();
+  }
+  std::vector<std::shared_ptr<sim::Process>> procs;
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> running;
+  for (int t = 0; t < timers; ++t) {
+    auto proc = nodes[static_cast<std::size_t>(t % kNodes)]->start_process(
+        "p" + std::to_string(t), nullptr);
+    procs.push_back(proc);
+    auto timer = std::make_unique<sim::PeriodicTimer>(proc->main_strand());
+    // Engine-like periods: 10..500 ms, deterministic spread.
+    sim::SimTime period = sim::milliseconds(10 + (t % 50) * 10);
+    timer->start(period, [&res, &sim] {
+      ++res.fired;
+      fold(res.history_hash, static_cast<std::uint64_t>(sim.now()));
+    });
+    running.push_back(std::move(timer));
+  }
+  auto t0 = Clock::now();
+  sim.run_until(duration);
+  res.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  // Each periodic fire re-arms itself: one schedule per fire.
+  res.scheduled = res.fired;
+  return res;
+}
+
+struct Workload {
+  const char* name;
+  KernelResult result;
+  double floor_eps;  // checked-in events/sec floor (0 = ungated)
+};
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  const bool smoke = smoke_mode();
+  const std::uint64_t kSeed = 1234;
+  const std::uint64_t kChainEvents = smoke ? 200'000 : 2'000'000;
+  const std::uint64_t kCancelOps = smoke ? 200'000 : 2'000'000;
+  const int kTimers = smoke ? 100 : 250;
+  const sim::SimTime kTimerDuration = smoke ? sim::seconds(20) : sim::minutes(2);
+
+  title("E12: event-kernel hot path",
+        "wall-clock cost of the schedule/fire/cancel cycle on three workload shapes; "
+        "events/sec counts kernel operations (schedules + fires + cancels)");
+
+  Workload workloads[] = {
+      {"schedule_fire", run_schedule_fire(kSeed, kChainEvents), kFloorScheduleFire},
+      {"cancel_heavy", run_cancel_heavy(kSeed, kCancelOps), kFloorCancelHeavy},
+      {"timer_heavy", run_timer_heavy(kSeed, kTimers, kTimerDuration), kFloorTimerHeavy},
+  };
+
+  row({"workload", "events/s", "ns/event", "fired", "cancelled", "wall s"});
+  rule(6);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "kernel");
+  w.kv("smoke", smoke);
+  w.key("workloads");
+  w.begin_array();
+  bool floor_ok = true;
+  for (const Workload& wl : workloads) {
+    const KernelResult& r = wl.result;
+    row({wl.name, fmt(r.events_per_sec() / 1e6, 2) + "M", fmt(r.ns_per_event(), 1),
+         fmt_int(static_cast<long long>(r.fired)), fmt_int(static_cast<long long>(r.cancelled)),
+         fmt(r.wall_s, 2)});
+    w.begin_object();
+    w.kv("workload", wl.name);
+    w.kv("events_per_sec", r.events_per_sec());
+    w.kv("ns_per_event", r.ns_per_event());
+    w.kv("fired", r.fired);
+    w.kv("scheduled", r.scheduled);
+    w.kv("cancelled", r.cancelled);
+    w.kv("wall_s", r.wall_s);
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "%016" PRIx64, r.history_hash);
+    w.kv("history_hash", hash);
+    w.kv("floor_events_per_sec", wl.floor_eps);
+    w.end_object();
+    if (wl.floor_eps > 0 && r.events_per_sec() < 0.7 * wl.floor_eps) floor_ok = false;
+  }
+  w.end_array();
+  w.end_object();
+  write_file("BENCH_kernel.json", w.take());
+
+  std::printf(
+      "\n(history_hash folds the sim-time of every fired event: identical across kernel\n"
+      " implementations by contract — the pool/wheel rewrite must not change when\n"
+      " anything fires, only what firing costs.)\n");
+
+  const char* enforce = std::getenv("OFTT_BENCH_ENFORCE_FLOOR");
+  if (enforce != nullptr && enforce[0] != '\0' && !floor_ok) {
+    std::printf("FLOOR REGRESSION: events/sec fell more than 30%% below kernel_floor.h\n");
+    return 1;
+  }
+  return 0;
+}

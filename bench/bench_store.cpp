@@ -195,10 +195,13 @@ int main() {
   for (double rate : kMutationRates) {
     std::vector<double> full_bps, delta_bps;
     std::uint64_t fulls = 0, deltas = 0;
-    for (int s = 0; s < kSeeds; ++s) {
+    auto runs = sweep_seeds(kSeeds, [&](int s) {
       std::uint64_t seed = static_cast<std::uint64_t>(s) * 977 + 13;
-      SweepResult fo = run_sweep(rate, /*full_interval=*/1, seed);
-      SweepResult de = run_sweep(rate, /*full_interval=*/8, seed);
+      return std::pair{run_sweep(rate, /*full_interval=*/1, seed),
+                       run_sweep(rate, /*full_interval=*/8, seed)};
+    });
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto& [fo, de] = runs[static_cast<std::size_t>(s)];
       if (fo.bytes_per_sec <= 0 || de.bytes_per_sec <= 0) continue;
       full_bps.push_back(fo.bytes_per_sec);
       delta_bps.push_back(de.bytes_per_sec);
@@ -229,8 +232,11 @@ int main() {
   for (bool journal : {true, false}) {
     std::vector<double> replayed, resync_bytes;
     std::uint64_t recovered = 0, full_resyncs = 0, nacks = 0, n = 0;
+    std::vector<RestartResult> runs = sweep_seeds(kSeeds, [&](int s) {
+      return run_restart(journal, static_cast<std::uint64_t>(s) * 977 + 13);
+    });
     for (int s = 0; s < kSeeds; ++s) {
-      RestartResult r = run_restart(journal, static_cast<std::uint64_t>(s) * 977 + 13);
+      const RestartResult& r = runs[static_cast<std::size_t>(s)];
       if (!r.valid) continue;
       ++n;
       recovered += r.recovered_from_journal ? 1 : 0;

@@ -249,10 +249,15 @@ int main() {
   for (double loss : kLossRates) {
     std::vector<double> naive_mibs, sess_mibs;
     std::uint64_t naive_sends = 0, sess_sends = 0;
-    for (int s = 0; s < kSeeds; ++s) {
+    // Both deployments for one seed stay on the same worker so the
+    // paired comparison is unchanged; seeds fan out across the pool.
+    auto runs = sweep_seeds(kSeeds, [&](int s) {
       std::uint64_t seed = static_cast<std::uint64_t>(s) * 1471 + 7;
-      GoodputResult na = run_goodput(/*use_session=*/false, loss, seed);
-      GoodputResult se = run_goodput(/*use_session=*/true, loss, seed);
+      return std::pair{run_goodput(/*use_session=*/false, loss, seed),
+                       run_goodput(/*use_session=*/true, loss, seed)};
+    });
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto& [na, se] = runs[static_cast<std::size_t>(s)];
       if (!na.valid || !se.valid) continue;
       naive_mibs.push_back(na.mib_per_sec);
       sess_mibs.push_back(se.mib_per_sec);
@@ -286,9 +291,11 @@ int main() {
   for (double loss : kLossRates) {
     std::vector<double> recover;
     int continuous = 0, n = 0;
+    std::vector<FailoverResult> runs = sweep_seeds(kSeeds, [&](int s) {
+      return run_failover(loss, static_cast<std::uint64_t>(s) * 613 + 101);
+    });
     for (int s = 0; s < kSeeds; ++s) {
-      std::uint64_t seed = static_cast<std::uint64_t>(s) * 613 + 101;
-      FailoverResult r = run_failover(loss, seed);
+      const FailoverResult& r = runs[static_cast<std::size_t>(s)];
       if (r.recover_ms < 0) continue;
       ++n;
       recover.push_back(r.recover_ms);

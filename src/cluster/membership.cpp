@@ -133,7 +133,13 @@ bool MembershipView::decode(BinaryReader& r, MembershipView& out) {
 }
 
 std::string MembershipView::summary() const {
-  std::string s = "v" + std::to_string(version) + " inc" + std::to_string(incarnation) + ":";
+  // Built by append: GCC 12's -Wrestrict falsely fires on chained
+  // operator+ of a literal and a std::to_string temporary at -O3.
+  std::string s = "v";
+  s += std::to_string(version);
+  s += " inc";
+  s += std::to_string(incarnation);
+  s += ':';
   for (const Member& m : members) {
     char mark = '?';
     switch (m.role) {

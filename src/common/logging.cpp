@@ -16,10 +16,19 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+namespace {
+// Per-thread virtual-time source. Parallel seed sweeps run one
+// Simulation per worker thread; each installs its own clock on entry
+// and clears it in its Telemetry destructor without racing the others.
+thread_local Logger::ClockFn t_clock;
+}  // namespace
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
+
+void Logger::set_clock(ClockFn clock) { t_clock = std::move(clock); }
 
 Logger::Logger() {
   sink_ = [](const LogRecord& r) {
@@ -38,7 +47,7 @@ Logger::Sink Logger::set_sink(Sink sink) {
 void Logger::log(LogLevel level, std::string component, std::string message) {
   if (!enabled(level) || !sink_) return;
   LogRecord r;
-  r.sim_time_ns = clock_ ? clock_() : 0;
+  r.sim_time_ns = t_clock ? t_clock() : 0;
   r.level = level;
   r.component = std::move(component);
   r.message = std::move(message);

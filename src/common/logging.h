@@ -37,8 +37,11 @@ class Logger {
   /// Replace the sink; returns the previous one so tests can restore it.
   Sink set_sink(Sink sink);
 
-  /// Install the virtual-time source (nullptr resets to "0").
-  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+  /// Install the virtual-time source (nullptr resets to "0"). The
+  /// clock is thread-local: each seed-sweep worker thread runs its own
+  /// Simulation, and its log lines must stamp that simulation's virtual
+  /// time, not whichever sim last called set_clock globally.
+  void set_clock(ClockFn clock);
 
   bool enabled(LogLevel level) const { return level >= level_; }
   void log(LogLevel level, std::string component, std::string message);
@@ -47,7 +50,8 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
-  ClockFn clock_;
+  // The virtual clock lives in a thread_local in logging.cpp (see
+  // set_clock); the Logger singleton itself holds no clock state.
 };
 
 namespace log_detail {

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 
 #include "com/unknown.h"
 #include "common/bytes.h"
@@ -30,17 +31,24 @@ using StubFactory =
 using ProxyFactory =
     std::function<com::ComPtr<com::IUnknown>(OrpcClient& client, const ObjectRef& ref)>;
 
+/// Thread-safe: proxy/stub "DLL installation" happens lazily from the
+/// first activation on whichever thread gets there first, and parallel
+/// seed-sweep workers can race it. Registration never overwrites an
+/// existing entry (first one wins), so factory pointers handed out by
+/// find_* stay valid and immutable for the process lifetime (std::map
+/// nodes are stable; entries are never erased).
 class InterfaceRegistry {
  public:
   static InterfaceRegistry& instance();
 
   void register_interface(const Iid& iid, StubFactory stub, ProxyFactory proxy);
-  bool registered(const Iid& iid) const { return stubs_.count(iid) != 0; }
+  bool registered(const Iid& iid) const;
 
   const StubFactory* find_stub(const Iid& iid) const;
   const ProxyFactory* find_proxy(const Iid& iid) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<Iid, StubFactory> stubs_;
   std::map<Iid, ProxyFactory> proxies_;
 };

@@ -1,50 +1,379 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace oftt::sim {
 
-EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++, cancelled, std::move(fn)});
+int EventQueue::Bits256::first_from(int i) const {
+  unsigned start = i < 0 ? 0 : static_cast<unsigned>(i);
+  if (start >= 256) return -1;
+  unsigned word = start >> 6;
+  std::uint64_t masked = w[word] & ~((start & 63) == 0 ? 0ull : ((1ull << (start & 63)) - 1));
+  while (true) {
+    if (masked != 0) {
+      return static_cast<int>((word << 6) + static_cast<unsigned>(__builtin_ctzll(masked)));
+    }
+    if (++word >= 4) return -1;
+    masked = w[word];
+  }
+}
+
+int EventQueue::Bits256::first_after_circular(int i) const {
+  int r = first_from(i + 1);
+  if (r >= 0) return r;
+  // Wrap: smallest set index in [0, i] (i's own bucket can never be
+  // occupied — see the routing invariants — but scanning it is harmless).
+  r = first_from(0);
+  return (r >= 0 && r <= i) ? r : -1;
+}
+
+EventQueue::EventQueue() {
+  hot_.reserve(256);
+  cold_.reserve(256);
+  for (unsigned i = 0; i < kSlots; ++i) {
+    l0_head_[i] = kNilSlot;
+    l1_head_[i] = kNilSlot;
+  }
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNilSlot) {
+    std::uint32_t idx = free_head_;
+    free_head_ = hot_[idx].next;
+    hot_[idx].in_use = true;
+    return idx;
+  }
+  hot_.emplace_back();
+  cold_.emplace_back();
+  hot_.back().in_use = true;
+  return static_cast<std::uint32_t>(hot_.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t idx) {
+  SlotHot& s = hot_[idx];
+  cold_[idx].fn.reset();
+  cold_[idx].life.reset();
+  ++s.gen;  // invalidates every outstanding handle and heap ref
+  s.in_use = false;
+  s.next = free_head_;
+  free_head_ = idx;
+}
+
+EventHandle EventQueue::schedule_on(SimTime at, LifeRef life, EventFn&& fn) {
+  std::uint32_t idx = alloc_slot();
+  SlotHot& s = hot_[idx];
+  s.at = at;
+  s.seq = next_seq_++;
+  cold_[idx].life = std::move(life);
+  cold_[idx].fn = std::move(fn);
+
+  // Route by horizon. A negative or huge `at` (kNever) maps to a tick
+  // far outside both windows and lands in the heap.
+  std::uint64_t tick = tick_of(at);
+  std::uint64_t window_delta = (tick >> 8) - (cur_tick_ >> 8);
+  if (tick > cur_tick_ && window_delta < kSlots) {
+    s.lane = kLaneWheel;
+    wheel_insert(idx, tick);
+  } else {
+    s.lane = kLaneHeap;
+    heap_push(Ref{at, s.seq, idx, s.gen});
+  }
   ++live_;
-  return EventHandle(cancelled);
+  // The memoised peek stays valid: an event at or after the cached
+  // minimum cannot displace it (equal `at` loses on seq). Inserting
+  // into the cached min's own bucket would stale its recorded list
+  // predecessor, so that case invalidates too.
+  if (peek_.valid &&
+      (peek_.next_at == kNever || at < peek_.next_at ||
+       (s.lane == kLaneWheel && peek_.src == Peek::kWheel &&
+        static_cast<int>(tick & 255) == peek_.l0_slot))) {
+    peek_.valid = false;
+  }
+  return EventHandle(this, idx, s.gen);
 }
 
 void EventQueue::cancel(EventHandle& h) {
-  if (auto flag = h.cancelled_.lock()) {
-    if (!*flag) {
-      *flag = true;
-      assert(live_ > 0);
-      --live_;
+  if (h.q_ == this && handle_live(h.idx_, h.gen_)) {
+    SlotHot& s = hot_[h.idx_];
+    if (s.lane == kLaneHeap) {
+      // Heap refs are value copies: the slot can recycle immediately,
+      // the stale ref is dropped when it surfaces (or at compaction).
+      ++heap_dead_;
+      free_slot(h.idx_);
+    } else {
+      // Wheel nodes are linked through the slot itself: release the
+      // payload now, leave the link in place as a zombie until its
+      // bucket is next walked (or the sweep reclaims it).
+      cold_[h.idx_].fn.reset();
+      cold_[h.idx_].life.reset();
+      ++s.gen;
+      s.in_use = false;
+      ++wheel_dead_;
     }
+    assert(live_ > 0);
+    --live_;
+    peek_.valid = false;
+    maybe_compact_heap();
+    maybe_sweep_wheel();
   }
-  h.cancelled_.reset();
+  h = EventHandle{};
 }
 
-void EventQueue::drop_tombstones() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
+void EventQueue::heap_push(Ref r) {
+  heap_.push_back(r);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+SimTime EventQueue::live_heap_min() {
+  while (!heap_.empty() && !ref_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    assert(heap_dead_ > 0);
+    --heap_dead_;
   }
+  return heap_.empty() ? kNever : heap_.front().at;
 }
 
-SimTime EventQueue::next_time() const {
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_tombstones();
-  return heap_.empty() ? kNever : heap_.top().at;
+void EventQueue::maybe_compact_heap() {
+  // Compact when tombstones outnumber live refs: bounds the heap at
+  // ~2x the live event count no matter how cancel-heavy the workload
+  // (the seed kernel only reclaimed tombstones that surfaced at the
+  // top, so a schedule/cancel loop grew the heap without bound).
+  if (heap_dead_ < 64 || heap_dead_ * 2 < heap_.size()) return;
+  std::erase_if(heap_, [this](const Ref& r) { return !ref_live(r); });
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  heap_dead_ = 0;
+  ++compactions_;
 }
 
-std::pair<SimTime, EventFn> EventQueue::pop() {
-  drop_tombstones();
-  assert(!heap_.empty());
-  // priority_queue::top() is const; we need to move the callback out.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  SimTime at = top.at;
-  EventFn fn = std::move(top.fn);
-  heap_.pop();
+void EventQueue::wheel_insert(std::uint32_t idx, std::uint64_t tick) {
+  SlotHot& s = hot_[idx];
+  if ((tick >> 8) == (cur_tick_ >> 8)) {
+    unsigned b = static_cast<unsigned>(tick & 255);
+    s.next = l0_head_[b];
+    l0_head_[b] = idx;
+    l0_bits_.set(b);
+  } else {
+    unsigned b = static_cast<unsigned>((tick >> 8) & 255);
+    s.next = l1_head_[b];
+    l1_head_[b] = idx;
+    l1_bits_.set(b);
+  }
+  ++wheel_count_;
+}
+
+SimTime EventQueue::bucket_min_l0(int s, std::uint32_t& min_idx, std::uint32_t& min_prev) {
+  std::uint32_t* head = &l0_head_[static_cast<unsigned>(s)];
+  std::uint32_t prev = kNilSlot;
+  std::uint32_t cur = *head;
+  SimTime best_at = kNever;
+  std::uint64_t best_seq = 0;
+  min_idx = kNilSlot;
+  min_prev = kNilSlot;
+  while (cur != kNilSlot) {
+    SlotHot& sl = hot_[cur];
+    std::uint32_t nxt = sl.next;
+    if (!sl.in_use) {  // zombie: unlink and reclaim
+      (prev == kNilSlot ? *head : hot_[prev].next) = nxt;
+      sl.next = free_head_;
+      free_head_ = cur;
+      assert(wheel_count_ > 0 && wheel_dead_ > 0);
+      --wheel_count_;
+      --wheel_dead_;
+      cur = nxt;
+      continue;
+    }
+    if (sl.at < best_at || (sl.at == best_at && sl.seq < best_seq)) {
+      best_at = sl.at;
+      best_seq = sl.seq;
+      min_idx = cur;
+      min_prev = prev;
+    }
+    prev = cur;
+    cur = nxt;
+  }
+  if (*head == kNilSlot) l0_bits_.clear(static_cast<unsigned>(s));
+  return best_at;
+}
+
+void EventQueue::drain_l0(int s) {
+  std::uint32_t cur = l0_head_[static_cast<unsigned>(s)];
+  while (cur != kNilSlot) {
+    SlotHot& sl = hot_[cur];
+    std::uint32_t nxt = sl.next;
+    assert(wheel_count_ > 0);
+    --wheel_count_;
+    if (sl.in_use) {
+      sl.lane = kLaneHeap;
+      heap_push(Ref{sl.at, sl.seq, cur, sl.gen});
+    } else {
+      sl.next = free_head_;
+      free_head_ = cur;
+      assert(wheel_dead_ > 0);
+      --wheel_dead_;
+    }
+    cur = nxt;
+  }
+  l0_head_[static_cast<unsigned>(s)] = kNilSlot;
+  l0_bits_.clear(static_cast<unsigned>(s));
+}
+
+void EventQueue::cascade_l1(int j) {
+  std::uint32_t cur = l1_head_[static_cast<unsigned>(j)];
+  while (cur != kNilSlot) {
+    SlotHot& sl = hot_[cur];
+    std::uint32_t nxt = sl.next;
+    if (sl.in_use) {
+      unsigned b = static_cast<unsigned>(tick_of(sl.at) & 255);
+      sl.next = l0_head_[b];
+      l0_head_[b] = cur;
+      l0_bits_.set(b);
+    } else {
+      sl.next = free_head_;
+      free_head_ = cur;
+      assert(wheel_count_ > 0 && wheel_dead_ > 0);
+      --wheel_count_;
+      --wheel_dead_;
+    }
+    cur = nxt;
+  }
+  l1_head_[static_cast<unsigned>(j)] = kNilSlot;
+  l1_bits_.clear(static_cast<unsigned>(j));
+}
+
+void EventQueue::sweep_bucket(std::uint32_t& head, unsigned bit, Bits256& bits) {
+  std::uint32_t prev = kNilSlot;
+  std::uint32_t cur = head;
+  while (cur != kNilSlot) {
+    SlotHot& sl = hot_[cur];
+    std::uint32_t nxt = sl.next;
+    if (!sl.in_use) {
+      (prev == kNilSlot ? head : hot_[prev].next) = nxt;
+      sl.next = free_head_;
+      free_head_ = cur;
+      --wheel_count_;
+      --wheel_dead_;
+    } else {
+      prev = cur;
+    }
+    cur = nxt;
+  }
+  if (head == kNilSlot) bits.clear(bit);
+}
+
+void EventQueue::maybe_sweep_wheel() {
+  // Same bound as the heap: when cancelled nodes outnumber live ones,
+  // walk every bucket and unlink them, so a schedule/cancel loop whose
+  // delays land in the wheel cannot grow the slab without bound.
+  if (wheel_dead_ < 64 || wheel_dead_ * 2 < wheel_count_) return;
+  for (unsigned i = 0; i < kSlots; ++i) {
+    if (l0_bits_.test(i)) sweep_bucket(l0_head_[i], i, l0_bits_);
+    if (l1_bits_.test(i)) sweep_bucket(l1_head_[i], i, l1_bits_);
+  }
+  ++wheel_sweeps_;
+}
+
+void EventQueue::ensure_peek() {
+  if (peek_.valid) return;
+  SimTime hm = live_heap_min();
+  // Find the earliest live wheel event, cascading windows only while
+  // they could still beat the heap. The L0 scan includes the cursor's
+  // own tick: a cascade lands events due exactly at the window start
+  // there, and a partially-popped bucket keeps its remaining events.
+  SimTime wn = kNever;
+  int wslot = -1;
+  std::uint32_t min_idx = kNilSlot;
+  std::uint32_t min_prev = kNilSlot;
+  while (wheel_count_ > 0) {
+    int s = l0_bits_.first_from(static_cast<int>(cur_tick_ & 255));
+    if (s >= 0) {
+      SimTime m = bucket_min_l0(s, min_idx, min_prev);
+      if (m == kNever) continue;  // bucket was all zombies; rescan
+      // Keep the cursor on the earliest occupied tick so schedule()
+      // routes relative to the present.
+      cur_tick_ = (cur_tick_ & ~std::uint64_t{255}) | static_cast<unsigned>(s);
+      wn = m;
+      wslot = s;
+      break;
+    }
+    std::uint64_t cw = cur_tick_ >> 8;
+    int j = l1_bits_.first_after_circular(static_cast<int>(cw & 255));
+    if (j < 0) break;  // defensive: counts say occupied but no bits set
+    std::uint64_t dist = (static_cast<std::uint64_t>(j) - cw) & 255;
+    assert(dist != 0);  // a bucket at the cursor's own window index is unreachable
+    std::uint64_t window_start = (cw + dist) << 8;
+    // Every event in that window is at or after its start; if even the
+    // lower bound loses to the heap, leave the window uncascaded.
+    if (static_cast<SimTime>(window_start << kTickShift) > hm) break;
+    cur_tick_ = window_start;
+    cascade_l1(j);
+  }
+
+  if (wn < hm && tick_of(wn) != tick_of(hm)) {
+    peek_.src = Peek::kWheel;
+    peek_.next_at = wn;
+    peek_.l0_slot = wslot;
+    peek_.min_idx = min_idx;
+    peek_.min_prev = min_prev;
+  } else {
+    if (wslot >= 0 && wn <= hm) {
+      // Same-tick overlap between lanes (or an exact tie): merge the
+      // bucket into the heap so the (at, seq) comparator orders it.
+      drain_l0(wslot);
+      hm = live_heap_min();
+    }
+    peek_.src = hm == kNever ? Peek::kEmpty : Peek::kHeap;
+    peek_.next_at = hm;
+    peek_.l0_slot = -1;
+  }
+  peek_.valid = true;
+}
+
+SimTime EventQueue::next_time() {
+  ensure_peek();
+  return peek_.next_at;
+}
+
+SimTime EventQueue::pop(EventFn& fn) {
+  ensure_peek();
+  assert(peek_.src != Peek::kEmpty);
+  std::uint32_t idx;
+  if (peek_.src == Peek::kWheel) {
+    // Unlink the min node recorded by the peek (no mutation can have
+    // intervened: any schedule/cancel invalidates the memo).
+    idx = peek_.min_idx;
+    std::uint32_t* head = &l0_head_[static_cast<unsigned>(peek_.l0_slot)];
+    (peek_.min_prev == kNilSlot ? *head : hot_[peek_.min_prev].next) = hot_[idx].next;
+    if (*head == kNilSlot) l0_bits_.clear(static_cast<unsigned>(peek_.l0_slot));
+    assert(wheel_count_ > 0);
+    --wheel_count_;
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    idx = heap_.back().idx;
+    heap_.pop_back();
+  }
+  peek_.valid = false;
+
+  SlotHot& s = hot_[idx];
+  SlotCold& c = cold_[idx];
+  assert(s.in_use && s.at == peek_.next_at);
+  SimTime at = s.at;
+  // Liveness gate (was a wrapper lambda in the seed kernel): a dead or
+  // hung strand's event still advances time but returns no callback.
+  if (c.life == nullptr || c.life->runnable()) fn = std::move(c.fn);
+  else fn.reset();
+  // Free before returning: the event has fired, so its handle must
+  // already read invalid inside its own callback.
+  free_slot(idx);
   assert(live_ > 0);
   --live_;
-  return {at, std::move(fn)};
+  // Re-centre an idle wheel on the present so that after a quiet spell
+  // (no short-horizon timers for a minute) new short delays still land
+  // in the wheel instead of overflowing to the heap. Only legal when
+  // the wheel is empty — resident nodes pin the cursor's windows.
+  if (wheel_count_ == 0 && tick_of(at) > cur_tick_) cur_tick_ = tick_of(at);
+  return at;
 }
 
 }  // namespace oftt::sim

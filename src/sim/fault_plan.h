@@ -111,7 +111,7 @@ class FaultPlan {
   void arm() {
     if (armed_) return;
     armed_ = true;
-    for (const Step& step : steps_) schedule(step);
+    for (std::size_t i = 0; i < steps_.size(); ++i) schedule(i);
   }
 
   bool armed() const { return armed_; }
@@ -128,13 +128,16 @@ class FaultPlan {
     std::function<void()> fn;
   };
 
-  /// The scheduled lambda copies the step's payload: steps_ may grow
-  /// (reallocate) after arm(), so capturing a reference into the vector
-  /// would dangle.
-  void schedule(const Step& step) {
-    sim_->schedule_at(step.at, [this, what = step.what, fn = step.fn] {
-      journal_.push_back(Injection{sim_->now(), what});
-      fn();
+  /// The scheduled lambda captures the step's *index*, not its payload:
+  /// steps_ may grow (reallocate) after arm(), so a reference into the
+  /// vector would dangle, but an index resolved through this-> at fire
+  /// time stays valid — and the step's string + callback are never
+  /// copied per scheduled event.
+  void schedule(std::size_t index) {
+    sim_->schedule_at(steps_[index].at, [this, index] {
+      const Step& step = steps_[index];
+      journal_.push_back(Injection{sim_->now(), step.what});
+      step.fn();
     });
   }
 
@@ -148,7 +151,7 @@ class FaultPlan {
       mutated_after_arm_ = true;
       OFTT_LOG_WARN("sim/fault_plan", "step '", steps_.back().what,
                     "' added after arm(); declare all steps before arming");
-      schedule(steps_.back());
+      schedule(steps_.size() - 1);
     }
     return *this;
   }

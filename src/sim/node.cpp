@@ -106,7 +106,7 @@ std::vector<std::string> Node::process_names() const {
   return out;
 }
 
-void Node::bind_port(const std::string& port, std::shared_ptr<StrandLife> life, MessageHandler h) {
+void Node::bind_port(const std::string& port, LifeRef life, MessageHandler h) {
   ports_[port] = PortEntry{std::move(life), std::move(h)};
 }
 

@@ -60,7 +60,7 @@ class Node {
   std::vector<std::string> process_names() const;
 
   // --- datagram plumbing (used by Strand/Network, not applications) ---
-  void bind_port(const std::string& port, std::shared_ptr<StrandLife> life, MessageHandler h);
+  void bind_port(const std::string& port, LifeRef life, MessageHandler h);
   void unbind_port(const std::string& port);
   bool port_bound(const std::string& port) const;
   void deliver(const Datagram& d);
@@ -79,7 +79,7 @@ class Node {
   int next_pid_ = 1;
 
   struct PortEntry {
-    std::shared_ptr<StrandLife> life;
+    LifeRef life;
     MessageHandler handler;
   };
   std::map<std::string, PortEntry> ports_;

@@ -7,7 +7,7 @@
 namespace oftt::sim {
 
 Strand::Strand(Process& process, std::string name)
-    : process_(process), name_(std::move(name)), life_(std::make_shared<StrandLife>()) {}
+    : process_(process), name_(std::move(name)), life_(LifeRef::make()) {}
 
 EventHandle Strand::schedule_after(SimTime delay, EventFn fn) {
   Simulation& sim = process_.sim();

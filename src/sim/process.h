@@ -24,13 +24,8 @@ class Node;
 class Simulation;
 class Process;
 
-/// Shared liveness token checked at event dispatch; lets us tombstone a
-/// whole process (or one strand) in O(1) without touching the heap.
-struct StrandLife {
-  bool alive = true;
-  bool hung = false;
-  bool runnable() const { return alive && !hung; }
-};
+// StrandLife (the shared liveness token checked at event dispatch)
+// lives in event_queue.h: the kernel stores it natively in each slot.
 
 class Strand {
  public:
@@ -53,13 +48,13 @@ class Strand {
   void hang() { life_->hung = true; }
   void unhang() { life_->hung = false; }
 
-  std::shared_ptr<StrandLife> life() const { return life_; }
+  const LifeRef& life() const { return life_; }
 
  private:
   friend class Process;
   Process& process_;
   std::string name_;
-  std::shared_ptr<StrandLife> life_;
+  LifeRef life_;
   std::vector<std::string> bound_ports_;
 };
 

@@ -11,16 +11,15 @@ Simulation::Simulation(std::uint64_t seed)
 
 Simulation::~Simulation() = default;
 
-EventHandle Simulation::schedule_at(SimTime at, EventFn fn) {
+EventHandle Simulation::schedule_at(SimTime at, EventFn&& fn) {
   assert(at >= now_);
   return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
 }
 
-EventHandle Simulation::schedule_on(SimTime at, std::shared_ptr<StrandLife> life, EventFn fn) {
-  return queue_.schedule(at < now_ ? now_ : at,
-                         [life = std::move(life), fn = std::move(fn)] {
-                           if (life->runnable()) fn();
-                         });
+EventHandle Simulation::schedule_on(SimTime at, LifeRef life, EventFn&& fn) {
+  // The liveness gate is a native slot field in the queue (checked at
+  // pop), not a wrapper lambda — no extra allocation per strand event.
+  return queue_.schedule_on(at < now_ ? now_ : at, std::move(life), std::move(fn));
 }
 
 Node& Simulation::add_node(const std::string& name) {
@@ -43,10 +42,13 @@ Network& Simulation::add_network(const std::string& name) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  auto [at, fn] = queue_.pop();
+  EventFn fn;
+  SimTime at = queue_.pop(fn);
   assert(at >= now_);
   now_ = at;
-  fn();
+  // An empty callback means the event's strand died or hung before fire
+  // time: the tick still advances the clock, but there is nothing to run.
+  if (fn) fn();
   return true;
 }
 

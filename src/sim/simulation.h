@@ -40,8 +40,8 @@ class Simulation {
 
   /// Global (always-fires) scheduling; used by fault injectors and
   /// harnesses. Application code schedules through its Strand instead.
-  EventHandle schedule_at(SimTime at, EventFn fn);
-  EventHandle schedule_after(SimTime delay, EventFn fn) {
+  EventHandle schedule_at(SimTime at, EventFn&& fn);
+  EventHandle schedule_after(SimTime delay, EventFn&& fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
   void cancel(EventHandle& h) { queue_.cancel(h); }
@@ -74,7 +74,7 @@ class Simulation {
   }
 
   // Internal: Strand scheduling funnels through here.
-  EventHandle schedule_on(SimTime at, std::shared_ptr<StrandLife> life, EventFn fn);
+  EventHandle schedule_on(SimTime at, LifeRef life, EventFn&& fn);
 
   /// Per-simulation typed singletons (e.g. the DCOM class directory —
   /// the moral equivalent of HKEY_LOCAL_MACHINE replicated to all PCs).

@@ -1,9 +1,15 @@
 // PeriodicTimer: fires a callback every `period` on a strand until
 // stopped. Heartbeats, checkpoint periods and PLC scan cycles all use
 // this. Safe to stop/restart from inside its own callback.
+//
+// Timers are the timer wheel's bread and butter: each re-arm is a
+// short-horizon schedule (O(1) wheel insert, no allocation), and the
+// callback is held as an InlineFn — start() forwards it straight into
+// inline storage instead of copying through a std::function.
 #pragma once
 
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "sim/process.h"
 
@@ -19,10 +25,13 @@ class PeriodicTimer {
   ~PeriodicTimer() { stop(); }
 
   /// First fire after `period` (or after `initial_delay` if >= 0).
-  void start(SimTime period, std::function<void()> fn, SimTime initial_delay = -1) {
+  /// The callable is perfectly forwarded: rvalues move, lvalues copy
+  /// once — never the copy-per-(re)start of the std::function era.
+  template <typename F, typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void start(SimTime period, F&& fn, SimTime initial_delay = -1) {
     stop();
     period_ = period;
-    fn_ = std::move(fn);
+    fn_ = InlineFn(std::forward<F>(fn));
     running_ = true;
     arm(initial_delay >= 0 ? initial_delay : period_);
   }
@@ -48,7 +57,7 @@ class PeriodicTimer {
 
   Strand* strand_;
   SimTime period_ = 0;
-  std::function<void()> fn_;
+  InlineFn fn_;
   bool running_ = false;
   std::uint64_t generation_ = 0;
 };

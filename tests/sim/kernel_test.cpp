@@ -1,0 +1,278 @@
+// Kernel fast-path tests: slab/pool handle semantics, timer-wheel vs
+// reference-model ordering, bounded memory under cancel storms, and
+// pinned whole-scenario hashes guarding the determinism contract of
+// the pooled-event / timer-wheel rewrite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/kernel_scenario.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+#include "sim/timer.h"
+
+namespace oftt::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Determinism: whole-scenario history hashes, pinned against the values
+// produced by the seed kernel (std::function + shared_ptr tombstones +
+// pure comparison heap). The pool/wheel kernel must reproduce them
+// bit-for-bit: it may only change what an event costs, never when it
+// fires. If a kernel change breaks one of these, it reordered events.
+TEST(KernelDeterminism, ScenarioHashesMatchSeedKernel) {
+  EXPECT_EQ(testhash::kernel_scenario_hash(42), 0xe745d9cb8d362691ull);
+  EXPECT_EQ(testhash::kernel_scenario_hash(7), 0xb06c4166e0c68ed9ull);
+  EXPECT_EQ(testhash::kernel_scenario_hash(1234), 0xdda2b972aa99f72aull);
+}
+
+TEST(KernelDeterminism, SameSeedSameHash) {
+  EXPECT_EQ(testhash::kernel_scenario_hash(99), testhash::kernel_scenario_hash(99));
+  EXPECT_NE(testhash::kernel_scenario_hash(99), testhash::kernel_scenario_hash(100));
+}
+
+// ---------------------------------------------------------------------
+// EventHandle::valid() semantics (documented in event_queue.h): true
+// exactly while the event is scheduled and uncancelled.
+
+TEST(KernelHandleSemantics, ValidWhileScheduledInvalidAfterFire) {
+  Simulation sim;
+  EventHandle h = sim.schedule_at(milliseconds(5), [] {});
+  EXPECT_TRUE(h.valid());
+  sim.run();
+  EXPECT_FALSE(h.valid());
+}
+
+TEST(KernelHandleSemantics, InvalidInsideOwnCallback) {
+  // The slot is released *before* the callback runs: a fired event's
+  // handle reads invalid even inside its own callback.
+  Simulation sim;
+  EventHandle h;
+  bool checked = false;
+  h = sim.schedule_at(milliseconds(1), [&] {
+    checked = true;
+    EXPECT_FALSE(h.valid());
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(KernelHandleSemantics, FireThenCancelIsHarmless) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(milliseconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.valid());
+  sim.cancel(h);  // no-op: the event already fired
+  sim.cancel(h);  // and double-cancel is equally harmless
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(KernelHandleSemantics, DoubleCancelAndRecycledSlotCannotAlias) {
+  Simulation sim;
+  int a_fired = 0, b_fired = 0;
+  EventHandle a = sim.schedule_at(milliseconds(1), [&] { ++a_fired; });
+  sim.cancel(a);
+  // The slab recycles a's slot for b; a's stale handle must not reach b.
+  EventHandle b = sim.schedule_at(milliseconds(2), [&] { ++b_fired; });
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  sim.cancel(a);  // double-cancel of a stale handle: must not touch b
+  EXPECT_TRUE(b.valid());
+  sim.run();
+  EXPECT_EQ(a_fired, 0);
+  EXPECT_EQ(b_fired, 1);
+}
+
+TEST(KernelHandleSemantics, DefaultHandleIsInert) {
+  Simulation sim;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  sim.cancel(h);  // no-op
+}
+
+// ---------------------------------------------------------------------
+// Randomized property test: the pooled/wheel queue against a naive
+// reference model (a flat vector, min selected by (at, seq)). Delays
+// deliberately straddle every routing lane: same-tick (heap), current
+// window (L0), next windows (L1), beyond the ~68 s horizon (heap), and
+// exact ties (FIFO order must hold).
+
+struct RefEvent {
+  SimTime at;
+  std::uint64_t seq;
+  int id;
+};
+
+TEST(KernelProperty, MatchesReferenceModelAcrossLanes) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 77ull, 4242ull}) {
+    std::mt19937_64 rng(seed);
+    EventQueue q;
+    std::vector<RefEvent> model;
+    std::vector<std::pair<int, EventHandle>> live_handles;
+    std::vector<int> fired;
+    std::uint64_t next_seq = 0;
+    int next_id = 0;
+    SimTime now = 0;
+
+    auto random_delay = [&]() -> SimTime {
+      switch (rng() % 6) {
+        case 0: return static_cast<SimTime>(rng() % 1000);        // same tick
+        case 1: return milliseconds(static_cast<int>(rng() % 200));   // L0-ish
+        case 2: return milliseconds(static_cast<int>(rng() % 60000)); // L1 range
+        case 3: return seconds(70 + static_cast<int>(rng() % 100));   // beyond horizon
+        case 4: return 0;                                             // exact tie
+        default: return microseconds(static_cast<int>(rng() % 5000));
+      }
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+      unsigned op = static_cast<unsigned>(rng() % 10);
+      if (op < 5) {  // schedule
+        SimTime at = now + random_delay();
+        int id = next_id++;
+        EventHandle h = q.schedule(at, [&fired, id] { fired.push_back(id); });
+        model.push_back(RefEvent{at, next_seq++, id});
+        live_handles.emplace_back(id, h);
+      } else if (op < 7) {  // cancel a random live event
+        if (!live_handles.empty()) {
+          std::size_t k = rng() % live_handles.size();
+          int id = live_handles[k].first;
+          q.cancel(live_handles[k].second);
+          live_handles.erase(live_handles.begin() + static_cast<std::ptrdiff_t>(k));
+          std::erase_if(model, [id](const RefEvent& e) { return e.id == id; });
+        }
+      } else {  // pop
+        ASSERT_EQ(q.empty(), model.empty());
+        if (model.empty()) continue;
+        auto best = std::min_element(model.begin(), model.end(),
+                                     [](const RefEvent& a, const RefEvent& b) {
+                                       return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+                                     });
+        SimTime expect_at = best->at;
+        int expect_id = best->id;
+        model.erase(best);
+
+        ASSERT_EQ(q.next_time(), expect_at) << "seed " << seed << " step " << step;
+        std::size_t fired_before = fired.size();
+        EventFn fn;
+        SimTime at = q.pop(fn);
+        ASSERT_EQ(at, expect_at);
+        ASSERT_TRUE(static_cast<bool>(fn));
+        fn();
+        ASSERT_EQ(fired.size(), fired_before + 1);
+        ASSERT_EQ(fired.back(), expect_id) << "seed " << seed << " step " << step;
+        now = at;
+        std::erase_if(live_handles,
+                      [expect_id](const auto& p) { return p.first == expect_id; });
+      }
+    }
+
+    // Drain what's left: the full remaining order must match the model.
+    while (!model.empty()) {
+      auto best = std::min_element(model.begin(), model.end(),
+                                   [](const RefEvent& a, const RefEvent& b) {
+                                     return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+                                   });
+      EventFn fn;
+      SimTime at = q.pop(fn);
+      ASSERT_EQ(at, best->at);
+      ASSERT_TRUE(static_cast<bool>(fn));
+      fn();
+      ASSERT_EQ(fired.back(), best->id);
+      model.erase(best);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Recurring timers ride the wheel; interleave them with one-shots and
+// check the merged order against a plain sorted schedule.
+TEST(KernelProperty, TimerWheelInterleavesWithOneShots) {
+  Simulation sim;
+  std::vector<std::pair<SimTime, int>> observed;
+  Node& n = sim.add_node("n0");
+  n.boot();
+  std::shared_ptr<Process> proc = n.start_process("p", nullptr);
+  PeriodicTimer fast(proc->main_strand());
+  PeriodicTimer slow(proc->main_strand());
+  fast.start(milliseconds(10), [&] { observed.emplace_back(sim.now(), 0); });
+  slow.start(milliseconds(175), [&] { observed.emplace_back(sim.now(), 1); });
+  for (int i = 1; i <= 40; ++i) {
+    sim.schedule_at(milliseconds(i * 23), [&, i] { observed.emplace_back(sim.now(), 100 + i); });
+  }
+  sim.run_until(seconds(1));
+  // Times must be non-decreasing and every expected event present.
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    ASSERT_LE(observed[i - 1].first, observed[i].first);
+  }
+  EXPECT_EQ(std::count_if(observed.begin(), observed.end(),
+                          [](const auto& e) { return e.second == 0; }),
+            100);  // 10 ms timer in [10ms, 1s]
+  EXPECT_EQ(std::count_if(observed.begin(), observed.end(),
+                          [](const auto& e) { return e.second == 1; }),
+            5);  // 175 ms timer: 175, 350, ..., 875
+  EXPECT_EQ(std::count_if(observed.begin(), observed.end(),
+                          [](const auto& e) { return e.second >= 100; }),
+            40);
+}
+
+// ---------------------------------------------------------------------
+// Bounded memory under schedule/cancel storms (the seed kernel's heap
+// only dropped tombstones that surfaced at the top, so this pattern
+// grew it without bound). Both lanes must stay bounded.
+
+TEST(KernelBoundedMemory, HeapLaneCancelStormStaysCompact) {
+  EventQueue q;
+  // Far-future events route to the comparison heap (beyond the wheel
+  // horizon). 100k schedule/cancel cycles with a small live set.
+  for (int i = 0; i < 100000; ++i) {
+    EventHandle h = q.schedule(minutes(10) + i, [] {});
+    q.cancel(h);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_LT(q.debug_heap_size(), 300u);   // ~2x the compaction threshold
+  EXPECT_LT(q.debug_slab_size(), 300u);   // slots recycle through the freelist
+  EXPECT_GT(q.debug_compactions(), 0u);
+}
+
+TEST(KernelBoundedMemory, WheelLaneCancelStormStaysCompact) {
+  EventQueue q;
+  // Short-horizon events route to the wheel; cancelled nodes linger as
+  // zombies only until the sweep reclaims them.
+  for (int i = 0; i < 100000; ++i) {
+    EventHandle h = q.schedule(milliseconds(50 + i % 200), [] {});
+    q.cancel(h);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_LT(q.debug_wheel_size(), 300u);
+  EXPECT_LT(q.debug_slab_size(), 300u);
+  EXPECT_GT(q.debug_wheel_sweeps(), 0u);
+}
+
+TEST(KernelBoundedMemory, MixedLiveAndCancelledBoundedByLiveSet) {
+  EventQueue q;
+  std::vector<EventHandle> keep;
+  for (int i = 0; i < 50000; ++i) {
+    EventHandle h = q.schedule(seconds(100) + i, [] {});
+    if (i % 100 == 0) {
+      keep.push_back(h);  // 1% survives
+    } else {
+      q.cancel(h);
+    }
+  }
+  EXPECT_EQ(q.size(), keep.size());
+  // Tombstones may transiently double the structures but no worse.
+  EXPECT_LT(q.debug_heap_size(), 2 * keep.size() + 200);
+  EXPECT_LT(q.debug_slab_size(), 2 * keep.size() + 200);
+}
+
+}  // namespace
+}  // namespace oftt::sim
