@@ -1,0 +1,244 @@
+// Experiment E13 — what each replication policy costs and what it buys.
+//
+// Three questions, one per table:
+//   steady state  — bytes/s on the wire per policy (full images vs
+//                   delta stream vs decision log) for the same workload
+//   switchover    — crash-to-recovery time per policy, with the bulk
+//                   restore cost made visible (restore_rate models the
+//                   deserialization/rebuild of a 1 MiB image), expected
+//                   ordering cold > warm > semi
+//   live switch   — a cold pair switched to warm mid-run, then failed
+//                   over: the switch must not drop state, and recovery
+//                   must run at warm speed
+//
+// Exported to BENCH_replication.json (sim-time integers, so identical
+// seeds produce byte-identical JSON).
+#include <array>
+
+#include "bench_util.h"
+#include "core/api.h"
+#include "core/deployment.h"
+#include "obs/json.h"
+#include "sim/simulation.h"
+#include "support/counter_app.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+constexpr std::size_t kStateBytes = 1 << 20;          // 1 MiB app state
+constexpr std::uint64_t kRestoreRate = 2 * 1024 * 1024;  // 2 MiB/s rebuild
+
+core::PairDeploymentOptions deployment_for(core::ReplicationMode mode) {
+  core::PairDeploymentOptions opts;
+  opts.engine.replication = mode;
+  opts.app_factory = [mode](sim::Process& proc) {
+    testsupport::CounterApp::Options app;
+    app.ftim.replication = mode;
+    app.ftim.restore_rate_bytes_per_s = kRestoreRate;
+    app.state_bytes = kStateBytes;
+    app.drive_by_decisions = mode == core::ReplicationMode::kSemiActive;
+    proc.attachment<testsupport::CounterApp>(proc, app);
+  };
+  return opts;
+}
+
+struct SteadyState {
+  std::uint64_t full_bytes = 0, delta_bytes = 0, decision_bytes = 0;
+  std::uint64_t checkpoints = 0, decisions = 0;
+};
+
+SteadyState steady_state(core::ReplicationMode mode, std::uint64_t seed,
+                         sim::SimTime horizon) {
+  sim::Simulation sim(seed);
+  core::PairDeployment dep(sim, deployment_for(mode));
+  sim.run_for(horizon);
+  SteadyState s;
+  for (sim::Node* n : {&dep.node_a(), &dep.node_b()}) {
+    if (core::Ftim* f = dep.ftim_on(*n)) {
+      s.full_bytes += f->full_bytes_sent();
+      s.delta_bytes += f->delta_bytes_sent();
+      s.decision_bytes += f->decision_bytes_sent();
+      s.checkpoints += f->checkpoints_sent();
+      s.decisions += f->decisions_proposed();
+    }
+  }
+  return s;
+}
+
+struct Switchover {
+  sim::SimTime recover_ns = -1;  // crash -> new primary's app progressing
+  std::int64_t ticks_lost = 0;   // counter regression across the handoff
+  std::uint64_t policy_switches = 0;
+};
+
+/// Crash the primary at `crash_at` and step until the surviving side's
+/// application makes progress again. `switch_to_warm_at` >= 0 performs
+/// a live cold->warm policy switch before the crash (the live-switch
+/// scenario); pass -1 to leave the policy alone.
+Switchover run_switchover(core::ReplicationMode mode, std::uint64_t seed,
+                          sim::SimTime switch_to_warm_at) {
+  sim::Simulation sim(seed);
+  core::PairDeployment dep(sim, deployment_for(mode));
+  sim.run_for(sim::seconds(5));
+  int primary = dep.primary_node();
+  if (primary < 0) return {};
+  if (switch_to_warm_at >= 0) {
+    sim.run_for(switch_to_warm_at - sim.now());
+    auto proc = dep.node_by_id(primary)->find_process("app");
+    if (!proc ||
+        core::OFTTSwitchReplication(*proc, core::ReplicationMode::kWarmPassive,
+                                    "bench live switch") != S_OK) {
+      return {};
+    }
+  }
+  if (sim.now() < sim::seconds(12)) sim.run_for(sim::seconds(12) - sim.now());
+
+  sim::Node& survivor =
+      primary == dep.node_a().id() ? dep.node_b() : dep.node_a();
+  auto* primary_app = testsupport::CounterApp::find(*dep.node_by_id(primary));
+  if (primary_app == nullptr) return {};
+  const std::int64_t before = primary_app->count();
+  const sim::SimTime injected = sim.now();
+  dep.node_by_id(primary)->crash();
+
+  Switchover res;
+  const sim::SimTime deadline = injected + sim::seconds(30);
+  while (sim.now() < deadline) {
+    sim.run_for(sim::milliseconds(1));
+    auto* app = testsupport::CounterApp::find(survivor);
+    if (app != nullptr && dep.primary_node() == survivor.id() && app->count() > before) {
+      res.recover_ns = sim.now() - injected;
+      res.ticks_lost = std::max<std::int64_t>(0, before - app->count() + 1);
+      break;
+    }
+  }
+  if (core::Ftim* f = dep.ftim_on(survivor)) res.policy_switches = f->policy_switches();
+  return res;
+}
+
+const char* mode_name(core::ReplicationMode m) { return core::replication_mode_name(m); }
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  const int seeds = seeds_or(10);
+  const sim::SimTime horizon = sim::seconds(smoke_mode() ? 10 : 30);
+  const std::array<core::ReplicationMode, 3> modes = {
+      core::ReplicationMode::kColdPassive, core::ReplicationMode::kWarmPassive,
+      core::ReplicationMode::kSemiActive};
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "replication");
+  w.kv("state_bytes", std::uint64_t{kStateBytes});
+  w.kv("restore_rate_bytes_per_s", std::uint64_t{kRestoreRate});
+
+  // ------------------------------------------------------------------
+  title("E13: steady-state wire cost per replication policy",
+        "one redundant pair, 1 MiB app state, identical workload; bytes sent by the "
+        "active side over " + std::to_string(sim::to_seconds(horizon)) + " s");
+  row({"policy", "full KiB", "delta KiB", "decision KiB", "ckpts", "decisions"});
+  rule(6);
+  w.key("steady_state");
+  w.begin_array();
+  for (core::ReplicationMode mode : modes) {
+    SteadyState s = steady_state(mode, 1, horizon);
+    row({mode_name(mode), fmt(static_cast<double>(s.full_bytes) / 1024.0, 1),
+         fmt(static_cast<double>(s.delta_bytes) / 1024.0, 1),
+         fmt(static_cast<double>(s.decision_bytes) / 1024.0, 1),
+         fmt_int(static_cast<long long>(s.checkpoints)),
+         fmt_int(static_cast<long long>(s.decisions))});
+    w.begin_object();
+    w.kv("policy", mode_name(mode));
+    w.kv("full_bytes", s.full_bytes);
+    w.kv("delta_bytes", s.delta_bytes);
+    w.kv("decision_bytes", s.decision_bytes);
+    w.kv("checkpoints_sent", s.checkpoints);
+    w.kv("decisions_proposed", s.decisions);
+    w.end_object();
+  }
+  w.end_array();
+
+  // ------------------------------------------------------------------
+  title("E13b: switchover time per policy",
+        "crash the primary at t=12s; time until the survivor's application is active "
+        "and progressing. The 1 MiB bulk restore at 2 MiB/s is what the warm/semi "
+        "policies avoid paying at the worst possible moment.");
+  row({"policy", "p50 ms", "p95 ms", "max ms", "ticks lost p95"});
+  rule(5);
+  w.key("switchover");
+  w.begin_array();
+  for (core::ReplicationMode mode : modes) {
+    auto results = sweep_seeds(seeds, [mode](int i) {
+      return run_switchover(mode, 100 + static_cast<std::uint64_t>(i), -1);
+    });
+    std::vector<double> ms, lost;
+    for (const Switchover& r : results) {
+      if (r.recover_ns < 0) continue;
+      ms.push_back(sim::to_millis(r.recover_ns));
+      lost.push_back(static_cast<double>(r.ticks_lost));
+    }
+    Stats st = stats_of(ms), lt = stats_of(lost);
+    row({mode_name(mode), fmt(st.p50, 1), fmt(st.p95, 1), fmt(st.max, 1),
+         fmt(lt.p95, 0)});
+    w.begin_object();
+    w.kv("policy", mode_name(mode));
+    w.key("recover_ns");
+    w.begin_array();
+    for (const Switchover& r : results) w.value(r.recover_ns);
+    w.end_array();
+    w.key("ticks_lost");
+    w.begin_array();
+    for (const Switchover& r : results) w.value(r.ticks_lost);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // ------------------------------------------------------------------
+  title("E13c: live cold->warm switch, then failover",
+        "pair starts cold-passive; at t=8s the operator switches it to warm-passive "
+        "in place; the primary crashes at t=12s. Recovery must run at warm speed and "
+        "the switch itself must not drop state.");
+  row({"scenario", "p50 ms", "p95 ms", "ticks lost p95", "switches"});
+  rule(5);
+  w.key("live_switch");
+  w.begin_array();
+  {
+    auto results = sweep_seeds(seeds, [](int i) {
+      return run_switchover(core::ReplicationMode::kColdPassive,
+                            300 + static_cast<std::uint64_t>(i), sim::seconds(8));
+    });
+    std::vector<double> ms, lost;
+    std::uint64_t switches = 0;
+    for (const Switchover& r : results) {
+      if (r.recover_ns < 0) continue;
+      ms.push_back(sim::to_millis(r.recover_ns));
+      lost.push_back(static_cast<double>(r.ticks_lost));
+      switches += r.policy_switches;
+    }
+    Stats st = stats_of(ms), lt = stats_of(lost);
+    row({"cold->warm @8s", fmt(st.p50, 1), fmt(st.p95, 1), fmt(lt.p95, 0),
+         fmt_int(static_cast<long long>(switches))});
+    w.begin_object();
+    w.kv("scenario", "cold_to_warm_then_crash");
+    w.kv("survivor_policy_switches", switches);
+    w.key("recover_ns");
+    w.begin_array();
+    for (const Switchover& r : results) w.value(r.recover_ns);
+    w.end_array();
+    w.key("ticks_lost");
+    w.begin_array();
+    for (const Switchover& r : results) w.value(r.ticks_lost);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  write_file("BENCH_replication.json", w.take());
+  return 0;
+}

@@ -14,6 +14,21 @@ int SuccessionPlanner::successor(const MembershipView& view, const std::set<int>
   return best != nullptr ? best->node : -1;
 }
 
+int SuccessionPlanner::successor(const MembershipView& view, const std::set<int>& live,
+                                 const std::set<int>& eligible) {
+  const Member* best = nullptr;
+  for (const Member& m : view.members) {
+    if (m.role == MemberRole::kDead) continue;
+    if (live.find(m.node) == live.end()) continue;
+    if (eligible.find(m.node) == eligible.end()) continue;
+    if (best == nullptr || m.rank < best->rank) best = &m;
+  }
+  if (best != nullptr) return best->node;
+  // Nobody both live and eligible: degrade to seniority among the
+  // living rather than leaving the unit headless.
+  return successor(view, live);
+}
+
 void SuccessionPlanner::promote(MembershipView& view, int new_primary,
                                 std::uint32_t incarnation, const std::set<int>& live) {
   std::stable_sort(view.members.begin(), view.members.end(),

@@ -22,6 +22,14 @@ class SuccessionPlanner {
   /// qualifies.
   static int successor(const MembershipView& view, const std::set<int>& live);
 
+  /// Replication-aware variant: prefer the lowest-ranked live member
+  /// that is also in `eligible` (replicas fresh enough to promote per
+  /// their policy's staleness bound). Falls back to the plain live-only
+  /// answer when no live member is eligible — a stale replica beats no
+  /// primary at all; it restores what state it has.
+  static int successor(const MembershipView& view, const std::set<int>& live,
+                       const std::set<int>& eligible);
+
   /// Rewrite `view` for `new_primary` taking over at `incarnation`:
   /// the new primary gets rank 0, live survivors re-rank 1..k in their
   /// previous relative order, and members not in `live` are marked dead

@@ -29,6 +29,13 @@ HRESULT OFTTInitialize(sim::Process& process, FtimOptions options,
       }
     }
   }
+  // Inherit the engine's configured replication mode unless the
+  // application picked one explicitly.
+  if (options.replication == ReplicationMode::kColdPassive) {
+    if (Engine* engine = Engine::find(process.node())) {
+      options.replication = engine->config().replication;
+    }
+  }
   process.attachment<Ftim>(process, options);
   return S_OK;
 }
@@ -90,6 +97,31 @@ HRESULT OFTTDistress(sim::Process& process, const std::string& reason) {
   Ftim* ftim = require_ftim(process);
   if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
   return ftim->distress(reason);
+}
+
+HRESULT OFTTPropose(sim::Process& process, const Buffer& decision) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->propose(decision);
+}
+
+HRESULT OFTTOnApplyDecision(sim::Process& process, std::function<void(const Buffer&)> fn) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  ftim->on_apply_decision(std::move(fn));
+  return S_OK;
+}
+
+HRESULT OFTTSwitchReplication(sim::Process& process, ReplicationMode to,
+                              const std::string& reason) {
+  Ftim* ftim = require_ftim(process);
+  if (ftim == nullptr) return OFTT_E_NOT_INITIALIZED;
+  return ftim->switch_policy(to, reason);
+}
+
+ReplicationMode OFTTGetReplicationMode(sim::Process& process) {
+  Ftim* ftim = require_ftim(process);
+  return ftim == nullptr ? ReplicationMode::kColdPassive : ftim->replication_mode();
 }
 
 }  // namespace oftt::core

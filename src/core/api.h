@@ -60,4 +60,26 @@ HRESULT OFTTDistress(sim::Process& process, const std::string& reason);
 HRESULT OFTTSetRecoveryRule(sim::Process& process, int max_local_restarts,
                             int switchover_on_permanent);
 
+/// Semi-active replication: order one application decision through the
+/// leader's decision log. Followers (and a restarted leader replaying
+/// its journal) execute it via the OFTTOnApplyDecision handler.
+/// S_FALSE under a passive policy: the decision was applied locally but
+/// nothing shipped (state replicates through checkpoints instead).
+HRESULT OFTTPropose(sim::Process& process, const Buffer& decision);
+
+/// Register the decision-execution handler. Must be deterministic: the
+/// leader and every follower run it on the same ordered log.
+HRESULT OFTTOnApplyDecision(sim::Process& process, std::function<void(const Buffer&)> fn);
+
+/// Live, state-preserving replication-policy switch for this component.
+/// On the active side the switch is journaled, announced to every
+/// replica and pinned with an immediate full checkpoint. S_FALSE when
+/// already in `to`.
+HRESULT OFTTSwitchReplication(sim::Process& process, ReplicationMode to,
+                              const std::string& reason = "operator request");
+
+/// The component's currently active replication policy (kColdPassive
+/// when OFTT is not initialized on this process).
+ReplicationMode OFTTGetReplicationMode(sim::Process& process);
+
 }  // namespace oftt::core

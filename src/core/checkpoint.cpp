@@ -19,6 +19,7 @@ Buffer CheckpointImage::marshal() const {
   BinaryWriter w;
   w.u64(seq);
   w.u64(base_seq);
+  w.u64(decision_seq);
   w.u32(incarnation);
   w.u8(static_cast<std::uint8_t>(mode));
   w.i64(taken_at);
@@ -57,6 +58,7 @@ bool CheckpointImage::unmarshal(const Buffer& buf, CheckpointImage& out) {
   out = CheckpointImage{};
   out.seq = r.u64();
   out.base_seq = r.u64();
+  out.decision_seq = r.u64();
   out.incarnation = r.u32();
   out.mode = static_cast<CheckpointMode>(r.u8());
   out.taken_at = r.i64();
@@ -154,13 +156,25 @@ CheckpointImage capture_delta_checkpoint(nt::NtRuntime& rt, std::uint64_t seq,
   return img;
 }
 
-int apply_delta(CheckpointImage& base, const CheckpointImage& delta) {
-  int anomalies = 0;
+DeltaApplyResult apply_delta(CheckpointImage& base, const CheckpointImage& delta) {
+  DeltaApplyResult result;
+  // Verify the chain before touching the base: a delta that does not
+  // apply on exactly this image would merge stale bytes into regions it
+  // was never diffed against, and the corruption would ride every later
+  // delta. The caller gets an explicit need-full signal instead.
+  if (delta.mode != CheckpointMode::kDelta || delta.incarnation != base.incarnation ||
+      delta.base_seq != base.seq) {
+    OFTT_LOG_WARN("oftt/ckpt", "delta ", delta.seq, " (base ", delta.base_seq, " inc ",
+                  delta.incarnation, ") does not chain on image ", base.seq, " inc ",
+                  base.incarnation, "; full resync needed");
+    result.status = DeltaApply::kNeedFull;
+    return result;
+  }
   for (const auto& [name, bytes] : delta.regions) base.regions[name] = bytes;
   for (const auto& c : delta.cells) {
     auto it = base.regions.find(c.region);
     if (it == base.regions.end() || c.offset + c.bytes.size() > it->second.size()) {
-      ++anomalies;
+      ++result.anomalies;
       continue;
     }
     std::memcpy(it->second.data() + c.offset, c.bytes.data(), c.bytes.size());
@@ -169,10 +183,12 @@ int apply_delta(CheckpointImage& base, const CheckpointImage& delta) {
   base.seq = delta.seq;
   base.incarnation = delta.incarnation;
   base.taken_at = delta.taken_at;
-  if (anomalies > 0) {
-    OFTT_LOG_WARN("oftt/ckpt", "delta ", delta.seq, " applied with ", anomalies, " anomalies");
+  if (delta.decision_seq > base.decision_seq) base.decision_seq = delta.decision_seq;
+  if (result.anomalies > 0) {
+    OFTT_LOG_WARN("oftt/ckpt", "delta ", delta.seq, " applied with ", result.anomalies,
+                  " anomalies");
   }
-  return anomalies;
+  return result;
 }
 
 int restore_checkpoint(nt::NtRuntime& rt, const CheckpointImage& image) {

@@ -40,6 +40,10 @@ struct CheckpointImage {
   std::uint64_t seq = 0;
   /// For kDelta: the seq this delta applies on top of. 0 otherwise.
   std::uint64_t base_seq = 0;
+  /// Semi-active: the newest decision-log seq already folded into this
+  /// image. A follower that has applied decisions past this watermark
+  /// must not let the image stomp its fresher runtime. 0 elsewhere.
+  std::uint64_t decision_seq = 0;
   std::uint32_t incarnation = 0;
   CheckpointMode mode = CheckpointMode::kFull;
   sim::SimTime taken_at = 0;
@@ -77,11 +81,27 @@ CheckpointImage capture_delta_checkpoint(nt::NtRuntime& rt, std::uint64_t seq,
                                          std::uint64_t base_seq, std::uint32_t incarnation,
                                          const std::vector<nt::Task*>& discoverable_tasks);
 
-/// Merge a delta into the base image it chains on (caller has already
-/// verified base.seq == delta.base_seq and matching incarnation). The
-/// base advances to the delta's seq. Returns anomaly count (cells that
-/// missed their region or overran it).
-int apply_delta(CheckpointImage& base, const CheckpointImage& delta);
+enum class DeltaApply : std::uint8_t {
+  kApplied = 0,
+  /// The delta does not chain on this base (wrong mode, stale or future
+  /// base_seq, incarnation mismatch). The base was left untouched; the
+  /// receiver must demand a full resync.
+  kNeedFull = 1,
+};
+
+struct DeltaApplyResult {
+  DeltaApply status = DeltaApply::kApplied;
+  /// Cells that missed their region or overran it (kApplied only).
+  int anomalies = 0;
+  bool applied() const { return status == DeltaApply::kApplied; }
+};
+
+/// Merge a delta into the base image it chains on. The chain is
+/// verified here — delta.mode == kDelta, delta.base_seq == base.seq,
+/// matching incarnation — and a mismatch returns kNeedFull with the
+/// base untouched instead of silently merging stale bytes. On success
+/// the base advances to the delta's seq.
+DeltaApplyResult apply_delta(CheckpointImage& base, const CheckpointImage& delta);
 
 /// Apply an image to a process's NT runtime (the backup side of a
 /// switchover). Unknown regions are created; size mismatches are

@@ -21,6 +21,24 @@ enum class Role : std::uint8_t {
 
 const char* role_name(Role r);
 
+/// How the execution unit keeps its backups restorable. The numeric
+/// values travel on the wire (FtHeartbeat, PolicySwitch) and in the
+/// policy journal — append, never renumber.
+enum class ReplicationMode : std::uint8_t {
+  /// The paper's scheme: periodic checkpoints held serialized on the
+  /// backup, bulk restore at switchover.
+  kColdPassive = 0,
+  /// Continuous dirty-range delta streaming; backups fold every image
+  /// into their live runtime on receipt, so switchover skips the bulk
+  /// restore.
+  kWarmPassive = 1,
+  /// Leader-follower (LLFT-style): followers execute the workload from
+  /// the leader's compact decision log; switchover is promotion-only.
+  kSemiActive = 2,
+};
+
+const char* replication_mode_name(ReplicationMode m);
+
 /// What a node does when startup probing finds no peer.
 enum class AloneStartupPolicy : std::uint8_t {
   /// The paper's conservative choice: shut down rather than risk
@@ -74,6 +92,13 @@ struct OfttConfig {
   sim::SimTime startup_probe_timeout = sim::milliseconds(800);
   int startup_retries = 3;  // 0 reproduces the paper's original logic
   AloneStartupPolicy alone_policy = AloneStartupPolicy::kShutdown;
+
+  /// Default replication policy for the unit's components. FTIMs that
+  /// do not spell out their own mode inherit this through
+  /// OFTTInitialize. Warm-passive and semi-active need at least one
+  /// replication peer (peer_node or cluster_nodes) — Engine::install
+  /// rejects the combination otherwise.
+  ReplicationMode replication = ReplicationMode::kColdPassive;
 
   // Status reporting.
   sim::SimTime status_report_period = sim::seconds(1);

@@ -100,6 +100,24 @@ inline void validate_engine_timing(const OfttConfig& engine, double net_loss) {
         cat("deployment: net_loss must be within [0, 1] (got ", net_loss, ")"));
   }
 }
+
+/// Replication-knob sanity for a deployment. The per-FTIM combinations
+/// (delta periods, dirty-range tracking, governor windows) are checked
+/// by validate_ftim_options when the FTIM is built; this catches the
+/// deployment-shape mistakes that would otherwise only surface as a
+/// silently-cold pair.
+inline void validate_replication(const OfttConfig& engine, bool has_app) {
+  const auto mode = static_cast<int>(engine.replication);
+  if (mode < 0 || mode > static_cast<int>(ReplicationMode::kSemiActive)) {
+    throw std::invalid_argument(
+        cat("deployment: unknown replication mode (", mode, ")"));
+  }
+  if (engine.replication != ReplicationMode::kColdPassive && !has_app) {
+    throw std::invalid_argument(
+        cat("deployment: replication mode '", replication_mode_name(engine.replication),
+            "' configured but no app_factory — there is no application state to stream"));
+  }
+}
 }  // namespace detail
 
 class PairDeployment {
@@ -107,6 +125,7 @@ class PairDeployment {
   PairDeployment(sim::Simulation& sim, PairDeploymentOptions options)
       : sim_(&sim), options_(std::move(options)) {
     detail::validate_engine_timing(options_.engine, options_.net_loss);
+    detail::validate_replication(options_.engine, options_.app_factory != nullptr);
     if (options_.node_b_boot_delay < 0) {
       throw std::invalid_argument("PairDeployment: node_b_boot_delay must be >= 0");
     }
@@ -270,6 +289,7 @@ class ClusterDeployment {
   ClusterDeployment(sim::Simulation& sim, ClusterDeploymentOptions options)
       : sim_(&sim), options_(std::move(options)) {
     detail::validate_engine_timing(options_.engine, options_.net_loss);
+    detail::validate_replication(options_.engine, options_.app_factory != nullptr);
     if (options_.replicas < 2) {
       throw std::invalid_argument(
           cat("ClusterDeployment: replicas must be >= 2 (got ", options_.replicas, ")"));

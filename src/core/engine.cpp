@@ -91,6 +91,12 @@ std::shared_ptr<sim::Process> Engine::install(sim::Node& node, OfttConfig config
         cat("Engine::install: peer_node ", config.peer_node,
             " is this node — a node cannot be its own backup"));
   }
+  if (config.replication != ReplicationMode::kColdPassive && config.peer_node < 0 &&
+      !config.cluster_mode()) {
+    throw std::invalid_argument(
+        cat("Engine::install: replication mode '", replication_mode_name(config.replication),
+            "' needs a replica to stream to — set peer_node or cluster_nodes"));
+  }
   if (config.cluster_mode()) {
     std::vector<int> sorted = config.cluster_nodes;
     std::sort(sorted.begin(), sorted.end());
@@ -113,6 +119,14 @@ Engine* Engine::find(sim::Node& node) {
   auto proc = node.find_process(kEngineProcess);
   if (!proc || !proc->alive()) return nullptr;
   return proc->find_attachment<Engine>();
+}
+
+bool Engine::node_replica_ready() const {
+  for (const auto& [name, c] : components_) {
+    if (c.reg.kind != FtimKind::kOpcClient) continue;
+    if (!c.replica_ready) return false;
+  }
+  return true;
 }
 
 bool Engine::peer_visible() const {
@@ -314,6 +328,7 @@ void Engine::tick() {
   hb.role = role_;
   hb.incarnation = incarnation_;
   hb.seq = ++hb_seq_;
+  hb.replica_ready = node_replica_ready();
   send_peer(hb.encode());
 
   // Peer liveness: a backup promotes when the primary's heartbeat is
@@ -386,6 +401,7 @@ void Engine::cluster_tick(sim::SimTime now) {
   hb.role = role_;
   hb.incarnation = incarnation_;
   hb.seq = ++hb_seq_;
+  hb.replica_ready = node_replica_ready();
   Buffer hb_payload = hb.encode();
   for (int peer : config_.cluster_peers(self)) send_to_member(peer, hb_payload);
 
@@ -467,7 +483,22 @@ void Engine::cluster_tick(sim::SimTime now) {
     }
     return;
   }
-  if (cluster::SuccessionPlanner::successor(view_, live) != process_->node().id()) return;
+  // Succession prefers members whose replicas are fresh enough to
+  // promote per their policy (piggybacked on peer heartbeats); if no
+  // live member qualifies, the planner falls back to plain seniority.
+  std::set<int> eligible;
+  for (int n : live) {
+    if (n == process_->node().id()) {
+      if (node_replica_ready()) eligible.insert(n);
+      continue;
+    }
+    auto rit = member_ready_.find(n);
+    if (rit == member_ready_.end() || rit->second) eligible.insert(n);
+  }
+  if (cluster::SuccessionPlanner::successor(view_, live, eligible) !=
+      process_->node().id()) {
+    return;
+  }
 
   if (prim != nullptr) {
     auto it = member_last_hb_.find(prim->node);
@@ -553,7 +584,12 @@ void Engine::cluster_handoff(const std::string& reason) {
   std::set<int> live = live_members(now);
   std::set<int> others = live;
   others.erase(process_->node().id());
-  int succ = cluster::SuccessionPlanner::successor(view_, others);
+  std::set<int> eligible;
+  for (int n : others) {
+    auto rit = member_ready_.find(n);
+    if (rit == member_ready_.end() || rit->second) eligible.insert(n);
+  }
+  int succ = cluster::SuccessionPlanner::successor(view_, others, eligible);
   if (succ < 0) return;  // callers check peer_visible() first
   // Primary-led view change: no quorum round needed — the incumbent
   // still owns the view and simply publishes its successor.
@@ -802,8 +838,8 @@ void Engine::send_status() {
   sr.peer_visible = peer_visible();
   if (config_.cluster_mode()) sr.view = view_;
   for (const auto& [name, c] : components_) {
-    sr.components.push_back(
-        ComponentStatus{c.reg.component, c.state, c.restarts, c.heartbeats});
+    sr.components.push_back(ComponentStatus{c.reg.component, c.state, c.restarts,
+                                            c.heartbeats, c.policy, c.replica_ready});
   }
   int net = sim::pick_network(process_->sim(), process_->node().id(), config_.monitor_node);
   if (net < 0) return;
@@ -863,6 +899,7 @@ void Engine::dispatch(const sim::Datagram& d) {
       if (config_.cluster_mode()) {
         if (!view_.knows(hb.node)) return;  // not a configured member
         member_last_hb_[hb.node] = now;
+        member_ready_[hb.node] = hb.replica_ready;
         if (role_ == Role::kPrimary && hb.role == Role::kPrimary) {
           // Dual primary after a healed partition: same arbitration as
           // the pair protocol — highest incarnation wins, ties go to
@@ -885,6 +922,7 @@ void Engine::dispatch(const sim::Datagram& d) {
       peer_last_hb_[d.network_id] = now;
       peer_role_ = hb.role;
       peer_incarnation_ = hb.incarnation;
+      member_ready_[hb.node] = hb.replica_ready;
       if (role_ == Role::kNegotiating &&
           (hb.role == Role::kPrimary || hb.role == Role::kBackup)) {
         resolve_with_peer(hb.role, hb.incarnation, hb.node);
@@ -985,6 +1023,9 @@ void Engine::dispatch(const sim::Datagram& d) {
       if (it == components_.end()) return;
       it->second.last_hb = now;
       ++it->second.heartbeats;
+      it->second.policy = hb.policy;
+      it->second.replica_ready = hb.ready;
+      it->second.last_applied_at = hb.applied_at;
       if (it->second.state == ComponentState::kRestarting ||
           it->second.state == ComponentState::kSuspect) {
         it->second.state = ComponentState::kUp;

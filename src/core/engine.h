@@ -64,8 +64,18 @@ class Engine {
     int restarts = 0;
     std::uint64_t heartbeats = 0;
     std::map<std::string, WatchdogState> watchdogs;
+    /// Replication-policy view, piggybacked on the FTIM heartbeat.
+    ReplicationMode policy = ReplicationMode::kColdPassive;
+    bool replica_ready = true;
+    sim::SimTime last_applied_at = 0;
   };
   const std::map<std::string, Component>& components() const { return components_; }
+
+  /// Every OPC-client component on this node is promotion-ready per its
+  /// replication policy (true when none registered — nothing to hold
+  /// back). Piggybacked on peer heartbeats so succession can prefer
+  /// nodes whose replicas are fresh.
+  bool node_replica_ready() const;
 
   /// Operator-initiated switchover (System Monitor / tests).
   HRESULT request_switchover(const std::string& reason);
@@ -171,6 +181,9 @@ class Engine {
   std::unique_ptr<transport::Endpoint> ep_;
   cluster::MembershipView view_;
   std::map<int, sim::SimTime> member_last_hb_;  // freshest across networks
+  /// Per-member replica readiness from peer heartbeats (succession
+  /// prefers ready members; unknown members count as ready).
+  std::map<int, bool> member_ready_;
   cluster::VoteLedger votes_;
   cluster::Campaign campaign_;
   sim::SimTime started_at_ = 0;

@@ -36,12 +36,32 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
           "oftt.checkpoint_bytes", {256, 1024, 4096, 16384, 65536, 262144})),
       replay_records_(process.sim().telemetry().metrics().histogram(
           "oftt.recovery_replay_records", {1, 2, 4, 8, 16, 32, 64})),
+      gauge_ckpt_rate_(process.sim().telemetry().metrics().gauge("oftt.ckpt_bytes_per_s")),
+      gauge_decision_rate_(
+          process.sim().telemetry().metrics().gauge("oftt.decision_bytes_per_s")),
+      gauge_staleness_(
+          process.sim().telemetry().metrics().gauge("oftt.backup_staleness_ns")),
       hb_timer_(*strand_),
       ckpt_timer_(*strand_),
-      engine_check_timer_(*strand_) {
+      engine_check_timer_(*strand_),
+      governor_timer_(*strand_) {
   if (options_.component.empty()) options_.component = process.name();
+  validate_ftim_options(options_);
   ckpt_peers_ = options_.peer_nodes;
   if (ckpt_peers_.empty() && options_.peer_node >= 0) ckpt_peers_ = {options_.peer_node};
+
+  // Resolve the replication tuning once; the policy object answers every
+  // cadence/shape/discipline question against this config.
+  rcfg_.checkpoint_period = options_.checkpoint_period;
+  rcfg_.full_checkpoint_interval = options_.full_checkpoint_interval;
+  rcfg_.deltas_enabled = options_.checkpoint_mode == CheckpointMode::kFull &&
+                         options_.full_checkpoint_interval > 1 && options_.track_dirty_ranges;
+  rcfg_.delta_stream_period =
+      options_.delta_stream_period > 0
+          ? options_.delta_stream_period
+          : std::max<sim::SimTime>(sim::milliseconds(1), options_.checkpoint_period / 4);
+  rcfg_.promotion_staleness_bound = options_.promotion_staleness_bound;
+  policy_ = make_policy(options_.replication);
 
   // The FTIM thread owns the control/checkpoint port.
   strand_->bind(port_, [this](const sim::Datagram& d) { on_port(d); });
@@ -84,7 +104,35 @@ Ftim::Ftim(sim::Process& process, FtimOptions options)
     jopts.segment_bytes = options_.journal_segment_bytes;
     journal_ = std::make_unique<store::Journal>(process.sim(), process.node().id(),
                                                 "oftt.jrnl." + options_.component, jopts);
+
+    // The active policy is journaled separately (tiny snapshot-free log,
+    // two segments max): the checkpoint journal compacts on every full
+    // checkpoint and would eventually retire a kPolicy record living
+    // there. The newest record wins; absence means the configured mode.
+    store::JournalOptions popts;
+    popts.segment_bytes = 256;
+    popts.auto_compact = false;
+    popts.max_segments = 2;
+    policy_journal_ = std::make_unique<store::Journal>(
+        process.sim(), process.node().id(), "oftt.plcy." + options_.component, popts);
+    for (const store::Record& r : policy_journal_->recover()) {
+      if (r.type != store::RecordType::kPolicy || r.payload.empty()) continue;
+      if (r.id < policy_record_seq_) continue;
+      policy_record_seq_ = r.id;
+      auto mode = static_cast<ReplicationMode>(r.payload[0]);
+      if (mode != policy_->mode()) {
+        policy_ = make_policy(mode);
+        OFTT_LOG_INFO("oftt/ftim", process.node().name(), "/", process.name(),
+                      ": restored replication policy ", policy_->name(), " from journal");
+      }
+    }
+
     recover_from_journal();
+  }
+
+  if (options_.governor.enabled) {
+    governor_.emplace(options_.governor);
+    governor_timer_.start(options_.governor.period, [this] { governor_tick(); });
   }
 
   register_with_engine();
@@ -135,27 +183,33 @@ void Ftim::heartbeat_tick() {
   FtHeartbeat hb;
   hb.component = options_.component;
   hb.seq = ++hb_seq_;
+  hb.policy = policy_->mode();
+  // Readiness judged against "now": the primary is (presumably) alive
+  // while heartbeats flow, so now IS the freshest failure-evidence time
+  // the engine could ever hold. The engine keeps the last reported
+  // verdict, which therefore dates from just before any failure.
+  hb.ready = promotion_ready_at(process_->sim().now());
+  hb.applied_at = applied_at_;
   send_engine(hb.encode());
+  if (!active_ && applied_at_ > 0) {
+    gauge_staleness_.set(
+        static_cast<std::int64_t>(process_->sim().now() - applied_at_));
+  }
   // Periodic re-registration keeps a restarted engine informed.
   if (++hb_count_ % 10 == 0) register_with_engine();
 }
 
-bool Ftim::next_checkpoint_is_delta() const {
-  if (options_.checkpoint_mode != CheckpointMode::kFull) return false;
-  if (options_.full_checkpoint_interval <= 1) return false;
-  if (force_full_ || ckpt_seq_ == 0) return false;
-  return ckpts_since_full_ + 1 < options_.full_checkpoint_interval;
-}
-
 void Ftim::take_checkpoint() {
   if (!active_ || options_.kind != FtimKind::kOpcClient) return;
-  const bool delta = next_checkpoint_is_delta();
+  const ReplicationPolicy::CaptureState cap{force_full_, ckpt_seq_, ckpts_since_full_};
+  const bool delta = policy_->capture_as_delta(rcfg_, cap);
   const std::uint64_t base = ckpt_seq_;
   CheckpointImage img =
       delta ? capture_delta_checkpoint(*rt_, ++ckpt_seq_, base, incarnation_,
                                        discoverable_tasks())
             : capture_checkpoint(*rt_, options_.checkpoint_mode, cells_, ++ckpt_seq_,
                                  incarnation_, discoverable_tasks());
+  img.decision_seq = decision_seq_;
   img.taken_at = process_->sim().now();
   // Everything up to this instant is captured: the dirty tracking now
   // measures what the NEXT delta must carry.
@@ -181,7 +235,7 @@ void Ftim::take_checkpoint() {
   // handles retransmission, ordering and (on the dual-network
   // configuration) alternating networks across retries.
   for (int peer : ckpt_peers_) {
-    if (!ep_->send(peer, frame, /*tag=*/ckpt_seq_)) {
+    if (!ep_->send(peer, frame, /*tag=*/ckpt_seq_, nullptr, transport::kClassCheckpoint)) {
       // Session queue full — the peer has been unreachable long enough
       // to absorb the whole window. Shed this frame; the stream resumes
       // self-contained once the peer is back.
@@ -219,11 +273,21 @@ void Ftim::recover_from_journal() {
     CheckpointImage delta;
     if (!CheckpointImage::unmarshal(d.payload, delta)) break;
     if (delta.incarnation != img.incarnation || delta.base_seq != img.seq) break;
-    apply_delta(img, delta);
+    if (!apply_delta(img, delta).applied()) break;
     ++replayed;
   }
   ckpt_seq_ = img.seq;
   latest_ = std::move(img);
+  // Decision-log records newer than the image's watermark survive in
+  // the journal suffix; stash them for replay once the runtime holds
+  // the base state (fold-on-receipt or activation restore).
+  decisions_applied_ = latest_->decision_seq;
+  decision_seq_ = latest_->decision_seq;
+  for (store::Record& drec : journal_->recover()) {
+    if (drec.type == store::RecordType::kDecision && drec.id > decisions_applied_) {
+      pending_decisions_[drec.id] = std::move(drec.payload);
+    }
+  }
   recovered_from_journal_ = true;
   journal_replayed_records_ = replayed;
   ctr_journal_recoveries_.inc();
@@ -247,18 +311,24 @@ void Ftim::recover_from_journal() {
 
 std::uint64_t Ftim::peer_acked_seq() const {
   std::uint64_t highest = 0;
-  for (int peer : ckpt_peers_) highest = std::max(highest, ep_->acked_tag(peer));
+  for (int peer : ckpt_peers_) {
+    highest = std::max(highest, ep_->acked_tag(peer, transport::kClassCheckpoint));
+  }
   return highest;
 }
 
 std::uint64_t Ftim::min_acked_seq() const {
   if (ckpt_peers_.empty()) return 0;
   std::uint64_t lowest = ~std::uint64_t{0};
-  for (int peer : ckpt_peers_) lowest = std::min(lowest, ep_->acked_tag(peer));
+  for (int peer : ckpt_peers_) {
+    lowest = std::min(lowest, ep_->acked_tag(peer, transport::kClassCheckpoint));
+  }
   return lowest;
 }
 
-std::uint64_t Ftim::acked_by(int node) const { return ep_->acked_tag(node); }
+std::uint64_t Ftim::acked_by(int node) const {
+  return ep_->acked_tag(node, transport::kClassCheckpoint);
+}
 
 HRESULT Ftim::save_now() {
   if (!active_) return OFTT_E_NOT_PRIMARY;
@@ -328,32 +398,70 @@ void Ftim::handle_set_active(const SetActive& msg) {
     // A restore marks every region dirty and starts a new incarnation:
     // the first checkpoint of this reign must be self-contained.
     force_full_ = true;
-    bool restored = false;
-    if (latest_) {
-      int anomalies = restore_checkpoint(*rt_, *latest_);
-      restored = true;
-      OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
-                    ": ACTIVATED with checkpoint seq ", latest_->seq,
-                    anomalies ? " (anomalies)" : "");
-      publish_event(obs::EventKind::kCheckpointApplied, "restored on activation",
-                    latest_->seq, static_cast<std::uint64_t>(anomalies));
-    } else {
-      OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
-                    ": ACTIVATED cold (no checkpoint)");
+    // Warm/semi replicas folded images into the live runtime as they
+    // arrived (runtime_current_), so they skip the bulk restore —
+    // that is the whole point of paying for streaming.
+    const bool need_restore =
+        latest_ && (policy_->restore_on_activate() || !runtime_current_);
+    int anomalies = 0;
+    if (need_restore) {
+      if (options_.restore_rate_bytes_per_s > 0) {
+        // Model the restore as taking payload/rate seconds so benches
+        // can see the switchover cost the policy is meant to hide.
+        const auto delay = static_cast<sim::SimTime>(
+            static_cast<double>(latest_->payload_bytes()) * 1e9 /
+            static_cast<double>(options_.restore_rate_bytes_per_s));
+        strand_->schedule_after(delay, [this] {
+          if (!active_ || !latest_) return;
+          const int a = restore_checkpoint(*rt_, *latest_);
+          runtime_current_ = true;
+          replay_pending_decisions();
+          finish_activation(/*restored=*/true, a);
+        });
+        return;
+      }
+      anomalies = restore_checkpoint(*rt_, *latest_);
     }
-    publish_event(obs::EventKind::kComponentActivated,
-                  restored ? "activated from checkpoint" : "activated cold",
-                  latest_ ? latest_->seq : 0, incarnation_);
-    if (options_.kind == FtimKind::kOpcClient) {
-      ckpt_timer_.start(options_.checkpoint_period, [this] { take_checkpoint(); });
-    }
-    if (on_activate_) on_activate_(restored);
+    runtime_current_ = true;  // the active side defines the state
+    replay_pending_decisions();
+    finish_activation(need_restore, anomalies);
   } else {
     ckpt_timer_.stop();
     OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(), ": DEACTIVATED");
     publish_event(obs::EventKind::kComponentDeactivated, "", 0, incarnation_);
     if (on_deactivate_) on_deactivate_();
   }
+}
+
+void Ftim::finish_activation(bool restored, int anomalies) {
+  resync_pending_ = false;
+  if (restored && latest_) {
+    OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                  ": ACTIVATED with checkpoint seq ", latest_->seq,
+                  anomalies ? " (anomalies)" : "");
+    publish_event(obs::EventKind::kCheckpointApplied, "restored on activation",
+                  latest_->seq, static_cast<std::uint64_t>(anomalies));
+  } else if (latest_) {
+    OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                  ": ACTIVATED in place (replica already current, seq ", latest_->seq, ")");
+  } else {
+    OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                  ": ACTIVATED cold (no checkpoint)");
+  }
+  publish_event(obs::EventKind::kComponentActivated,
+                restored ? "activated from checkpoint"
+                         : (latest_ ? "promoted in place" : "activated cold"),
+                latest_ ? latest_->seq : 0, incarnation_);
+  if (options_.kind == FtimKind::kOpcClient) {
+    ckpt_timer_.start(policy_->capture_period(rcfg_), [this] { take_checkpoint(); });
+    if (policy_->mode() == ReplicationMode::kSemiActive) {
+      // A promoted follower keeps proposing from where it applied; its
+      // followers need a fresh base image before the log means anything.
+      decision_seq_ = std::max(decision_seq_, decisions_applied_);
+      take_checkpoint();
+    }
+  }
+  if (on_activate_) on_activate_(restored);
 }
 
 void Ftim::on_port(const sim::Datagram& d) {
@@ -383,11 +491,25 @@ void Ftim::on_frame(int src_node, int network_id, const Buffer& payload) {
       // incarnation): fall back to a self-contained image next round.
       ++need_full_nacks_;
       force_full_ = true;
+      // Semi-active followers stall until they hold a base image, so
+      // answer resync nacks immediately instead of at the (long)
+      // safety-net cadence.
+      if (active_ && policy_->followers_execute()) take_checkpoint();
       break;
     }
     case MsgKind::kCheckpointPull: {
       CheckpointPull msg;
       if (CheckpointPull::decode(payload, msg)) handle_checkpoint_pull(msg);
+      break;
+    }
+    case MsgKind::kDecision: {
+      DecisionMsg msg;
+      if (DecisionMsg::decode(payload, msg)) handle_decision(src_node, msg);
+      break;
+    }
+    case MsgKind::kPolicySwitch: {
+      PolicySwitchMsg msg;
+      if (PolicySwitchMsg::decode(payload, msg)) handle_policy_switch(msg);
       break;
     }
     default:
@@ -408,7 +530,13 @@ Ftim::Accept Ftim::accept_image(CheckpointImage&& img, const Buffer& blob) {
       return stale ? Accept::kStale : Accept::kGap;
     }
     journal_checkpoint(img, blob);
-    apply_delta(*latest_, img);
+    if (!apply_delta(*latest_, img).applied()) {
+      // The hardened merge refused the frame (stale base / foreign
+      // incarnation slipping past the pre-checks): treat it as a gap so
+      // the primary falls back to a self-contained image.
+      ++checkpoints_rejected_;
+      return Accept::kGap;
+    }
     ++deltas_applied_;
     ++checkpoints_received_;
     ctr_ckpt_received_.inc();
@@ -442,8 +570,46 @@ void Ftim::handle_checkpoint(int src_node, const Buffer& payload) {
     return;
   }
   const bool is_delta = img.mode == CheckpointMode::kDelta;
+  // Warm/semi replicas fold arriving state straight into the live
+  // runtime; keep a copy of the frame's own image so a delta folds only
+  // its changed cells, not the whole accumulated base.
+  const bool fold = policy_->apply_on_receipt() && !active_;
+  CheckpointImage fold_img;
+  if (fold) fold_img = img;
   switch (accept_image(std::move(img), blob)) {
     case Accept::kApplied:
+      applied_at_ = process_->sim().now();
+      if (fold && latest_) {
+        if (!runtime_current_) {
+          // First contact (or post-gap resync): adopt the whole
+          // accumulated base, not just this frame's cells.
+          const int anomalies = restore_checkpoint(*rt_, *latest_);
+          runtime_current_ = true;
+          resync_pending_ = false;
+          publish_event(obs::EventKind::kCheckpointApplied, "folded full state on receipt",
+                        latest_->seq, static_cast<std::uint64_t>(anomalies));
+          if (policy_->followers_execute()) {
+            decisions_applied_ = std::max(decisions_applied_, latest_->decision_seq);
+            decision_seq_ = std::max(decision_seq_, decisions_applied_);
+          }
+          replay_pending_decisions();
+        } else if (policy_->followers_execute() && fold_img.decision_seq > 0 &&
+                   decisions_applied_ >= fold_img.decision_seq) {
+          // Semi-active follower already executed past this image via
+          // the decision log: keep the journal copy (cold-restart base)
+          // but leave the live runtime alone.
+        } else {
+          const int anomalies = restore_checkpoint(*rt_, fold_img);
+          publish_event(obs::EventKind::kCheckpointApplied, "folded on receipt",
+                        fold_img.seq, static_cast<std::uint64_t>(anomalies));
+          if (policy_->followers_execute()) {
+            decisions_applied_ = std::max(decisions_applied_, fold_img.decision_seq);
+            decision_seq_ = std::max(decision_seq_, decisions_applied_);
+          }
+          replay_pending_decisions();
+        }
+      }
+      break;
     case Accept::kStale:
       // No explicit ack: the transport session already confirmed the
       // tagged frame, which is what the primary's watermark reads.
@@ -495,7 +661,7 @@ void Ftim::handle_checkpoint_pull(const CheckpointPull& msg) {
       // strictly behind them on the same session.
       for (SuffixDelta& d : suffix) {
         ep_->send(msg.from_node, encode_checkpoint(options_.component, d.blob),
-                  /*tag=*/d.seq);
+                  /*tag=*/d.seq, nullptr, transport::kClassCheckpoint);
       }
       if (!suffix.empty()) {
         delta_bytes_sent_ += suffix_bytes;
@@ -515,6 +681,197 @@ void Ftim::handle_checkpoint_pull(const CheckpointPull& msg) {
   publish_event(obs::EventKind::kResyncFull, "full resync", ckpt_seq_ + 1, 0);
   force_full_ = true;
   take_checkpoint();
+}
+
+HRESULT Ftim::propose(const Buffer& decision) {
+  if (!active_) return OFTT_E_NOT_PRIMARY;
+  if (!policy_->followers_execute()) {
+    // Passive policies replicate through checkpoints: apply locally and
+    // let the next capture carry the effect. S_FALSE tells the caller
+    // nothing was shipped.
+    if (on_decision_) on_decision_(decision);
+    return S_FALSE;
+  }
+  const std::uint64_t seq = ++decision_seq_;
+  if (journal_) journal_->append(store::RecordType::kDecision, seq, 0, decision);
+  if (on_decision_) on_decision_(decision);
+  decisions_applied_ = seq;
+  ++decisions_proposed_;
+  applied_at_ = process_->sim().now();
+  DecisionMsg msg;
+  msg.component = options_.component;
+  msg.seq = seq;
+  msg.decided_at = applied_at_;
+  msg.payload = decision;
+  const Buffer frame = msg.encode();
+  for (int peer : ckpt_peers_) {
+    if (ep_->send(peer, frame, /*tag=*/seq, nullptr, transport::kClassDecision)) {
+      decision_bytes_sent_ += frame.size();
+    }
+  }
+  return S_OK;
+}
+
+void Ftim::handle_decision(int src_node, const DecisionMsg& msg) {
+  if (active_ || msg.component != options_.component) return;
+  if (msg.seq <= decisions_applied_) return;  // session replay / dup
+  if (msg.seq == decisions_applied_ + 1 && runtime_current_) {
+    if (journal_) journal_->append(store::RecordType::kDecision, msg.seq, 0, msg.payload);
+    if (on_decision_) on_decision_(msg.payload);
+    decisions_applied_ = msg.seq;
+    decision_seq_ = std::max(decision_seq_, msg.seq);
+    applied_at_ = process_->sim().now();
+    resync_pending_ = false;
+    replay_pending_decisions();
+    return;
+  }
+  // Out of order, or no base image yet: stash it and ask the leader for
+  // a self-contained image. One outstanding nack at a time — every nack
+  // costs the leader a full checkpoint.
+  ++decision_gaps_;
+  pending_decisions_[msg.seq] = msg.payload;
+  if (!resync_pending_) {
+    resync_pending_ = true;
+    ep_->send(src_node,
+              encode_checkpoint_nack(options_.component, latest_ ? latest_->seq : 0));
+  }
+}
+
+void Ftim::handle_policy_switch(const PolicySwitchMsg& msg) {
+  if (msg.component != options_.component) return;
+  if (msg.to == policy_->mode()) return;
+  const ReplicationMode from = policy_->mode();
+  policy_ = make_policy(msg.to);
+  persist_policy(msg.to);
+  ++policy_switches_;
+  OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                ": replication policy ", replication_mode_name(from), " -> ",
+                replication_mode_name(msg.to), " (", msg.reason, ")");
+  publish_event(obs::EventKind::kPolicySwitch, msg.reason,
+                static_cast<std::uint64_t>(msg.to), static_cast<std::uint64_t>(from));
+  if (active_) {
+    // Announcements normally flow active -> passive; if one reaches an
+    // active side (crossed switchover), just re-cadence the timer.
+    if (options_.kind == FtimKind::kOpcClient) {
+      ckpt_timer_.start(policy_->capture_period(rcfg_), [this] { take_checkpoint(); });
+    }
+    return;
+  }
+  if (policy_->apply_on_receipt() && latest_ && !runtime_current_) {
+    // Entering a fold-on-receipt policy: bring the runtime up to the
+    // held image now so promotion can skip the bulk restore.
+    const int anomalies = restore_checkpoint(*rt_, *latest_);
+    runtime_current_ = true;
+    applied_at_ = process_->sim().now();
+    publish_event(obs::EventKind::kCheckpointApplied, "folded held state on policy switch",
+                  latest_->seq, static_cast<std::uint64_t>(anomalies));
+    if (policy_->followers_execute()) {
+      decisions_applied_ = std::max(decisions_applied_, latest_->decision_seq);
+      decision_seq_ = std::max(decision_seq_, decisions_applied_);
+    }
+    replay_pending_decisions();
+  }
+}
+
+HRESULT Ftim::switch_policy(ReplicationMode to, const std::string& reason) {
+  if (to == policy_->mode()) return S_FALSE;
+  if (to != ReplicationMode::kColdPassive && ckpt_peers_.empty()) return OFTT_E_NO_PEER;
+  if (to == ReplicationMode::kSemiActive && options_.kind != FtimKind::kOpcClient) {
+    return E_INVALIDARG;
+  }
+  if (to == ReplicationMode::kWarmPassive && !options_.track_dirty_ranges) {
+    return E_INVALIDARG;
+  }
+  const ReplicationMode from = policy_->mode();
+  policy_ = make_policy(to);
+  persist_policy(to);
+  ++policy_switches_;
+  OFTT_LOG_INFO("oftt/ftim", process_->node().name(), "/", process_->name(),
+                ": replication policy ", replication_mode_name(from), " -> ",
+                replication_mode_name(to), " (", reason, ")");
+  publish_event(obs::EventKind::kPolicySwitch, reason, static_cast<std::uint64_t>(to),
+                static_cast<std::uint64_t>(from));
+  if (active_) {
+    // Announce, then pin the stream: the next frame every replica sees
+    // after the announcement is a self-contained image, so both sides
+    // change discipline at the same point in the checkpoint stream.
+    PolicySwitchMsg msg;
+    msg.component = options_.component;
+    msg.to = to;
+    msg.incarnation = incarnation_;
+    msg.at_seq = ckpt_seq_;
+    msg.decision_seq = decision_seq_;
+    msg.reason = reason;
+    const Buffer frame = msg.encode();
+    for (int peer : ckpt_peers_) ep_->send(peer, frame);
+    if (options_.kind == FtimKind::kOpcClient) {
+      ckpt_timer_.start(policy_->capture_period(rcfg_), [this] { take_checkpoint(); });
+      force_full_ = true;
+      take_checkpoint();
+    }
+  } else if (policy_->apply_on_receipt() && latest_ && !runtime_current_) {
+    const int anomalies = restore_checkpoint(*rt_, *latest_);
+    runtime_current_ = true;
+    applied_at_ = process_->sim().now();
+    publish_event(obs::EventKind::kCheckpointApplied, "folded held state on policy switch",
+                  latest_->seq, static_cast<std::uint64_t>(anomalies));
+    if (policy_->followers_execute()) {
+      decisions_applied_ = std::max(decisions_applied_, latest_->decision_seq);
+      decision_seq_ = std::max(decision_seq_, decisions_applied_);
+    }
+    replay_pending_decisions();
+  }
+  return S_OK;
+}
+
+void Ftim::persist_policy(ReplicationMode mode) {
+  if (!policy_journal_) return;
+  Buffer payload{static_cast<std::uint8_t>(mode)};
+  policy_journal_->append(store::RecordType::kPolicy, ++policy_record_seq_, 0, payload);
+}
+
+void Ftim::replay_pending_decisions() {
+  while (!pending_decisions_.empty()) {
+    auto it = pending_decisions_.begin();
+    if (it->first <= decisions_applied_) {
+      pending_decisions_.erase(it);
+      continue;
+    }
+    if (it->first != decisions_applied_ + 1) break;  // gap: wait for resync
+    if (on_decision_) on_decision_(it->second);
+    decisions_applied_ = it->first;
+    decision_seq_ = std::max(decision_seq_, decisions_applied_);
+    applied_at_ = process_->sim().now();
+    pending_decisions_.erase(it);
+  }
+}
+
+void Ftim::governor_tick() {
+  if (!governor_ || !ep_) return;
+  const std::uint64_t ckpt_bytes = ep_->class_bytes_sent(transport::kClassCheckpoint);
+  const std::uint64_t dec_bytes = ep_->class_bytes_sent(transport::kClassDecision);
+  const std::uint64_t data_sent = ep_->data_sent();
+  const std::uint64_t retx = ep_->retransmits();
+  const double window_s =
+      static_cast<double>(options_.governor.period) / 1e9;
+  const double ckpt_rate =
+      static_cast<double>(ckpt_bytes - gov_last_ckpt_bytes_) / window_s;
+  const double dec_rate =
+      static_cast<double>(dec_bytes - gov_last_decision_bytes_) / window_s;
+  const std::uint64_t d_data = data_sent - gov_last_data_sent_;
+  const std::uint64_t d_retx = retx - gov_last_retransmits_;
+  gov_last_ckpt_bytes_ = ckpt_bytes;
+  gov_last_decision_bytes_ = dec_bytes;
+  gov_last_data_sent_ = data_sent;
+  gov_last_retransmits_ = retx;
+  gauge_ckpt_rate_.set(static_cast<std::int64_t>(ckpt_rate));
+  gauge_decision_rate_.set(static_cast<std::int64_t>(dec_rate));
+  const double loss = (d_data + d_retx) == 0
+                          ? 0.0
+                          : static_cast<double>(d_retx) / static_cast<double>(d_data + d_retx);
+  if (!active_) return;  // only the primary steers the pair's policy
+  const ReplicationMode want = governor_->evaluate(policy_->mode(), ckpt_rate, loss);
+  if (want != policy_->mode()) switch_policy(want, "governor");
 }
 
 void Ftim::check_engine() {

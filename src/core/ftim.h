@@ -23,6 +23,7 @@
 #include "common/hresult.h"
 #include "core/checkpoint.h"
 #include "core/config.h"
+#include "core/replication.h"
 #include "core/wire.h"
 #include "nt/runtime.h"
 #include "obs/event.h"
@@ -65,6 +66,26 @@ struct FtimOptions {
   /// (already small) designated cells.
   std::uint32_t full_checkpoint_interval = 8;
   std::size_t journal_segment_bytes = 64 * 1024;
+  /// Replication policy for this component. kColdPassive reproduces the
+  /// paper's scheme byte-identically; FTIMs left at the default inherit
+  /// the engine's configured mode through OFTTInitialize.
+  ReplicationMode replication = ReplicationMode::kColdPassive;
+  /// Warm-passive capture cadence. 0 derives checkpoint_period / 4
+  /// (min 1 ms). Setting it with a non-warm policy is rejected.
+  sim::SimTime delta_stream_period = 0;
+  /// Region dirty-range tracking feeds delta capture; turning it off
+  /// with a delta interval > 1 (or warm-passive) is rejected.
+  bool track_dirty_ranges = true;
+  /// Promotion-readiness staleness bound override; 0 = policy default
+  /// (8 capture periods).
+  sim::SimTime promotion_staleness_bound = 0;
+  /// Models the cost of the bulk restore at activation: the activation
+  /// callback (and the first checkpoint of the new reign) is delayed by
+  /// image_bytes / rate. 0 = instantaneous (the seed behavior) — set it
+  /// in benches to make the cold-vs-warm switchover difference visible.
+  std::uint64_t restore_rate_bytes_per_s = 0;
+  /// Adaptive policy switching (disabled by default).
+  GovernorConfig governor;
 };
 
 class Ftim {
@@ -83,6 +104,11 @@ class Ftim {
   /// from a received checkpoint.
   void on_activate(std::function<void(bool restored)> fn) { on_activate_ = std::move(fn); }
   void on_deactivate(std::function<void()> fn) { on_deactivate_ = std::move(fn); }
+  /// Semi-active: how a follower (and the leader itself) executes one
+  /// ordered decision from the leader's decision log.
+  void on_apply_decision(std::function<void(const Buffer&)> fn) {
+    on_decision_ = std::move(fn);
+  }
 
   // --- the OFTT API backing (api.h wraps these) ---
   void sel_save(const std::string& region, std::uint32_t offset, std::uint32_t size);
@@ -98,6 +124,16 @@ class Ftim {
   HRESULT watchdog_delete(const std::string& name);
   /// Dynamic recovery-rule update for this component (engine-side).
   HRESULT set_recovery_rule(int max_local_restarts, int switchover_on_permanent);
+  /// Semi-active leader: order one application decision — journal it,
+  /// apply it locally through the registered handler, ship it to every
+  /// follower on the decision traffic class.
+  HRESULT propose(const Buffer& decision);
+  /// Live, state-preserving replication-policy switch. On the active
+  /// side the switch is journaled, announced to every replica
+  /// (PolicySwitchMsg) and followed by an immediate self-contained
+  /// checkpoint so both sides change discipline at the same point in
+  /// the stream.
+  HRESULT switch_policy(ReplicationMode to, const std::string& reason);
 
   // --- introspection (tests / benches / monitor) ---
   std::uint64_t checkpoints_sent() const { return checkpoints_sent_; }
@@ -137,6 +173,26 @@ class Ftim {
   std::uint64_t pulls_served_delta() const { return pulls_served_delta_; }
   std::uint64_t pulls_served_full() const { return pulls_served_full_; }
   const store::Journal* journal() const { return journal_.get(); }
+  // Replication-policy introspection.
+  ReplicationMode replication_mode() const { return policy_->mode(); }
+  const ReplicationPolicy& policy() const { return *policy_; }
+  const ReplicationConfig& replication_config() const { return rcfg_; }
+  std::uint64_t policy_switches() const { return policy_switches_; }
+  std::uint64_t decisions_proposed() const { return decisions_proposed_; }
+  std::uint64_t decisions_applied() const { return decisions_applied_; }
+  std::uint64_t decision_gaps() const { return decision_gaps_; }
+  std::uint64_t decision_bytes_sent() const { return decision_bytes_sent_; }
+  /// When this replica last folded state (checkpoint or decision) into
+  /// its runtime / held image. 0 = never.
+  sim::SimTime last_applied_at() const { return applied_at_; }
+  /// The live runtime currently holds the replicated state (warm/semi
+  /// replicas after their first fold; any side after activation).
+  bool runtime_current() const { return runtime_current_; }
+  /// Would this replica be promoted without a fresh pull, judged
+  /// against `evidence` (last moment the primary was provably alive)?
+  bool promotion_ready_at(sim::SimTime evidence) const {
+    return active_ || promotion_ready(*policy_, rcfg_, applied_at_, evidence);
+  }
   bool has_checkpoint() const { return latest_.has_value(); }
   const CheckpointImage* latest_checkpoint() const {
     return latest_ ? &*latest_ : nullptr;
@@ -162,8 +218,13 @@ class Ftim {
   void heartbeat_tick();
   void take_checkpoint();
   void handle_set_active(const SetActive& msg);
+  /// The restore (if any) is done; start the reign: checkpoint timer,
+  /// activation event, application callback.
+  void finish_activation(bool restored, int anomalies);
   void handle_checkpoint(int src_node, const Buffer& payload);
   void handle_checkpoint_pull(const CheckpointPull& msg);
+  void handle_decision(int src_node, const DecisionMsg& msg);
+  void handle_policy_switch(const PolicySwitchMsg& msg);
   Accept accept_image(CheckpointImage&& img, const Buffer& blob);
   void check_engine();
   void send_engine(const Buffer& payload);
@@ -173,8 +234,13 @@ class Ftim {
   /// then ask the peers for whatever suffix this node missed.
   void recover_from_journal();
   void journal_checkpoint(const CheckpointImage& img, const Buffer& blob);
-  /// Should the next checkpoint be a delta of the last one?
-  bool next_checkpoint_is_delta() const;
+  /// Record the active policy in the (tiny, snapshot-free) policy
+  /// journal so a cold restart resumes under the switched policy.
+  void persist_policy(ReplicationMode mode);
+  /// Apply journal-recovered decisions that chain on decisions_applied_
+  /// (runs after the runtime has been restored to the base image).
+  void replay_pending_decisions();
+  void governor_tick();
 
   sim::Process* process_;
   FtimOptions options_;
@@ -218,6 +284,39 @@ class Ftim {
   std::uint64_t journal_replayed_records_ = 0;
   std::uint64_t pulls_served_delta_ = 0;
   std::uint64_t pulls_served_full_ = 0;
+  // --- replication policy state ---
+  ReplicationConfig rcfg_;
+  std::unique_ptr<ReplicationPolicy> policy_;
+  /// Tiny snapshot-free journal (own prefix, max 2 segments) holding the
+  /// newest kPolicy record. Separate from the checkpoint journal so the
+  /// checkpoint compaction cycle can never retire the policy record.
+  std::unique_ptr<store::Journal> policy_journal_;
+  std::uint64_t policy_record_seq_ = 0;
+  std::uint64_t policy_switches_ = 0;
+  std::optional<PolicyGovernor> governor_;
+  /// Governor sampling baselines (previous window's cumulative values).
+  std::uint64_t gov_last_ckpt_bytes_ = 0;
+  std::uint64_t gov_last_decision_bytes_ = 0;
+  std::uint64_t gov_last_data_sent_ = 0;
+  std::uint64_t gov_last_retransmits_ = 0;
+  // Semi-active decision log.
+  std::uint64_t decision_seq_ = 0;        // leader: last ordered
+  std::uint64_t decisions_proposed_ = 0;
+  std::uint64_t decisions_applied_ = 0;   // last executed locally
+  std::uint64_t decision_gaps_ = 0;
+  std::uint64_t decision_bytes_sent_ = 0;
+  /// Journal-recovered decisions newer than the recovered image's
+  /// watermark, replayed once the runtime holds the base state.
+  std::map<std::uint64_t, Buffer> pending_decisions_;
+  /// A resync nack is already outstanding; don't nack every further
+  /// out-of-order decision (each nack costs the leader a full image).
+  bool resync_pending_ = false;
+  std::function<void(const Buffer&)> on_decision_;
+  /// The live runtime holds the replicated state (vs. only latest_
+  /// serialized). False on a fresh boot; a bulk restore or the first
+  /// fold-on-receipt makes it true.
+  bool runtime_current_ = false;
+  sim::SimTime applied_at_ = 0;
   std::function<void(bool)> on_activate_;
   std::function<void()> on_deactivate_;
   // Pre-resolved metric handles for the periodic checkpoint path.
@@ -230,9 +329,13 @@ class Ftim {
   obs::Counter ctr_journal_recoveries_;
   obs::Histogram ckpt_bytes_;
   obs::Histogram replay_records_;
+  obs::Gauge gauge_ckpt_rate_;
+  obs::Gauge gauge_decision_rate_;
+  obs::Gauge gauge_staleness_;
   sim::PeriodicTimer hb_timer_;
   sim::PeriodicTimer ckpt_timer_;
   sim::PeriodicTimer engine_check_timer_;
+  sim::PeriodicTimer governor_timer_;
 };
 
 }  // namespace oftt::core

@@ -103,7 +103,8 @@ std::string SystemMonitor::render() const {
        << (process_->sim().now() - v.last_seen > sim::seconds(3) ? " [SILENT]" : "") << "\n";
     for (const auto& c : v.report.components) {
       os << "    " << c.name << ": " << component_state_name(c.state)
-         << " restarts=" << c.restarts << " heartbeats=" << c.heartbeats << "\n";
+         << " restarts=" << c.restarts << " heartbeats=" << c.heartbeats << " "
+         << replication_mode_name(c.policy) << (c.ready ? "" : " [STALE REPLICA]") << "\n";
     }
   }
   return os.str();

@@ -1,0 +1,209 @@
+#include "core/replication.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "core/ftim.h"
+
+namespace oftt::core {
+namespace {
+
+// The paper's scheme, verbatim: periodic captures at the configured
+// period, every Nth self-contained, backup holds the serialized image
+// and restores it in bulk when activated. Any change to these answers
+// shows up as a changed event history in the determinism tests.
+class ColdPassivePolicy final : public ReplicationPolicy {
+ public:
+  ReplicationMode mode() const override { return ReplicationMode::kColdPassive; }
+  sim::SimTime capture_period(const ReplicationConfig& c) const override {
+    return c.checkpoint_period;
+  }
+  bool capture_as_delta(const ReplicationConfig& c, const CaptureState& s) const override {
+    if (!c.deltas_enabled || s.force_full || s.seq == 0) return false;
+    return s.since_full + 1 < c.full_checkpoint_interval;
+  }
+  bool apply_on_receipt() const override { return false; }
+  bool restore_on_activate() const override { return true; }
+  bool followers_execute() const override { return false; }
+  sim::SimTime staleness_bound(const ReplicationConfig&) const override {
+    // A cold backup restores the whole image at activation; a stale one
+    // is merely further behind, never unfit.
+    return 0;
+  }
+};
+
+// Continuous dirty-range streaming: captures run at the (much faster)
+// delta cadence and the backup folds each one into its live runtime on
+// receipt, so its image is near-current and activation skips the bulk
+// restore. The Nth-full rhythm is kept — a periodic self-contained
+// image is what lets the journal compact and a lost delta resync.
+class WarmPassivePolicy final : public ReplicationPolicy {
+ public:
+  ReplicationMode mode() const override { return ReplicationMode::kWarmPassive; }
+  sim::SimTime capture_period(const ReplicationConfig& c) const override {
+    return c.delta_stream_period;
+  }
+  bool capture_as_delta(const ReplicationConfig& c, const CaptureState& s) const override {
+    if (!c.deltas_enabled || s.force_full || s.seq == 0) return false;
+    return s.since_full + 1 < c.full_checkpoint_interval;
+  }
+  bool apply_on_receipt() const override { return true; }
+  bool restore_on_activate() const override { return false; }
+  bool followers_execute() const override { return false; }
+  sim::SimTime staleness_bound(const ReplicationConfig& c) const override {
+    if (c.promotion_staleness_bound > 0) return c.promotion_staleness_bound;
+    return 8 * c.delta_stream_period;
+  }
+};
+
+// Leader-follower: followers execute the workload from the leader's
+// decision log, so their state is as fresh as the last applied decision
+// and switchover is promotion-only. Checkpoints degrade to a sparse
+// safety net (bootstrap for joining followers, resync after a gap) —
+// always self-contained, at the slow cadence.
+class SemiActivePolicy final : public ReplicationPolicy {
+ public:
+  ReplicationMode mode() const override { return ReplicationMode::kSemiActive; }
+  sim::SimTime capture_period(const ReplicationConfig& c) const override {
+    return std::max<sim::SimTime>(
+        c.checkpoint_period,
+        c.checkpoint_period * static_cast<sim::SimTime>(c.full_checkpoint_interval));
+  }
+  bool capture_as_delta(const ReplicationConfig&, const CaptureState&) const override {
+    return false;
+  }
+  bool apply_on_receipt() const override { return true; }
+  bool restore_on_activate() const override { return false; }
+  bool followers_execute() const override { return true; }
+  sim::SimTime staleness_bound(const ReplicationConfig& c) const override {
+    if (c.promotion_staleness_bound > 0) return c.promotion_staleness_bound;
+    return 8 * c.checkpoint_period;
+  }
+};
+
+}  // namespace
+
+bool promotion_ready(const ReplicationPolicy& policy, const ReplicationConfig& c,
+                     sim::SimTime applied_at, sim::SimTime evidence) {
+  sim::SimTime bound = policy.staleness_bound(c);
+  if (bound <= 0) return true;
+  return applied_at + bound >= evidence;
+}
+
+std::unique_ptr<ReplicationPolicy> make_policy(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kColdPassive: return std::make_unique<ColdPassivePolicy>();
+    case ReplicationMode::kWarmPassive: return std::make_unique<WarmPassivePolicy>();
+    case ReplicationMode::kSemiActive: return std::make_unique<SemiActivePolicy>();
+  }
+  return std::make_unique<ColdPassivePolicy>();
+}
+
+ReplicationMode PolicyGovernor::evaluate(ReplicationMode current, double ckpt_bytes_per_s,
+                                         double loss_rate) {
+  // Semi-active is the application's choice (it must drive the decision
+  // log); the governor only arbitrates the passive spectrum.
+  if (current == ReplicationMode::kSemiActive) return current;
+
+  if (loss_rate > config_.loss_rate_high) {
+    ++lossy_windows_;
+    calm_windows_ = 0;
+  } else {
+    lossy_windows_ = 0;
+    ++calm_windows_;
+  }
+  if (ckpt_bytes_per_s > static_cast<double>(config_.warm_bytes_per_s)) {
+    ++heavy_windows_;
+  } else {
+    heavy_windows_ = 0;
+  }
+
+  if (current == ReplicationMode::kWarmPassive) {
+    // Degrade: sustained loss amplifies a chatty delta stream's
+    // retransmissions, and a sustained heavy byte rate means frequent
+    // captures cost more than the switchover time they buy.
+    if (lossy_windows_ >= config_.hysteresis_windows ||
+        heavy_windows_ >= config_.hysteresis_windows) {
+      return ReplicationMode::kColdPassive;
+    }
+    return current;
+  }
+  // Upgrade: calm network and an affordable byte rate for long enough.
+  if (calm_windows_ >= config_.hysteresis_windows &&
+      heavy_windows_ == 0) {
+    return ReplicationMode::kWarmPassive;
+  }
+  return current;
+}
+
+void validate_ftim_options(const FtimOptions& o) {
+  const bool has_peer = o.peer_node >= 0 || !o.peer_nodes.empty();
+  if (o.checkpoint_period <= 0) {
+    throw std::invalid_argument(
+        cat("ftim: checkpoint_period must be > 0 (got ", o.checkpoint_period, " ns)"));
+  }
+  if (o.heartbeat_period <= 0) {
+    throw std::invalid_argument(
+        cat("ftim: heartbeat_period must be > 0 (got ", o.heartbeat_period, " ns)"));
+  }
+  if (o.full_checkpoint_interval == 0) {
+    throw std::invalid_argument(
+        "ftim: full_checkpoint_interval must be >= 1 (1 disables deltas)");
+  }
+  if (o.checkpoint_mode == CheckpointMode::kFull && o.full_checkpoint_interval > 1 &&
+      !o.track_dirty_ranges) {
+    throw std::invalid_argument(
+        cat("ftim: full_checkpoint_interval ", o.full_checkpoint_interval,
+            " asks for delta checkpoints but track_dirty_ranges is off — deltas need "
+            "dirty tracking (set the interval to 1 or re-enable tracking)"));
+  }
+  if (o.delta_stream_period < 0) {
+    throw std::invalid_argument(
+        cat("ftim: delta_stream_period must be >= 0 (got ", o.delta_stream_period, " ns)"));
+  }
+  if (o.delta_stream_period > 0 && o.replication != ReplicationMode::kWarmPassive) {
+    throw std::invalid_argument(
+        cat("ftim: delta_stream_period is a warm-passive knob, but replication is ",
+            replication_mode_name(o.replication)));
+  }
+  if (o.replication == ReplicationMode::kWarmPassive && !o.track_dirty_ranges) {
+    throw std::invalid_argument(
+        "ftim: warm-passive streams dirty-range deltas and cannot run with "
+        "track_dirty_ranges off");
+  }
+  if (o.replication != ReplicationMode::kColdPassive && !has_peer) {
+    throw std::invalid_argument(
+        cat("ftim: ", replication_mode_name(o.replication),
+            " replication needs at least one replication peer (N >= 2); configure "
+            "peer_node or peer_nodes"));
+  }
+  if (o.replication == ReplicationMode::kSemiActive && o.kind != FtimKind::kOpcClient) {
+    throw std::invalid_argument(
+        "ftim: semi-active replication needs a checkpointable client component "
+        "(kind = kOpcClient)");
+  }
+  if (o.promotion_staleness_bound < 0) {
+    throw std::invalid_argument(
+        cat("ftim: promotion_staleness_bound must be >= 0 (got ",
+            o.promotion_staleness_bound, " ns)"));
+  }
+  if (o.governor.enabled) {
+    if (o.governor.period <= 0) {
+      throw std::invalid_argument(
+          cat("ftim: governor.period must be > 0 (got ", o.governor.period, " ns)"));
+    }
+    if (o.governor.hysteresis_windows < 1) {
+      throw std::invalid_argument(
+          cat("ftim: governor.hysteresis_windows must be >= 1 (got ",
+              o.governor.hysteresis_windows, ")"));
+    }
+    if (o.governor.loss_rate_high < 0.0 || o.governor.loss_rate_high > 1.0) {
+      throw std::invalid_argument(
+          cat("ftim: governor.loss_rate_high must be within [0, 1] (got ",
+              o.governor.loss_rate_high, ")"));
+    }
+  }
+}
+
+}  // namespace oftt::core

@@ -1,0 +1,141 @@
+// ReplicationPolicy: the replication mechanism behind the engine/FTIM
+// pair, extracted into a swappable strategy object.
+//
+// The paper hardcodes cold-passive primary/backup: periodic checkpoints
+// that the backup keeps serialized until a switchover restores them in
+// bulk. Component-based adaptive-FT work (Stoicescu/Fabre) treats that
+// mechanism as a design dimension, and LLFT shows the other end of the
+// recovery-time spectrum — leader-follower replicas that execute the
+// workload and promote without any state transfer. A policy object
+// decides four things:
+//
+//   * capture cadence  — how often the active side captures state
+//   * transfer shape   — self-contained image or dirty-range delta
+//   * apply discipline — does the backup fold images into its live
+//                        runtime on receipt, or hold them serialized?
+//   * switchover hand- — does activation need the bulk restore, and is
+//     off              a stale replica even fit to take over?
+//
+// The FTIM owns one policy instance and consults it at every decision
+// point; ColdPassivePolicy reproduces the pre-refactor behavior
+// byte-for-byte. PolicyGovernor adds the adaptive layer: it watches the
+// checkpoint byte rate and the transport session's observed loss and
+// proposes live switches between cold and warm (never into semi-active,
+// which needs the application to drive the decision log).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.h"
+#include "sim/time.h"
+
+namespace oftt::core {
+
+struct FtimOptions;
+
+/// Tuning the policies consult, resolved once by the FTIM from its
+/// options (defaults filled in, mode-dependent fallbacks applied).
+struct ReplicationConfig {
+  sim::SimTime checkpoint_period = 0;
+  /// Warm-passive capture cadence (resolved: never 0 once derived).
+  sim::SimTime delta_stream_period = 0;
+  std::uint32_t full_checkpoint_interval = 8;
+  /// kFull mode with dirty tracking and an interval > 1 — the
+  /// precondition for shipping deltas at all.
+  bool deltas_enabled = true;
+  /// Max staleness of a replica's applied state for it to be promoted
+  /// without a fresh state pull; 0 = use the policy default.
+  sim::SimTime promotion_staleness_bound = 0;
+};
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  virtual ReplicationMode mode() const = 0;
+  const char* name() const { return replication_mode_name(mode()); }
+
+  /// Where the active side is in its capture cycle when the policy is
+  /// asked about the next transfer's shape.
+  struct CaptureState {
+    bool force_full = false;     // nack / activation / switch demanded a full
+    std::uint64_t seq = 0;       // checkpoints taken so far
+    std::uint32_t since_full = 0;
+  };
+
+  /// State-capture cadence for the active side's checkpoint timer.
+  virtual sim::SimTime capture_period(const ReplicationConfig& c) const = 0;
+  /// Transfer shape: ship the next capture as a dirty-range delta?
+  virtual bool capture_as_delta(const ReplicationConfig& c, const CaptureState& s) const = 0;
+  /// Backup apply discipline: fold images into the live runtime as they
+  /// arrive (true) or hold them serialized until activation (false).
+  virtual bool apply_on_receipt() const = 0;
+  /// Switchover handoff: does activation still need the bulk restore?
+  virtual bool restore_on_activate() const = 0;
+  /// Semi-active only: replicas execute the workload, driven by the
+  /// leader's decision log.
+  virtual bool followers_execute() const = 0;
+  /// Promotion-readiness rule: max staleness of a replica's applied
+  /// state before succession should skip it (0 = always ready — cold
+  /// backups restore in bulk, so staleness never disqualifies them).
+  virtual sim::SimTime staleness_bound(const ReplicationConfig& c) const = 0;
+};
+
+/// True when a replica whose newest applied state dates from
+/// `applied_at` may take over, given `evidence` — the last moment the
+/// primary was provably alive. Readiness is measured against the
+/// failure, not against "now": after the primary dies nobody's state
+/// advances, and waiting would never make a survivor readier.
+bool promotion_ready(const ReplicationPolicy& policy, const ReplicationConfig& c,
+                     sim::SimTime applied_at, sim::SimTime evidence);
+
+std::unique_ptr<ReplicationPolicy> make_policy(ReplicationMode mode);
+
+// ---------------------------------------------------------------------
+// Adaptive switching
+// ---------------------------------------------------------------------
+
+struct GovernorConfig {
+  bool enabled = false;
+  /// Sampling window; each evaluation sees the rates over one period.
+  sim::SimTime period = sim::seconds(1);
+  /// Observed loss (retransmits / data frames) above which the unit
+  /// degrades to cold-passive: frequent small deltas amplify
+  /// retransmission badly, coarse periodic images ride it out.
+  double loss_rate_high = 0.05;
+  /// Checkpoint byte rate below which warm streaming is affordable.
+  std::uint64_t warm_bytes_per_s = 256 * 1024;
+  /// Consecutive over/under-threshold windows before acting (hysteresis
+  /// — one noisy window must not flap the policy).
+  int hysteresis_windows = 2;
+};
+
+/// Pure decision logic: feed it one sample per window, it answers what
+/// mode the unit should be in. Never proposes semi-active — followers
+/// only execute when the application participates in the decision log,
+/// which no metric can detect.
+class PolicyGovernor {
+ public:
+  explicit PolicyGovernor(GovernorConfig config) : config_(config) {}
+
+  ReplicationMode evaluate(ReplicationMode current, double ckpt_bytes_per_s,
+                           double loss_rate);
+
+  const GovernorConfig& config() const { return config_; }
+
+ private:
+  GovernorConfig config_;
+  int lossy_windows_ = 0;
+  int calm_windows_ = 0;
+  int heavy_windows_ = 0;
+};
+
+/// Reject inconsistent replication knobs with a descriptive
+/// std::invalid_argument (delta interval without dirty tracking,
+/// warm-passive without dirty tracking, semi-active without a peer,
+/// nonsense periods). Called by the Ftim constructor; tests call it
+/// directly.
+void validate_ftim_options(const FtimOptions& options);
+
+}  // namespace oftt::core

@@ -13,6 +13,15 @@ const char* role_name(Role r) {
   return "?";
 }
 
+const char* replication_mode_name(ReplicationMode m) {
+  switch (m) {
+    case ReplicationMode::kColdPassive: return "cold-passive";
+    case ReplicationMode::kWarmPassive: return "warm-passive";
+    case ReplicationMode::kSemiActive: return "semi-active";
+  }
+  return "?";
+}
+
 const char* component_state_name(ComponentState s) {
   switch (s) {
     case ComponentState::kUp: return "UP";
@@ -63,6 +72,7 @@ Buffer PeerHeartbeat::encode() const {
   w.u8(static_cast<std::uint8_t>(role));
   w.u32(incarnation);
   w.u64(seq);
+  w.boolean(replica_ready);
   return std::move(w).take();
 }
 
@@ -73,6 +83,7 @@ bool PeerHeartbeat::decode(const Buffer& b, PeerHeartbeat& out) {
   out.role = static_cast<Role>(r.u8());
   out.incarnation = r.u32();
   out.seq = r.u64();
+  out.replica_ready = r.boolean();
   return !r.failed();
 }
 
@@ -124,6 +135,9 @@ Buffer FtHeartbeat::encode() const {
   BinaryWriter w = begin(MsgKind::kFtHeartbeat);
   w.str(component);
   w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(policy));
+  w.boolean(ready);
+  w.i64(applied_at);
   return std::move(w).take();
 }
 
@@ -132,6 +146,9 @@ bool FtHeartbeat::decode(const Buffer& b, FtHeartbeat& out) {
   if (!begin_read(b, MsgKind::kFtHeartbeat, r)) return false;
   out.component = r.str();
   out.seq = r.u64();
+  out.policy = static_cast<ReplicationMode>(r.u8());
+  out.ready = r.boolean();
+  out.applied_at = r.i64();
   return !r.failed();
 }
 
@@ -232,6 +249,8 @@ Buffer StatusReport::encode() const {
     w.u8(static_cast<std::uint8_t>(c.state));
     w.i32(c.restarts);
     w.u64(c.heartbeats);
+    w.u8(static_cast<std::uint8_t>(c.policy));
+    w.boolean(c.ready);
   }
   w.boolean(!view.members.empty());
   if (!view.members.empty()) view.encode(w);
@@ -247,10 +266,11 @@ bool StatusReport::decode(const Buffer& b, StatusReport& out) {
   out.incarnation = r.u32();
   out.peer_visible = r.boolean();
   std::uint32_t n = r.u32();
-  // A component status serializes to at least 17 bytes (4-byte name
-  // length + u8 state + i32 restarts + u64 heartbeats): reject garbage
-  // counts before the loop allocates anything.
-  if (n > r.remaining() / 17) return false;
+  // A component status serializes to at least 19 bytes (4-byte name
+  // length + u8 state + i32 restarts + u64 heartbeats + u8 policy +
+  // bool ready): reject garbage counts before the loop allocates
+  // anything.
+  if (n > r.remaining() / 19) return false;
   out.components.clear();
   for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
     ComponentStatus c;
@@ -258,6 +278,8 @@ bool StatusReport::decode(const Buffer& b, StatusReport& out) {
     c.state = static_cast<ComponentState>(r.u8());
     c.restarts = r.i32();
     c.heartbeats = r.u64();
+    c.policy = static_cast<ReplicationMode>(r.u8());
+    c.ready = r.boolean();
     out.components.push_back(std::move(c));
   }
   out.view = cluster::MembershipView{};
@@ -361,6 +383,48 @@ bool PromoteAck::decode(const Buffer& b, PromoteAck& out) {
   out.candidate = r.i32();
   out.incarnation = r.u32();
   out.granted = r.boolean();
+  return !r.failed();
+}
+
+Buffer DecisionMsg::encode() const {
+  BinaryWriter w = begin(MsgKind::kDecision);
+  w.str(component);
+  w.u64(seq);
+  w.i64(decided_at);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+bool DecisionMsg::decode(const Buffer& b, DecisionMsg& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kDecision, r)) return false;
+  out.component = r.str();
+  out.seq = r.u64();
+  out.decided_at = r.i64();
+  out.payload = r.blob();
+  return !r.failed();
+}
+
+Buffer PolicySwitchMsg::encode() const {
+  BinaryWriter w = begin(MsgKind::kPolicySwitch);
+  w.str(component);
+  w.u8(static_cast<std::uint8_t>(to));
+  w.u32(incarnation);
+  w.u64(at_seq);
+  w.u64(decision_seq);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+bool PolicySwitchMsg::decode(const Buffer& b, PolicySwitchMsg& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kPolicySwitch, r)) return false;
+  out.component = r.str();
+  out.to = static_cast<ReplicationMode>(r.u8());
+  out.incarnation = r.u32();
+  out.at_seq = r.u64();
+  out.decision_seq = r.u64();
+  out.reason = r.str();
   return !r.failed();
 }
 

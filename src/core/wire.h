@@ -47,6 +47,10 @@ enum class MsgKind : std::uint8_t {
   kCheckpoint = 40,
   kCheckpointNack = 41,
   kCheckpointPull = 42,
+  /// Semi-active: leader -> follower ordering decision (LLFT-style).
+  kDecision = 43,
+  /// Replication-policy switch announcement (active FTIM -> replicas).
+  kPolicySwitch = 44,
   // engine <-> engine, cluster mode (N-replica role management)
   kViewGossip = 50,
   kPromoteRequest = 51,
@@ -74,6 +78,9 @@ struct PeerHeartbeat {
   Role role = Role::kUnknown;
   std::uint32_t incarnation = 0;
   std::uint64_t seq = 0;
+  /// Every local replica is fresh enough (per its policy's staleness
+  /// bound) to take over. Succession prefers ready nodes.
+  bool replica_ready = true;
   Buffer encode() const;
   static bool decode(const Buffer& b, PeerHeartbeat& out);
 };
@@ -106,6 +113,15 @@ struct FtRegister {
 struct FtHeartbeat {
   std::string component;
   std::uint64_t seq = 0;
+  /// Active replication policy, so the engine can aggregate per-node
+  /// promotion readiness and the monitor can render it.
+  ReplicationMode policy = ReplicationMode::kColdPassive;
+  /// Promotion readiness per the policy's staleness bound (always true
+  /// on the active side and under cold-passive).
+  bool ready = true;
+  /// When the newest replica state this FTIM holds was applied (sim
+  /// time; 0 = nothing applied yet).
+  sim::SimTime applied_at = 0;
   Buffer encode() const;
   static bool decode(const Buffer& b, FtHeartbeat& out);
 };
@@ -166,6 +182,8 @@ struct ComponentStatus {
   ComponentState state = ComponentState::kUp;
   int restarts = 0;
   std::uint64_t heartbeats = 0;
+  ReplicationMode policy = ReplicationMode::kColdPassive;
+  bool ready = true;
 };
 
 struct StatusReport {
@@ -230,6 +248,34 @@ struct PromoteAck {
   bool granted = false;
   Buffer encode() const;
   static bool decode(const Buffer& b, PromoteAck& out);
+};
+
+/// Semi-active ordering decision (leader -> followers, over the same
+/// FTIM session as checkpoints but on its own traffic class). Followers
+/// apply decisions in seq order through the application's registered
+/// decision handler; a gap means a lost leader epoch and triggers a
+/// full-checkpoint resync.
+struct DecisionMsg {
+  std::string component;
+  std::uint64_t seq = 0;
+  sim::SimTime decided_at = 0;
+  Buffer payload;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, DecisionMsg& out);
+};
+
+/// Live policy switch: the active FTIM tells its replicas which policy
+/// governs the stream from (incarnation, at_seq) onward so both sides
+/// change discipline at the same point in the checkpoint sequence.
+struct PolicySwitchMsg {
+  std::string component;
+  ReplicationMode to = ReplicationMode::kColdPassive;
+  std::uint32_t incarnation = 0;
+  std::uint64_t at_seq = 0;        // checkpoint seq the switch takes effect at
+  std::uint64_t decision_seq = 0;  // decision-log watermark at the switch
+  std::string reason;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, PolicySwitchMsg& out);
 };
 
 /// Checkpoint frame: kind byte + component + image blob.

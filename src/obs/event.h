@@ -51,7 +51,9 @@ enum class EventKind : std::uint32_t {
   kResyncFull = 21,           // a = seq shipped, b = bytes shipped
   // Transport: reliable session layer.
   kSessionReset = 22,         // a = peer node id, b = new tx epoch
-  kMaxKind = 23,              // one past the last kind (mask width)
+  // Replication: live policy switches (governor- or app-driven).
+  kPolicySwitch = 23,         // a = new ReplicationMode, b = old
+  kMaxKind = 24,              // one past the last kind (mask width)
 };
 
 const char* event_kind_name(EventKind kind);

@@ -29,6 +29,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kResyncDelta: return "resync_delta";
     case EventKind::kResyncFull: return "resync_full";
     case EventKind::kSessionReset: return "session_reset";
+    case EventKind::kPolicySwitch: return "policy_switch";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

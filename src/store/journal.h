@@ -57,6 +57,8 @@ enum class RecordType : std::uint8_t {
   kSnapshot = 1,  // self-contained image; shadows everything before it
   kDelta = 2,     // applies on top of record `base`
   kMessage = 3,   // journaled in-flight message (diverter retry state)
+  kDecision = 4,  // semi-active decision-log entry (id = decision seq)
+  kPolicy = 5,    // active replication policy (payload = mode byte)
 };
 
 struct Record {

@@ -65,6 +65,12 @@ std::uint64_t Endpoint::acked_tag(int peer) const {
   return it == tx_.end() ? 0 : it->second.max_acked_tag;
 }
 
+std::uint64_t Endpoint::acked_tag(int peer, std::uint8_t cls) const {
+  auto it = tx_.find(peer);
+  if (it == tx_.end() || cls >= kTrafficClasses) return 0;
+  return it->second.max_acked_by_cls[cls];
+}
+
 Endpoint::TxSession& Endpoint::tx_session(int peer) {
   auto it = tx_.find(peer);
   if (it != tx_.end()) return it->second;
@@ -73,9 +79,11 @@ Endpoint::TxSession& Endpoint::tx_session(int peer) {
   return tx_.emplace(peer, std::move(ts)).first->second;
 }
 
-bool Endpoint::send(int peer, Buffer payload, std::uint64_t tag, AckFn on_acked) {
+bool Endpoint::send(int peer, Buffer payload, std::uint64_t tag, AckFn on_acked,
+                    std::uint8_t cls) {
   TxSession& ts = tx_session(peer);
-  QueuedFrame qf{std::move(payload), tag, std::move(on_acked)};
+  if (cls >= kTrafficClasses) cls = kClassControl;
+  QueuedFrame qf{std::move(payload), tag, std::move(on_acked), cls};
   // An oversized frame is admitted when it would be alone in flight —
   // otherwise nothing larger than the window could ever be sent.
   if (ts.queue.empty() &&
@@ -97,9 +105,10 @@ void Endpoint::admit(int peer, TxSession& ts, QueuedFrame qf) {
   std::uint64_t seq = ts.next_seq++;
   auto it = ts.inflight
                 .emplace(seq, InflightFrame{std::move(qf.payload), qf.tag,
-                                            std::move(qf.on_acked), 0, false})
+                                            std::move(qf.on_acked), qf.cls, 0})
                 .first;
   ts.inflight_bytes += it->second.payload.size();
+  class_bytes_[it->second.cls] += it->second.payload.size();
   gauge_inflight_bytes_.add(static_cast<std::int64_t>(it->second.payload.size()));
   transmit(peer, ts, seq);
 }
@@ -297,6 +306,7 @@ void Endpoint::retire(TxSession& ts, std::map<std::uint64_t, InflightFrame>::ite
   ts.inflight_bytes -= f.payload.size();
   gauge_inflight_bytes_.add(-static_cast<std::int64_t>(f.payload.size()));
   if (f.tag > ts.max_acked_tag && !f.voided) ts.max_acked_tag = f.tag;
+  if (f.tag > ts.max_acked_by_cls[f.cls] && !f.voided) ts.max_acked_by_cls[f.cls] = f.tag;
   AckFn fn = std::move(f.on_acked);
   std::uint64_t tag = f.tag;
   bool voided = f.voided;
@@ -309,7 +319,7 @@ void Endpoint::reset_session(int peer, TxSession& ts, std::uint64_t new_peer_ins
   for (auto& [seq, f] : ts.inflight) {
     gauge_inflight_bytes_.add(-static_cast<std::int64_t>(f.payload.size()));
     if (f.voided) continue;  // a cancelled frame need not survive the reset
-    pending.push_back(QueuedFrame{std::move(f.payload), f.tag, std::move(f.on_acked)});
+    pending.push_back(QueuedFrame{std::move(f.payload), f.tag, std::move(f.on_acked), f.cls});
   }
   for (auto& qf : ts.queue) pending.push_back(std::move(qf));
   ts.inflight.clear();

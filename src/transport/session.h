@@ -29,6 +29,7 @@
 // re-dispatching everything unacknowledged under a fresh epoch.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -54,6 +55,17 @@ inline constexpr std::uint8_t kAckFrame = 0xD2;
 inline bool is_transport_frame(const Buffer& payload) {
   return !payload.empty() && (payload[0] == kDataFrame || payload[0] == kAckFrame);
 }
+
+/// Traffic classes: independent ack-watermark lanes within one session.
+/// Frames of every class share the sequence space, window and queue
+/// (ordering across classes is preserved — a decision shipped after a
+/// checkpoint arrives after it), but acked_tag(peer, cls) tracks each
+/// class separately so checkpoint progress and decision-log progress
+/// never clobber each other's watermark.
+inline constexpr std::uint8_t kClassControl = 0;
+inline constexpr std::uint8_t kClassCheckpoint = 1;
+inline constexpr std::uint8_t kClassDecision = 2;
+inline constexpr std::uint8_t kTrafficClasses = 4;
 
 /// What to do when the send queue (frames waiting for window space) is
 /// full. kReject makes send() return false — FTIM uses that as a signal
@@ -112,8 +124,10 @@ class Endpoint {
   /// Queue a payload for reliable in-order delivery to `peer`. Returns
   /// false only when the queue is full under QueuePolicy::kReject.
   /// `tag` (optional, non-zero) names the frame for acked_tag()/cancel();
-  /// `on_acked` (optional) fires when the peer acknowledges it.
-  bool send(int peer, Buffer payload, std::uint64_t tag = 0, AckFn on_acked = nullptr);
+  /// `on_acked` (optional) fires when the peer acknowledges it; `cls`
+  /// picks the traffic class whose watermark the tag advances.
+  bool send(int peer, Buffer payload, std::uint64_t tag = 0, AckFn on_acked = nullptr,
+            std::uint8_t cls = kClassControl);
 
   /// Drop every queued or in-flight frame to `peer` carrying `tag`
   /// (non-zero). Queued frames are removed outright; in-flight ones are
@@ -125,8 +139,24 @@ class Endpoint {
   /// Highest tag the peer has acknowledged (its rx has delivered it to
   /// the application). 0 until the first tagged ack. Watermark survives
   /// session resets — it reflects what the peer *processed*, which a
-  /// reboot does not un-process.
+  /// reboot does not un-process. The one-argument form spans every
+  /// traffic class (the pre-class behavior); the two-argument form reads
+  /// one class's lane.
   std::uint64_t acked_tag(int peer) const;
+  std::uint64_t acked_tag(int peer, std::uint8_t cls) const;
+
+  /// Payload bytes admitted per traffic class (first transmissions only,
+  /// not retransmits) — the governor's checkpoint/decision byte meters.
+  std::uint64_t class_bytes_sent(std::uint8_t cls) const {
+    return cls < kTrafficClasses ? class_bytes_[cls] : 0;
+  }
+
+  /// Fraction of data transmissions that were retransmissions — the
+  /// governor's loss signal. 0 when nothing was sent.
+  double observed_loss() const {
+    std::uint64_t total = data_sent_ + retransmits_;
+    return total == 0 ? 0.0 : static_cast<double>(retransmits_) / static_cast<double>(total);
+  }
 
   // Introspection for callers, tests and benches.
   std::uint64_t data_sent() const { return data_sent_; }
@@ -144,11 +174,13 @@ class Endpoint {
     Buffer payload;
     std::uint64_t tag = 0;
     AckFn on_acked;
+    std::uint8_t cls = kClassControl;
   };
   struct InflightFrame {
     Buffer payload;
     std::uint64_t tag = 0;
     AckFn on_acked;
+    std::uint8_t cls = kClassControl;
     int attempts = 0;
     bool voided = false;
     /// Selectively acknowledged: the peer holds it in its reorder buffer
@@ -168,6 +200,7 @@ class Endpoint {
     std::deque<QueuedFrame> queue;
     std::size_t inflight_bytes = 0;
     std::uint64_t max_acked_tag = 0;
+    std::array<std::uint64_t, kTrafficClasses> max_acked_by_cls{};
   };
   struct ReorderEntry {
     Buffer payload;
@@ -208,6 +241,7 @@ class Endpoint {
   std::uint64_t session_resets_ = 0;
   std::uint64_t malformed_frames_ = 0;
   std::uint64_t queue_drops_ = 0;
+  std::array<std::uint64_t, kTrafficClasses> class_bytes_{};
 
   obs::Counter ctr_data_sent_;
   obs::Counter ctr_retransmits_;

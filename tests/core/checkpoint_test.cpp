@@ -189,7 +189,9 @@ TEST_F(CheckpointTest, ApplyDeltaMergesIntoBaseAndRestoresCorrectly) {
 
   g.write<std::uint64_t>(64, 21);
   CheckpointImage delta = capture_delta_checkpoint(*src_, 2, 1, 1, {});
-  EXPECT_EQ(apply_delta(base, delta), 0);
+  const DeltaApplyResult res = apply_delta(base, delta);
+  EXPECT_TRUE(res.applied());
+  EXPECT_EQ(res.anomalies, 0);
   EXPECT_EQ(base.seq, 2u);
 
   restore_checkpoint(*dst_, base);
@@ -203,10 +205,14 @@ TEST_F(CheckpointTest, ApplyDeltaCountsCellsOutsideBase) {
   base.regions["g"] = Buffer(16);
   CheckpointImage delta;
   delta.seq = 2;
+  delta.mode = CheckpointMode::kDelta;
+  delta.base_seq = 1;
   SelectiveCell missing{"nope", 0, Buffer(4)};
   SelectiveCell overrun{"g", 12, Buffer(8)};
   delta.cells = {missing, overrun};
-  EXPECT_EQ(apply_delta(base, delta), 2);
+  const DeltaApplyResult res = apply_delta(base, delta);
+  EXPECT_TRUE(res.applied());
+  EXPECT_EQ(res.anomalies, 2);
   EXPECT_EQ(base.seq, 2u) << "merge still advances despite the anomalies";
 }
 
@@ -220,6 +226,7 @@ Buffer image_with_declared_region_count(std::uint32_t count) {
   BinaryWriter w;
   w.u64(1);                                              // seq
   w.u64(0);                                              // base_seq
+  w.u64(0);                                              // decision_seq
   w.u32(1);                                              // incarnation
   w.u8(static_cast<std::uint8_t>(CheckpointMode::kFull));  // mode
   w.i64(0);                                              // taken_at
@@ -237,6 +244,7 @@ TEST_F(CheckpointTest, UnmarshalRejectsHugeDeclaredCounts) {
   BinaryWriter w;
   w.u64(1);
   w.u64(0);
+  w.u64(0);  // decision_seq
   w.u32(1);
   w.u8(static_cast<std::uint8_t>(CheckpointMode::kFull));
   w.i64(0);

@@ -14,6 +14,12 @@ struct CounterAppOptions {
   core::FtimOptions ftim;
   sim::SimTime tick = sim::milliseconds(50);
   std::size_t state_bytes = 64;  // size of the "globals" region
+  /// Semi-active workload shape: the active side increments through
+  /// OFTTPropose (ordered decision log) instead of touching the cell
+  /// directly, and every replica registers the same deterministic
+  /// apply handler. Under passive policies propose() degrades to a
+  /// local apply, so the app behaves identically either way.
+  bool drive_by_decisions = false;
 };
 
 class CounterApp {
@@ -28,9 +34,19 @@ class CounterApp {
     counter_ = nt::Cell<std::int64_t>(region_, 0);
     core::OFTTInitialize(process, options.ftim);
     core::Ftim& ftim = *core::Ftim::find(process);
-    ftim.on_activate([this, tick = options.tick](bool) {
-      timer_.start(tick, [this] { counter_.set(counter_.get() + 1); });
-    });
+    if (options.drive_by_decisions) {
+      core::OFTTOnApplyDecision(
+          process, [this](const Buffer&) { counter_.set(counter_.get() + 1); });
+      ftim.on_activate([this, tick = options.tick](bool) {
+        timer_.start(tick, [this] {
+          core::OFTTPropose(*process_, Buffer{std::uint8_t{1}});  // "increment"
+        });
+      });
+    } else {
+      ftim.on_activate([this, tick = options.tick](bool) {
+        timer_.start(tick, [this] { counter_.set(counter_.get() + 1); });
+      });
+    }
     ftim.on_deactivate([this] { timer_.stop(); });
   }
 
