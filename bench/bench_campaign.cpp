@@ -1,0 +1,136 @@
+// Experiment E14 — coverage-guided fault-schedule search. Where E9
+// samples random fault storms, E14 *searches*: a population of fault
+// schedules evolves under mutation and splice, evaluations run in
+// parallel on the sweep pool, and schedules that light new coverage
+// bits or worsen failover p99 past 1.2x the single-crash baseline are
+// shrunk to minimal reproducers. The output corpus is deterministic for
+// a (campaign seed, budget) pair regardless of evaluator thread count —
+// the property the CI lane diffs — and can be written out to refresh
+// the pinned regression corpus (tests/chaos/corpus/worst_case.corpus)
+// via OFTT_CAMPAIGN_CORPUS_OUT=<path>.
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "chaos/campaign.h"
+#include "chaos/corpus.h"
+#include "obs/json.h"
+
+using namespace oftt;
+using namespace oftt::bench;
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+chaos::CampaignOptions campaign_options() {
+  chaos::CampaignOptions opts;
+  opts.seed = 1;
+  if (smoke_mode()) {
+    // Bounded-budget CI lane: exercise every stage (evolve, shrink,
+    // corpus, export) in seconds, not minutes.
+    opts.population = 4;
+    opts.generations = 2;
+    opts.shrink_budget = 10;
+    opts.eval.run_for = sim::seconds(40);
+    opts.mutation.horizon = sim::seconds(28);
+    opts.mutation.max_dur = sim::seconds(12);
+    opts.mutation.max_ops = 6;
+  } else {
+    opts.population = 16;
+    opts.generations = 8;
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kOff);
+  chaos::CampaignOptions opts = campaign_options();
+  title("E14: coverage-guided fault-schedule search",
+        "population " + std::to_string(opts.population) + " x " +
+            std::to_string(opts.generations) +
+            " generations, parallel evaluation on the sweep pool; survivors = new "
+            "coverage or failover p99 > 1.2x the single-crash baseline, shrunk to "
+            "minimal reproducers");
+
+  chaos::Campaign campaign(opts);
+  campaign.run();
+
+  row({"generation", "evals", "cov bits", "corpus", "best p99 ms"});
+  rule(5);
+  for (const chaos::GenerationStats& g : campaign.generations()) {
+    row({fmt_int(g.generation), fmt_int(g.evals),
+         fmt_int(static_cast<long long>(g.coverage_bits)),
+         fmt_int(static_cast<long long>(g.corpus_size)),
+         fmt(static_cast<double>(g.best_p99) / 1e6, 1)});
+  }
+
+  std::printf("\nbaseline failover p99: %.1f ms, %d evaluations total\n",
+              static_cast<double>(campaign.baseline_p99()) / 1e6,
+              campaign.total_evals());
+
+  std::printf("\nworst-case corpus (%zu entries):\n", campaign.corpus().size());
+  row({"name", "reason", "ops", "was", "p99 ms", "history hash"});
+  rule(6);
+  for (const chaos::CorpusEntry& e : campaign.corpus()) {
+    row({e.name, e.reason, fmt_int(static_cast<long long>(e.spec.ops.size())),
+         fmt_int(static_cast<long long>(e.ops_before_shrink)),
+         fmt(static_cast<double>(e.failover_p99) / 1e6, 1), hex16(e.history_hash)});
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "campaign");
+  w.kv("seed", opts.seed);
+  w.kv("population", opts.population);
+  w.kv("generations", opts.generations);
+  w.kv("eval_seed", opts.eval.sim_seed);
+  w.kv("run_for_ns", static_cast<std::int64_t>(opts.eval.run_for));
+  w.kv("baseline_p99_ns", campaign.baseline_p99());
+  w.kv("total_evals", campaign.total_evals());
+  w.kv("coverage_bits", static_cast<std::uint64_t>(campaign.coverage().count()));
+  w.key("generation_stats");
+  w.begin_array();
+  for (const chaos::GenerationStats& g : campaign.generations()) {
+    w.begin_object();
+    w.kv("generation", g.generation);
+    w.kv("evals", g.evals);
+    w.kv("coverage_bits", static_cast<std::uint64_t>(g.coverage_bits));
+    w.kv("corpus_size", static_cast<std::uint64_t>(g.corpus_size));
+    w.kv("best_p99_ns", g.best_p99);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("corpus");
+  w.begin_array();
+  for (const chaos::CorpusEntry& e : campaign.corpus()) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("reason", e.reason);
+    w.kv("ops", static_cast<std::uint64_t>(e.spec.ops.size()));
+    w.kv("ops_before_shrink", static_cast<std::uint64_t>(e.ops_before_shrink));
+    w.kv("failover_p99_ns", e.failover_p99);
+    w.kv("history_hash", hex16(e.history_hash));
+    w.kv("schedule", e.spec.serialize());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_file("BENCH_campaign.json", w.take());
+
+  if (const char* out = std::getenv("OFTT_CAMPAIGN_CORPUS_OUT");
+      out != nullptr && out[0] != '\0') {
+    write_file(out, chaos::serialize_corpus(campaign.corpus()));
+  }
+
+  std::printf(
+      "\n(every corpus entry is a shrunk, replayable reproducer: same eval seed, same\n"
+      " schedule => byte-identical event history; the pinned worst cases in\n"
+      " tests/chaos/corpus/ replay as ctest regressions on every build)\n");
+  return 0;
+}

@@ -3,16 +3,14 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
 #include <string>
-#include <thread>
-#include <type_traits>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sweep.h"
 
 namespace oftt::bench {
 
@@ -77,48 +75,10 @@ inline bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-/// Worker-thread count for sweep_seeds: OFTT_BENCH_THREADS if set,
-/// otherwise hardware_concurrency, clamped to [1, runs].
-inline int sweep_threads(int runs) {
-  const char* v = std::getenv("OFTT_BENCH_THREADS");
-  int t = (v != nullptr && v[0] != '\0') ? std::atoi(v)
-                                         : static_cast<int>(std::thread::hardware_concurrency());
-  if (t < 1) t = 1;
-  return std::min(t, std::max(runs, 1));
-}
-
-/// Run `fn(run_index)` for every index in [0, runs) on a thread pool
-/// and return the results in index order.
-///
-/// Each run must be self-contained: seed everything from the index and
-/// build its own Simulation (the sim kernel is single-threaded by
-/// design; the sweep parallelises across whole simulations, never
-/// within one). Runs claim indices from an atomic counter, so thread
-/// count and scheduling affect only wall-clock: the result vector is
-/// byte-identical for OFTT_BENCH_THREADS=1 and =N, and identical to
-/// the old serial `for (seed...)` loops these replaced.
-template <typename Fn>
-auto sweep_seeds(int runs, Fn fn) -> std::vector<std::invoke_result_t<Fn&, int>> {
-  using R = std::invoke_result_t<Fn&, int>;
-  std::vector<R> out(static_cast<std::size_t>(std::max(runs, 0)));
-  int workers = sweep_threads(runs);
-  if (workers <= 1) {
-    for (int i = 0; i < runs; ++i) out[static_cast<std::size_t>(i)] = fn(i);
-    return out;
-  }
-  std::atomic<int> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (int i = next.fetch_add(1); i < runs; i = next.fetch_add(1)) {
-        out[static_cast<std::size_t>(i)] = fn(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  return out;
-}
+// The sweep thread pool itself lives in src/common/sweep.h (shared
+// with the chaos campaign runner); the bench-facing names stay here.
+using oftt::sweep_seeds;
+using oftt::sweep_threads;
 
 struct Stats {
   double mean = 0, p50 = 0, p95 = 0, min = 0, max = 0;

@@ -1,0 +1,124 @@
+#include "chaos/corpus.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace oftt::chaos {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+std::uint64_t parse_hex16(std::string_view s) {
+  if (s.size() != 16) throw std::runtime_error(cat("chaos: bad hash '", std::string(s), "'"));
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw std::runtime_error(cat("chaos: bad hash '", std::string(s), "'"));
+    }
+  }
+  return v;
+}
+
+std::int64_t parse_int(std::string_view s, std::string_view what) {
+  try {
+    std::string str(s);
+    std::size_t consumed = 0;
+    std::int64_t v = std::stoll(str, &consumed);
+    if (consumed != str.size()) throw std::invalid_argument(str);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(cat("chaos: bad ", std::string(what), ": ", std::string(s)));
+  }
+}
+
+/// "key value" line -> value; throws when the key does not match.
+std::string_view expect_kv(std::string_view line, std::string_view key) {
+  if (!starts_with(line, std::string(key) + " ")) {
+    throw std::runtime_error(
+        cat("chaos: corpus expected '", std::string(key), " ...', got: ", std::string(line)));
+  }
+  return trim(line.substr(key.size() + 1));
+}
+
+}  // namespace
+
+std::string serialize_corpus(const std::vector<CorpusEntry>& corpus) {
+  std::string out = "# OFTT chaos corpus v1\n";
+  for (const CorpusEntry& e : corpus) {
+    out += cat("entry ", e.name, "\n");
+    out += cat("reason ", e.reason, "\n");
+    out += cat("eval_seed ", e.eval_seed, "\n");
+    out += cat("run_for ", e.run_for, "\n");
+    out += cat("hash ", hex16(e.history_hash), "\n");
+    out += cat("p99 ", e.failover_p99, "\n");
+    out += e.spec.serialize();
+    out += "end_entry\n";
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> parse_corpus(std::string_view text) {
+  std::vector<CorpusEntry> out;
+  std::vector<std::string> lines = split(std::string(text), '\n');
+  std::size_t i = 0;
+  auto next_line = [&]() -> std::string_view {
+    while (i < lines.size()) {
+      std::string_view line = trim(lines[i]);
+      ++i;
+      if (line.empty() || line[0] == '#') continue;
+      return line;
+    }
+    return {};
+  };
+
+  for (std::string_view line = next_line(); !line.empty(); line = next_line()) {
+    CorpusEntry e;
+    e.name = std::string(expect_kv(line, "entry"));
+    e.reason = std::string(expect_kv(next_line(), "reason"));
+    e.eval_seed =
+        static_cast<std::uint64_t>(parse_int(expect_kv(next_line(), "eval_seed"), "eval_seed"));
+    e.run_for = parse_int(expect_kv(next_line(), "run_for"), "run_for");
+    e.history_hash = parse_hex16(expect_kv(next_line(), "hash"));
+    e.failover_p99 = parse_int(expect_kv(next_line(), "p99"), "p99");
+    // The schedule block: "schedule v1" .. "end".
+    std::string schedule_text;
+    std::string_view s = next_line();
+    if (s != "schedule v1") {
+      throw std::runtime_error(cat("chaos: corpus expected 'schedule v1', got: ", std::string(s)));
+    }
+    schedule_text += "schedule v1\n";
+    for (s = next_line(); !s.empty() && s != "end"; s = next_line()) {
+      schedule_text += std::string(s) + "\n";
+    }
+    if (s != "end") throw std::runtime_error("chaos: corpus schedule block not terminated");
+    schedule_text += "end\n";
+    e.spec = ScheduleSpec::parse(schedule_text);
+    if (next_line() != "end_entry") {
+      throw std::runtime_error(cat("chaos: corpus entry '", e.name, "' not terminated"));
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+EvalResult replay(const CorpusEntry& entry) {
+  EvalOptions opts;
+  opts.sim_seed = entry.eval_seed;
+  opts.run_for = entry.run_for;
+  return evaluate(entry.spec, opts);
+}
+
+}  // namespace oftt::chaos

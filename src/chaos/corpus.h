@@ -1,0 +1,38 @@
+// Corpus (de)serialization: the checked-in text format for worst-case
+// schedules. A corpus file is a sequence of entries, each carrying the
+// replay parameters (eval seed, run length) and the expected
+// event-history hash alongside the schedule itself, so a regression
+// test can replay every entry and diff the hash byte-for-byte:
+//
+//   # OFTT chaos corpus v1
+//   entry cov-0001
+//   reason new_coverage
+//   eval_seed 42
+//   run_for 75000000000
+//   hash 00a1b2c3d4e5f607
+//   p99 812345678
+//   schedule v1
+//   op os_crash at=10000000000 node=1 dur=15000000000 p=0 q=0
+//   end
+//   end_entry
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+
+namespace oftt::chaos {
+
+std::string serialize_corpus(const std::vector<CorpusEntry>& corpus);
+
+/// Inverse of serialize_corpus; throws std::runtime_error on malformed
+/// input (a corrupt pinned corpus must fail loudly, not replay
+/// something else).
+std::vector<CorpusEntry> parse_corpus(std::string_view text);
+
+/// Replay one corpus entry and return the freshly-computed result; the
+/// caller diffs result.history_hash against entry.history_hash.
+EvalResult replay(const CorpusEntry& entry);
+
+}  // namespace oftt::chaos

@@ -1,0 +1,169 @@
+#include "chaos/coverage.h"
+
+#include <bit>
+
+#include "obs/span.h"
+
+namespace oftt::chaos {
+
+namespace {
+
+/// splitmix64 finalizer — cheap, well-mixed, and already the idiom of
+/// sim::Rng.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// log2 bucket (0 for 0) — collapses durations/depths into coarse
+/// magnitude classes so coverage rewards "an order of magnitude worse",
+/// not nanosecond noise.
+std::uint64_t bucket(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<std::uint64_t>(64 - std::countl_zero(v));
+}
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;  // FNV-1a prime, same fold as bench_kernel
+}
+
+// Feature tags (arbitrary but stable).
+constexpr std::uint64_t kTagKind = 1;
+constexpr std::uint64_t kTagBigram = 2;
+constexpr std::uint64_t kTagRole = 3;
+constexpr std::uint64_t kTagPolicy = 4;
+constexpr std::uint64_t kTagJournal = 5;
+constexpr std::uint64_t kTagSpanShape = 6;
+constexpr std::uint64_t kTagSpanPhase = 7;
+
+}  // namespace
+
+bool CoverageMap::set(std::uint64_t feature) {
+  std::uint64_t h = mix(feature);
+  std::size_t bit = static_cast<std::size_t>(h % kBits);
+  std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  std::uint64_t& word = words_[bit / 64];
+  bool fresh = (word & mask) == 0;
+  word |= mask;
+  return fresh;
+}
+
+bool CoverageMap::test(std::uint64_t feature) const {
+  std::uint64_t h = mix(feature);
+  std::size_t bit = static_cast<std::size_t>(h % kBits);
+  return (words_[bit / 64] & (std::uint64_t{1} << (bit % 64))) != 0;
+}
+
+std::size_t CoverageMap::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t CoverageMap::new_bits(const CoverageMap& base) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] & ~base.words_[i]));
+  }
+  return n;
+}
+
+CoverageMap CoverageMap::minus(const CoverageMap& base) const {
+  CoverageMap out;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & ~base.words_[i];
+  }
+  return out;
+}
+
+bool CoverageMap::covers(const CoverageMap& required) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((required.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+void CoverageMap::merge(const CoverageMap& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+std::uint64_t coverage_feature(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) {
+  std::uint64_t h = 14695981039346656037ull;
+  fold(h, tag);
+  fold(h, a);
+  fold(h, b);
+  fold(h, c);
+  return h;
+}
+
+CoverageProbe::CoverageProbe(obs::Telemetry& telemetry) : telemetry_(&telemetry) {
+  sub_ = telemetry_->bus().subscribe_all([this](const obs::Event& e) { on_event(e); });
+}
+
+CoverageProbe::~CoverageProbe() { telemetry_->bus().unsubscribe(sub_); }
+
+void CoverageProbe::on_event(const obs::Event& e) {
+  ++events_;
+  if (static_cast<std::size_t>(e.kind) < kind_counts_.size()) {
+    ++kind_counts_[static_cast<std::size_t>(e.kind)];
+  }
+  fold(hash_, static_cast<std::uint64_t>(e.at));
+  fold(hash_, static_cast<std::uint64_t>(e.kind));
+  fold(hash_, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node)));
+  fold(hash_, e.a);
+  fold(hash_, e.b);
+
+  auto kind = static_cast<std::uint32_t>(e.kind);
+  auto node = static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node));
+  map_.set(coverage_feature(kTagKind, kind, node));
+  std::uint32_t& prev = last_kind_[e.node];
+  map_.set(coverage_feature(kTagBigram, node, prev, kind));
+  prev = kind;
+
+  switch (e.kind) {
+    case obs::EventKind::kRoleChange: {
+      std::uint64_t& prev_role = last_role_[e.node];
+      map_.set(coverage_feature(kTagRole, node, prev_role, e.a));
+      prev_role = e.a;
+      break;
+    }
+    case obs::EventKind::kPolicySwitch:
+      map_.set(coverage_feature(kTagPolicy, e.a, e.b));
+      break;
+    case obs::EventKind::kJournalRecovered:
+      map_.set(coverage_feature(kTagJournal, node, bucket(e.a)));
+      break;
+    default: break;
+  }
+}
+
+void CoverageProbe::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const obs::FailoverTrace& tr : telemetry_->spans().traces()) {
+    // Milestone presence mask: which stations this incident reached.
+    std::uint64_t shape = 0;
+    shape |= (tr.detected_at >= 0 ? 1u : 0u) << 0;
+    shape |= (tr.quorum_at >= 0 ? 1u : 0u) << 1;
+    shape |= (tr.promoted_at >= 0 ? 1u : 0u) << 2;
+    shape |= (tr.active_at >= 0 ? 1u : 0u) << 3;
+    shape |= (tr.rerouted_at >= 0 ? 1u : 0u) << 4;
+    map_.set(coverage_feature(kTagSpanShape, shape,
+                              bucket(static_cast<std::uint64_t>(
+                                  tr.total() > 0 ? tr.total() : 0))));
+    for (auto phase :
+         {obs::FailoverPhase::kDetection, obs::FailoverPhase::kAckCollection,
+          obs::FailoverPhase::kNegotiation, obs::FailoverPhase::kPromotion,
+          obs::FailoverPhase::kReplay}) {
+      sim::SimTime d = tr.phase(phase);
+      if (d >= 0) {
+        map_.set(coverage_feature(kTagSpanPhase, static_cast<std::uint64_t>(phase),
+                                  bucket(static_cast<std::uint64_t>(d))));
+      }
+    }
+  }
+}
+
+}  // namespace oftt::chaos

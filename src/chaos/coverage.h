@@ -1,0 +1,102 @@
+// Coverage signal for the fault-schedule search: which distinct
+// recovery behaviours a run exercised, hashed into a fixed bitmap.
+//
+// The probe is a pure obs::EventBus subscriber — components publish
+// their normal telemetry and the probe derives features:
+//
+//   - per-node event-kind presence and (prev, next) event bigrams
+//   - engine role-transition pairs (backup->primary, primary->shutdown, ...)
+//   - replication policy switches (old mode -> new mode)
+//   - journal recovery depth (log2 bucket of records replayed)
+//   - failover span shape: which milestones a trace reached
+//     (quorum? rerouted?) and log2 buckets of each phase duration
+//
+// Two runs that recover the same way light the same bits; a schedule
+// that drives the system through a *new* combination — a failover that
+// detects but never reroutes, a journal replay 64 records deep, a
+// dual-primary window — lights bits no earlier run has, which is what
+// the campaign treats as progress. The probe also folds every event
+// into an FNV event-history hash: the byte-identical-replay fingerprint
+// the pinned corpus scenarios are diffed against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "obs/event_bus.h"
+#include "obs/telemetry.h"
+
+namespace oftt::chaos {
+
+class CoverageMap {
+ public:
+  /// 16384 feature bits (2 KiB) — roomy next to the few hundred
+  /// distinct features current scenarios produce, so collisions stay
+  /// rare without making merges expensive.
+  static constexpr std::size_t kBits = 1u << 14;
+
+  /// Hash `feature` to a bit and set it; true if it was newly set.
+  bool set(std::uint64_t feature);
+  bool test(std::uint64_t feature) const;
+
+  std::size_t count() const;
+  /// Bits set here that `base` does not have.
+  std::size_t new_bits(const CoverageMap& base) const;
+  /// The delta bitmap (bits set here and not in `base`).
+  CoverageMap minus(const CoverageMap& base) const;
+  /// True when every bit of `required` is set here (superset test; the
+  /// shrinker's "still reproduces the interesting coverage" predicate).
+  bool covers(const CoverageMap& required) const;
+  void merge(const CoverageMap& other);
+
+  bool operator==(const CoverageMap& o) const { return words_ == o.words_; }
+
+ private:
+  std::array<std::uint64_t, kBits / 64> words_{};
+};
+
+/// Mix a tagged feature tuple into one 64-bit feature id.
+std::uint64_t coverage_feature(std::uint64_t tag, std::uint64_t a, std::uint64_t b = 0,
+                               std::uint64_t c = 0);
+
+class CoverageProbe {
+ public:
+  /// Subscribes to the telemetry bus; must outlive the run it observes.
+  explicit CoverageProbe(obs::Telemetry& telemetry);
+  ~CoverageProbe();
+
+  CoverageProbe(const CoverageProbe&) = delete;
+  CoverageProbe& operator=(const CoverageProbe&) = delete;
+
+  /// Fold the failover-span shape features (milestone mask + phase
+  /// duration buckets). Call once, after the run; idempotent.
+  void finish();
+
+  const CoverageMap& map() const { return map_; }
+  /// FNV fold of (at, kind, node, a, b) of every published event — the
+  /// replay-identity fingerprint.
+  std::uint64_t history_hash() const { return hash_; }
+  std::uint64_t events() const { return events_; }
+  /// How many events of `kind` the run published (dual-primary
+  /// sightings, takeover counts, ... — fitness inputs).
+  std::uint64_t count_of(obs::EventKind kind) const {
+    return kind_counts_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  void on_event(const obs::Event& e);
+
+  obs::Telemetry* telemetry_;
+  obs::EventBus::SubscriberId sub_ = 0;
+  CoverageMap map_;
+  std::uint64_t hash_ = 14695981039346656037ull;
+  std::uint64_t events_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(obs::EventKind::kMaxKind)>
+      kind_counts_{};
+  std::map<int, std::uint32_t> last_kind_;  // per-node bigram state
+  std::map<int, std::uint64_t> last_role_;  // per-node previous role
+  bool finished_ = false;
+};
+
+}  // namespace oftt::chaos

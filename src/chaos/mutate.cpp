@@ -1,0 +1,127 @@
+#include "chaos/mutate.h"
+
+#include <algorithm>
+
+namespace oftt::chaos {
+
+namespace {
+
+/// Round times to 1 ms so serialized genomes stay readable and the
+/// search space is not cluttered with sub-ms distinctions no detector
+/// in the system can resolve (heartbeat periods are 100 ms).
+constexpr sim::SimTime kTimeQuantum = sim::milliseconds(1);
+
+sim::SimTime quantize(sim::SimTime t) { return (t / kTimeQuantum) * kTimeQuantum; }
+
+std::uint32_t clamp_ppm(std::int64_t v) {
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(v, 0, 1'000'000));
+}
+
+}  // namespace
+
+void clamp_op(FaultOp& op, const MutationParams& params) {
+  op.at = quantize(std::clamp(op.at, params.min_at, params.horizon));
+  op.node = std::clamp(op.node, 0, params.nodes - 1);
+  if (op_kind_uses_dur(op.kind)) {
+    op.dur = quantize(std::clamp(op.dur, params.min_dur, params.max_dur));
+  } else {
+    op.dur = 0;
+  }
+  if (op_kind_uses_p(op.kind)) {
+    // A zero-probability burst is dead weight; keep the knob meaningful.
+    op.p_ppm = clamp_ppm(std::max<std::int64_t>(op.p_ppm, 10'000));
+  } else {
+    op.p_ppm = 0;
+  }
+  if (op_kind_uses_q(op.kind)) {
+    op.q_ppm = clamp_ppm(std::max<std::int64_t>(op.q_ppm, 1'000));
+  } else {
+    op.q_ppm = 0;
+  }
+}
+
+FaultOp random_op(sim::Rng& rng, const MutationParams& params) {
+  FaultOp op;
+  op.kind = static_cast<OpKind>(
+      rng.uniform(0, static_cast<std::int64_t>(OpKind::kMaxOpKind) - 1));
+  op.at = rng.uniform(params.min_at, params.horizon);
+  op.node = static_cast<int>(rng.uniform(0, params.nodes - 1));
+  op.dur = rng.uniform(params.min_dur, params.max_dur);
+  op.p_ppm = clamp_ppm(rng.uniform(10'000, 900'000));
+  op.q_ppm = clamp_ppm(rng.uniform(1'000, 500'000));
+  clamp_op(op, params);
+  return op;
+}
+
+ScheduleSpec random_schedule(sim::Rng& rng, const MutationParams& params, int op_count) {
+  ScheduleSpec spec;
+  op_count = std::clamp(op_count, 1, params.max_ops);
+  for (int i = 0; i < op_count; ++i) spec.ops.push_back(random_op(rng, params));
+  spec.normalize();
+  return spec;
+}
+
+void mutate(ScheduleSpec& spec, sim::Rng& rng, const MutationParams& params) {
+  if (spec.ops.empty()) {
+    spec.ops.push_back(random_op(rng, params));
+    spec.normalize();
+    return;
+  }
+  auto& op = spec.ops[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(spec.ops.size()) - 1))];
+  switch (rng.uniform(0, 4)) {
+    case 0: {  // perturb injection time by up to ±10% of the window
+      sim::SimTime jitter = (params.horizon - params.min_at) / 10;
+      op.at += rng.uniform(-jitter, jitter);
+      break;
+    }
+    case 1: {  // perturb the window length / probability knob
+      if (op_kind_uses_p(op.kind) && rng.chance(0.5)) {
+        op.p_ppm = clamp_ppm(static_cast<std::int64_t>(op.p_ppm) +
+                             rng.uniform(-200'000, 200'000));
+      } else {
+        op.dur += rng.uniform(-params.max_dur / 4, params.max_dur / 4);
+      }
+      break;
+    }
+    case 2:  // retarget the victim
+      op.node = static_cast<int>(rng.uniform(0, params.nodes - 1));
+      break;
+    case 3:  // add an op (respecting the genome cap)
+      if (static_cast<int>(spec.ops.size()) < params.max_ops) {
+        spec.ops.push_back(random_op(rng, params));
+      } else {
+        op = random_op(rng, params);  // cap reached: replace instead
+      }
+      break;
+    case 4:  // remove an op (never below one)
+      if (spec.ops.size() > 1) {
+        spec.ops.erase(spec.ops.begin() +
+                       rng.uniform(0, static_cast<std::int64_t>(spec.ops.size()) - 1));
+      }
+      break;
+  }
+  for (auto& o : spec.ops) clamp_op(o, params);
+  spec.normalize();
+}
+
+ScheduleSpec splice(const ScheduleSpec& a, const ScheduleSpec& b, sim::Rng& rng,
+                    const MutationParams& params) {
+  sim::SimTime cut = rng.uniform(params.min_at, params.horizon);
+  ScheduleSpec out;
+  for (const FaultOp& op : a.ops) {
+    if (op.at < cut) out.ops.push_back(op);
+  }
+  for (const FaultOp& op : b.ops) {
+    if (op.at >= cut) out.ops.push_back(op);
+  }
+  if (out.ops.empty()) out.ops.push_back(random_op(rng, params));
+  if (static_cast<int>(out.ops.size()) > params.max_ops) {
+    out.ops.resize(static_cast<std::size_t>(params.max_ops));
+  }
+  for (auto& o : out.ops) clamp_op(o, params);
+  out.normalize();
+  return out;
+}
+
+}  // namespace oftt::chaos

@@ -1,0 +1,49 @@
+// Mutation operators over ScheduleSpec genomes. Every random decision
+// draws from a caller-supplied sim::Rng, so a campaign seeded once
+// replays its entire mutation history — the search itself obeys the
+// same determinism contract as the simulations it drives.
+#pragma once
+
+#include "chaos/schedule.h"
+#include "sim/rng.h"
+
+namespace oftt::chaos {
+
+struct MutationParams {
+  /// Injection window: ops land in [min_at, horizon]. Leave headroom
+  /// between horizon and the evaluation run length so late faults still
+  /// get their failover measured.
+  sim::SimTime min_at = sim::seconds(5);
+  sim::SimTime horizon = sim::seconds(60);
+  /// Window-length bounds for windowed ops (reboot delays, partitions,
+  /// loss bursts, disk-fail windows).
+  sim::SimTime min_dur = sim::milliseconds(200);
+  sim::SimTime max_dur = sim::seconds(25);
+  /// Genome size cap; add-op mutations respect it.
+  int max_ops = 12;
+  /// Number of victim indices (the evaluation deployment's node count).
+  int nodes = 2;
+};
+
+/// Clamp an op's fields into the params' bounds (used after perturbation
+/// and after parsing externally-supplied schedules).
+void clamp_op(FaultOp& op, const MutationParams& params);
+
+/// Draw one uniformly-random op.
+FaultOp random_op(sim::Rng& rng, const MutationParams& params);
+
+/// A fresh random genome with `op_count` ops (normalized).
+ScheduleSpec random_schedule(sim::Rng& rng, const MutationParams& params, int op_count);
+
+/// Apply one random mutation in place: perturb an op's time, perturb a
+/// window/probability knob, retarget the victim node, add an op, or
+/// remove an op. The result is re-normalized. An empty schedule always
+/// gains an op.
+void mutate(ScheduleSpec& spec, sim::Rng& rng, const MutationParams& params);
+
+/// Single-point time crossover: ops of `a` before a random cut time
+/// plus ops of `b` after it, truncated to max_ops (normalized).
+ScheduleSpec splice(const ScheduleSpec& a, const ScheduleSpec& b, sim::Rng& rng,
+                    const MutationParams& params);
+
+}  // namespace oftt::chaos

@@ -1,0 +1,210 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace oftt::chaos {
+
+namespace {
+
+constexpr const char* kOpNames[] = {
+    "power_cycle", "os_crash",  "kill_app",  "kill_engine",   "hang_app", "partition",
+    "net_down",    "loss_burst", "dup_burst", "gilbert_burst", "disk_fail",
+};
+static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) ==
+                  static_cast<std::size_t>(OpKind::kMaxOpKind),
+              "op name table out of sync with OpKind");
+
+std::int64_t parse_field(std::string_view line, std::string_view key) {
+  // Fields are space-separated "key=value" tokens; integer-only.
+  std::string needle = cat(" ", key, "=");
+  auto pos = line.find(needle);
+  if (pos == std::string_view::npos) {
+    throw std::runtime_error(cat("chaos: op line missing field '", std::string(key),
+                                 "': ", std::string(line)));
+  }
+  pos += needle.size();
+  auto end = line.find(' ', pos);
+  std::string value(line.substr(pos, end == std::string_view::npos ? end : end - pos));
+  try {
+    std::size_t consumed = 0;
+    std::int64_t v = std::stoll(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(
+        cat("chaos: bad integer for '", std::string(key), "': ", value));
+  }
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) {
+  auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(OpKind::kMaxOpKind) ? kOpNames[i] : "?";
+}
+
+bool op_kind_from_name(std::string_view name, OpKind* out) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(OpKind::kMaxOpKind); ++i) {
+    if (name == kOpNames[i]) {
+      *out = static_cast<OpKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool op_kind_uses_dur(OpKind kind) {
+  switch (kind) {
+    case OpKind::kKillApp:
+    case OpKind::kKillEngine:
+    case OpKind::kHangApp: return false;
+    default: return true;
+  }
+}
+
+bool op_kind_uses_p(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLossBurst:
+    case OpKind::kDupBurst:
+    case OpKind::kGilbertBurst: return true;
+    default: return false;
+  }
+}
+
+bool op_kind_uses_q(OpKind kind) { return kind == OpKind::kGilbertBurst; }
+
+std::string serialize_op(const FaultOp& op) {
+  return cat("op ", op_kind_name(op.kind), " at=", op.at, " node=", op.node,
+             " dur=", op.dur, " p=", op.p_ppm, " q=", op.q_ppm);
+}
+
+FaultOp parse_op(std::string_view line) {
+  line = trim(line);
+  if (!starts_with(line, "op ")) {
+    throw std::runtime_error(cat("chaos: expected 'op ...' line: ", std::string(line)));
+  }
+  std::string_view rest = line.substr(3);
+  auto sp = rest.find(' ');
+  if (sp == std::string_view::npos) {
+    throw std::runtime_error(cat("chaos: truncated op line: ", std::string(line)));
+  }
+  FaultOp op;
+  if (!op_kind_from_name(rest.substr(0, sp), &op.kind)) {
+    throw std::runtime_error(
+        cat("chaos: unknown op kind '", std::string(rest.substr(0, sp)), "'"));
+  }
+  op.at = parse_field(line, "at");
+  op.node = static_cast<int>(parse_field(line, "node"));
+  op.dur = parse_field(line, "dur");
+  std::int64_t p = parse_field(line, "p");
+  std::int64_t q = parse_field(line, "q");
+  if (op.at < 0 || op.dur < 0 || op.node < 0 || p < 0 || p > 1'000'000 || q < 0 ||
+      q > 1'000'000) {
+    throw std::runtime_error(cat("chaos: op field out of range: ", std::string(line)));
+  }
+  op.p_ppm = static_cast<std::uint32_t>(p);
+  op.q_ppm = static_cast<std::uint32_t>(q);
+  return op;
+}
+
+void ScheduleSpec::normalize() {
+  std::sort(ops.begin(), ops.end(), [](const FaultOp& a, const FaultOp& b) {
+    return std::tuple(a.at, static_cast<int>(a.kind), a.node, a.dur, a.p_ppm, a.q_ppm) <
+           std::tuple(b.at, static_cast<int>(b.kind), b.node, b.dur, b.p_ppm, b.q_ppm);
+  });
+}
+
+std::string ScheduleSpec::serialize() const {
+  std::string out = "schedule v1\n";
+  for (const FaultOp& op : ops) {
+    out += serialize_op(op);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+ScheduleSpec ScheduleSpec::parse(std::string_view text) {
+  ScheduleSpec spec;
+  bool in_body = false, ended = false;
+  for (std::string_view raw : split(std::string(text), '\n')) {
+    std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (!in_body) {
+      if (line != "schedule v1") {
+        throw std::runtime_error(
+            cat("chaos: expected 'schedule v1' header, got: ", std::string(line)));
+      }
+      in_body = true;
+      continue;
+    }
+    if (line == "end") {
+      ended = true;
+      break;
+    }
+    spec.ops.push_back(parse_op(line));
+  }
+  if (!in_body || !ended) throw std::runtime_error("chaos: truncated schedule text");
+  return spec;
+}
+
+std::uint64_t ScheduleSpec::fingerprint() const {
+  std::string text = serialize();
+  return fnv64(text.data(), text.size());
+}
+
+std::vector<CompiledOp> compile(const ScheduleSpec& spec, sim::FaultPlan& plan,
+                                const Targets& targets) {
+  std::vector<CompiledOp> compiled;
+  compiled.reserve(spec.ops.size());
+  for (const FaultOp& op : spec.ops) {
+    int victim = targets.nodes.at(static_cast<std::size_t>(op.node));
+    std::size_t first = plan.size();
+    double p = static_cast<double>(op.p_ppm) * 1e-6;
+    double q = static_cast<double>(op.q_ppm) * 1e-6;
+    switch (op.kind) {
+      case OpKind::kPowerCycle:
+        plan.crash_node(op.at, victim);
+        plan.boot_node(op.at + op.dur, victim);
+        break;
+      case OpKind::kOsCrash: plan.os_crash(op.at, victim, op.dur); break;
+      case OpKind::kKillApp: plan.kill_process(op.at, victim, targets.app_process); break;
+      case OpKind::kKillEngine:
+        plan.kill_process(op.at, victim, targets.engine_process);
+        break;
+      case OpKind::kHangApp: plan.hang_process(op.at, victim, targets.app_process); break;
+      case OpKind::kPartition: {
+        // Isolate the victim; everyone else (other victims + bystanders)
+        // stays connected on the majority side.
+        std::vector<int> rest = targets.bystanders;
+        for (int id : targets.nodes) {
+          if (id != victim) rest.push_back(id);
+        }
+        plan.partition(op.at, targets.network, {{victim}, rest});
+        plan.heal(op.at + op.dur, targets.network);
+        break;
+      }
+      case OpKind::kNetDown:
+        plan.network_down(op.at, targets.network, true);
+        plan.network_down(op.at + op.dur, targets.network, false);
+        break;
+      case OpKind::kLossBurst: plan.loss_burst(op.at, targets.network, p, op.dur); break;
+      case OpKind::kDupBurst: plan.dup_burst(op.at, targets.network, p, op.dur); break;
+      case OpKind::kGilbertBurst:
+        plan.burst_loss_window(op.at, targets.network, p, q, /*loss_bad=*/1.0, op.dur);
+        break;
+      case OpKind::kDiskFail: plan.disk_fail_window(op.at, victim, op.dur); break;
+      case OpKind::kMaxOpKind:
+        throw std::runtime_error("chaos: kMaxOpKind is not a schedulable op");
+    }
+    compiled.push_back(CompiledOp{first, plan.size() - first});
+  }
+  return compiled;
+}
+
+}  // namespace oftt::chaos

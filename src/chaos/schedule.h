@@ -1,0 +1,120 @@
+// ScheduleSpec: the serializable genome of the chaos-campaign search.
+//
+// A schedule is a timed list of fault ops — process/OS crashes, network
+// partitions, loss/duplication bursts, disk write-fail windows —
+// expressed against *victim indices* (0 = node A, 1 = node B of the
+// evaluation deployment) rather than raw sim node ids, so the same
+// genome replays against any freshly-built deployment. compile() lowers
+// the ops onto a sim::FaultPlan and returns, per op, the range of plan
+// steps it produced, which is how the shrinker maps fired plan steps
+// back onto genome ops (an op none of whose steps fired is provably
+// inert and can be dropped without re-evaluation).
+//
+// Determinism contract: serialize() emits a canonical, integer-only
+// text form (probabilities as parts-per-million, times as ns) and
+// parse() round-trips it exactly; normalize() sorts ops into a
+// canonical order so two genomes with the same ops serialize
+// identically. The campaign's corpus, the pinned regression scenarios,
+// and the BENCH_campaign.json export all speak this format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fault_plan.h"
+#include "sim/time.h"
+
+namespace oftt::chaos {
+
+/// Every fault dimension the search mutates over. The numeric value is
+/// part of the serialized format — append, never renumber.
+enum class OpKind : std::uint8_t {
+  kPowerCycle = 0,    // node: power failure, field tech resets after dur
+  kOsCrash = 1,       // node: NT crash (BSOD), auto-reboot after dur
+  kKillApp = 2,       // node: kill the application process
+  kKillEngine = 3,    // node: kill the OFTT engine process
+  kHangApp = 4,       // node: hang every app thread (fail-silent, not dead)
+  kPartition = 5,     // isolate node from the rest of the segment for dur
+  kNetDown = 6,       // whole segment down for dur (cable pull at the switch)
+  kLossBurst = 7,     // uniform datagram loss p_ppm for dur
+  kDupBurst = 8,      // datagram duplication p_ppm for dur
+  kGilbertBurst = 9,  // Gilbert-Elliott burst channel for dur:
+                      //   p_ppm = P(Good->Bad), q_ppm = P(Bad->Good), Bad = blackout
+  kDiskFail = 10,     // every disk write on node fails for dur
+  kMaxOpKind = 11,
+};
+
+const char* op_kind_name(OpKind kind);
+/// False (and *out untouched) for an unknown name.
+bool op_kind_from_name(std::string_view name, OpKind* out);
+/// Does this op kind use the dur / p_ppm / q_ppm field?
+bool op_kind_uses_dur(OpKind kind);
+bool op_kind_uses_p(OpKind kind);
+bool op_kind_uses_q(OpKind kind);
+
+struct FaultOp {
+  OpKind kind = OpKind::kKillApp;
+  sim::SimTime at = 0;       // injection time (sim ns)
+  int node = 0;              // victim index into Targets::nodes
+  sim::SimTime dur = 0;      // window length / reboot delay (ns); 0 if unused
+  std::uint32_t p_ppm = 0;   // probability knob, parts-per-million
+  std::uint32_t q_ppm = 0;   // second probability knob (Gilbert-Elliott exit)
+
+  bool operator==(const FaultOp& o) const {
+    return kind == o.kind && at == o.at && node == o.node && dur == o.dur &&
+           p_ppm == o.p_ppm && q_ppm == o.q_ppm;
+  }
+};
+
+/// One serialized line: "op <kind> at=<ns> node=<n> dur=<ns> p=<ppm> q=<ppm>".
+std::string serialize_op(const FaultOp& op);
+/// Parse one op line; throws std::runtime_error on malformed input.
+FaultOp parse_op(std::string_view line);
+
+struct ScheduleSpec {
+  std::vector<FaultOp> ops;
+
+  /// Canonical op order: (at, kind, node, dur, p, q) ascending. Two
+  /// specs with the same op multiset serialize identically afterwards.
+  void normalize();
+
+  /// Canonical text form:
+  ///   schedule v1
+  ///   op <kind> at=... node=... dur=... p=... q=...
+  ///   end
+  std::string serialize() const;
+  /// Inverse of serialize(); throws std::runtime_error on malformed or
+  /// version-skewed input.
+  static ScheduleSpec parse(std::string_view text);
+
+  /// FNV-1a of the canonical serialization — the corpus dedup key.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const ScheduleSpec& o) const { return ops == o.ops; }
+};
+
+/// What the victim indices resolve to in one concrete deployment.
+struct Targets {
+  std::vector<int> nodes;       // victim index -> sim node id
+  int network = 0;              // segment the network ops act on
+  /// Non-victim nodes that stay connected to the surviving side of a
+  /// partition (the test PC / monitor node).
+  std::vector<int> bystanders;
+  std::string app_process = "app";
+  std::string engine_process = "oftt_engine";
+};
+
+/// Range of FaultPlan steps one genome op compiled into.
+struct CompiledOp {
+  std::size_t first_step = 0;
+  std::size_t step_count = 0;
+};
+
+/// Lower every op onto `plan` (declare only — the caller arms). Ops
+/// with a victim index outside targets.nodes throw std::out_of_range.
+std::vector<CompiledOp> compile(const ScheduleSpec& spec, sim::FaultPlan& plan,
+                                const Targets& targets);
+
+}  // namespace oftt::chaos

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "sim/fault_plan.h"
 #include "sim/node.h"
 #include "sim/simulation.h"
 
@@ -106,6 +107,19 @@ std::string SystemMonitor::render() const {
          << " restarts=" << c.restarts << " heartbeats=" << c.heartbeats << " "
          << replication_mode_name(c.policy) << (c.ready ? "" : " [STALE REPLICA]") << "\n";
     }
+  }
+  return os.str();
+}
+
+std::string SystemMonitor::render_fault_plan(const sim::FaultPlan& plan) {
+  std::ostringstream os;
+  os << "=== Injected fault schedule (" << plan.fired_count() << "/" << plan.size()
+     << " fired) ===\n";
+  for (const auto& inj : plan.journal()) {
+    os << "  [fired   t=" << sim::to_seconds(inj.at) << "s] " << inj.what << "\n";
+  }
+  for (const auto& op : plan.pending()) {
+    os << "  [pending t=" << sim::to_seconds(op.at) << "s] " << op.what << "\n";
   }
   return os.str();
 }

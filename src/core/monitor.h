@@ -19,6 +19,10 @@
 #include "obs/event_bus.h"
 #include "sim/process.h"
 
+namespace oftt::sim {
+class FaultPlan;
+}
+
 namespace oftt::core {
 
 class SystemMonitor {
@@ -57,6 +61,12 @@ class SystemMonitor {
 
   /// ASCII status board (what the operator's screen would show).
   std::string render() const;
+
+  /// Render an injected fault schedule: every fired injection with its
+  /// timestamp, then the still-pending ops. What the operator's screen
+  /// shows during a chaos campaign ("what has the harness done to my
+  /// plant, and what is still coming").
+  static std::string render_fault_plan(const sim::FaultPlan& plan);
 
  private:
   void on_report(const sim::Datagram& d);

@@ -91,6 +91,52 @@ class FaultPlan {
                [this, node] { DiskStore::of(*sim_).fail_writes(node, false); });
   }
 
+  /// Disk writes fail for a window [at, at + duration) then recover.
+  FaultPlan& disk_fail_window(SimTime at, int node, SimTime duration) {
+    disk_full(at, node);
+    return disk_restore(at + duration, node);
+  }
+
+  /// Set a network's independent per-datagram loss probability at `at`.
+  FaultPlan& set_loss(SimTime at, int network, double p) {
+    return add(at, cat("loss ", p, " on net ", network),
+               [this, network, p] { sim_->network(network).set_loss(p); });
+  }
+
+  /// Set a network's per-datagram duplication probability at `at`.
+  FaultPlan& set_duplicate(SimTime at, int network, double p) {
+    return add(at, cat("dup ", p, " on net ", network),
+               [this, network, p] { sim_->network(network).set_duplicate(p); });
+  }
+
+  /// Uniform loss `p` for a window [at, at + duration), then back to
+  /// `after` (default: a clean wire).
+  FaultPlan& loss_burst(SimTime at, int network, double p, SimTime duration,
+                        double after = 0.0) {
+    set_loss(at, network, p);
+    return set_loss(at + duration, network, after);
+  }
+
+  /// Duplication burst for a window [at, at + duration).
+  FaultPlan& dup_burst(SimTime at, int network, double p, SimTime duration,
+                       double after = 0.0) {
+    set_duplicate(at, network, p);
+    return set_duplicate(at + duration, network, after);
+  }
+
+  /// Gilbert-Elliott burst-loss channel for a window [at, at + duration):
+  /// correlated drop trains (mean length 1/p_exit sends) instead of
+  /// independent coin flips. Cleared (state reset to Good) at window end.
+  FaultPlan& burst_loss_window(SimTime at, int network, double p_enter, double p_exit,
+                               double loss_bad, SimTime duration) {
+    add(at, cat("burst-loss on net ", network),
+        [this, network, p_enter, p_exit, loss_bad] {
+          sim_->network(network).set_burst_loss(p_enter, p_exit, 0.0, loss_bad);
+        });
+    return add(at + duration, cat("burst-loss cleared on net ", network),
+               [this, network] { sim_->network(network).clear_burst_loss(); });
+  }
+
   FaultPlan& network_down(SimTime at, int network, bool down) {
     return add(at, cat(down ? "down" : "up", " network ", network),
                [this, network, down] { sim_->network(network).set_down(down); });
@@ -121,11 +167,43 @@ class FaultPlan {
   std::size_t size() const { return steps_.size(); }
   const std::vector<Injection>& journal() const { return journal_; }
 
+  /// A declared step that has not fired yet (scheduled time still in
+  /// the future, or the run ended before it). What the shrinker uses to
+  /// prove an op was inert, and what the monitor renders as the
+  /// remaining injected schedule.
+  struct PendingOp {
+    SimTime at = 0;
+    std::string what;
+  };
+
+  /// True once step `index` has actually executed (its injection is in
+  /// the journal). Out-of-range indices are never fired.
+  bool step_fired(std::size_t index) const {
+    return index < steps_.size() && steps_[index].fired;
+  }
+  /// Declared time/description of step `index` (introspection for
+  /// harnesses that map their own ops onto plan steps).
+  PendingOp step(std::size_t index) const {
+    const Step& s = steps_.at(index);
+    return PendingOp{s.at, s.what};
+  }
+  std::size_t fired_count() const { return journal_.size(); }
+
+  /// Every declared-but-unfired step, in declaration order.
+  std::vector<PendingOp> pending() const {
+    std::vector<PendingOp> out;
+    for (const Step& s : steps_) {
+      if (!s.fired) out.push_back(PendingOp{s.at, s.what});
+    }
+    return out;
+  }
+
  private:
   struct Step {
     SimTime at;
     std::string what;
     std::function<void()> fn;
+    bool fired = false;
   };
 
   /// The scheduled lambda captures the step's *index*, not its payload:
@@ -135,7 +213,8 @@ class FaultPlan {
   /// copied per scheduled event.
   void schedule(std::size_t index) {
     sim_->schedule_at(steps_[index].at, [this, index] {
-      const Step& step = steps_[index];
+      Step& step = steps_[index];
+      step.fired = true;
       journal_.push_back(Injection{sim_->now(), step.what});
       step.fn();
     });

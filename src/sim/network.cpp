@@ -40,6 +40,29 @@ bool Network::link_up(int a, int b) const {
   return dead_links_.count({key.first, key.second}) == 0;
 }
 
+void Network::set_burst_loss(double p_enter, double p_exit, double loss_good, double loss_bad) {
+  burst_.enabled = true;
+  burst_.p_enter = p_enter;
+  burst_.p_exit = p_exit <= 0.0 ? 1.0 : p_exit;  // a burst must be escapable
+  burst_.loss_good = loss_good;
+  burst_.loss_bad = loss_bad;
+}
+
+void Network::clear_burst_loss() { burst_ = BurstLoss{}; }
+
+bool Network::burst_drop() {
+  // One chain step per send attempt: transition draw first, then the
+  // state's loss draw. Disabled channels make no rng draws at all, so
+  // enabling burst loss mid-run never perturbs earlier history.
+  if (burst_.bad) {
+    if (rng_.chance(burst_.p_exit)) burst_.bad = false;
+  } else {
+    if (rng_.chance(burst_.p_enter)) burst_.bad = true;
+  }
+  double loss = burst_.bad ? burst_.loss_bad : burst_.loss_good;
+  return loss > 0.0 && rng_.chance(loss);
+}
+
 void Network::partition(std::vector<std::vector<int>> groups) {
   partition_group_.clear();
   int g = 0;
@@ -79,6 +102,12 @@ bool Network::send(Datagram d) {
   }
   if (loss_ > 0.0 && rng_.chance(loss_)) {
     ++dropped_;
+    ctr_lost_.inc();
+    return true;
+  }
+  if (burst_.enabled && burst_drop()) {
+    ++dropped_;
+    ++burst_dropped_;
     ctr_lost_.inc();
     return true;
   }

@@ -46,6 +46,25 @@ class Network {
   double bandwidth() const { return bandwidth_; }
   /// Independent per-datagram loss probability.
   void set_loss(double p) { loss_ = p; }
+  double loss() const { return loss_; }
+
+  /// Gilbert-Elliott two-state burst loss, layered on top of the
+  /// independent loss above (both can drop a datagram). The channel
+  /// alternates between a Good and a Bad state; the state chain advances
+  /// one step per send attempt:
+  ///
+  ///   P(Good -> Bad) = p_enter      loss in Good = loss_good
+  ///   P(Bad -> Good) = p_exit       loss in Bad  = loss_bad
+  ///
+  /// Mean burst length is 1/p_exit sends — the correlated-drop pattern
+  /// (switch buffer overruns, interference bursts) that an independent
+  /// per-datagram coin can never express. clear_burst_loss() restores
+  /// the memoryless channel (and resets the state to Good).
+  void set_burst_loss(double p_enter, double p_exit, double loss_good, double loss_bad);
+  void clear_burst_loss();
+  bool burst_loss_enabled() const { return burst_.enabled; }
+  /// Current chain state (tests/monitor introspection): true = Bad.
+  bool burst_state_bad() const { return burst_.bad; }
   /// Independent per-datagram duplication probability: with probability p
   /// a surviving datagram is delivered twice, each copy with its own
   /// latency draw (so the duplicate may arrive first). Real switches do
@@ -72,9 +91,13 @@ class Network {
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t burst_dropped() const { return burst_dropped_; }
 
  private:
   bool reachable(int a, int b) const;
+  /// Advance the Gilbert-Elliott chain one step and decide whether this
+  /// send attempt is swallowed by the burst channel.
+  bool burst_drop();
 
   Simulation& sim_;
   std::string name_;
@@ -85,11 +108,18 @@ class Network {
   double bandwidth_ = 0.0;
   double loss_ = 0.0;
   double dup_ = 0.0;
+  struct BurstLoss {
+    bool enabled = false;
+    bool bad = false;  // current chain state
+    double p_enter = 0.0, p_exit = 1.0;
+    double loss_good = 0.0, loss_bad = 1.0;
+  } burst_;
   bool down_ = false;
   std::set<std::pair<int, int>> dead_links_;
   std::map<int, int> partition_group_;  // node -> group (empty = healed)
   Rng rng_;
   std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0, duplicated_ = 0;
+  std::uint64_t burst_dropped_ = 0;
   // Pre-resolved metric handles: the per-datagram path must not do
   // string-keyed map lookups.
   obs::Counter ctr_unreachable_;

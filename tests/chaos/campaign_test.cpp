@@ -1,0 +1,145 @@
+// Campaign-runner tests: the evaluation is a pure function of
+// (schedule, options), the inert-op proof holds, and one (seed, budget)
+// pair finds byte-identical corpora for 1 and N evaluator threads —
+// the property that lets worst-case finds be pinned as regressions.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "chaos/campaign.h"
+#include "chaos/corpus.h"
+
+namespace oftt::chaos {
+namespace {
+
+/// A deliberately tiny budget: big enough to find survivors, small
+/// enough to keep the suite fast. Short horizon, short runs.
+CampaignOptions tiny_options() {
+  CampaignOptions opts;
+  opts.seed = 5;
+  opts.population = 4;
+  opts.generations = 2;
+  opts.shrink_budget = 10;
+  opts.eval.run_for = sim::seconds(40);
+  opts.mutation.horizon = sim::seconds(28);
+  opts.mutation.max_dur = sim::seconds(12);
+  opts.mutation.max_ops = 6;
+  return opts;
+}
+
+/// RAII evaluator-thread override (the same env knob the benches use).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    const char* old = std::getenv("OFTT_BENCH_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("OFTT_BENCH_THREADS", value, 1);
+  }
+  ~ScopedThreads() {
+    if (had_old_) {
+      ::setenv("OFTT_BENCH_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("OFTT_BENCH_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(Evaluate, IsAPureFunctionOfScheduleAndOptions) {
+  EvalOptions opts;
+  opts.run_for = sim::seconds(40);
+  EvalResult a = evaluate(baseline_schedule(), opts);
+  EvalResult b = evaluate(baseline_schedule(), opts);
+  EXPECT_EQ(a.history_hash, b.history_hash);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.failover_p99, b.failover_p99);
+  EXPECT_TRUE(a.coverage == b.coverage);
+  EXPECT_EQ(a.op_fired, b.op_fired);
+}
+
+TEST(Evaluate, BaselineDrivesOneCompleteFailover) {
+  EvalOptions opts;
+  opts.run_for = sim::seconds(40);
+  EvalResult r = evaluate(baseline_schedule(), opts);
+  EXPECT_GE(r.complete_traces, 1) << "the reference OS crash must fail over";
+  EXPECT_GT(r.failover_p99, 0);
+  EXPECT_EQ(r.dual_primary, 0u) << "one clean crash must not split the brain";
+  ASSERT_EQ(r.op_fired.size(), 1u);
+  EXPECT_TRUE(r.op_fired[0]);
+}
+
+TEST(Evaluate, OpBeyondTheRunHorizonIsProvablyInert) {
+  ScheduleSpec spec = baseline_schedule();
+  FaultOp late;
+  late.kind = OpKind::kKillApp;
+  late.at = sim::seconds(300);  // far past run_for
+  late.node = 0;
+  spec.ops.push_back(late);
+  spec.normalize();
+  EvalOptions opts;
+  opts.run_for = sim::seconds(40);
+  EvalResult r = evaluate(spec, opts);
+  ASSERT_EQ(r.op_fired.size(), 2u);
+  EXPECT_TRUE(r.op_fired[0]) << "the 10 s crash fired";
+  EXPECT_FALSE(r.op_fired[1]) << "the 300 s op never ran: provably inert";
+  // And the inert op cannot have changed the run at all.
+  EvalResult base = evaluate(baseline_schedule(), opts);
+  EXPECT_EQ(r.history_hash, base.history_hash);
+}
+
+TEST(Campaign, FindsSurvivorsAndRecordsStats) {
+  Campaign campaign(tiny_options());
+  campaign.run();
+  ASSERT_EQ(campaign.generations().size(), 2u);
+  EXPECT_GT(campaign.baseline_p99(), 0);
+  EXPECT_GE(campaign.total_evals(),
+            tiny_options().population * tiny_options().generations + 1);
+  EXPECT_GT(campaign.coverage().count(), 0u);
+  // Random multi-fault schedules reach behaviours the single-crash
+  // baseline does not: the tiny budget still yields corpus entries.
+  EXPECT_FALSE(campaign.corpus().empty());
+  for (const CorpusEntry& e : campaign.corpus()) {
+    EXPECT_FALSE(e.spec.ops.empty());
+    EXPECT_LE(e.spec.ops.size(), e.ops_before_shrink);
+  }
+}
+
+TEST(Campaign, CorpusIsByteIdenticalAcrossEvaluatorThreadCounts) {
+  std::string corpus_1, corpus_n;
+  std::size_t bits_1 = 0, bits_n = 0;
+  {
+    ScopedThreads threads("1");
+    Campaign c(tiny_options());
+    c.run();
+    corpus_1 = serialize_corpus(c.corpus());
+    bits_1 = c.coverage().count();
+  }
+  {
+    ScopedThreads threads("4");
+    Campaign c(tiny_options());
+    c.run();
+    corpus_n = serialize_corpus(c.corpus());
+    bits_n = c.coverage().count();
+  }
+  EXPECT_EQ(corpus_1, corpus_n);
+  EXPECT_EQ(bits_1, bits_n);
+}
+
+TEST(Campaign, CorpusEntriesReplayToTheirRecordedHash) {
+  Campaign campaign(tiny_options());
+  campaign.run();
+  ASSERT_FALSE(campaign.corpus().empty());
+  for (const CorpusEntry& e : campaign.corpus()) {
+    EvalResult r = replay(e);
+    EXPECT_EQ(r.history_hash, e.history_hash) << e.name;
+    EXPECT_EQ(r.failover_p99, e.failover_p99) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace oftt::chaos

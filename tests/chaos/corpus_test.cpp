@@ -1,0 +1,98 @@
+// Corpus format tests plus the pinned-regression replay: every entry of
+// the checked-in worst-case corpus must replay byte-identically — same
+// event-history hash, same failover p99 — on every build. A diff here
+// means a behaviour change in the recovery machinery (or the sim), and
+// must be triaged, not re-pinned blindly.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "chaos/corpus.h"
+
+namespace oftt::chaos {
+namespace {
+
+CorpusEntry make_entry(const std::string& name) {
+  CorpusEntry e;
+  e.name = name;
+  e.reason = "new_coverage";
+  e.eval_seed = 42;
+  e.run_for = sim::seconds(75);
+  e.history_hash = 0x00a1b2c3d4e5f607ull;
+  e.failover_p99 = 812345678;
+  e.ops_before_shrink = 4;
+  e.spec.ops.push_back(
+      FaultOp{OpKind::kOsCrash, sim::seconds(10), 1, sim::seconds(15), 0, 0});
+  e.spec.normalize();
+  return e;
+}
+
+TEST(Corpus, SerializeParseRoundTrip) {
+  std::vector<CorpusEntry> corpus{make_entry("cov-0001"), make_entry("cov-0002")};
+  corpus[1].history_hash = 0xffee000011223344ull;
+  corpus[1].reason = "p99_regression";
+  std::string text = serialize_corpus(corpus);
+  std::vector<CorpusEntry> back = parse_corpus(text);
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back[i].name, corpus[i].name);
+    EXPECT_EQ(back[i].reason, corpus[i].reason);
+    EXPECT_EQ(back[i].eval_seed, corpus[i].eval_seed);
+    EXPECT_EQ(back[i].run_for, corpus[i].run_for);
+    EXPECT_EQ(back[i].history_hash, corpus[i].history_hash);
+    EXPECT_EQ(back[i].failover_p99, corpus[i].failover_p99);
+    EXPECT_EQ(back[i].spec, corpus[i].spec);
+  }
+  EXPECT_EQ(serialize_corpus(back), text) << "second round-trip must be byte-identical";
+}
+
+TEST(Corpus, EmptyCorpusRoundTrips) {
+  EXPECT_TRUE(parse_corpus(serialize_corpus({})).empty());
+}
+
+TEST(Corpus, ParseFailsLoudlyOnCorruptInput) {
+  std::string good = serialize_corpus({make_entry("cov-0001")});
+  EXPECT_NO_THROW(parse_corpus(good));
+  // Truncation, bad hash width, and a missing terminator must all throw
+  // — a corrupt pinned corpus must never silently replay something else.
+  EXPECT_THROW(parse_corpus(good.substr(0, good.size() - 12)), std::runtime_error);
+  std::string bad_hash = good;
+  bad_hash.replace(bad_hash.find("hash 00a1"), 9, "hash 0a1");
+  EXPECT_THROW(parse_corpus(bad_hash), std::runtime_error);
+  std::string wrong_key = good;
+  wrong_key.replace(wrong_key.find("reason "), 7, "because ");
+  EXPECT_THROW(parse_corpus(wrong_key), std::runtime_error);
+}
+
+TEST(PinnedCorpus, EveryEntryReplaysByteIdentically) {
+  std::ifstream in(OFTT_CHAOS_CORPUS_FILE);
+  ASSERT_TRUE(in.good()) << "missing pinned corpus: " << OFTT_CHAOS_CORPUS_FILE;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::vector<CorpusEntry> corpus = parse_corpus(buf.str());
+
+  // The acceptance bar: at least three distinct worst-case schedules.
+  ASSERT_GE(corpus.size(), 3u);
+  std::set<std::uint64_t> fingerprints, hashes;
+  for (const CorpusEntry& e : corpus) {
+    EXPECT_TRUE(fingerprints.insert(e.spec.fingerprint()).second)
+        << e.name << ": duplicate schedule";
+    EXPECT_TRUE(hashes.insert(e.history_hash).second)
+        << e.name << ": duplicate event history";
+  }
+
+  for (const CorpusEntry& e : corpus) {
+    EvalResult r = replay(e);
+    EXPECT_EQ(r.history_hash, e.history_hash)
+        << e.name << " (" << e.reason << "): event history diverged from the pin — "
+        << "a recovery-machinery behaviour change; triage before re-pinning";
+    EXPECT_EQ(r.failover_p99, e.failover_p99) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace oftt::chaos

@@ -1,0 +1,147 @@
+// Coverage-map and coverage-probe tests: bitmap algebra, feature
+// hashing, and the behavioural features the probe derives from the
+// telemetry stream (event bigrams, role-transition pairs, journal
+// recovery depth, failover-span shapes, and the event-history hash).
+#include <gtest/gtest.h>
+
+#include "chaos/coverage.h"
+#include "obs/event.h"
+#include "obs/telemetry.h"
+#include "sim/time.h"
+
+namespace oftt::chaos {
+namespace {
+
+obs::Event make_event(obs::EventKind kind, int node, std::uint64_t a = 0,
+                      std::uint64_t b = 0) {
+  obs::Event e;
+  e.kind = kind;
+  e.node = node;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+TEST(CoverageMap, SetTestCountBasics) {
+  CoverageMap map;
+  EXPECT_EQ(map.count(), 0u);
+  EXPECT_TRUE(map.set(42));
+  EXPECT_FALSE(map.set(42)) << "second set of the same feature is not new";
+  EXPECT_TRUE(map.test(42));
+  EXPECT_FALSE(map.test(43));
+  EXPECT_EQ(map.count(), 1u);
+}
+
+TEST(CoverageMap, NewBitsMinusCoversMerge) {
+  CoverageMap a, b;
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ(a.new_bits(b), 1u);
+  EXPECT_EQ(b.new_bits(a), 1u);
+  CoverageMap delta = a.minus(b);
+  EXPECT_TRUE(delta.test(1));
+  EXPECT_FALSE(delta.test(2));
+  EXPECT_EQ(delta.count(), 1u);
+
+  EXPECT_FALSE(a.covers(b));
+  a.merge(b);
+  EXPECT_TRUE(a.covers(b));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.new_bits(a), 0u);
+
+  CoverageMap empty;
+  EXPECT_TRUE(a.covers(empty)) << "every map covers the empty map";
+}
+
+TEST(CoverageFeature, DistinguishesTagAndTupleFields) {
+  EXPECT_NE(coverage_feature(1, 5), coverage_feature(2, 5));
+  EXPECT_NE(coverage_feature(1, 5), coverage_feature(1, 6));
+  EXPECT_NE(coverage_feature(1, 5, 7), coverage_feature(1, 5, 8));
+  EXPECT_EQ(coverage_feature(1, 5, 7), coverage_feature(1, 5, 7));
+}
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  obs::Telemetry telemetry{[this] { return now_; }};
+  sim::SimTime now_ = 0;
+};
+
+TEST_F(ProbeTest, HashAndCountsFollowThePublishedStream) {
+  CoverageProbe probe(telemetry);
+  std::uint64_t initial = probe.history_hash();
+  telemetry.bus().publish(make_event(obs::EventKind::kRoleChange, 0, 2, 1));
+  EXPECT_NE(probe.history_hash(), initial);
+  now_ = sim::seconds(1);
+  telemetry.bus().publish(make_event(obs::EventKind::kDualPrimary, 1));
+  EXPECT_EQ(probe.events(), 2u);
+  EXPECT_EQ(probe.count_of(obs::EventKind::kRoleChange), 1u);
+  EXPECT_EQ(probe.count_of(obs::EventKind::kDualPrimary), 1u);
+  EXPECT_EQ(probe.count_of(obs::EventKind::kNodeDown), 0u);
+}
+
+TEST_F(ProbeTest, IdenticalStreamsGiveIdenticalHashesAndMaps) {
+  obs::Telemetry other{[this] { return now_; }};
+  CoverageProbe p1(telemetry);
+  CoverageProbe p2(other);
+  for (int i = 0; i < 5; ++i) {
+    obs::Event e = make_event(obs::EventKind::kCheckpointTaken, i % 2,
+                              static_cast<std::uint64_t>(i), 100);
+    telemetry.bus().publish(e);
+    other.bus().publish(e);
+  }
+  p1.finish();
+  p2.finish();
+  EXPECT_EQ(p1.history_hash(), p2.history_hash());
+  EXPECT_TRUE(p1.map() == p2.map());
+}
+
+TEST_F(ProbeTest, RoleTransitionPairsLightDistinctBits) {
+  CoverageProbe probe(telemetry);
+  // backup(1) -> primary(2) on node 0.
+  telemetry.bus().publish(make_event(obs::EventKind::kRoleChange, 0, 1));
+  std::size_t after_first = probe.map().count();
+  telemetry.bus().publish(make_event(obs::EventKind::kRoleChange, 0, 2));
+  std::size_t after_promote = probe.map().count();
+  EXPECT_GT(after_promote, after_first) << "a new (from, to) pair is new coverage";
+  // Demotion (2 -> 1) is a pair no earlier event produced.
+  telemetry.bus().publish(make_event(obs::EventKind::kRoleChange, 0, 1));
+  std::size_t after_demote = probe.map().count();
+  EXPECT_GT(after_demote, after_promote);
+  // Repeating an already-seen transition adds nothing new.
+  telemetry.bus().publish(make_event(obs::EventKind::kRoleChange, 0, 2));
+  EXPECT_EQ(probe.map().count(), after_demote);
+}
+
+TEST_F(ProbeTest, JournalRecoveryDepthIsBucketedLogarithmically) {
+  CoverageProbe shallow(telemetry);
+  telemetry.bus().publish(make_event(obs::EventKind::kJournalRecovered, 0, 3));
+  CoverageMap shallow_map = shallow.map();
+
+  obs::Telemetry other{[this] { return now_; }};
+  CoverageProbe same_bucket(other);
+  other.bus().publish(make_event(obs::EventKind::kJournalRecovered, 0, 2));
+  EXPECT_EQ(same_bucket.map().new_bits(shallow_map), 0u)
+      << "depths 2 and 3 share a log2 bucket";
+
+  obs::Telemetry third{[this] { return now_; }};
+  CoverageProbe deep(third);
+  third.bus().publish(make_event(obs::EventKind::kJournalRecovered, 0, 64));
+  EXPECT_GT(deep.map().new_bits(shallow_map), 0u)
+      << "a much deeper replay is a new behaviour";
+}
+
+TEST_F(ProbeTest, FinishIsIdempotent) {
+  CoverageProbe probe(telemetry);
+  telemetry.bus().publish(make_event(obs::EventKind::kRoleChange, 0, 2));
+  probe.finish();
+  std::uint64_t hash = probe.history_hash();
+  std::size_t bits = probe.map().count();
+  probe.finish();
+  EXPECT_EQ(probe.history_hash(), hash);
+  EXPECT_EQ(probe.map().count(), bits);
+}
+
+}  // namespace
+}  // namespace oftt::chaos

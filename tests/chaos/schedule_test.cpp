@@ -1,0 +1,192 @@
+// ScheduleSpec genome tests: canonical serialization round-trips,
+// normalization, strict parsing, compilation onto a sim::FaultPlan
+// (including the op -> plan-step mapping the shrinker's inert-op proof
+// rests on), and the determinism of the mutation operators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chaos/mutate.h"
+#include "chaos/schedule.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace oftt::chaos {
+namespace {
+
+FaultOp make_op(OpKind kind, sim::SimTime at, int node, sim::SimTime dur = 0,
+                std::uint32_t p = 0, std::uint32_t q = 0) {
+  FaultOp op;
+  op.kind = kind;
+  op.at = at;
+  op.node = node;
+  op.dur = dur;
+  op.p_ppm = p;
+  op.q_ppm = q;
+  return op;
+}
+
+TEST(OpKind, NamesRoundTripForEveryKind) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(OpKind::kMaxOpKind); ++i) {
+    OpKind kind = static_cast<OpKind>(i);
+    OpKind back = OpKind::kMaxOpKind;
+    ASSERT_TRUE(op_kind_from_name(op_kind_name(kind), &back)) << op_kind_name(kind);
+    EXPECT_EQ(back, kind);
+  }
+  OpKind out = OpKind::kKillApp;
+  EXPECT_FALSE(op_kind_from_name("meteor_strike", &out));
+  EXPECT_EQ(out, OpKind::kKillApp) << "failed lookup must not clobber the out param";
+}
+
+TEST(Schedule, SerializeParseRoundTripIsExact) {
+  ScheduleSpec spec;
+  spec.ops.push_back(make_op(OpKind::kOsCrash, sim::seconds(10), 1, sim::seconds(15)));
+  spec.ops.push_back(
+      make_op(OpKind::kGilbertBurst, sim::seconds(20), 0, sim::seconds(5), 250000, 40000));
+  spec.ops.push_back(make_op(OpKind::kKillApp, sim::seconds(8), 0));
+  spec.normalize();
+  std::string text = spec.serialize();
+  ScheduleSpec back = ScheduleSpec::parse(text);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.serialize(), text) << "second round-trip must be byte-identical";
+  EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+}
+
+TEST(Schedule, NormalizeGivesOneCanonicalFormPerOpMultiset) {
+  ScheduleSpec a, b;
+  FaultOp x = make_op(OpKind::kKillApp, sim::seconds(8), 0);
+  FaultOp y = make_op(OpKind::kOsCrash, sim::seconds(10), 1, sim::seconds(15));
+  a.ops = {x, y};
+  b.ops = {y, x};
+  a.normalize();
+  b.normalize();
+  EXPECT_EQ(a.serialize(), b.serialize());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Schedule, ParseRejectsMalformedInput) {
+  EXPECT_THROW(ScheduleSpec::parse(""), std::runtime_error);
+  EXPECT_THROW(ScheduleSpec::parse("schedule v2\nend\n"), std::runtime_error);
+  EXPECT_THROW(ScheduleSpec::parse("schedule v1\n"), std::runtime_error)
+      << "missing 'end' terminator";
+  EXPECT_THROW(ScheduleSpec::parse("schedule v1\nop meteor at=1 node=0 dur=0 p=0 q=0\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(ScheduleSpec::parse("schedule v1\nop kill_app at=1 node=0\nend\n"),
+               std::runtime_error)
+      << "every field is mandatory";
+  EXPECT_THROW(
+      ScheduleSpec::parse("schedule v1\nop loss_burst at=1 node=0 dur=1 p=2000000 q=0\nend\n"),
+      std::runtime_error)
+      << "probabilities above 1000000 ppm are out of range";
+  EXPECT_THROW(
+      ScheduleSpec::parse("schedule v1\nop kill_app at=-5 node=0 dur=0 p=0 q=0\nend\n"),
+      std::runtime_error);
+}
+
+TEST(Schedule, ParseToleratesCommentsAndBlankLines) {
+  ScheduleSpec spec = ScheduleSpec::parse(
+      "# worst case found by campaign 7\n\nschedule v1\n"
+      "  op kill_app at=8000000000 node=0 dur=0 p=0 q=0  \n\nend\n");
+  ASSERT_EQ(spec.ops.size(), 1u);
+  EXPECT_EQ(spec.ops[0].kind, OpKind::kKillApp);
+  EXPECT_EQ(spec.ops[0].at, sim::seconds(8));
+}
+
+TEST(Schedule, CompileMapsEachOpToItsPlanStepRange) {
+  sim::Simulation sim;
+  int a = sim.add_node("a").id();
+  int b = sim.add_node("b").id();
+  int pc = sim.add_node("pc").id();
+  sim::Network& net = sim.add_network("lan");
+  for (int id : {a, b, pc}) net.attach(id);
+
+  ScheduleSpec spec;
+  spec.ops.push_back(make_op(OpKind::kKillApp, sim::seconds(5), 0));        // 1 step
+  spec.ops.push_back(
+      make_op(OpKind::kPowerCycle, sim::seconds(10), 1, sim::seconds(4)));  // crash + boot
+  spec.ops.push_back(
+      make_op(OpKind::kPartition, sim::seconds(20), 0, sim::seconds(3)));   // cut + heal
+  spec.normalize();
+
+  sim::FaultPlan plan(sim);
+  Targets targets;
+  targets.nodes = {a, b};
+  targets.bystanders = {pc};
+  std::vector<CompiledOp> compiled = compile(spec, plan, targets);
+  ASSERT_EQ(compiled.size(), 3u);
+  EXPECT_EQ(compiled[0].first_step, 0u);
+  EXPECT_EQ(compiled[0].step_count, 1u);
+  EXPECT_EQ(compiled[1].first_step, 1u);
+  EXPECT_EQ(compiled[1].step_count, 2u);
+  EXPECT_EQ(compiled[2].first_step, 3u);
+  EXPECT_EQ(compiled[2].step_count, 2u);
+  EXPECT_EQ(plan.size(), 5u);
+}
+
+TEST(Schedule, CompileThrowsOnVictimIndexOutOfRange) {
+  sim::Simulation sim;
+  int a = sim.add_node("a").id();
+  ScheduleSpec spec;
+  spec.ops.push_back(make_op(OpKind::kKillApp, sim::seconds(5), 3));
+  sim::FaultPlan plan(sim);
+  Targets targets;
+  targets.nodes = {a};
+  EXPECT_THROW(compile(spec, plan, targets), std::out_of_range);
+}
+
+TEST(Mutate, SameSeedReplaysTheSameMutationHistory) {
+  MutationParams params;
+  sim::Rng r1(99), r2(99);
+  ScheduleSpec s1 = random_schedule(r1, params, 4);
+  ScheduleSpec s2 = random_schedule(r2, params, 4);
+  EXPECT_EQ(s1.serialize(), s2.serialize());
+  for (int i = 0; i < 50; ++i) {
+    mutate(s1, r1, params);
+    mutate(s2, r2, params);
+    ASSERT_EQ(s1.serialize(), s2.serialize()) << "diverged at mutation " << i;
+  }
+}
+
+TEST(Mutate, RespectsBoundsAndOpCap) {
+  MutationParams params;
+  params.max_ops = 5;
+  sim::Rng rng(3);
+  ScheduleSpec spec = random_schedule(rng, params, 3);
+  for (int i = 0; i < 400; ++i) {
+    mutate(spec, rng, params);
+    ASSERT_LE(spec.ops.size(), static_cast<std::size_t>(params.max_ops));
+    ASSERT_FALSE(spec.ops.empty()) << "mutation must never strand an empty genome";
+    for (const FaultOp& op : spec.ops) {
+      ASSERT_GE(op.at, params.min_at);
+      ASSERT_LE(op.at, params.horizon);
+      ASSERT_GE(op.node, 0);
+      ASSERT_LT(op.node, params.nodes);
+      if (op_kind_uses_dur(op.kind)) {
+        ASSERT_GE(op.dur, params.min_dur);
+        ASSERT_LE(op.dur, params.max_dur);
+      }
+      ASSERT_LE(op.p_ppm, 1'000'000u);
+      ASSERT_LE(op.q_ppm, 1'000'000u);
+    }
+  }
+}
+
+TEST(Mutate, SpliceCrossesOverAtATimeCut) {
+  MutationParams params;
+  sim::Rng rng(11);
+  ScheduleSpec a = random_schedule(rng, params, 6);
+  ScheduleSpec b = random_schedule(rng, params, 6);
+  ScheduleSpec child = splice(a, b, rng, params);
+  ASSERT_FALSE(child.ops.empty());
+  ASSERT_LE(child.ops.size(), static_cast<std::size_t>(params.max_ops));
+  // Every child op must come from one of the parents.
+  for (const FaultOp& op : child.ops) {
+    bool from_a = std::find(a.ops.begin(), a.ops.end(), op) != a.ops.end();
+    bool from_b = std::find(b.ops.begin(), b.ops.end(), op) != b.ops.end();
+    EXPECT_TRUE(from_a || from_b);
+  }
+}
+
+}  // namespace
+}  // namespace oftt::chaos

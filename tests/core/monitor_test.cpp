@@ -8,6 +8,7 @@
 #include "core/deployment.h"
 #include "obs/event_bus.h"
 #include "obs/telemetry.h"
+#include "sim/fault_plan.h"
 #include "support/counter_app.h"
 
 namespace oftt {
@@ -92,6 +93,23 @@ TEST(Monitor, UnsubscribesWhenItsProcessDies) {
   EXPECT_LT(sim.telemetry().bus().subscriber_count(), live_before)
       << "the dead monitor's subscription is gone";
   EXPECT_EQ(dep.monitor(), nullptr);
+}
+
+TEST(Monitor, RendersFaultPlanFiredAndPendingOps) {
+  sim::Simulation sim(74);
+  PairDeployment dep(sim, app_options());
+  sim::FaultPlan plan(sim);
+  plan.kill_process(sim::seconds(2), dep.node_b().id(), "app");
+  plan.crash_node(sim::seconds(60), dep.node_a().id());
+  plan.arm();
+  sim.run_for(sim::seconds(5));
+
+  std::string board = core::SystemMonitor::render_fault_plan(plan);
+  EXPECT_NE(board.find("1/2 fired"), std::string::npos) << board;
+  EXPECT_NE(board.find("[fired   t=2"), std::string::npos) << board;
+  EXPECT_NE(board.find("kill app on node"), std::string::npos) << board;
+  EXPECT_NE(board.find("[pending t=60"), std::string::npos) << board;
+  EXPECT_NE(board.find("crash node"), std::string::npos) << board;
 }
 
 }  // namespace

@@ -273,6 +273,106 @@ TEST(Network, PerLinkFailure) {
   EXPECT_EQ(got, 1);
 }
 
+TEST(Network, GilbertElliottBurstLossDropsInBursts) {
+  Simulation sim(11);
+  Node& a = sim.add_node("a");
+  Node& b = sim.add_node("b");
+  Network& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.attach(b.id());
+  a.boot();
+  b.boot();
+  auto pa = a.start_process("p", nullptr);
+  int received = 0;
+  b.start_process("p", nullptr)->bind("x", [&](const Datagram&) { ++received; });
+
+  // Good state lossless, Bad state a blackout. Stationary Bad fraction
+  // = p_enter / (p_enter + p_exit) = 0.2.
+  net.set_burst_loss(/*p_enter=*/0.05, /*p_exit=*/0.2, /*loss_good=*/0.0,
+                     /*loss_bad=*/1.0);
+  EXPECT_TRUE(net.burst_loss_enabled());
+  const int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) pa->send(0, b.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(net.burst_dropped() + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(kSends));
+  // Burst correlation inflates the variance well past the binomial, so
+  // the band is generous around the 20% stationary mean.
+  EXPECT_NEAR(static_cast<double>(net.burst_dropped()) / kSends, 0.2, 0.1);
+
+  net.clear_burst_loss();
+  EXPECT_FALSE(net.burst_loss_enabled());
+  std::uint64_t dropped_before = net.burst_dropped();
+  received = 0;
+  for (int i = 0; i < 100; ++i) pa->send(0, b.id(), "x", Buffer{});
+  sim.run();
+  EXPECT_EQ(received, 100) << "a cleared burst channel must not drop";
+  EXPECT_EQ(net.burst_dropped(), dropped_before);
+}
+
+TEST(Network, GilbertElliottMeanBurstLengthTracksExitProbability) {
+  // With Good lossless and Bad a blackout, consecutive-drop run lengths
+  // are the Bad-state sojourns: geometric with mean 1/p_exit.
+  Simulation sim(5);
+  Node& a = sim.add_node("a");
+  Node& b = sim.add_node("b");
+  Network& net = sim.add_network("lan");
+  net.attach(a.id());
+  net.attach(b.id());
+  a.boot();
+  b.boot();
+  auto pa = a.start_process("p", nullptr);
+  std::vector<int> outcomes;  // 1 = delivered, in send order
+  b.start_process("p", nullptr)->bind("x", [&](const Datagram&) { outcomes.back() = 1; });
+  net.set_burst_loss(/*p_enter=*/0.02, /*p_exit=*/0.25, /*loss_good=*/0.0,
+                     /*loss_bad=*/1.0);
+  for (int i = 0; i < 6000; ++i) {
+    outcomes.push_back(0);
+    pa->send(0, b.id(), "x", Buffer{});
+    sim.run();  // deliver before the next send so outcome order is exact
+  }
+  int bursts = 0;
+  long long burst_len_total = 0;
+  int run = 0;
+  for (int ok : outcomes) {
+    if (ok == 0) {
+      ++run;
+    } else if (run > 0) {
+      ++bursts;
+      burst_len_total += run;
+      run = 0;
+    }
+  }
+  ASSERT_GT(bursts, 20) << "storm too quiet to measure";
+  double mean_burst = static_cast<double>(burst_len_total) / bursts;
+  EXPECT_NEAR(mean_burst, 4.0, 1.5) << "mean sojourn must track 1/p_exit";
+}
+
+TEST(Network, DisabledBurstChannelLeavesUniformLossHistoryUnchanged) {
+  // The burst chain must consume zero RNG draws while disabled, so
+  // pre-existing uniform-loss scenarios replay identically whether or
+  // not the knob was ever compiled in.
+  auto run_once = [](bool touch_api) {
+    Simulation sim(7);
+    Node& a = sim.add_node("a");
+    Node& b = sim.add_node("b");
+    Network& net = sim.add_network("lan");
+    net.attach(a.id());
+    net.attach(b.id());
+    net.set_loss(0.3);
+    if (touch_api) net.clear_burst_loss();
+    a.boot();
+    b.boot();
+    auto pa = a.start_process("p", nullptr);
+    int received = 0;
+    b.start_process("p", nullptr)->bind("x", [&](const Datagram&) { ++received; });
+    for (int i = 0; i < 1000; ++i) pa->send(0, b.id(), "x", Buffer{});
+    sim.run();
+    return received;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
 TEST(Network, LoopbackBypassesNetworkFaults) {
   Simulation sim;
   Node& a = sim.add_node("a");
@@ -445,6 +545,51 @@ TEST(FaultPlan, StepsSurviveVectorReallocationAfterArm) {
   EXPECT_EQ(plan.journal().size(), 65u);
   EXPECT_EQ(plan.journal().front().what, "crash node 0");
   EXPECT_TRUE(n.up());
+}
+
+TEST(FaultPlan, IntrospectionSplitsFiredFromPending) {
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  n.boot();
+  FaultPlan plan(sim);
+  plan.kill_process(milliseconds(10), n.id(), "app");
+  plan.crash_node(seconds(10), n.id());
+  plan.arm();
+  EXPECT_EQ(plan.fired_count(), 0u);
+  ASSERT_EQ(plan.pending().size(), 2u);
+
+  sim.run_until(seconds(1));
+  EXPECT_EQ(plan.fired_count(), 1u);
+  EXPECT_TRUE(plan.step_fired(0));
+  EXPECT_FALSE(plan.step_fired(1));
+  EXPECT_FALSE(plan.step_fired(99)) << "out-of-range index is simply not fired";
+  auto pending = plan.pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].at, seconds(10));
+  EXPECT_EQ(pending[0].what, "crash node " + std::to_string(n.id()));
+
+  sim.run_until(seconds(11));
+  EXPECT_EQ(plan.fired_count(), 2u);
+  EXPECT_TRUE(plan.pending().empty());
+}
+
+TEST(FaultPlan, DiskFailWindowTogglesWriteFailures) {
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  n.boot();
+  FaultPlan plan(sim);
+  plan.disk_fail_window(seconds(1), n.id(), /*duration=*/seconds(2));
+  plan.arm();
+
+  DiskStore& disk = DiskStore::of(sim);
+  sim.run_until(milliseconds(500));
+  EXPECT_TRUE(disk.write(n.id(), "k", Buffer{1}));
+  sim.run_until(seconds(2));
+  EXPECT_TRUE(disk.writes_failing(n.id()));
+  EXPECT_FALSE(disk.write(n.id(), "k", Buffer{2}));
+  sim.run_until(seconds(4));
+  EXPECT_FALSE(disk.writes_failing(n.id()));
+  EXPECT_TRUE(disk.write(n.id(), "k", Buffer{3}));
 }
 
 }  // namespace

@@ -265,5 +265,49 @@ TEST_F(RecoveryTest, FullDiskDegradesJournalingButNotService) {
   EXPECT_GT(app->count(), before);
 }
 
+// A disk whose writes fail across the whole reboot-recovery window must
+// not stop the rejoiner: journal *reads* drive the replay, and the
+// appends that fail inside the window only degrade durability (they are
+// counted, and resume once the window closes).
+TEST_F(RecoveryTest, DiskFailWindowOverlappingJournalRecoveryStillRestores) {
+  PairDeployment dep(sim, recovery_options());
+  sim.run_for(sim::seconds(3));
+  ASSERT_EQ(dep.primary_node(), dep.node_a().id());
+  Ftim* ftim_b = dep.ftim_on(dep.node_b());
+  ASSERT_NE(ftim_b, nullptr);
+  std::uint64_t seq_at_crash = ftim_b->latest_checkpoint()->seq;
+  ASSERT_GT(seq_at_crash, 0u);
+
+  dep.node_b().crash();
+  sim.run_for(sim::seconds(1));
+  // Open the write-fail window before the reboot and close it well
+  // after the replay: recovery runs entirely inside it.
+  sim::FaultPlan plan(sim);
+  plan.disk_fail_window(sim.now() + sim::milliseconds(10), dep.node_b().id(),
+                        sim::seconds(4));
+  plan.arm();
+  sim.run_for(sim::milliseconds(100));
+  dep.node_b().boot();
+  sim.run_for(sim::seconds(2));  // journal replay + delta resync, disk failing
+
+  ftim_b = dep.ftim_on(dep.node_b());
+  ASSERT_NE(ftim_b, nullptr);
+  ASSERT_NE(ftim_b->latest_checkpoint(), nullptr);
+  EXPECT_GE(ftim_b->latest_checkpoint()->seq, seq_at_crash)
+      << "journal reads drive recovery; failing writes must not block it";
+  ASSERT_NE(ftim_b->journal(), nullptr);
+  EXPECT_GT(ftim_b->journal()->append_failures(), 0u)
+      << "checkpoints received inside the window could not be journaled";
+
+  // Window closes; journaling resumes and the failure count freezes.
+  sim.run_for(sim::seconds(3));
+  std::uint64_t failures_at_close = ftim_b->journal()->append_failures();
+  sim.run_for(sim::seconds(2));
+  EXPECT_EQ(ftim_b->journal()->append_failures(), failures_at_close)
+      << "appends must succeed again once the window closes";
+  EXPECT_EQ(dep.primary_node(), dep.node_a().id())
+      << "the primary never wavered through any of this";
+}
+
 }  // namespace
 }  // namespace oftt::core
