@@ -36,6 +36,8 @@ constexpr int kReplicaCounts[] = {2, 3, 5, 9};
 struct OverheadResult {
   std::int64_t dgrams_per_sec = 0;  // whole cluster
   std::int64_t per_member = 0;
+  std::int64_t bytes_per_sec = 0;   // payload bytes offered to the wire
+  std::int64_t bytes_per_member = 0;
 };
 
 OverheadResult run_overhead(int replicas, std::uint64_t seed) {
@@ -52,13 +54,17 @@ OverheadResult run_overhead(int replicas, std::uint64_t seed) {
 
   const sim::SimTime window = sim::seconds(10);
   std::uint64_t before = sim.network(0).sent();
+  std::uint64_t bytes_before = sim.network(0).bytes_sent();
   sim.run_for(window);
   std::uint64_t delta = sim.network(0).sent() - before;
+  std::uint64_t bytes_delta = sim.network(0).bytes_sent() - bytes_before;
 
   OverheadResult r;
-  r.dgrams_per_sec =
-      static_cast<std::int64_t>(delta / static_cast<std::uint64_t>(sim::to_seconds(window)));
+  auto secs = static_cast<std::uint64_t>(sim::to_seconds(window));
+  r.dgrams_per_sec = static_cast<std::int64_t>(delta / secs);
   r.per_member = r.dgrams_per_sec / replicas;
+  r.bytes_per_sec = static_cast<std::int64_t>(bytes_delta / secs);
+  r.bytes_per_member = r.bytes_per_sec / replicas;
   return r;
 }
 
@@ -131,14 +137,15 @@ int main() {
   title("E8a: steady-state membership overhead",
         "engine-only clusters; every datagram is heartbeat/gossip/campaign traffic; "
         "all-to-all heartbeats make this O(N^2)");
-  row({"replicas", "quorum", "dgrams/s", "per member"});
-  rule(4);
+  row({"replicas", "quorum", "dgrams/s", "per member", "bytes/s", "B/s member"});
+  rule(6);
   std::vector<OverheadResult> overhead;
   for (int n : kReplicaCounts) {
     OverheadResult r = run_overhead(n, 11);
     overhead.push_back(r);
     row({fmt_int(n), fmt_int(cluster::quorum_required(static_cast<std::size_t>(n))),
-         fmt_int(r.dgrams_per_sec), fmt_int(r.per_member)});
+         fmt_int(r.dgrams_per_sec), fmt_int(r.per_member), fmt_int(r.bytes_per_sec),
+         fmt_int(r.bytes_per_member)});
   }
 
   title("E8b: failover latency vs cluster size",
@@ -185,6 +192,8 @@ int main() {
                        cluster::quorum_required(static_cast<std::size_t>(n))));
     w.kv("steady_dgrams_per_sec", overhead[i].dgrams_per_sec);
     w.kv("steady_dgrams_per_sec_per_member", overhead[i].per_member);
+    w.kv("steady_bytes_per_sec", overhead[i].bytes_per_sec);
+    w.kv("steady_bytes_per_sec_per_member", overhead[i].bytes_per_member);
     w.key("failover_phases");
     w.begin_array();
     for (const auto& [name, xs] : phases) json_phase(w, name, *xs);

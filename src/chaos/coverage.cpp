@@ -36,6 +36,7 @@ constexpr std::uint64_t kTagPolicy = 4;
 constexpr std::uint64_t kTagJournal = 5;
 constexpr std::uint64_t kTagSpanShape = 6;
 constexpr std::uint64_t kTagSpanPhase = 7;
+constexpr std::uint64_t kTagSwim = 8;
 
 }  // namespace
 
@@ -134,6 +135,15 @@ void CoverageProbe::on_event(const obs::Event& e) {
       break;
     case obs::EventKind::kJournalRecovered:
       map_.set(coverage_feature(kTagJournal, node, bucket(e.a)));
+      break;
+    case obs::EventKind::kSwimSuspect:
+    case obs::EventKind::kSwimRefute:
+    case obs::EventKind::kSwimDeadConfirm:
+      // Detection-plane transitions: which member was accused / refuted
+      // / confirmed, and how deep its incarnation clock has been driven
+      // (each refutation bumps it — repeated accusation cycles are a
+      // distinct behaviour worth rewarding).
+      map_.set(coverage_feature(kTagSwim, kind, e.a, bucket(e.b)));
       break;
     default: break;
   }

@@ -12,8 +12,9 @@ namespace oftt::chaos {
 namespace {
 
 constexpr const char* kOpNames[] = {
-    "power_cycle", "os_crash",  "kill_app",  "kill_engine",   "hang_app", "partition",
-    "net_down",    "loss_burst", "dup_burst", "gilbert_burst", "disk_fail",
+    "power_cycle", "os_crash",   "kill_app",  "kill_engine",     "hang_app",  "partition",
+    "net_down",    "loss_burst", "dup_burst", "gilbert_burst",   "disk_fail",
+    "probe_blackhole", "link_flap",
 };
 static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) ==
                   static_cast<std::size_t>(OpKind::kMaxOpKind),
@@ -199,6 +200,27 @@ std::vector<CompiledOp> compile(const ScheduleSpec& spec, sim::FaultPlan& plan,
         plan.burst_loss_window(op.at, targets.network, p, q, /*loss_bad=*/1.0, op.dur);
         break;
       case OpKind::kDiskFail: plan.disk_fail_window(op.at, victim, op.dur); break;
+      case OpKind::kProbeBlackhole: {
+        // Asymmetric fault: only the victim's link to its next-ranked
+        // neighbor dies. Direct probes across it vanish while every
+        // indirect path stays up — the case swim's k-proxy fan-out
+        // exists for, and one all-to-all heartbeating misreads as a
+        // dead peer.
+        int other = targets.nodes.at(
+            (static_cast<std::size_t>(op.node) + 1) % targets.nodes.size());
+        plan.link(op.at, targets.network, victim, other, /*up=*/false);
+        plan.link(op.at + op.dur, targets.network, victim, other, /*up=*/true);
+        break;
+      }
+      case OpKind::kLinkFlap: {
+        // The same link, flapping: up/down 4 times across the window —
+        // probes intermittently lost, suspicion raised and refuted.
+        int other = targets.nodes.at(
+            (static_cast<std::size_t>(op.node) + 1) % targets.nodes.size());
+        sim::SimTime period = std::max<sim::SimTime>(op.dur / 8, sim::milliseconds(1));
+        plan.flap_link(op.at, targets.network, victim, other, period, 4);
+        break;
+      }
       case OpKind::kMaxOpKind:
         throw std::runtime_error("chaos: kMaxOpKind is not a schedulable op");
     }

@@ -43,7 +43,13 @@ enum class OpKind : std::uint8_t {
   kGilbertBurst = 9,  // Gilbert-Elliott burst channel for dur:
                       //   p_ppm = P(Good->Bad), q_ppm = P(Bad->Good), Bad = blackout
   kDiskFail = 10,     // every disk write on node fails for dur
-  kMaxOpKind = 11,
+  // Swim-detection faults: per-member probe paths, not whole segments —
+  // exactly the asymmetries that separate a dead member from a lossy
+  // link in the SWIM indirect-probe design.
+  kProbeBlackhole = 11,  // cut victim <-> its next-ranked neighbor for dur
+                         // (direct probes vanish; indirect paths stay up)
+  kLinkFlap = 12,        // flap that same link 4x with period dur/4
+  kMaxOpKind = 13,
 };
 
 const char* op_kind_name(OpKind kind);

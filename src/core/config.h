@@ -39,6 +39,19 @@ enum class ReplicationMode : std::uint8_t {
 
 const char* replication_mode_name(ReplicationMode m);
 
+/// How cluster mode learns liveness. Pair mode ignores this.
+enum class DetectionMode : std::uint8_t {
+  /// The original scheme: every member heartbeats every other member
+  /// each period (O(N^2) datagrams cluster-wide).
+  kGossip = 0,
+  /// SWIM-style: each period one random direct probe, k indirect probes
+  /// on miss, suspect-before-dead with incarnation-numbered refutation;
+  /// membership piggybacks on probe traffic (O(1) per node per period).
+  kSwim = 1,
+};
+
+const char* detection_mode_name(DetectionMode m);
+
 /// What a node does when startup probing finds no peer.
 enum class AloneStartupPolicy : std::uint8_t {
   /// The paper's conservative choice: shut down rather than risk
@@ -87,6 +100,25 @@ struct OfttConfig {
   sim::SimTime heartbeat_period = sim::milliseconds(100);
   sim::SimTime component_timeout = sim::milliseconds(400);
   sim::SimTime peer_timeout = sim::milliseconds(500);
+
+  /// Cluster mode only: liveness source. kGossip keeps the all-to-all
+  /// heartbeats byte-identical to previous releases; kSwim scales the
+  /// detection plane to hundreds of members.
+  DetectionMode detection = DetectionMode::kGossip;
+  /// Swim: direct-probe ack deadline before fanning out the indirect
+  /// probes. Must leave room inside one heartbeat_period for the
+  /// indirect round trip, so keep it well under the period.
+  sim::SimTime swim_probe_timeout = sim::milliseconds(40);
+  /// Swim: proxies asked to probe on the origin's behalf after a direct
+  /// miss (the paper's k).
+  int swim_indirect_probes = 3;
+  /// Swim: how long a suspect may refute before it is confirmed dead.
+  /// 0 = auto: (2*ceil(log2 N) + 6) * heartbeat_period — long enough
+  /// for a refutation to disseminate, short enough to keep failover
+  /// p99 within 2x of a 9-node cluster at N=512.
+  sim::SimTime swim_suspicion_timeout = 0;
+  /// Swim: most membership updates riding one probe/ack frame.
+  std::size_t swim_max_piggyback = 6;
 
   // Startup negotiation (§3.2).
   sim::SimTime startup_probe_timeout = sim::milliseconds(800);

@@ -36,6 +36,16 @@ Engine::Engine(sim::Process& process, OfttConfig config)
           process.sim().telemetry().metrics().counter("oftt.dual_primary_detected")),
       ctr_distress_(process.sim().telemetry().metrics().counter("oftt.distress")),
       ctr_bad_packet_(process.sim().telemetry().metrics().counter("oftt.engine_bad_packet")),
+      ctr_swim_probes_sent_(
+          process.sim().telemetry().metrics().counter("oftt.swim_probes_sent")),
+      ctr_swim_probes_acked_(
+          process.sim().telemetry().metrics().counter("oftt.swim_probes_acked")),
+      ctr_swim_indirect_(
+          process.sim().telemetry().metrics().counter("oftt.swim_indirect_probes")),
+      ctr_swim_false_positive_(
+          process.sim().telemetry().metrics().counter("oftt.swim_false_positive")),
+      hist_swim_suspicion_ms_(process.sim().telemetry().metrics().histogram(
+          "oftt.swim_suspicion_ms", {50, 100, 250, 500, 1000, 2000, 4000, 8000})),
       hb_timer_(process.main_strand()),
       status_timer_(process.main_strand()) {
   process_->bind(kEnginePort, [this](const sim::Datagram& d) { on_datagram(d); });
@@ -75,9 +85,25 @@ Engine::Engine(sim::Process& process, OfttConfig config)
       d.payload = payload;
       dispatch(d);
     });
+    if (config_.detection == DetectionMode::kSwim) {
+      swim::DetectorConfig dc;
+      dc.self = process_->node().id();
+      dc.members = config_.cluster_nodes;
+      dc.probe_timeout = config_.swim_probe_timeout;
+      dc.suspicion_timeout = swim_suspicion_timeout();
+      dc.indirect_probes = config_.swim_indirect_probes;
+      dc.max_piggyback = config_.swim_max_piggyback;
+      // Per-node fork name: every detector draws from its own stream, so
+      // N detectors shuffle independently and adding one never perturbs
+      // another (or any non-swim module).
+      swim_ = std::make_unique<swim::Detector>(
+          dc, process_->sim().fork_rng(cat("swim.", process_->node().id())));
+      swim_->announce(process_->node().id());  // join: disseminate alive@0
+    }
     OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": engine up, unit '",
                   config_.unit_name, "', cluster of ", config_.cluster_nodes.size(),
-                  " (quorum ", view_.quorum(), ")");
+                  " (quorum ", view_.quorum(), ", detection ",
+                  detection_mode_name(config_.detection), ")");
     return;
   }
   OFTT_LOG_INFO("oftt/engine", process_->node().name(), ": engine up, unit '",
@@ -109,6 +135,30 @@ std::shared_ptr<sim::Process> Engine::install(sim::Node& node, OfttConfig config
           cat("Engine::install: cluster_nodes must include this node (", node.id(), ")"));
     }
   }
+  if (config.detection == DetectionMode::kSwim) {
+    if (!config.cluster_mode()) {
+      throw std::invalid_argument(
+          "Engine::install: swim detection needs cluster_nodes — the pair "
+          "protocol keeps its own heartbeats");
+    }
+    if (config.swim_probe_timeout <= 0 ||
+        config.swim_probe_timeout >= config.heartbeat_period) {
+      throw std::invalid_argument(
+          "Engine::install: swim_probe_timeout must be positive and leave room "
+          "for the indirect round inside one heartbeat_period");
+    }
+    if (config.swim_indirect_probes < 0) {
+      throw std::invalid_argument("Engine::install: swim_indirect_probes < 0");
+    }
+    if (config.swim_max_piggyback < 1 || config.swim_max_piggyback > 255) {
+      throw std::invalid_argument(
+          "Engine::install: swim_max_piggyback must be in [1, 255] (the frame "
+          "carries a one-byte update count)");
+    }
+    if (config.swim_suspicion_timeout < 0) {
+      throw std::invalid_argument("Engine::install: swim_suspicion_timeout < 0");
+    }
+  }
   return node.start_process(kEngineProcess, [config](sim::Process& proc) {
     proc.attachment<Engine>(proc, config);
     install_engine_com(proc);  // the engine's remotely activatable COM face
@@ -133,6 +183,13 @@ bool Engine::peer_visible() const {
   sim::SimTime now = process_->sim().now();
   if (config_.cluster_mode()) {
     for (int peer : config_.cluster_peers(process_->node().id())) {
+      // Swim mode: a peer is visible while the detector has not
+      // confirmed it dead — per-member heartbeat freshness no longer
+      // exists (each peer is contacted only ~once per N periods).
+      if (swim_) {
+        if (swim_->presumed_live(peer)) return true;
+        continue;
+      }
       auto it = member_last_hb_.find(peer);
       if (it != member_last_hb_.end() && now - it->second < config_.peer_timeout) return true;
     }
@@ -384,6 +441,13 @@ std::set<int> Engine::live_members(sim::SimTime now) const {
   std::set<int> live;
   live.insert(process_->node().id());
   for (int peer : config_.cluster_peers(process_->node().id())) {
+    if (swim_) {
+      // Suspects count as live: a member is removed from quorum and
+      // succession math only once its suspicion timeout expired without
+      // refutation (never merely on a missed probe).
+      if (swim_->presumed_live(peer)) live.insert(peer);
+      continue;
+    }
     auto it = member_last_hb_.find(peer);
     if (it != member_last_hb_.end() && now - it->second < config_.peer_timeout) {
       live.insert(peer);
@@ -395,15 +459,22 @@ std::set<int> Engine::live_members(sim::SimTime now) const {
 void Engine::cluster_tick(sim::SimTime now) {
   int self = process_->node().id();
 
-  // Heartbeat every configured member on every configured network.
-  PeerHeartbeat hb;
-  hb.node = self;
-  hb.role = role_;
-  hb.incarnation = incarnation_;
-  hb.seq = ++hb_seq_;
-  hb.replica_ready = node_replica_ready();
-  Buffer hb_payload = hb.encode();
-  for (int peer : config_.cluster_peers(self)) send_to_member(peer, hb_payload);
+  if (swim_) {
+    // One direct probe (plus a scheduled indirect fan-out) instead of
+    // the all-to-all heartbeat: per-node send cost is O(1) per period
+    // regardless of cluster size.
+    swim_tick(now);
+  } else {
+    // Heartbeat every configured member on every configured network.
+    PeerHeartbeat hb;
+    hb.node = self;
+    hb.role = role_;
+    hb.incarnation = incarnation_;
+    hb.seq = ++hb_seq_;
+    hb.replica_ready = node_replica_ready();
+    Buffer hb_payload = hb.encode();
+    for (int peer : config_.cluster_peers(self)) send_to_member(peer, hb_payload);
+  }
 
   member_last_hb_[self] = now;
   if (auto* me = view_.find(self)) me->last_heartbeat = now;
@@ -416,21 +487,31 @@ void Engine::cluster_tick(sim::SimTime now) {
         m.last_heartbeat = std::max(m.last_heartbeat, it->second);
       }
     }
-    // Readmit rebooted members: a dead member heartbeating again
-    // rejoins as a backup at the back of the succession order.
+    // Readmit rebooted members: a dead member heartbeating again (or,
+    // under swim, refuting its death certificate with a bumped
+    // incarnation) rejoins as a backup at the back of the succession
+    // order.
     for (int peer : config_.cluster_peers(self)) {
       const cluster::Member* m = view_.find(peer);
-      auto it = member_last_hb_.find(peer);
-      if (m != nullptr && m->role == cluster::MemberRole::kDead &&
-          it != member_last_hb_.end() && now - it->second < config_.peer_timeout) {
-        if (cluster::SuccessionPlanner::rejoin(view_, peer)) {
-          obs::Event e;
-          e.kind = obs::EventKind::kViewChange;
-          e.detail = cat("member ", peer, " rejoined: ", view_.summary());
-          e.a = view_.version;
-          e.b = view_.incarnation;
-          record(std::move(e));
-        }
+      if (m == nullptr || m->role != cluster::MemberRole::kDead) continue;
+      bool back;
+      if (swim_) {
+        back = swim_->state(peer) == swim::MemberState::kAlive;
+      } else {
+        auto it = member_last_hb_.find(peer);
+        back = it != member_last_hb_.end() && now - it->second < config_.peer_timeout;
+      }
+      if (back && cluster::SuccessionPlanner::rejoin(view_, peer)) {
+        obs::Event e;
+        e.kind = obs::EventKind::kViewChange;
+        e.detail = cat("member ", peer, " rejoined: ", view_.summary());
+        e.a = view_.version;
+        e.b = view_.incarnation;
+        record(std::move(e));
+        // Swim refreshes the view round-robin (one member per tick), so
+        // a membership *change* broadcasts once to cut its staleness
+        // window from O(N) ticks to one.
+        if (swim_) gossip_view();
       }
     }
     // Quorum stepdown: a primary that cannot see a live majority of the
@@ -442,7 +523,20 @@ void Engine::cluster_tick(sim::SimTime now) {
                  view_.size(), ", need ", view_.quorum()));
       return;
     }
-    gossip_view();
+    if (swim_) {
+      // O(1) view refresh: one member per tick, full traversal every N
+      // ticks. View *changes* still broadcast at the change site.
+      std::vector<int> peers = config_.cluster_peers(self);
+      if (!peers.empty()) {
+        ViewGossip g;
+        g.from_node = self;
+        g.unit = config_.unit_name;
+        g.view = view_;
+        ep_->send(peers[swim_gossip_rr_++ % peers.size()], g.encode());
+      }
+    } else {
+      gossip_view();
+    }
     return;
   }
 
@@ -450,12 +544,21 @@ void Engine::cluster_tick(sim::SimTime now) {
   // designated successor and the primary is provably stale.
   const cluster::Member* prim = view_.primary();
   if (prim != nullptr) {
-    auto it = member_last_hb_.find(prim->node);
-    sim::SimTime seen = it != member_last_hb_.end() ? it->second : 0;
-    // Join grace: a freshly (re)booted engine has heard nothing yet —
-    // give the primary one full timeout from our own start.
-    seen = std::max(seen, started_at_);
-    if (now - seen < config_.peer_timeout) {
+    bool primary_ok;
+    if (swim_) {
+      // Campaign only on a *confirmed* death — a mere suspect may still
+      // refute. This is what keeps the false-failover rate at the
+      // detector's false-positive rate, not its suspicion rate.
+      primary_ok = swim_->presumed_live(prim->node);
+    } else {
+      auto it = member_last_hb_.find(prim->node);
+      sim::SimTime seen = it != member_last_hb_.end() ? it->second : 0;
+      // Join grace: a freshly (re)booted engine has heard nothing yet —
+      // give the primary one full timeout from our own start.
+      seen = std::max(seen, started_at_);
+      primary_ok = now - seen < config_.peer_timeout;
+    }
+    if (primary_ok) {
       if (campaign_.active) campaign_.clear();  // primary is back
       return;
     }
@@ -501,12 +604,23 @@ void Engine::cluster_tick(sim::SimTime now) {
   }
 
   if (prim != nullptr) {
-    auto it = member_last_hb_.find(prim->node);
-    sim::SimTime evidence = std::max(it != member_last_hb_.end() ? it->second : 0, started_at_);
-    start_campaign(now,
-                   cat("primary node ", prim->node, " heartbeat timeout (",
-                       sim::to_millis(config_.peer_timeout), " ms)"),
-                   evidence, /*had_primary=*/true);
+    if (swim_) {
+      sim::SimTime evidence =
+          std::max(swim_->last_heard(prim->node), started_at_);
+      start_campaign(now,
+                     cat("primary node ", prim->node,
+                         " confirmed dead (swim, incarnation ",
+                         swim_->incarnation(prim->node), ")"),
+                     evidence, /*had_primary=*/true);
+    } else {
+      auto it = member_last_hb_.find(prim->node);
+      sim::SimTime evidence =
+          std::max(it != member_last_hb_.end() ? it->second : 0, started_at_);
+      start_campaign(now,
+                     cat("primary node ", prim->node, " heartbeat timeout (",
+                         sim::to_millis(config_.peer_timeout), " ms)"),
+                     evidence, /*had_primary=*/true);
+    }
   } else {
     start_campaign(now, "startup election", now, /*had_primary=*/false);
   }
@@ -681,9 +795,19 @@ void Engine::handle_promote_request(const sim::Datagram& d, const PromoteRequest
     const cluster::Member* prim = view_.primary();
     bool primary_fresh = false;
     if (prim != nullptr) {
-      auto it = member_last_hb_.find(prim->node);
-      primary_fresh = it != member_last_hb_.end() &&
-                      now - it->second < 2 * config_.heartbeat_period;
+      if (swim_) {
+        // In swim mode "fresh" means undisputed: we hold neither a
+        // suspicion nor a confirmation against the primary. Per-member
+        // heartbeat recency does not exist (a peer is contacted ~once
+        // per N periods), but by the time a candidate has confirmed the
+        // death the suspicion has disseminated — honest voters are at
+        // least suspecting and therefore grant.
+        primary_fresh = swim_->state(prim->node) == swim::MemberState::kAlive;
+      } else {
+        auto it = member_last_hb_.find(prim->node);
+        primary_fresh = it != member_last_hb_.end() &&
+                        now - it->second < 2 * config_.heartbeat_period;
+      }
     }
     if (!primary_fresh) {
       granted = votes_.grant(req.incarnation, req.candidate);
@@ -712,6 +836,232 @@ void Engine::handle_promote_ack(const PromoteAck& ack) {
   }
   campaign_.votes.insert(ack.voter);
   maybe_promote_on_quorum();
+}
+
+// ---------------------------------------------------------------------
+// Swim failure detection (cluster mode with detection = kSwim)
+// ---------------------------------------------------------------------
+
+sim::SimTime Engine::swim_suspicion_timeout() const {
+  if (config_.swim_suspicion_timeout > 0) return config_.swim_suspicion_timeout;
+  // Auto: a suspicion needs ~log2(N) piggyback rounds to reach the
+  // accused and the refutation needs ~log2(N) to come back, plus slack
+  // for probe-timeout phases and loss. Growing with log N (not N) is
+  // what keeps failover p99 at N=512 within ~2x of a 9-node cluster.
+  int log2n = 1;
+  while ((std::size_t{1} << log2n) < config_.cluster_nodes.size()) ++log2n;
+  return (2 * log2n + 6) * config_.heartbeat_period;
+}
+
+void Engine::swim_tick(sim::SimTime now) {
+  int self = process_->node().id();
+  std::vector<swim::Transition> trs;
+  swim_->tick(now, trs);
+  swim_publish(trs, now);
+
+  int target = swim_->next_target(now);
+  if (target < 0) return;  // every peer confirmed dead
+  SwimProbe p;
+  p.from = self;
+  p.origin = self;
+  p.seq = swim_->probe_seq();
+  p.role = role_;
+  p.incarnation = incarnation_;
+  p.replica_ready = node_replica_ready();
+  // piggyback_for: when we hold a suspicion/confirmation against the
+  // target itself it leads the batch, so the accused can refute on this
+  // very round trip.
+  p.updates = swim_->piggyback_for(target);
+  send_to_member(target, p.encode());
+  ctr_swim_probes_sent_.inc();
+
+  std::uint64_t seq = swim_->probe_seq();
+  process_->main_strand().schedule_after(config_.swim_probe_timeout, [this, target, seq] {
+    // Only escalate the round we armed for: an ack, a crash-restart or
+    // a newer round all void this deadline.
+    if (!swim_ || !swim_->probe_outstanding()) return;
+    if (swim_->probe_target() != target || swim_->probe_seq() != seq) return;
+    SwimPingReq req;
+    req.from = process_->node().id();
+    req.target = target;
+    req.seq = seq;
+    req.role = role_;
+    req.incarnation = incarnation_;
+    req.replica_ready = node_replica_ready();
+    for (int proxy : swim_->proxies(target, config_.swim_indirect_probes)) {
+      req.updates = swim_->piggyback();
+      send_to_member(proxy, req.encode());
+      ctr_swim_indirect_.inc();
+    }
+  });
+}
+
+void Engine::swim_publish(const std::vector<swim::Transition>& transitions,
+                          sim::SimTime now) {
+  (void)now;
+  int self = process_->node().id();
+  for (const auto& tr : transitions) {
+    switch (tr.to) {
+      case swim::MemberState::kSuspect: {
+        obs::Event e;
+        e.kind = obs::EventKind::kSwimSuspect;
+        e.detail = cat("suspecting node ", tr.node, " (incarnation ", tr.incarnation, ")");
+        e.a = static_cast<std::uint64_t>(tr.node);
+        e.b = tr.incarnation;
+        record(std::move(e));
+        break;
+      }
+      case swim::MemberState::kDead: {
+        obs::Event e;
+        e.kind = obs::EventKind::kSwimDeadConfirm;
+        e.detail = cat("node ", tr.node, " confirmed dead (incarnation ", tr.incarnation,
+                       ", suspected ", sim::to_millis(tr.suspected_for), " ms)");
+        e.a = static_cast<std::uint64_t>(tr.node);
+        e.b = tr.incarnation;
+        record(std::move(e));
+        if (tr.from == swim::MemberState::kSuspect) {
+          hist_swim_suspicion_ms_.record(sim::to_millis(tr.suspected_for));
+        }
+        // A death certificate is failover-critical news: burst it to
+        // every member now instead of waiting on epidemic luck, so the
+        // successor's campaign finds voters already convinced.
+        swim_burst(swim::Update{tr.node, tr.incarnation, swim::MemberState::kDead});
+        break;
+      }
+      case swim::MemberState::kAlive: {
+        obs::Event e;
+        e.kind = obs::EventKind::kSwimRefute;
+        e.detail = tr.node == self
+                       ? cat("refuting accusation, incarnation now ", tr.incarnation)
+                       : cat("node ", tr.node, " refuted ",
+                             tr.refuted_death ? "death" : "suspicion",
+                             " (incarnation ", tr.incarnation, ")");
+        e.a = static_cast<std::uint64_t>(tr.node);
+        e.b = tr.incarnation;
+        record(std::move(e));
+        if (tr.from == swim::MemberState::kSuspect) {
+          hist_swim_suspicion_ms_.record(sim::to_millis(tr.suspected_for));
+        }
+        // A retracted death certificate is a detector false positive
+        // (counted at the observers, not at the refuting member).
+        if (tr.refuted_death && tr.node != self) ctr_swim_false_positive_.inc();
+        // Our own refutation races a pending election: burst it.
+        if (tr.node == self) {
+          swim_burst(swim::Update{self, tr.incarnation, swim::MemberState::kAlive});
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Engine::swim_burst(const swim::Update& u) {
+  int self = process_->node().id();
+  SwimProbe p;
+  p.from = self;
+  p.origin = self;
+  p.seq = 0;  // never matches a probe round (round seqs start at 1)
+  p.role = role_;
+  p.incarnation = incarnation_;
+  p.replica_ready = node_replica_ready();
+  p.updates.push_back(u);
+  Buffer payload = p.encode();
+  for (int peer : config_.cluster_peers(self)) send_to_member(peer, payload);
+}
+
+void Engine::swim_note_sender(int node, Role sender_role, std::uint32_t inc, bool ready,
+                              sim::SimTime now) {
+  member_last_hb_[node] = now;
+  member_ready_[node] = ready;
+  swim_->heard_from(node, now);
+  if (role_ == Role::kPrimary && sender_role == Role::kPrimary &&
+      node != process_->node().id()) {
+    // Dual primary after a healed partition: detection traffic carries
+    // the sender's engine role precisely so this arbitration still runs
+    // without all-to-all heartbeats — highest incarnation wins, ties go
+    // to the lower node id.
+    ctr_dual_primary_.inc();
+    obs::Event e;
+    e.kind = obs::EventKind::kDualPrimary;
+    e.detail = cat("dual primary with node ", node, " (peer inc ", inc, ", ours ",
+                   incarnation_, ")");
+    e.a = static_cast<std::uint64_t>(node);
+    e.b = inc;
+    record(std::move(e));
+    bool peer_wins =
+        inc > incarnation_ || (inc == incarnation_ && node < process_->node().id());
+    if (peer_wins) demote("dual-primary resolution");
+  }
+}
+
+void Engine::swim_absorb(const std::vector<swim::Update>& updates, sim::SimTime now) {
+  std::vector<swim::Transition> trs;
+  for (const auto& u : updates) swim_->absorb(u, now, trs);
+  swim_publish(trs, now);
+}
+
+void Engine::handle_swim_probe(const sim::Datagram& d, const SwimProbe& p,
+                               sim::SimTime now) {
+  swim_note_sender(p.from, p.role, p.incarnation, p.replica_ready, now);
+  swim_absorb(p.updates, now);
+  // Ack to whoever delivered the probe (the origin, or the relaying
+  // proxy); the ack's origin field routes it the rest of the way back.
+  SwimAck ack;
+  ack.from = process_->node().id();
+  ack.origin = p.origin;
+  ack.seq = p.seq;
+  ack.role = role_;
+  ack.incarnation = incarnation_;
+  ack.replica_ready = node_replica_ready();
+  ack.updates = swim_->piggyback_for(d.src_node);
+  process_->send(d.network_id, d.src_node, kEnginePort, ack.encode(), kEnginePort);
+}
+
+void Engine::handle_swim_ack(const sim::Datagram& d, const SwimAck& a, sim::SimTime now) {
+  swim_note_sender(a.from, a.role, a.incarnation, a.replica_ready, now);
+  swim_absorb(a.updates, now);
+  if (a.origin == process_->node().id()) {
+    bool closes_round = swim_->probe_outstanding() && swim_->probe_target() == a.from &&
+                        swim_->probe_seq() == a.seq;
+    swim_->on_ack(a.from, a.seq, now);
+    if (closes_round) ctr_swim_probes_acked_.inc();
+    return;
+  }
+  // We proxied this round: forward the target's ack verbatim to the
+  // origin whose probe it answers.
+  process_->send(d.network_id, a.origin, kEnginePort, d.payload, kEnginePort);
+}
+
+void Engine::handle_swim_ping_req(const sim::Datagram& d, const SwimPingReq& req,
+                                  sim::SimTime now) {
+  swim_note_sender(req.from, req.role, req.incarnation, req.replica_ready, now);
+  swim_absorb(req.updates, now);
+  int self = process_->node().id();
+  if (req.target == self) {
+    // Degenerate (a confused origin asking us to probe ourselves):
+    // answer the round directly.
+    SwimAck ack;
+    ack.from = self;
+    ack.origin = req.from;
+    ack.seq = req.seq;
+    ack.role = role_;
+    ack.incarnation = incarnation_;
+    ack.replica_ready = node_replica_ready();
+    ack.updates = swim_->piggyback_for(d.src_node);
+    process_->send(d.network_id, d.src_node, kEnginePort, ack.encode(), kEnginePort);
+    return;
+  }
+  // Relay: probe the target on the origin's behalf, keeping the
+  // origin's round identity so its detector can match the ack.
+  SwimProbe p;
+  p.from = self;
+  p.origin = req.from;
+  p.seq = req.seq;
+  p.role = role_;
+  p.incarnation = incarnation_;
+  p.replica_ready = node_replica_ready();
+  p.updates = swim_->piggyback_for(req.target);
+  send_to_member(req.target, p.encode());
 }
 
 void Engine::component_failed(Component& c, const std::string& why) {
@@ -837,6 +1187,12 @@ void Engine::send_status() {
   sr.incarnation = incarnation_;
   sr.peer_visible = peer_visible();
   if (config_.cluster_mode()) sr.view = view_;
+  if (swim_) {
+    // Our per-member verdicts (self included) for the monitor's board.
+    for (int n : config_.cluster_nodes) {
+      sr.swim_members.push_back(swim::Update{n, swim_->incarnation(n), swim_->state(n)});
+    }
+  }
   for (const auto& [name, c] : components_) {
     sr.components.push_back(ComponentStatus{c.reg.component, c.state, c.restarts,
                                             c.heartbeats, c.policy, c.replica_ready});
@@ -976,6 +1332,27 @@ void Engine::dispatch(const sim::Datagram& d) {
       if (!config_.cluster_mode() || !view_.knows(ack.voter)) return;
       member_last_hb_[ack.voter] = now;
       handle_promote_ack(ack);
+      break;
+    }
+    case MsgKind::kSwimProbe: {
+      SwimProbe p;
+      if (!SwimProbe::decode(d.payload, p)) return;
+      if (!swim_ || !view_.knows(p.from) || !view_.knows(p.origin)) return;
+      handle_swim_probe(d, p, now);
+      break;
+    }
+    case MsgKind::kSwimAck: {
+      SwimAck a;
+      if (!SwimAck::decode(d.payload, a)) return;
+      if (!swim_ || !view_.knows(a.from) || !view_.knows(a.origin)) return;
+      handle_swim_ack(d, a, now);
+      break;
+    }
+    case MsgKind::kSwimPingReq: {
+      SwimPingReq req;
+      if (!SwimPingReq::decode(d.payload, req)) return;
+      if (!swim_ || !view_.knows(req.from) || !view_.knows(req.target)) return;
+      handle_swim_ping_req(d, req, now);
       break;
     }
     case MsgKind::kFtRegister: {

@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "sim/node.h"
 #include "sim/timer.h"
+#include "swim/detector.h"
 #include "transport/session.h"
 
 namespace oftt::core {
@@ -97,6 +98,10 @@ class Engine {
   const cluster::MembershipView& view() const { return view_; }
   bool campaigning() const { return campaign_.active; }
 
+  /// Swim detection (config().detection == kSwim, cluster mode): this
+  /// engine's failure detector; null under legacy gossip detection.
+  const swim::Detector* swim_detector() const { return swim_.get(); }
+
   /// Bounded in-memory event history (role changes, failures,
   /// recoveries) — what an operator pulls after an incident. Every
   /// entry is also published on the simulation-wide telemetry bus;
@@ -148,6 +153,24 @@ class Engine {
                               sim::SimTime now);
   void handle_promote_ack(const PromoteAck& ack);
 
+  // swim failure detection (cluster mode with detection = kSwim)
+  sim::SimTime swim_suspicion_timeout() const;
+  void swim_tick(sim::SimTime now);
+  void swim_publish(const std::vector<swim::Transition>& transitions, sim::SimTime now);
+  /// Shared prologue for every received swim frame: liveness + readiness
+  /// bookkeeping and dual-primary arbitration riding detection traffic.
+  void swim_note_sender(int node, Role role, std::uint32_t inc, bool ready,
+                        sim::SimTime now);
+  void swim_absorb(const std::vector<swim::Update>& updates, sim::SimTime now);
+  /// Immediate one-update broadcast for rare, failover-critical news
+  /// (death confirmations, our own refutation) — collapses worst-case
+  /// epidemic latency to one datagram hop.
+  void swim_burst(const swim::Update& u);
+  void handle_swim_probe(const sim::Datagram& d, const SwimProbe& p, sim::SimTime now);
+  void handle_swim_ack(const sim::Datagram& d, const SwimAck& a, sim::SimTime now);
+  void handle_swim_ping_req(const sim::Datagram& d, const SwimPingReq& req,
+                            sim::SimTime now);
+
   // messaging
   void send_peer(const Buffer& payload);
   void send_to_member(int node, const Buffer& payload);
@@ -188,6 +211,12 @@ class Engine {
   cluster::Campaign campaign_;
   sim::SimTime started_at_ = 0;
 
+  /// Swim failure detection (null under legacy gossip detection).
+  std::unique_ptr<swim::Detector> swim_;
+  /// Round-robin cursor for the primary's O(1)-per-tick view refresh in
+  /// swim mode (the legacy broadcast would put the O(N) cost back).
+  std::size_t swim_gossip_rr_ = 0;
+
   std::map<std::string, Component> components_;
   std::set<std::pair<int, std::string>> role_subscribers_;
   obs::EventLog event_log_;
@@ -201,6 +230,11 @@ class Engine {
   obs::Counter ctr_dual_primary_;
   obs::Counter ctr_distress_;
   obs::Counter ctr_bad_packet_;
+  obs::Counter ctr_swim_probes_sent_;
+  obs::Counter ctr_swim_probes_acked_;
+  obs::Counter ctr_swim_indirect_;
+  obs::Counter ctr_swim_false_positive_;
+  obs::Histogram hist_swim_suspicion_ms_;
 
   sim::PeriodicTimer hb_timer_;
   sim::PeriodicTimer status_timer_;

@@ -71,6 +71,24 @@ const cluster::MembershipView* SystemMonitor::membership_of(const std::string& u
   return best;
 }
 
+std::map<int, SystemMonitor::SwimTally> SystemMonitor::swim_board_of(
+    const std::string& unit) const {
+  std::map<int, SwimTally> board;
+  for (const auto& [key, v] : views_) {
+    if (key.first != unit) continue;
+    for (const auto& u : v.report.swim_members) {
+      SwimTally& t = board[u.node];
+      switch (u.state) {
+        case swim::MemberState::kAlive: ++t.alive; break;
+        case swim::MemberState::kSuspect: ++t.suspect; break;
+        case swim::MemberState::kDead: ++t.dead; break;
+      }
+      t.incarnation = std::max(t.incarnation, u.incarnation);
+    }
+  }
+  return board;
+}
+
 bool SystemMonitor::node_silent(const std::string& unit, int node,
                                 sim::SimTime staleness) const {
   const NodeView* v = view(unit, node);
@@ -94,6 +112,22 @@ std::string SystemMonitor::render() const {
         for (const auto& m : mv->members) {
           os << "    rank " << m.rank << ": node " << m.node << " "
              << cluster::member_role_name(m.role) << "\n";
+        }
+      }
+      // Swim board: what the failure detectors collectively believe —
+      // per member, how many reporters call it alive/suspect/dead and
+      // the highest incarnation in circulation. A member every reporter
+      // calls dead is confirmed; a split (some suspect, some alive) is a
+      // suspicion still in its refutation window.
+      if (auto board = swim_board_of(key.first); !board.empty()) {
+        os << "unit '" << key.first << "' swim board:\n";
+        for (const auto& [node, t] : board) {
+          const char* verdict = t.dead > t.alive + t.suspect ? "DEAD"
+                                : t.suspect > t.alive        ? "SUSPECT"
+                                                             : "alive";
+          os << "    node " << node << ": " << verdict << "@" << t.incarnation
+             << " (alive " << t.alive << ", suspect " << t.suspect << ", dead "
+             << t.dead << ")\n";
         }
       }
     }

@@ -53,6 +53,17 @@ class SystemMonitor {
   /// (highest (incarnation, version) across reporters). Null when no
   /// reporter carries one (pair mode).
   const cluster::MembershipView* membership_of(const std::string& unit) const;
+  /// Swim detection: per-member verdict tallies across every reporter of
+  /// a unit — how many reporters currently call the member alive /
+  /// suspect / dead, and the highest incarnation any of them holds.
+  /// Empty when no reporter runs swim (legacy gossip detection).
+  struct SwimTally {
+    int alive = 0;
+    int suspect = 0;
+    int dead = 0;
+    std::uint32_t incarnation = 0;
+  };
+  std::map<int, SwimTally> swim_board_of(const std::string& unit) const;
   /// True when no report from (unit, node) within `staleness`.
   bool node_silent(const std::string& unit, int node, sim::SimTime staleness) const;
 

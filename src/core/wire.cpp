@@ -22,6 +22,14 @@ const char* replication_mode_name(ReplicationMode m) {
   return "?";
 }
 
+const char* detection_mode_name(DetectionMode m) {
+  switch (m) {
+    case DetectionMode::kGossip: return "gossip";
+    case DetectionMode::kSwim: return "swim";
+  }
+  return "?";
+}
+
 const char* component_state_name(ComponentState s) {
   switch (s) {
     case ComponentState::kUp: return "UP";
@@ -254,6 +262,8 @@ Buffer StatusReport::encode() const {
   }
   w.boolean(!view.members.empty());
   if (!view.members.empty()) view.encode(w);
+  w.u32(static_cast<std::uint32_t>(swim_members.size()));
+  for (const auto& u : swim_members) u.encode(w);
   return std::move(w).take();
 }
 
@@ -285,6 +295,17 @@ bool StatusReport::decode(const Buffer& b, StatusReport& out) {
   out.view = cluster::MembershipView{};
   if (!r.failed() && r.boolean()) {
     if (!cluster::MembershipView::decode(r, out.view)) return false;
+  }
+  if (r.failed()) return false;
+  std::uint32_t sn = r.u32();
+  // A swim update serializes to exactly 9 bytes (i32 node + u32
+  // incarnation + u8 state).
+  if (sn > r.remaining() / 9) return false;
+  out.swim_members.clear();
+  for (std::uint32_t i = 0; i < sn; ++i) {
+    swim::Update u;
+    if (!swim::Update::decode(r, u)) return false;
+    out.swim_members.push_back(u);
   }
   return !r.failed();
 }
@@ -475,6 +496,111 @@ bool CheckpointPull::decode(const Buffer& b, CheckpointPull& out) {
   out.have_seq = r.u64();
   out.have_incarnation = r.u32();
   out.from_node = r.i32();
+  return !r.failed();
+}
+
+namespace {
+
+// The three swim frames share one payload layout after their two
+// leading i32 addresses; factoring it keeps the encoders byte-for-byte
+// consistent so a proxy can relay frames without re-encoding.
+void swim_encode_tail(BinaryWriter& w, std::uint64_t seq, Role role,
+                      std::uint32_t incarnation, bool replica_ready,
+                      const std::vector<swim::Update>& updates) {
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u32(incarnation);
+  w.boolean(replica_ready);
+  w.u8(static_cast<std::uint8_t>(updates.size()));
+  for (const auto& u : updates) u.encode(w);
+}
+
+bool swim_decode_tail(BinaryReader& r, std::uint64_t& seq, Role& role,
+                      std::uint32_t& incarnation, bool& replica_ready,
+                      std::vector<swim::Update>& updates) {
+  seq = r.u64();
+  role = static_cast<Role>(r.u8());
+  incarnation = r.u32();
+  replica_ready = r.boolean();
+  std::uint8_t n = r.u8();
+  if (r.failed()) return false;
+  // A swim update serializes to exactly 9 bytes; the count byte caps
+  // the batch at 255 but a garbled count must still not over-read.
+  if (n > r.remaining() / 9) return false;
+  updates.clear();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    swim::Update u;
+    if (!swim::Update::decode(r, u)) return false;
+    updates.push_back(u);
+  }
+  return !r.failed();
+}
+
+}  // namespace
+
+Buffer SwimProbe::encode() const {
+  BinaryWriter w = begin(MsgKind::kSwimProbe);
+  w.u8(kClusterWireVersion);
+  w.i32(from);
+  w.i32(origin);
+  swim_encode_tail(w, seq, role, incarnation, replica_ready, updates);
+  return std::move(w).take();
+}
+
+bool SwimProbe::decode(const Buffer& b, SwimProbe& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kSwimProbe, r)) return false;
+  if (r.u8() != kClusterWireVersion) return false;
+  out.from = r.i32();
+  out.origin = r.i32();
+  if (!swim_decode_tail(r, out.seq, out.role, out.incarnation,
+                        out.replica_ready, out.updates)) {
+    return false;
+  }
+  return !r.failed();
+}
+
+Buffer SwimAck::encode() const {
+  BinaryWriter w = begin(MsgKind::kSwimAck);
+  w.u8(kClusterWireVersion);
+  w.i32(from);
+  w.i32(origin);
+  swim_encode_tail(w, seq, role, incarnation, replica_ready, updates);
+  return std::move(w).take();
+}
+
+bool SwimAck::decode(const Buffer& b, SwimAck& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kSwimAck, r)) return false;
+  if (r.u8() != kClusterWireVersion) return false;
+  out.from = r.i32();
+  out.origin = r.i32();
+  if (!swim_decode_tail(r, out.seq, out.role, out.incarnation,
+                        out.replica_ready, out.updates)) {
+    return false;
+  }
+  return !r.failed();
+}
+
+Buffer SwimPingReq::encode() const {
+  BinaryWriter w = begin(MsgKind::kSwimPingReq);
+  w.u8(kClusterWireVersion);
+  w.i32(from);
+  w.i32(target);
+  swim_encode_tail(w, seq, role, incarnation, replica_ready, updates);
+  return std::move(w).take();
+}
+
+bool SwimPingReq::decode(const Buffer& b, SwimPingReq& out) {
+  BinaryReader r(b);
+  if (!begin_read(b, MsgKind::kSwimPingReq, r)) return false;
+  if (r.u8() != kClusterWireVersion) return false;
+  out.from = r.i32();
+  out.target = r.i32();
+  if (!swim_decode_tail(r, out.seq, out.role, out.incarnation,
+                        out.replica_ready, out.updates)) {
+    return false;
+  }
   return !r.failed();
 }
 

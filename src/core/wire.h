@@ -15,6 +15,7 @@
 #include "cluster/membership.h"
 #include "common/bytes.h"
 #include "core/config.h"
+#include "swim/swim.h"
 
 namespace oftt::core {
 
@@ -55,6 +56,13 @@ enum class MsgKind : std::uint8_t {
   kViewGossip = 50,
   kPromoteRequest = 51,
   kPromoteAck = 52,
+  // engine <-> engine, SWIM failure detection (cluster mode with
+  // detection = kSwim). Raw datagrams like the heartbeats they replace:
+  // detection must feel loss (DESIGN §5.7), so none of these ride the
+  // session layer. Values stay clear of transport's 0xD1/0xD2 frames.
+  kSwimProbe = 60,
+  kSwimAck = 61,
+  kSwimPingReq = 62,
 };
 
 /// Version tag carried by the cluster messages so mixed-version
@@ -196,6 +204,10 @@ struct StatusReport {
   /// Cluster mode only: the reporter's membership view (empty members
   /// list in pair mode — the monitor falls back to the pair rendering).
   cluster::MembershipView view;
+  /// Swim detection only: this reporter's per-member verdicts (alive /
+  /// suspect / dead with incarnation numbers) — what the monitor's swim
+  /// board renders. Empty under legacy gossip detection.
+  std::vector<swim::Update> swim_members;
   Buffer encode() const;
   static bool decode(const Buffer& b, StatusReport& out);
 };
@@ -276,6 +288,55 @@ struct PolicySwitchMsg {
   std::string reason;
   Buffer encode() const;
   static bool decode(const Buffer& b, PolicySwitchMsg& out);
+};
+
+/// SWIM direct probe (origin -> target, or proxy -> target on behalf of
+/// origin). The target acks to whoever delivered the probe; the ack's
+/// `origin` routes it back to the member whose probe round it answers.
+/// Every swim frame carries the sender's engine role/incarnation
+/// (dual-primary arbitration rides detection traffic — there are no
+/// all-to-all heartbeats in swim mode to carry it) plus the bounded,
+/// freshness-prioritized piggyback batch that disseminates membership.
+struct SwimProbe {
+  int from = -1;    // sending member (prober, or the relaying proxy)
+  int origin = -1;  // member whose probe round this is
+  std::uint64_t seq = 0;
+  Role role = Role::kUnknown;          // sender's engine role
+  std::uint32_t incarnation = 0;       // sender's engine incarnation
+  bool replica_ready = true;
+  std::vector<swim::Update> updates;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, SwimProbe& out);
+};
+
+/// Probe acknowledgement. `from` is the acking member (the probed
+/// target); a proxy that receives an ack whose origin is not itself
+/// forwards the frame verbatim to `origin`.
+struct SwimAck {
+  int from = -1;
+  int origin = -1;
+  std::uint64_t seq = 0;
+  Role role = Role::kUnknown;
+  std::uint32_t incarnation = 0;
+  bool replica_ready = true;
+  std::vector<swim::Update> updates;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, SwimAck& out);
+};
+
+/// Indirect-probe request (origin -> proxy): "probe `target` for me".
+/// Sent to k random proxies when the direct probe misses its ack — the
+/// k extra paths separate a dead member from a lossy or one-way link.
+struct SwimPingReq {
+  int from = -1;    // the origin asking for help
+  int target = -1;  // the member to probe
+  std::uint64_t seq = 0;
+  Role role = Role::kUnknown;
+  std::uint32_t incarnation = 0;
+  bool replica_ready = true;
+  std::vector<swim::Update> updates;
+  Buffer encode() const;
+  static bool decode(const Buffer& b, SwimPingReq& out);
 };
 
 /// Checkpoint frame: kind byte + component + image blob.

@@ -53,7 +53,11 @@ enum class EventKind : std::uint32_t {
   kSessionReset = 22,         // a = peer node id, b = new tx epoch
   // Replication: live policy switches (governor- or app-driven).
   kPolicySwitch = 23,         // a = new ReplicationMode, b = old
-  kMaxKind = 24,              // one past the last kind (mask width)
+  // Swim failure detection (cluster mode with detection = swim).
+  kSwimSuspect = 24,          // a = suspected node, b = accused incarnation
+  kSwimRefute = 25,           // a = refuting node, b = new incarnation
+  kSwimDeadConfirm = 26,      // a = confirmed node, b = incarnation
+  kMaxKind = 27,              // one past the last kind (mask width)
 };
 
 const char* event_kind_name(EventKind kind);

@@ -30,6 +30,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kResyncFull: return "resync_full";
     case EventKind::kSessionReset: return "session_reset";
     case EventKind::kPolicySwitch: return "policy_switch";
+    case EventKind::kSwimSuspect: return "swim_suspect";
+    case EventKind::kSwimRefute: return "swim_refute";
+    case EventKind::kSwimDeadConfirm: return "swim_dead_confirm";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

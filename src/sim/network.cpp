@@ -94,6 +94,7 @@ bool Network::reachable(int a, int b) const {
 bool Network::send(Datagram d) {
   if (!attached(d.src_node)) return false;
   ++sent_;
+  bytes_sent_ += d.payload.size();
   payload_bytes_.record(static_cast<std::int64_t>(d.payload.size()));
   if (!attached(d.dst_node) || !reachable(d.src_node, d.dst_node)) {
     ++dropped_;

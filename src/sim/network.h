@@ -88,6 +88,10 @@ class Network {
 
   // Introspection for tests/benches.
   std::uint64_t sent() const { return sent_; }
+  /// Total payload bytes offered to the segment (including datagrams
+  /// later lost) — the traffic-cost figure the detection benchmarks
+  /// compare across protocols.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t duplicated() const { return duplicated_; }
@@ -119,6 +123,7 @@ class Network {
   std::map<int, int> partition_group_;  // node -> group (empty = healed)
   Rng rng_;
   std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0, duplicated_ = 0;
+  std::uint64_t bytes_sent_ = 0;
   std::uint64_t burst_dropped_ = 0;
   // Pre-resolved metric handles: the per-datagram path must not do
   // string-keyed map lookups.
