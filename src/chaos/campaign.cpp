@@ -10,6 +10,9 @@
 #include "core/deployment.h"
 #include "nt/runtime.h"
 #include "obs/json.h"
+#include "opc/client.h"
+#include "opc/device.h"
+#include "opc/server.h"
 #include "sim/timer.h"
 
 namespace oftt::chaos {
@@ -19,6 +22,11 @@ namespace {
 /// The fixed evaluation workload: a checkpointable counter app (the
 /// same shape as tests' CounterApp) ticking every 10 ms, so failover
 /// traces have application state to restore and progress to resume.
+/// Alongside it, a small OPC data plane — a two-signal PLC scanned at
+/// 50 ms feeding an in-process change-driven group (100 ms tick, 5%
+/// deadband) — so schedules exercise notification batch shapes,
+/// deadband suppression, and the BAD-quality storm / all-GOOD recovery
+/// that kDeviceFault injects.
 class CampaignApp {
  public:
   explicit CampaignApp(sim::Process& process) : timer_(process.main_strand()) {
@@ -32,12 +40,30 @@ class CampaignApp {
       timer_.start(sim::milliseconds(10), [this] { counter_.set(counter_.get() + 1); });
     });
     ftim.on_deactivate([this] { timer_.stop(); });
+
+    device_ = std::make_shared<opc::PlcDevice>("plc", sim::milliseconds(50));
+    device_->add_input("ai.temp",
+                       std::make_unique<opc::SineSignal>(80.0, 10.0, 2.0, /*noise=*/0.5));
+    device_->add_input("ai.flow",
+                       std::make_unique<opc::RandomWalkSignal>(40.0, 1.5, 0.0, 100.0));
+    device_->start(process.main_strand(), process.sim().fork_rng(process.name() + ".plc"));
+    group_ = opc::OpcGroupObject::create(process, device_, "campaign",
+                                         sim::milliseconds(100));
+    group_->AddItems({"ai.temp", "ai.flow"}, nullptr);
+    group_->SetDeadband(5.0, nullptr);
+    sink_ = opc::DataSink::create([](std::uint32_t, const std::vector<opc::ItemState>&) {});
+    group_->SetCallback(com::ComPtr<opc::IOPCDataCallback>(sink_.get()), nullptr);
   }
+
+  void set_device_faulted(bool faulted) { device_->set_faulted(faulted); }
 
  private:
   nt::Region* region_ = nullptr;
   nt::Cell<std::int64_t> counter_;
   sim::PeriodicTimer timer_;
+  std::shared_ptr<opc::PlcDevice> device_;
+  com::ComPtr<opc::OpcGroupObject> group_;
+  com::ComPtr<opc::DataSink> sink_;
 };
 
 /// Why a schedule earned its corpus slot — in check priority order.
@@ -76,6 +102,17 @@ EvalResult evaluate(const ScheduleSpec& spec, const EvalOptions& opts) {
   targets.nodes = {dep.node_a().id(), dep.node_b().id()};
   targets.bystanders = {dep.monitor_node().id()};
   targets.network = 0;
+  targets.set_device_faulted = [&dep](int node, bool faulted) {
+    sim::Node* n = node == dep.node_a().id()   ? &dep.node_a()
+                   : node == dep.node_b().id() ? &dep.node_b()
+                                               : nullptr;
+    if (!n) return;
+    auto proc = n->find_process("app");  // null while the app is dead
+    if (!proc) return;
+    if (auto* app = proc->find_attachment<CampaignApp>()) {
+      app->set_device_faulted(faulted);
+    }
+  };
 
   sim::FaultPlan plan(sim);
   std::vector<CompiledOp> compiled = compile(spec, plan, targets);

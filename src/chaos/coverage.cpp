@@ -37,6 +37,7 @@ constexpr std::uint64_t kTagJournal = 5;
 constexpr std::uint64_t kTagSpanShape = 6;
 constexpr std::uint64_t kTagSpanPhase = 7;
 constexpr std::uint64_t kTagSwim = 8;
+constexpr std::uint64_t kTagOpc = 9;
 
 }  // namespace
 
@@ -144,6 +145,18 @@ void CoverageProbe::on_event(const obs::Event& e) {
       // (each refutation bumps it — repeated accusation cycles are a
       // distinct behaviour worth rewarding).
       map_.set(coverage_feature(kTagSwim, kind, e.a, bucket(e.b)));
+      break;
+    case obs::EventKind::kOpcBatch:
+      // Data-plane batch shapes: (announced, suppressed) magnitude pair
+      // per publishing group — a BAD-quality storm, a deadband-heavy
+      // steady state, and a quiet plant are all distinct features.
+      map_.set(coverage_feature(kTagOpc, kind, bucket(e.a), bucket(e.b)));
+      break;
+    case obs::EventKind::kOpcBatchDrop:
+      map_.set(coverage_feature(kTagOpc, kind, node, bucket(e.b)));
+      break;
+    case obs::EventKind::kOpcDeviceFault:
+      map_.set(coverage_feature(kTagOpc, kind, node, e.a));
       break;
     default: break;
   }

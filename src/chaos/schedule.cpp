@@ -14,7 +14,7 @@ namespace {
 constexpr const char* kOpNames[] = {
     "power_cycle", "os_crash",   "kill_app",  "kill_engine",     "hang_app",  "partition",
     "net_down",    "loss_burst", "dup_burst", "gilbert_burst",   "disk_fail",
-    "probe_blackhole", "link_flap",
+    "probe_blackhole", "link_flap", "device_fault",
 };
 static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) ==
                   static_cast<std::size_t>(OpKind::kMaxOpKind),
@@ -219,6 +219,20 @@ std::vector<CompiledOp> compile(const ScheduleSpec& spec, sim::FaultPlan& plan,
             (static_cast<std::size_t>(op.node) + 1) % targets.nodes.size());
         sim::SimTime period = std::max<sim::SimTime>(op.dur / 8, sim::milliseconds(1));
         plan.flap_link(op.at, targets.network, victim, other, period, 4);
+        break;
+      }
+      case OpKind::kDeviceFault: {
+        // Application-level fault: the plant I/O behind the OPC server
+        // goes bad (every read BAD-quality, writes rejected), then
+        // recovers. Compiles to zero steps when the deployment exposes
+        // no device hook — provably inert, so the shrinker drops it.
+        if (targets.set_device_faulted) {
+          auto hook = targets.set_device_faulted;
+          plan.custom(op.at, cat("device_fault node ", victim),
+                      [hook, victim] { hook(victim, true); });
+          plan.custom(op.at + op.dur, cat("device_restore node ", victim),
+                      [hook, victim] { hook(victim, false); });
+        }
         break;
       }
       case OpKind::kMaxOpKind:

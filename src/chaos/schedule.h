@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,7 +50,10 @@ enum class OpKind : std::uint8_t {
   kProbeBlackhole = 11,  // cut victim <-> its next-ranked neighbor for dur
                          // (direct probes vanish; indirect paths stay up)
   kLinkFlap = 12,        // flap that same link 4x with period dur/4
-  kMaxOpKind = 13,
+  kDeviceFault = 13,     // fault the victim's OPC device for dur: reads go
+                         // BAD-quality (a storm of quality-change
+                         // notifications), writes fail, then restore
+  kMaxOpKind = 14,
 };
 
 const char* op_kind_name(OpKind kind);
@@ -110,6 +114,10 @@ struct Targets {
   std::vector<int> bystanders;
   std::string app_process = "app";
   std::string engine_process = "oftt_engine";
+  /// Application hook for kDeviceFault: fault/restore the OPC device
+  /// hosted on `node` (a sim node id). Unset => kDeviceFault ops compile
+  /// to zero steps (provably inert, shrinkable).
+  std::function<void(int node, bool faulted)> set_device_faulted;
 };
 
 /// Range of FaultPlan steps one genome op compiled into.

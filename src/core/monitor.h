@@ -73,6 +73,12 @@ class SystemMonitor {
   /// ASCII status board (what the operator's screen would show).
   std::string render() const;
 
+  /// OPC data-plane board: per-group items / notified / suppressed plus
+  /// the coalesced-plane throughput and per-client pending-batch depth,
+  /// read straight from the "oftt.opc." metrics namespace. Empty string
+  /// when no OPC component has published.
+  std::string opc_board() const;
+
   /// Render an injected fault schedule: every fired injection with its
   /// timestamp, then the still-pending ops. What the operator's screen
   /// shows during a chaos campaign ("what has the harness done to my

@@ -94,12 +94,19 @@ class Region {
     dirty_ranges_.clear();
   }
 
+  /// Raise (or lower) the dirty-range bookkeeping cap. The default of
+  /// 64 suits small scattered-write regions; sharded stores that mark
+  /// many precise slot-sized ranges per checkpoint interval (e.g. the
+  /// OPC TagStore) raise it so a few hundred scattered writes do not
+  /// collapse into a full-region delta.
+  void set_range_limit(std::size_t max_ranges) { max_ranges_ = max_ranges; }
+  std::size_t range_limit() const { return max_ranges_; }
+
  private:
   /// Insert [begin, end) into the sorted range set, merging neighbours.
-  /// Past kMaxRanges the bookkeeping would cost more than it saves, so
+  /// Past max_ranges_ the bookkeeping would cost more than it saves, so
   /// the tracker degrades to dirty_all (a full-region delta).
   void insert_range(std::size_t begin, std::size_t end) {
-    static constexpr std::size_t kMaxRanges = 64;
     std::size_t i = 0;
     while (i < dirty_ranges_.size() && dirty_ranges_[i].end < begin) ++i;
     std::size_t j = i;
@@ -112,7 +119,7 @@ class Region {
                         dirty_ranges_.begin() + static_cast<std::ptrdiff_t>(j));
     dirty_ranges_.insert(dirty_ranges_.begin() + static_cast<std::ptrdiff_t>(i),
                          Range{begin, end});
-    if (dirty_ranges_.size() > kMaxRanges) {
+    if (dirty_ranges_.size() > max_ranges_) {
       dirty_ranges_.clear();
       dirty_all_ = true;
     }
@@ -122,6 +129,7 @@ class Region {
   Buffer bytes_;
   bool dirty_all_ = true;
   std::vector<Range> dirty_ranges_;
+  std::size_t max_ranges_ = 64;
 };
 
 /// A typed window onto a region slice — the ergonomic way applications

@@ -57,7 +57,11 @@ enum class EventKind : std::uint32_t {
   kSwimSuspect = 24,          // a = suspected node, b = accused incarnation
   kSwimRefute = 25,           // a = refuting node, b = new incarnation
   kSwimDeadConfirm = 26,      // a = confirmed node, b = incarnation
-  kMaxKind = 27,              // one past the last kind (mask width)
+  // OPC data plane: batched change notifications and device health.
+  kOpcBatch = 27,             // a = batch item count, b = deadband-suppressed
+  kOpcBatchDrop = 28,         // a = client node, b = drops so far
+  kOpcDeviceFault = 29,       // a = 1 faulted / 0 restored
+  kMaxKind = 30,              // one past the last kind (mask width)
 };
 
 const char* event_kind_name(EventKind kind);

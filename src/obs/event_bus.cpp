@@ -33,6 +33,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kSwimSuspect: return "swim_suspect";
     case EventKind::kSwimRefute: return "swim_refute";
     case EventKind::kSwimDeadConfirm: return "swim_dead_confirm";
+    case EventKind::kOpcBatch: return "opc_batch";
+    case EventKind::kOpcBatchDrop: return "opc_batch_drop";
+    case EventKind::kOpcDeviceFault: return "opc_device_fault";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

@@ -1,6 +1,7 @@
 #include "opc/client.h"
 
 #include "common/logging.h"
+#include "opc/notify.h"
 #include "sim/node.h"
 #include "sim/simulation.h"
 
@@ -16,7 +17,10 @@ OpcConnection::OpcConnection(sim::Process& process, int server_node, const Clsid
   ensure_opc_proxy_stubs_registered();
 }
 
-OpcConnection::~OpcConnection() { staleness_timer_.stop(); }
+OpcConnection::~OpcConnection() {
+  staleness_timer_.stop();
+  if (notify_sub_id_ != 0) NotifyPlane::of(*process_).unregister_sink(notify_sub_id_);
+}
 
 void OpcConnection::subscribe(std::vector<std::string> items,
                               std::function<void(const std::vector<ItemState>&)> on_data) {
@@ -71,6 +75,10 @@ void OpcConnection::connect() {
           fail("AddItems", hr3);
           return;
         }
+        if (config_.batched_notifications) {
+          enable_batched(gen);
+          return;
+        }
         if (!sink_) {
           sink_ = DataSink::create(
               [this](std::uint32_t, const std::vector<ItemState>& items) { on_update(items); });
@@ -82,14 +90,51 @@ void OpcConnection::connect() {
             fail("SetCallback", hr4);
             return;
           }
-          connecting_ = false;
-          last_update_ = process_->sim().now();
-          OFTT_LOG_INFO("opc/client", process_->name(), ": subscribed to ", items_.size(),
-                        " items on node ", server_node_);
+          finish_subscribe(gen);
         });
       });
     });
   });
+}
+
+void OpcConnection::enable_batched(std::uint64_t gen) {
+  auto& plane = NotifyPlane::of(*process_);
+  if (notify_sub_id_ == 0) {
+    notify_sub_id_ = plane.allocate_sub_id();
+    plane.register_sink(notify_sub_id_, [this](const SubBatch& batch) {
+      std::vector<ItemState> items;
+      items.reserve(batch.items.size());
+      for (const NotifyItem& it : batch.items) {
+        auto name = tag_names_.find(it.tag);
+        if (name == tag_names_.end()) continue;  // unknown TagId: stale mapping
+        items.push_back(ItemState{name->second, it.value, it.quality, it.timestamp});
+      }
+      if (!items.empty()) on_update(items);
+    });
+  }
+  group_->EnableBatchedNotify(
+      items_, process_->node().id(), notify_sub_id_,
+      [this, gen](HRESULT hr, const std::vector<std::uint32_t>& tags) {
+        if (gen != generation_) return;
+        if (FAILED(hr) || tags.size() != items_.size()) {
+          fail("EnableBatchedNotify", FAILED(hr) ? hr : E_UNEXPECTED);
+          return;
+        }
+        tag_names_.clear();
+        for (std::size_t i = 0; i < tags.size(); ++i) {
+          if (tags[i] != kInvalidTagId) tag_names_[tags[i]] = items_[i];
+        }
+        finish_subscribe(gen);
+      });
+}
+
+void OpcConnection::finish_subscribe(std::uint64_t gen) {
+  if (gen != generation_) return;
+  connecting_ = false;
+  last_update_ = process_->sim().now();
+  OFTT_LOG_INFO("opc/client", process_->name(), ": subscribed to ", items_.size(),
+                " items on node ", server_node_,
+                config_.batched_notifications ? " (batched)" : "");
 }
 
 void OpcConnection::fail(const char* where, HRESULT hr) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,11 @@ struct OpcConnectionConfig {
   /// 0 disables the staleness watchdog; otherwise reconnect when no
   /// update arrives for this long.
   sim::SimTime staleness_timeout = 0;
+  /// Subscribe through the coalesced notification plane
+  /// (EnableBatchedNotify) instead of a per-group ORPC callback. The
+  /// observable update stream is identical; updates for all batched
+  /// groups of this client arrive coalesced into one frame per tick.
+  bool batched_notifications = false;
 };
 
 class OpcConnection {
@@ -80,6 +86,8 @@ class OpcConnection {
   void connect();
   void fail(const char* where, HRESULT hr);
   void on_update(const std::vector<ItemState>& items);
+  void finish_subscribe(std::uint64_t gen);
+  void enable_batched(std::uint64_t gen);
 
   sim::Process* process_;
   int server_node_;
@@ -92,6 +100,10 @@ class OpcConnection {
   com::ComPtr<IOPCServer> server_;
   com::ComPtr<IOPCGroup> group_;
   com::ComPtr<DataSink> sink_;
+  /// Batched mode: the NotifyPlane demux key (0 until first connect)
+  /// and TagId -> item name mapping learned from EnableBatchedNotify.
+  std::uint32_t notify_sub_id_ = 0;
+  std::map<std::uint32_t, std::string> tag_names_;
   sim::SimTime last_update_ = 0;
   std::uint64_t updates_ = 0, reconnects_ = 0, failures_ = 0;
   sim::PeriodicTimer staleness_timer_;

@@ -3,44 +3,59 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/event_bus.h"
+#include "sim/node.h"
 #include "sim/simulation.h"
 
 namespace oftt::opc {
 
-std::vector<std::string> Device::tags() const {
-  std::vector<std::string> out;
-  out.reserve(points_.size());
-  for (const auto& [tag, _] : points_) out.push_back(tag);
-  return out;
-}
-
 ItemState Device::read(const std::string& tag, sim::SimTime now) const {
-  auto it = points_.find(tag);
-  if (it == points_.end()) {
+  TagId id = store_.find(tag);
+  if (id == kInvalidTagId) {
     return ItemState{tag, OpcValue(), Quality::kBad, now};
   }
-  ItemState s = it->second;
-  if (faulted_) s.quality = Quality::kBad;
+  return read_id(id, now);
+}
+
+ItemState Device::read_id(TagId id, sim::SimTime now) const {
+  (void)now;
+  ItemState s;
+  s.item_id = store_.name(id);
+  s.value = store_.value(id);
+  s.quality = faulted_ ? Quality::kBad : store_.quality(id);
+  s.timestamp = store_.timestamp(id);
   return s;
 }
 
 HRESULT Device::write(const std::string& tag, const OpcValue& value, sim::SimTime now) {
   if (faulted_) return E_FAIL;
-  auto it = points_.find(tag);
-  if (it == points_.end()) return E_INVALIDARG;
-  it->second.value = value;
-  it->second.timestamp = now;
-  it->second.quality = Quality::kGood;
+  TagId id = store_.find(tag);
+  if (id == kInvalidTagId) return E_INVALIDARG;
+  store_.set(id, value, Quality::kGood, now);
   return S_OK;
+}
+
+void Device::set_faulted(bool faulted) {
+  if (faulted_ == faulted) return;
+  faulted_ = faulted;
+  // Quality flipped for every point without a store mutation: force a
+  // re-announce so subscribers see the BAD storm (or the recovery).
+  hub_.invalidate_all();
+  if (host_strand_ != nullptr) {
+    auto& sim = host_strand_->process().sim();
+    obs::Event e;
+    e.kind = obs::EventKind::kOpcDeviceFault;
+    e.node = host_strand_->process().node().id();
+    e.component = name_;
+    e.detail = faulted ? "device faulted" : "device restored";
+    e.a = faulted ? 1 : 0;
+    sim.telemetry().bus().publish(e);
+  }
 }
 
 void Device::set_point(const std::string& tag, OpcValue value, sim::SimTime now,
                        Quality quality) {
-  ItemState& s = points_[tag];
-  s.item_id = tag;
-  s.value = std::move(value);
-  s.quality = quality;
-  s.timestamp = now;
+  store_.set(store_.intern(tag), value, quality, now);
 }
 
 OpcValue SineSignal::sample(double t, sim::Rng& rng) {
@@ -63,8 +78,10 @@ OpcValue SquareSignal::sample(double t, sim::Rng&) {
 OpcValue CounterSignal::sample(double, sim::Rng&) { return OpcValue::from_int(count_++); }
 
 void PlcDevice::add_input(const std::string& tag, std::unique_ptr<SignalModel> model) {
-  inputs_[tag] = std::move(model);
+  Input& in = inputs_[tag];
+  in.model = std::move(model);
   set_point(tag, OpcValue(), 0, Quality::kUncertain);  // no scan yet
+  in.id = store().find(tag);
 }
 
 void PlcDevice::add_output(const std::string& tag, OpcValue initial) {
@@ -73,6 +90,7 @@ void PlcDevice::add_output(const std::string& tag, OpcValue initial) {
 }
 
 void PlcDevice::start(sim::Strand& strand, sim::Rng rng) {
+  Device::start(strand, rng);
   strand_ = &strand;
   rng_ = rng;
   scan_timer_ = std::make_unique<sim::PeriodicTimer>(strand);
@@ -83,8 +101,8 @@ void PlcDevice::scan() {
   if (faulted() || strand_ == nullptr) return;
   sim::SimTime now = strand_->process().sim().now();
   double t = sim::to_seconds(now);
-  for (auto& [tag, model] : inputs_) {
-    set_point(tag, model->sample(t, rng_), now);
+  for (auto& [tag, in] : inputs_) {
+    set_point_id(in.id, in.model->sample(t, rng_), now);
   }
   ++scans_;
 }

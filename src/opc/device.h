@@ -2,6 +2,13 @@
 // the PLC plus its sensors and actuators. The fieldbus below the driver
 // is abstracted away (as it is below a real OPC server): a device's
 // points update on its scan cycle inside the hosting process.
+//
+// Points live in a sharded TagStore (string → dense TagId interning,
+// per-shard dirty lists); the string read/write API below is preserved
+// from the original std::map-backed device, while subscription groups
+// and benches use the TagId fast paths. A SubscriptionHub per device
+// routes store changes to groups, so a group tick costs O(changed)
+// rather than O(items).
 #pragma once
 
 #include <map>
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "common/hresult.h"
+#include "opc/tag_store.h"
 #include "opc/value.h"
 #include "sim/process.h"
 #include "sim/rng.h"
@@ -25,34 +33,53 @@ class Device {
   const std::string& name() const { return name_; }
 
   /// Called once by the hosting process; devices install their timers
-  /// on the given strand.
+  /// on the given strand. Overrides must call the base first — it
+  /// records the strand, which fault events publish through.
   virtual void start(sim::Strand& strand, sim::Rng rng) {
-    (void)strand;
     (void)rng;
+    host_strand_ = &strand;
   }
 
-  std::vector<std::string> tags() const;
-  bool has_tag(const std::string& tag) const { return points_.count(tag) != 0; }
+  TagStore& store() { return store_; }
+  const TagStore& store() const { return store_; }
+  SubscriptionHub& hub() { return hub_; }
+
+  std::vector<std::string> tags() const { return store_.sorted_names(); }
+  bool has_tag(const std::string& tag) const {
+    return store_.find(tag) != kInvalidTagId;
+  }
 
   /// Read a point; unknown tags and faulted devices read back with BAD
   /// quality (OPC semantics — reads do not fail, quality degrades).
   ItemState read(const std::string& tag, sim::SimTime now) const;
+  /// TagId fast path; `id` must be a valid interned id.
+  ItemState read_id(TagId id, sim::SimTime now) const;
 
   /// Write a point; devices decide which tags are writable.
   virtual HRESULT write(const std::string& tag, const OpcValue& value, sim::SimTime now);
 
   /// Fault injection: a faulted device answers all reads with BAD
-  /// quality (dead fieldbus / dead PLC).
-  void set_faulted(bool faulted) { faulted_ = faulted; }
+  /// quality (dead fieldbus / dead PLC). Toggling invalidates every
+  /// subscription — the BAD-quality storm (and the all-GOOD recovery)
+  /// must reach subscribers even though no store value changed.
+  void set_faulted(bool faulted);
   bool faulted() const { return faulted_; }
 
  protected:
   void set_point(const std::string& tag, OpcValue value, sim::SimTime now,
                  Quality quality = Quality::kGood);
+  /// TagId fast path for scan loops that pre-intern their tags.
+  void set_point_id(TagId id, const OpcValue& value, sim::SimTime now,
+                    Quality quality = Quality::kGood) {
+    store_.set(id, value, quality, now);
+  }
+
+  sim::Strand* host_strand_ = nullptr;
 
  private:
   std::string name_;
-  std::map<std::string, ItemState> points_;
+  TagStore store_;
+  SubscriptionHub hub_{store_};
   bool faulted_ = false;
 };
 
@@ -118,8 +145,15 @@ class PlcDevice : public Device {
  private:
   void scan();
 
+  struct Input {
+    std::unique_ptr<SignalModel> model;
+    TagId id = kInvalidTagId;
+  };
+
   sim::SimTime scan_period_;
-  std::map<std::string, std::unique_ptr<SignalModel>> inputs_;
+  /// Lexicographic map: the scan samples inputs (and draws rng_) in tag
+  /// order — part of the determinism contract with the seed.
+  std::map<std::string, Input> inputs_;
   std::vector<std::string> outputs_;
   std::unique_ptr<sim::PeriodicTimer> scan_timer_;
   sim::Strand* strand_ = nullptr;

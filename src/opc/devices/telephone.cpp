@@ -11,6 +11,7 @@ TelephoneSystem::TelephoneSystem(Config config)
       line_busy_(static_cast<std::size_t>(config.lines), false) {}
 
 void TelephoneSystem::start(sim::Strand& strand, sim::Rng rng) {
+  Device::start(strand, rng);
   strand_ = &strand;
   rng_ = rng;
   publish_state();

@@ -47,6 +47,9 @@ using AckHandler = std::function<void(HRESULT)>;
 using ResultsHandler = std::function<void(HRESULT, const std::vector<HRESULT>&)>;
 using ReadHandler = std::function<void(HRESULT, const std::vector<ItemState>&)>;
 using StatusHandler = std::function<void(HRESULT, const ServerStatus&)>;
+/// EnableBatchedNotify completion: per-item dense TagIds, aligned with
+/// the request's item list (kInvalidTagId slots mark unknown items).
+using ItemIdsHandler = std::function<void(HRESULT, const std::vector<std::uint32_t>&)>;
 
 /// Client-implemented sink for subscription updates and async IO
 /// completions. Both methods are one-way (no response expected).
@@ -73,6 +76,16 @@ struct IOPCGroup : com::IUnknown {
                      ResultsHandler done) = 0;
   virtual void SetCallback(com::ComPtr<IOPCDataCallback> callback, AckHandler done) = 0;
   virtual void SetActive(bool active, AckHandler done) = 0;
+  /// Switch the group's data delivery from per-group ORPC OnDataChange
+  /// calls to the coalesced notification plane: updates for `item_ids`
+  /// are batched as (TagId, value, quality, timestamp) tuples and ride
+  /// one transport frame per (client node, tick) shared with every
+  /// other batched group of that client. `sub_id` is the client-side
+  /// demux key (NotifyPlane::allocate_sub_id). Item names cross the
+  /// wire here for the last time; `done` returns the dense TagIds the
+  /// frames will carry, aligned with `item_ids`.
+  virtual void EnableBatchedNotify(const std::vector<std::string>& item_ids, int sink_node,
+                                   std::uint32_t sub_id, ItemIdsHandler done) = 0;
 };
 
 using GroupHandler = std::function<void(HRESULT, com::ComPtr<IOPCGroup>)>;
@@ -105,6 +118,7 @@ enum OpcGroupMethod : std::uint16_t {
   kWrite = 5,
   kSetCallback = 6,
   kSetActive = 7,
+  kEnableBatchedNotify = 9,
 };
 enum OpcCallbackMethod : std::uint16_t { kOnDataChange = 1, kOnReadComplete = 2 };
 enum OpcBrowseMethod : std::uint16_t { kBrowseItemIds = 1 };

@@ -1,0 +1,213 @@
+#include "opc/notify.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/event_bus.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace oftt::opc {
+
+namespace {
+
+constexpr const char* kNotifyPort = "opc.notify";
+
+/// Minimum encoded sizes, used to bound claimed counts against the
+/// bytes actually present (fail-closed against count-bomb frames).
+constexpr std::size_t kMinBatchBytes = 4 + 4;           // sub_id + item count
+constexpr std::size_t kMinItemBytes = 4 + 1 + 1 + 8;    // tag + quality + value tag + ts
+
+bool valid_quality(std::uint8_t q) {
+  return q == static_cast<std::uint8_t>(Quality::kBad) ||
+         q == static_cast<std::uint8_t>(Quality::kUncertain) ||
+         q == static_cast<std::uint8_t>(Quality::kGood);
+}
+
+}  // namespace
+
+Buffer encode_notify_frame(const std::vector<SubBatch>& batches) {
+  BinaryWriter w;
+  w.u8(kNotifyFrame);
+  w.u8(kNotifyVersion);
+  w.u32(static_cast<std::uint32_t>(batches.size()));
+  for (const SubBatch& b : batches) {
+    w.u32(b.sub_id);
+    w.u32(static_cast<std::uint32_t>(b.items.size()));
+    for (const NotifyItem& it : b.items) {
+      w.u32(it.tag);
+      w.u8(static_cast<std::uint8_t>(it.quality));
+      it.value.marshal(w);
+      w.i64(it.timestamp);
+    }
+  }
+  return std::move(w).take();
+}
+
+bool decode_notify_frame(const Buffer& payload, std::vector<SubBatch>* out) {
+  out->clear();
+  BinaryReader r(payload);
+  if (r.u8() != kNotifyFrame) return false;
+  if (r.u8() != kNotifyVersion) return false;
+  std::uint32_t nbatches = r.u32();
+  if (r.failed() || nbatches > r.remaining() / kMinBatchBytes) return false;
+  out->reserve(nbatches);
+  for (std::uint32_t b = 0; b < nbatches; ++b) {
+    SubBatch batch;
+    batch.sub_id = r.u32();
+    std::uint32_t nitems = r.u32();
+    if (r.failed() || nitems > r.remaining() / kMinItemBytes) {
+      out->clear();
+      return false;
+    }
+    batch.items.reserve(nitems);
+    for (std::uint32_t i = 0; i < nitems; ++i) {
+      NotifyItem item;
+      item.tag = r.u32();
+      std::uint8_t q = r.u8();
+      item.value = OpcValue::unmarshal(r);
+      item.timestamp = r.i64();
+      if (r.failed() || !valid_quality(q)) {
+        out->clear();
+        return false;
+      }
+      item.quality = static_cast<Quality>(q);
+      batch.items.push_back(std::move(item));
+    }
+    out->push_back(std::move(batch));
+  }
+  if (r.failed() || !r.at_end()) {
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
+transport::SessionConfig NotifyPlane::default_config() {
+  transport::SessionConfig sc;
+  sc.networks = {0};
+  // Notification frames are high-rate and latest-wins; a deep queue
+  // only adds staleness. Reject on overflow and surface the drop.
+  sc.queue_cap = 256;
+  sc.queue_policy = transport::QueuePolicy::kReject;
+  return sc;
+}
+
+NotifyPlane::NotifyPlane(sim::Process& process, transport::SessionConfig config)
+    : process_(&process),
+      started_at_(process.sim().now()),
+      ctr_notifications_(
+          process.sim().telemetry().metrics().counter("oftt.opc.notifications")),
+      ctr_bytes_(process.sim().telemetry().metrics().counter("oftt.opc.coalesced_bytes")),
+      ctr_frames_(process.sim().telemetry().metrics().counter("oftt.opc.frames")),
+      ctr_drops_(process.sim().telemetry().metrics().counter("oftt.opc.batch_drops")),
+      rate_notifications_(
+          process.sim().telemetry().metrics().gauge("oftt.opc.notifications_per_s")),
+      rate_bytes_(
+          process.sim().telemetry().metrics().gauge("oftt.opc.coalesced_bytes_per_s")),
+      hist_latency_(process.sim().telemetry().metrics().histogram(
+          "oftt.opc.update_to_notify_ns",
+          {100'000, 300'000, 1'000'000, 3'000'000, 10'000'000, 30'000'000, 100'000'000,
+           300'000'000, 1'000'000'000})) {
+  process_->bind(kNotifyPort, [this](const sim::Datagram& d) {
+    if (ep_ && ep_->handle(d)) return;
+    // Nothing but transport frames rides this port.
+  });
+  ep_ = std::make_unique<transport::Endpoint>(process.main_strand(), kNotifyPort,
+                                              std::move(config));
+  ep_->on_deliver(
+      [this](int src, int, const Buffer& payload) { on_frame(src, payload); });
+}
+
+NotifyPlane& NotifyPlane::of(sim::Process& process) {
+  return process.attachment<NotifyPlane>(process);
+}
+
+obs::Gauge& NotifyPlane::pending_gauge(int client_node) {
+  auto it = pending_gauges_.find(client_node);
+  if (it == pending_gauges_.end()) {
+    it = pending_gauges_
+             .emplace(client_node, process_->sim().telemetry().metrics().gauge(
+                                       cat("oftt.opc.pending_batches.n", client_node)))
+             .first;
+  }
+  return it->second;
+}
+
+void NotifyPlane::enqueue(int client_node, std::uint32_t sub_id,
+                          std::vector<NotifyItem> items) {
+  if (items.empty()) return;
+  auto& batches = pending_[client_node];
+  batches.push_back(SubBatch{sub_id, std::move(items)});
+  pending_gauge(client_node).set(static_cast<std::int64_t>(batches.size()));
+  if (flush_scheduled_.insert(client_node).second) {
+    // Flush at t+0: every batch enqueued during this sim timestamp —
+    // all groups of this client that ticked this instant — joins the
+    // same frame.
+    process_->main_strand().schedule_after(0, [this, client_node] { flush(client_node); });
+  }
+}
+
+void NotifyPlane::flush(int client_node) {
+  flush_scheduled_.erase(client_node);
+  auto it = pending_.find(client_node);
+  if (it == pending_.end() || it->second.empty()) return;
+  std::vector<SubBatch> batches = std::move(it->second);
+  pending_.erase(it);
+  pending_gauge(client_node).set(0);
+
+  std::uint64_t items = 0;
+  for (const SubBatch& b : batches) items += b.items.size();
+  Buffer frame = encode_notify_frame(batches);
+  std::size_t frame_bytes = frame.size();
+  if (!ep_->send(client_node, std::move(frame), /*tag=*/0, nullptr,
+                 transport::kClassNotify)) {
+    ++frames_rejected_;
+    batches_dropped_ += batches.size();
+    ctr_drops_.inc(batches.size());
+    obs::Event e;
+    e.kind = obs::EventKind::kOpcBatchDrop;
+    e.node = process_->node().id();
+    e.component = process_->name();
+    e.detail = cat("notify queue full towards node ", client_node);
+    e.a = static_cast<std::uint64_t>(client_node);
+    e.b = batches_dropped_;
+    process_->sim().telemetry().bus().publish(e);
+    return;
+  }
+  ++frames_sent_;
+  notifications_sent_ += items;
+  ctr_frames_.inc();
+  ctr_notifications_.inc(items);
+  ctr_bytes_.inc(frame_bytes);
+  sim::SimTime elapsed = process_->sim().now() - started_at_;
+  if (elapsed > 0) {
+    double secs = sim::to_seconds(elapsed);
+    rate_notifications_.set(
+        static_cast<std::int64_t>(static_cast<double>(ctr_notifications_.value()) / secs));
+    rate_bytes_.set(
+        static_cast<std::int64_t>(static_cast<double>(ctr_bytes_.value()) / secs));
+  }
+}
+
+void NotifyPlane::on_frame(int src_node, const Buffer& payload) {
+  (void)src_node;
+  std::vector<SubBatch> batches;
+  if (!decode_notify_frame(payload, &batches)) {
+    OFTT_LOG_WARN("opc/notify", process_->name(), ": malformed notify frame dropped");
+    return;
+  }
+  ++frames_received_;
+  sim::SimTime now = process_->sim().now();
+  for (const SubBatch& b : batches) {
+    notifications_received_ += b.items.size();
+    for (const NotifyItem& item : b.items) {
+      if (item.timestamp >= 0 && item.timestamp <= now) {
+        hist_latency_.record(now - item.timestamp);
+      }
+    }
+    auto sink = sinks_.find(b.sub_id);
+    if (sink != sinks_.end() && sink->second) sink->second(b);
+  }
+}
+
+}  // namespace oftt::opc

@@ -116,6 +116,19 @@ std::vector<std::string> unmarshal_string_list(BinaryReader& r) {
   return out;
 }
 
+void marshal_u32_list(BinaryWriter& w, const std::vector<std::uint32_t>& vals) {
+  w.u32(static_cast<std::uint32_t>(vals.size()));
+  for (std::uint32_t v : vals) w.u32(v);
+}
+
+std::vector<std::uint32_t> unmarshal_u32_list(BinaryReader& r) {
+  std::uint32_t n = r.u32();
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) out.push_back(r.u32());
+  return out;
+}
+
 void marshal_hresults(BinaryWriter& w, const std::vector<HRESULT>& hrs) {
   w.u32(static_cast<std::uint32_t>(hrs.size()));
   for (HRESULT hr : hrs) w.i32(hr);
@@ -194,6 +207,23 @@ class OpcGroupProxy final : public com::Object<OpcGroupProxy, IOPCGroup>,
     BinaryWriter w;
     w.boolean(active);
     invoke(methods::kSetActive, std::move(w).take(), ack_handler(std::move(done)));
+  }
+
+  void EnableBatchedNotify(const std::vector<std::string>& item_ids, int sink_node,
+                           std::uint32_t sub_id, ItemIdsHandler done) override {
+    BinaryWriter w;
+    marshal_string_list(w, item_ids);
+    w.i32(sink_node);
+    w.u32(sub_id);
+    invoke(methods::kEnableBatchedNotify, std::move(w).take(),
+           [done](HRESULT hr, BinaryReader& r) {
+             std::vector<std::uint32_t> tags;
+             if (SUCCEEDED(hr)) {
+               tags = unmarshal_u32_list(r);
+               if (r.failed()) hr = E_UNEXPECTED;
+             }
+             if (done) done(hr, tags);
+           });
   }
 
  private:
@@ -284,6 +314,18 @@ StubDispatch make_opc_group_stub(ComPtr<IUnknown> obj, OrpcServer& server) {
         bool active = args.boolean();
         if (args.failed()) return E_INVALIDARG;
         target->SetActive(active, [&](HRESULT hr) { out = hr; });
+        return out;
+      }
+      case methods::kEnableBatchedNotify: {
+        auto ids = unmarshal_string_list(args);
+        int sink_node = args.i32();
+        std::uint32_t sub_id = args.u32();
+        if (args.failed()) return E_INVALIDARG;
+        target->EnableBatchedNotify(
+            ids, sink_node, sub_id, [&](HRESULT hr, const std::vector<std::uint32_t>& tags) {
+              out = hr;
+              if (SUCCEEDED(hr)) marshal_u32_list(result, tags);
+            });
         return out;
       }
       default: return E_NOTIMPL;

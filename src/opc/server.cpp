@@ -1,13 +1,32 @@
 #include "opc/server.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "dcom/server.h"
+#include "obs/event_bus.h"
+#include "opc/notify.h"
 #include "sim/node.h"
 #include "sim/simulation.h"
 
 namespace oftt::opc {
+
+namespace {
+
+/// Deterministic per-process group ordinal, so every group's metric
+/// names stay unique even when each connection names its group "sub".
+struct GroupOrdinals {
+  std::uint64_t next = 0;
+};
+
+std::uint64_t log2_bucket(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<std::uint64_t>(64 - std::countl_zero(v));
+}
+
+}  // namespace
 
 OpcGroupObject::OpcGroupObject(sim::Process& process, std::shared_ptr<Device> device,
                                std::string name, sim::SimTime update_rate)
@@ -15,21 +34,34 @@ OpcGroupObject::OpcGroupObject(sim::Process& process, std::shared_ptr<Device> de
       device_(std::move(device)),
       name_(std::move(name)),
       update_rate_(update_rate),
+      sub_(device_->hub().add_subscription()),
       update_timer_(process.main_strand()) {
+  std::uint64_t ord = process.attachment<GroupOrdinals>().next++;
+  auto& metrics = process.sim().telemetry().metrics();
+  std::string prefix = cat("oftt.opc.group.n", process.node().id(), ".", device_->name(),
+                           ".", name_, "#", ord);
+  gauge_items_ = metrics.gauge(cat(prefix, ".items"));
+  ctr_notified_ = metrics.counter(cat(prefix, ".notified"));
+  ctr_suppressed_ = metrics.counter(cat(prefix, ".suppressed"));
   update_timer_.start(update_rate_, [this] { update_tick(); });
 }
+
+OpcGroupObject::~OpcGroupObject() { device_->hub().remove_subscription(sub_); }
 
 void OpcGroupObject::AddItems(const std::vector<std::string>& item_ids, ResultsHandler done) {
   std::vector<HRESULT> results;
   results.reserve(item_ids.size());
   for (const auto& id : item_ids) {
-    if (device_->has_tag(id)) {
-      items_.insert(id);
+    TagId tag = device_->store().find(id);
+    if (tag != kInvalidTagId) {
+      items_.emplace(id, tag);
+      device_->hub().subscribe(sub_, tag);
       results.push_back(S_OK);
     } else {
       results.push_back(E_INVALIDARG);
     }
   }
+  gauge_items_.set(static_cast<std::int64_t>(items_.size()));
   if (done) done(S_OK, results);
 }
 
@@ -44,9 +76,13 @@ void OpcGroupObject::SetDeadband(double percent, AckHandler done) {
 
 void OpcGroupObject::RemoveItems(const std::vector<std::string>& item_ids, AckHandler done) {
   for (const auto& id : item_ids) {
-    items_.erase(id);
-    last_sent_.erase(id);
+    auto it = items_.find(id);
+    if (it == items_.end()) continue;
+    device_->hub().unsubscribe(sub_, it->second);
+    watch_.erase(it->second);
+    items_.erase(it);
   }
+  gauge_items_.set(static_cast<std::int64_t>(items_.size()));
   if (done) done(S_OK);
 }
 
@@ -68,7 +104,9 @@ void OpcGroupObject::AsyncRead(std::uint32_t transaction, AckHandler done) {
     return;
   }
   if (done) done(S_OK);
-  std::vector<std::string> ids(items_.begin(), items_.end());
+  std::vector<std::string> ids;
+  ids.reserve(items_.size());
+  for (const auto& [id, _] : items_) ids.push_back(id);
   // Complete on a later turn, as a real async transaction would.
   auto cb = callback_;
   process_->main_strand().schedule_after(sim::microseconds(50),
@@ -88,9 +126,16 @@ void OpcGroupObject::Write(const std::vector<std::pair<std::string, OpcValue>>& 
   if (done) done(S_OK, results);
 }
 
+void OpcGroupObject::mark_reannounce() {
+  // Last-notified state is void, the observed deadband range survives
+  // (the range reflects the item, not the sink).
+  for (auto& [tag, w] : watch_) w.seen = false;
+  device_->hub().mark_all_pending(sub_);
+}
+
 void OpcGroupObject::SetCallback(com::ComPtr<IOPCDataCallback> callback, AckHandler done) {
   callback_ = std::move(callback);
-  last_sent_.clear();  // re-announce everything to the new sink
+  mark_reannounce();  // re-announce everything to the new sink
   if (done) done(S_OK);
 }
 
@@ -99,40 +144,115 @@ void OpcGroupObject::SetActive(bool active, AckHandler done) {
   if (done) done(S_OK);
 }
 
+void OpcGroupObject::EnableBatchedNotify(const std::vector<std::string>& item_ids,
+                                         int sink_node, std::uint32_t sub_id,
+                                         ItemIdsHandler done) {
+  if (sink_node < 0) {
+    if (done) done(E_INVALIDARG, {});
+    return;
+  }
+  std::vector<std::uint32_t> tags;
+  tags.reserve(item_ids.size());
+  for (const auto& id : item_ids) tags.push_back(device_->store().find(id));
+  batch_node_ = sink_node;
+  batch_sub_ = sub_id;
+  mark_reannounce();  // the new sink starts from a full announce
+  if (done) done(S_OK, tags);
+}
+
 void OpcGroupObject::update_tick() {
-  if (!active_ || !callback_ || items_.empty()) return;
+  if (!active_ || items_.empty()) return;
+  bool batched = batch_node_ >= 0;
+  if (!callback_ && !batched) return;
   sim::SimTime now = process_->sim().now();
+  SubscriptionHub& hub = device_->hub();
+  hub.pump(now);
+  hub.take_pending(sub_, scratch_);
+  if (scratch_.empty()) return;
+
   std::vector<ItemState> changed;
-  for (const auto& id : items_) {
-    ItemState s = device_->read(id, now);
-    // Track the observed range for percent-deadband evaluation.
+  std::vector<NotifyItem> batch;
+  std::uint64_t suppressed = 0;
+  for (TagId tag : scratch_) {
+    ItemState s = device_->read_id(tag, now);
+    Watch& w = watch_[tag];
+    // Track the observed range for percent-deadband evaluation. The
+    // current sample joins the range *before* the suppression check
+    // (seed behavior): ranges warm up monotonically, and the very
+    // first change sees delta == range, which is never below any
+    // deadband fraction — first change always notifies.
     if (s.value.is_real() || s.value.is_int()) {
       double v = s.value.as_real();
-      auto [it_range, fresh] = observed_range_.try_emplace(id, v, v);
-      if (!fresh) {
-        it_range->second.first = std::min(it_range->second.first, v);
-        it_range->second.second = std::max(it_range->second.second, v);
+      if (!w.range_init) {
+        w.range_init = true;
+        w.range_min = w.range_max = v;
+      } else {
+        w.range_min = std::min(w.range_min, v);
+        w.range_max = std::max(w.range_max, v);
       }
     }
-    auto it = last_sent_.find(id);
-    bool announce = it == last_sent_.end() || it->second.quality != s.quality;
-    if (!announce && it->second.value != s.value) {
+    bool announce = !w.seen || w.quality != s.quality;
+    if (!announce && w.value != s.value) {
       announce = true;
       if (deadband_percent_ > 0.0 && (s.value.is_real() || s.value.is_int())) {
-        auto range_it = observed_range_.find(id);
-        double range = range_it == observed_range_.end()
-                           ? 0.0
-                           : range_it->second.second - range_it->second.first;
-        double delta = std::abs(s.value.as_real() - it->second.value.as_real());
-        if (range > 0.0 && delta < range * deadband_percent_ / 100.0) announce = false;
+        double range = w.range_init ? w.range_max - w.range_min : 0.0;
+        double delta = std::abs(s.value.as_real() - w.value.as_real());
+        if (range > 0.0 && delta < range * deadband_percent_ / 100.0) {
+          announce = false;
+          ++suppressed;
+        }
       }
     }
     if (announce) {
-      last_sent_[id] = s;
-      changed.push_back(std::move(s));
+      w.seen = true;
+      w.value = s.value;
+      w.quality = s.quality;
+      if (batched) {
+        batch.push_back(NotifyItem{tag, s.quality, s.value, s.timestamp});
+      } else {
+        changed.push_back(std::move(s));
+      }
     }
   }
-  if (!changed.empty()) callback_->OnDataChange(0, changed);
+
+  std::uint64_t announced = batched ? batch.size() : changed.size();
+  notified_total_ += announced;
+  suppressed_total_ += suppressed;
+  ctr_notified_.inc(announced);
+  ctr_suppressed_.inc(suppressed);
+  if (announced + suppressed > 0) {
+    // Batch-shape event, rate-bounded: publish only when the log2
+    // bucket pair (announced, suppressed) moves — chaos coverage sees
+    // every distinct shape class without per-tick event spam.
+    std::uint64_t key = (log2_bucket(announced) << 8) | log2_bucket(suppressed);
+    if (key != last_batch_key_) {
+      last_batch_key_ = key;
+      obs::Event e;
+      e.kind = obs::EventKind::kOpcBatch;
+      e.node = process_->node().id();
+      e.component = device_->name();
+      e.unit = name_;
+      e.a = announced;
+      e.b = suppressed;
+      process_->sim().telemetry().bus().publish(e);
+    }
+  }
+
+  if (batched) {
+    if (!batch.empty()) {
+      // scratch_ (and therefore batch) is TagId-sorted from
+      // take_pending — a deterministic compact order for the wire.
+      NotifyPlane::of(*process_).enqueue(batch_node_, batch_sub_, std::move(batch));
+    }
+    return;
+  }
+  if (!changed.empty()) {
+    // The seed announced in lexicographic item order (it walked a
+    // std::set<std::string>); preserve that observable order.
+    std::sort(changed.begin(), changed.end(),
+              [](const ItemState& a, const ItemState& b) { return a.item_id < b.item_id; });
+    callback_->OnDataChange(0, changed);
+  }
 }
 
 OpcServerObject::OpcServerObject(sim::Process& process, std::shared_ptr<Device> device,

@@ -4,14 +4,26 @@
 // device. Per the paper, OPC servers are stateless — everything here is
 // reconstructible from the device, which is why the OPC-server FTIM
 // takes no checkpoints.
+//
+// Groups are change-driven: instead of re-reading every item each tick
+// and diffing (the seed's O(items) poll), a group holds a
+// SubscriptionHub subscription over the device's TagStore and consumes
+// only the tags that actually changed since its last tick — O(changed).
+// Deadband filtering and the announce/suppress decision are evaluated
+// against the group's last-notified value exactly as before, so the
+// observable update stream is unchanged. Delivery is either the classic
+// per-group ORPC OnDataChange (SetCallback) or the coalesced
+// notification plane (EnableBatchedNotify).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
+#include <vector>
 
 #include "com/object.h"
 #include "com/runtime.h"
+#include "obs/metrics.h"
 #include "opc/device.h"
 #include "opc/interfaces.h"
 #include "sim/timer.h"
@@ -22,6 +34,7 @@ class OpcGroupObject final : public com::Object<OpcGroupObject, IOPCGroup> {
  public:
   OpcGroupObject(sim::Process& process, std::shared_ptr<Device> device, std::string name,
                  sim::SimTime update_rate);
+  ~OpcGroupObject() override;
 
   void AddItems(const std::vector<std::string>& item_ids, ResultsHandler done) override;
   void SetDeadband(double percent, AckHandler done) override;
@@ -32,25 +45,59 @@ class OpcGroupObject final : public com::Object<OpcGroupObject, IOPCGroup> {
              ResultsHandler done) override;
   void SetCallback(com::ComPtr<IOPCDataCallback> callback, AckHandler done) override;
   void SetActive(bool active, AckHandler done) override;
+  void EnableBatchedNotify(const std::vector<std::string>& item_ids, int sink_node,
+                           std::uint32_t sub_id, ItemIdsHandler done) override;
 
   const std::string& name() const { return name_; }
   std::size_t item_count() const { return items_.size(); }
+  std::uint64_t notified_total() const { return notified_total_; }
+  std::uint64_t suppressed_total() const { return suppressed_total_; }
 
  private:
+  /// Per-subscribed-tag notify state: the last value/quality announced
+  /// to the sink, plus the observed range for percent-deadband
+  /// evaluation. `seen` false means the next change always announces
+  /// (fresh subscription / re-announce after SetCallback) — the
+  /// documented first-sample semantics: the first update of an item is
+  /// never deadband-suppressed, and the observed range only ever widens
+  /// (warms up monotonically) from the samples the group has seen.
+  struct Watch {
+    OpcValue value;
+    Quality quality = Quality::kBad;
+    bool seen = false;
+    double range_min = 0.0;
+    double range_max = 0.0;
+    bool range_init = false;
+  };
+
   std::vector<ItemState> read_items(const std::vector<std::string>& ids) const;
   void update_tick();
+  void mark_reannounce();
 
   sim::Process* process_;
   std::shared_ptr<Device> device_;
   std::string name_;
   sim::SimTime update_rate_;
   bool active_ = true;
-  std::set<std::string> items_;
-  std::map<std::string, ItemState> last_sent_;
+  /// Subscribed item name -> TagId (lexicographic: AsyncRead and the
+  /// legacy callback batches announce in name order, as the seed did).
+  std::map<std::string, TagId> items_;
+  SubscriptionHub::SubId sub_;
+  std::map<TagId, Watch> watch_;
   double deadband_percent_ = 0.0;
-  std::map<std::string, std::pair<double, double>> observed_range_;  // min,max per item
   com::ComPtr<IOPCDataCallback> callback_;
+  /// Batched delivery target; batch_node_ < 0 means legacy callback.
+  int batch_node_ = -1;
+  std::uint32_t batch_sub_ = 0;
+  std::vector<TagId> scratch_;
   sim::PeriodicTimer update_timer_;
+
+  std::uint64_t notified_total_ = 0;
+  std::uint64_t suppressed_total_ = 0;
+  std::uint64_t last_batch_key_ = ~0ull;
+  obs::Gauge gauge_items_;
+  obs::Counter ctr_notified_;
+  obs::Counter ctr_suppressed_;
 };
 
 class OpcServerObject final

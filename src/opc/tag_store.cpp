@@ -1,0 +1,270 @@
+#include "opc/tag_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <type_traits>
+
+#include "common/strings.h"
+#include "nt/memory.h"
+
+namespace oftt::opc {
+
+namespace {
+
+[[maybe_unused]] bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2_of(int v) {
+  int b = 0;
+  while ((1 << b) < v) ++b;
+  return b;
+}
+
+/// The on-region image of one tag (see TagStore::kSlotBytes). Written
+/// through nt::Region::write so each store goes into the dirty tracker
+/// as one precise slot-sized range.
+struct Slot {
+  std::uint8_t type = 0;
+  std::uint8_t quality = 0;
+  std::uint8_t pad[6] = {};
+  std::uint64_t payload = 0;
+  std::int64_t ts = 0;
+};
+static_assert(sizeof(Slot) == TagStore::kSlotBytes);
+static_assert(std::is_trivially_copyable_v<Slot>);
+
+}  // namespace
+
+TagStore::TagStore(int shard_count) {
+  assert(is_pow2(shard_count));
+  shards_.resize(static_cast<std::size_t>(shard_count));
+  shard_mask_ = static_cast<std::uint32_t>(shard_count - 1);
+  shard_bits_ = log2_of(shard_count);
+}
+
+TagId TagStore::intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  ids_.emplace(std::string(name), id);
+  names_.emplace_back(name);
+  Shard& sh = shards_[static_cast<std::size_t>(shard_of(id))];
+  std::size_t slot = slot_of(id);
+  if (sh.values.size() <= slot) {
+    sh.values.resize(slot + 1);
+    sh.quality.resize(slot + 1, Quality::kBad);
+    sh.stamps.resize(slot + 1, 0);
+    sh.dirty.resize(slot + 1, 0);
+  }
+  return id;
+}
+
+TagId TagStore::find(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidTagId : it->second;
+}
+
+std::vector<std::string> TagStore::sorted_names() const {
+  std::vector<std::string> out = names_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool TagStore::set(TagId id, const OpcValue& value, Quality quality, sim::SimTime now) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard_of(id))];
+  std::size_t slot = slot_of(id);
+  bool changed = sh.values[slot] != value || sh.quality[slot] != quality;
+  sh.stamps[slot] = now;
+  if (!changed) return false;
+  sh.values[slot] = value;
+  sh.quality[slot] = quality;
+  ++sh.version;
+  ++mutations_;
+  if (sh.dirty[slot] == 0) {
+    sh.dirty[slot] = 1;
+    sh.dirty_list.push_back(id);
+  }
+  if (sh.region != nullptr && slot < sh.region_slots) {
+    write_slot(sh, slot, value, quality, now);
+  }
+  return true;
+}
+
+const OpcValue& TagStore::value(TagId id) const {
+  return shards_[static_cast<std::size_t>(shard_of(id))].values[slot_of(id)];
+}
+
+Quality TagStore::quality(TagId id) const {
+  return shards_[static_cast<std::size_t>(shard_of(id))].quality[slot_of(id)];
+}
+
+sim::SimTime TagStore::timestamp(TagId id) const {
+  return shards_[static_cast<std::size_t>(shard_of(id))].stamps[slot_of(id)];
+}
+
+std::size_t TagStore::dirty_count() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.dirty_list.size();
+  return n;
+}
+
+void TagStore::bind_regions(nt::MemorySpace& memory, const std::string& prefix) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = shards_[i];
+    std::size_t slots = sh.values.size();
+    if (slots == 0) continue;
+    nt::Region& region = memory.alloc(cat(prefix, ".", i), slots * kSlotBytes);
+    // Precise per-slot dirty marks must never collapse to a full-region
+    // delta: allow one range per slot.
+    region.set_range_limit(slots);
+    sh.region = &region;
+    sh.region_slots = slots;
+    // Seed the region with the current state so the first delta after
+    // binding carries real bytes, and so a backup's restored image is
+    // complete even for tags that never mutate again.
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      write_slot(sh, slot, sh.values[slot], sh.quality[slot], sh.stamps[slot]);
+    }
+  }
+  bound_ = true;
+}
+
+void TagStore::write_slot(Shard& sh, std::size_t slot, const OpcValue& v, Quality q,
+                          sim::SimTime now) {
+  Slot s;
+  if (v.is_bool()) {
+    s.type = kSlotBool;
+    s.payload = v.as_bool() ? 1 : 0;
+  } else if (v.is_int()) {
+    s.type = kSlotInt;
+    s.payload = static_cast<std::uint64_t>(static_cast<std::int64_t>(v.as_int()));
+  } else if (v.is_real()) {
+    s.type = kSlotReal;
+    double d = v.as_real();
+    std::memcpy(&s.payload, &d, sizeof(d));
+  } else if (v.is_string()) {
+    s.type = kSlotString;  // not restorable; reload keeps the RAM value
+  }
+  s.quality = static_cast<std::uint8_t>(q);
+  s.ts = now;
+  sh.region->write(slot * kSlotBytes, s);
+}
+
+void TagStore::reload_from_regions() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = shards_[i];
+    if (sh.region == nullptr) continue;
+    std::size_t slots = std::min(sh.region_slots, sh.values.size());
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      Slot raw = sh.region->read<Slot>(slot * kSlotBytes);
+      auto q = static_cast<Quality>(raw.quality);
+      if (q != Quality::kBad && q != Quality::kUncertain && q != Quality::kGood) {
+        q = Quality::kBad;
+      }
+      OpcValue v;
+      switch (raw.type) {
+        case kSlotBool: v = OpcValue::from_bool(raw.payload != 0); break;
+        case kSlotInt:
+          v = OpcValue::from_int(
+              static_cast<std::int32_t>(static_cast<std::int64_t>(raw.payload)));
+          break;
+        case kSlotReal: {
+          double d = 0.0;
+          std::memcpy(&d, &raw.payload, sizeof(d));
+          v = OpcValue::from_real(d);
+          break;
+        }
+        case kSlotString: continue;  // RAM value is the best we have
+        default: break;              // kSlotEmpty (or garbage): empty value
+      }
+      sh.values[slot] = std::move(v);
+      sh.quality[slot] = q;
+      sh.stamps[slot] = raw.ts;
+    }
+  }
+}
+
+SubscriptionHub::SubId SubscriptionHub::add_subscription() {
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (!subs_[i].live) {
+      subs_[i].live = true;
+      return static_cast<SubId>(i);
+    }
+  }
+  subs_.push_back(Sub{});
+  subs_.back().live = true;
+  return static_cast<SubId>(subs_.size() - 1);
+}
+
+void SubscriptionHub::remove_subscription(SubId sub) {
+  Sub& s = subs_[sub];
+  for (const auto& [tag, _] : s.tags) {
+    auto& list = subs_by_tag_[tag];
+    list.erase(std::remove(list.begin(), list.end(), sub), list.end());
+  }
+  s.tags.clear();
+  s.pending.clear();
+  s.live = false;
+}
+
+void SubscriptionHub::subscribe(SubId sub, TagId tag) {
+  Sub& s = subs_[sub];
+  auto [it, fresh] = s.tags.try_emplace(tag, false);
+  if (!fresh) return;
+  if (subs_by_tag_.size() <= tag) subs_by_tag_.resize(tag + 1);
+  subs_by_tag_[tag].push_back(sub);
+  it->second = true;
+  s.pending.push_back(tag);
+}
+
+void SubscriptionHub::unsubscribe(SubId sub, TagId tag) {
+  Sub& s = subs_[sub];
+  if (s.tags.erase(tag) == 0) return;
+  auto& list = subs_by_tag_[tag];
+  list.erase(std::remove(list.begin(), list.end(), sub), list.end());
+}
+
+void SubscriptionHub::mark_all_pending(SubId sub) {
+  Sub& s = subs_[sub];
+  for (auto& [tag, pending] : s.tags) {
+    if (!pending) {
+      pending = true;
+      s.pending.push_back(tag);
+    }
+  }
+}
+
+void SubscriptionHub::invalidate_all() {
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (subs_[i].live) mark_all_pending(static_cast<SubId>(i));
+  }
+}
+
+void SubscriptionHub::pump(sim::SimTime now) {
+  if (now == last_pump_) return;
+  last_pump_ = now;
+  store_->drain_dirty([this](TagId tag) {
+    if (tag >= subs_by_tag_.size()) return;
+    for (SubId sub : subs_by_tag_[tag]) {
+      Sub& s = subs_[sub];
+      auto it = s.tags.find(tag);
+      if (it == s.tags.end() || it->second) continue;
+      it->second = true;
+      s.pending.push_back(tag);
+      ++routed_;
+    }
+  });
+}
+
+void SubscriptionHub::take_pending(SubId sub, std::vector<TagId>& out) {
+  Sub& s = subs_[sub];
+  out.clear();
+  out.swap(s.pending);
+  std::sort(out.begin(), out.end());
+  for (TagId tag : out) {
+    auto it = s.tags.find(tag);
+    if (it != s.tags.end()) it->second = false;
+  }
+}
+
+}  // namespace oftt::opc

@@ -152,6 +152,13 @@ class FaultPlan {
                [this, network] { sim_->network(network).heal(); });
   }
 
+  /// An application-level fault the kernel has no verb for (e.g. fault
+  /// a simulated field device). The step is journaled and introspected
+  /// like every built-in one.
+  FaultPlan& custom(SimTime at, std::string what, std::function<void()> fn) {
+    return add(at, std::move(what), std::move(fn));
+  }
+
   /// Schedule every declared fault. Idempotent: a second call is a
   /// no-op (steps are never scheduled twice).
   void arm() {

@@ -65,6 +65,9 @@ inline bool is_transport_frame(const Buffer& payload) {
 inline constexpr std::uint8_t kClassControl = 0;
 inline constexpr std::uint8_t kClassCheckpoint = 1;
 inline constexpr std::uint8_t kClassDecision = 2;
+/// Coalesced OPC data-change notification frames — checkpoint-adjacent
+/// bulk traffic whose byte meter must not pollute the control lane.
+inline constexpr std::uint8_t kClassNotify = 3;
 inline constexpr std::uint8_t kTrafficClasses = 4;
 
 /// What to do when the send queue (frames waiting for window space) is

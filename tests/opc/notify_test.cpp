@@ -1,0 +1,401 @@
+// Coalesced notification plane tests: frame codec robustness (seeded
+// garbage, truncation, count bombs — all fail-closed), one-frame-per-
+// (client, tick) coalescing, overload surfacing, and the equivalence
+// property: on a clean network a batched subscription delivers the
+// exact ItemState sequence the legacy per-item callback path delivers;
+// under datagram loss it delivers an in-order superset of it (legacy
+// one-way ORPC calls are fire-and-forget datagrams, the notify plane
+// rides a retransmitting endpoint).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dcom/scm.h"
+#include "obs/event_bus.h"
+#include "opc/client.h"
+#include "opc/device.h"
+#include "opc/notify.h"
+#include "opc/server.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace oftt::opc {
+namespace {
+
+std::vector<SubBatch> sample_batches() {
+  std::vector<SubBatch> batches;
+  SubBatch a;
+  a.sub_id = 7;
+  a.items.push_back(NotifyItem{0, Quality::kGood, OpcValue::from_real(3.5), 1000});
+  a.items.push_back(NotifyItem{9, Quality::kUncertain, OpcValue::from_int(-4), 1001});
+  a.items.push_back(NotifyItem{2, Quality::kBad, OpcValue(), 0});
+  SubBatch b;
+  b.sub_id = 19;
+  b.items.push_back(NotifyItem{123456, Quality::kGood, OpcValue::from_bool(true), 77});
+  b.items.push_back(
+      NotifyItem{3, Quality::kGood, OpcValue::from_string("mode: auto"), 78});
+  batches.push_back(std::move(a));
+  batches.push_back(std::move(b));
+  return batches;
+}
+
+TEST(NotifyFrame, RoundTripsAllValueTypes) {
+  std::vector<SubBatch> in = sample_batches();
+  Buffer frame = encode_notify_frame(in);
+  std::vector<SubBatch> out;
+  ASSERT_TRUE(decode_notify_frame(frame, &out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(NotifyFrame, EmptyFrameRoundTrips) {
+  Buffer frame = encode_notify_frame({});
+  std::vector<SubBatch> out;
+  ASSERT_TRUE(decode_notify_frame(frame, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NotifyFrame, EveryTruncationPrefixFailsClosed) {
+  Buffer frame = encode_notify_frame(sample_batches());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Buffer prefix(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(len));
+    std::vector<SubBatch> out = sample_batches();  // pre-polluted: must be cleared
+    EXPECT_FALSE(decode_notify_frame(prefix, &out)) << "prefix length " << len;
+    EXPECT_TRUE(out.empty()) << "failed decode must not leak partial batches";
+  }
+}
+
+TEST(NotifyFrame, TrailingGarbageRejected) {
+  Buffer frame = encode_notify_frame(sample_batches());
+  frame.push_back(0x00);
+  std::vector<SubBatch> out;
+  EXPECT_FALSE(decode_notify_frame(frame, &out));
+}
+
+TEST(NotifyFrame, CountBombsRejectedByByteBudget) {
+  // Claimed counts must fit in the bytes actually present — a 16-byte
+  // frame claiming 4 billion batches (or items) dies on the guard, not
+  // on a multi-gigabyte reserve.
+  BinaryWriter w;
+  w.u8(kNotifyFrame);
+  w.u8(kNotifyVersion);
+  w.u32(0xFFFFFFFFu);  // batch count bomb
+  w.u32(1);
+  w.u32(1);
+  Buffer bomb = std::move(w).take();
+  std::vector<SubBatch> out;
+  EXPECT_FALSE(decode_notify_frame(bomb, &out));
+
+  BinaryWriter w2;
+  w2.u8(kNotifyFrame);
+  w2.u8(kNotifyVersion);
+  w2.u32(1);
+  w2.u32(7);           // sub id
+  w2.u32(0xFFFFFFFFu); // item count bomb
+  EXPECT_FALSE(decode_notify_frame(std::move(w2).take(), &out));
+}
+
+TEST(NotifyFrame, InvalidQualityRejected) {
+  std::vector<SubBatch> in;
+  in.push_back(SubBatch{1, {NotifyItem{0, Quality::kGood, OpcValue::from_int(1), 5}}});
+  Buffer frame = encode_notify_frame(in);
+  // Quality byte sits right after frame/ver/counts/sub/count/tag.
+  std::size_t q_off = 1 + 1 + 4 + 4 + 4 + 4;
+  ASSERT_LT(q_off, frame.size());
+  frame[q_off] = 2;  // not a valid Quality encoding
+  std::vector<SubBatch> out;
+  EXPECT_FALSE(decode_notify_frame(frame, &out));
+}
+
+TEST(NotifyFrame, SeededGarbageNeverCrashesAndFailsClosed) {
+  sim::Rng rng(0xC0FFEE);
+  for (int round = 0; round < 500; ++round) {
+    std::size_t len = static_cast<std::size_t>(rng.uniform(0, 64));
+    Buffer junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    std::vector<SubBatch> out;
+    if (!decode_notify_frame(junk, &out)) {
+      EXPECT_TRUE(out.empty());
+    }
+  }
+  // Single-byte corruptions of a valid frame: decode either rejects
+  // cleanly or yields a structurally valid batch set — never a crash,
+  // never partial output on failure.
+  Buffer valid = encode_notify_frame(sample_batches());
+  for (int round = 0; round < 500; ++round) {
+    Buffer mutated = valid;
+    std::size_t pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(0, 254));
+    std::vector<SubBatch> out;
+    if (!decode_notify_frame(mutated, &out)) {
+      EXPECT_TRUE(out.empty());
+    }
+  }
+}
+
+TEST(NotifyFrame, RandomizedBatchesRoundTrip) {
+  sim::Rng rng(99);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<SubBatch> in;
+    int nbatches = static_cast<int>(rng.uniform(0, 4));
+    for (int b = 0; b < nbatches; ++b) {
+      SubBatch batch;
+      batch.sub_id = static_cast<std::uint32_t>(rng.uniform(0, 1 << 20));
+      int nitems = static_cast<int>(rng.uniform(0, 8));
+      for (int i = 0; i < nitems; ++i) {
+        NotifyItem item;
+        item.tag = static_cast<std::uint32_t>(rng.uniform(0, 1 << 20));
+        item.timestamp = rng.uniform(0, 1'000'000'000);
+        item.quality = rng.chance(0.1) ? Quality::kBad : Quality::kGood;
+        switch (rng.uniform(0, 3)) {
+          case 0: item.value = OpcValue::from_bool(rng.chance(0.5)); break;
+          case 1: item.value = OpcValue::from_int(static_cast<std::int32_t>(
+                      rng.uniform(-1000, 1000))); break;
+          case 2: item.value = OpcValue::from_real(
+                      static_cast<double>(rng.uniform(-5000, 5000)) / 16.0); break;
+          default: item.value = OpcValue::from_string("s" + std::to_string(i)); break;
+        }
+        batch.items.push_back(std::move(item));
+      }
+      in.push_back(std::move(batch));
+    }
+    std::vector<SubBatch> out;
+    ASSERT_TRUE(decode_notify_frame(encode_notify_frame(in), &out));
+    EXPECT_EQ(out, in);
+  }
+}
+
+// --- end-to-end: coalescing, equivalence, overload ---
+
+const Clsid kClsid = Guid::from_name("CLSID_NotifyTestPlc");
+
+struct ItemLog {
+  std::map<std::string, std::vector<ItemState>> per_item;
+  std::uint64_t batches = 0;
+
+  void add(const std::vector<ItemState>& items) {
+    ++batches;
+    for (const auto& s : items) per_item[s.item_id].push_back(s);
+  }
+};
+
+class NotifyEndToEnd : public ::testing::Test {
+ protected:
+  explicit NotifyEndToEnd(std::uint64_t seed = 141) : sim_(seed) {
+    server_ = &sim_.add_node("server");
+    client_ = &sim_.add_node("client");
+    net_ = &sim_.add_network("lan");
+    net_->attach(server_->id());
+    net_->attach(client_->id());
+    // Fixed latency: independent connection handshakes complete in
+    // lockstep, so their group ticks align (what coalescing exploits).
+    net_->set_latency(sim::milliseconds(1), sim::milliseconds(1));
+    server_->set_boot_script([](sim::Node& node) {
+      dcom::install_scm(node);
+      node.start_process("opcserver", [](sim::Process& proc) {
+        auto plc = std::make_shared<PlcDevice>("PLC", sim::milliseconds(10));
+        plc->add_input("Sig", std::make_unique<CounterSignal>());
+        plc->add_input("Wave", std::make_unique<SineSignal>(50.0, 20.0, 0.5));
+        install_opc_server(proc, kClsid, plc, "v");
+      });
+    });
+    server_->boot();
+    client_->boot();
+    hmi_ = client_->start_process("hmi", nullptr);
+  }
+
+  NotifyPlane* server_plane() {
+    auto proc = server_->find_process("opcserver");
+    return proc ? proc->find_attachment<NotifyPlane>() : nullptr;
+  }
+
+  sim::Simulation sim_;
+  sim::Node* server_;
+  sim::Node* client_;
+  sim::Network* net_;
+  std::shared_ptr<sim::Process> hmi_;
+};
+
+TEST_F(NotifyEndToEnd, AllGroupsOfAClientShareOneFramePerTick) {
+  OpcConnection::Config cfg;
+  cfg.batched_notifications = true;
+  OpcConnection conn_a(*hmi_, server_->id(), kClsid, cfg);
+  OpcConnection conn_b(*hmi_, server_->id(), kClsid, cfg);
+  ItemLog log_a, log_b;
+  conn_a.subscribe({"Sig", "Wave"},
+                   [&](const std::vector<ItemState>& items) { log_a.add(items); });
+  conn_b.subscribe({"Sig", "Wave"},
+                   [&](const std::vector<ItemState>& items) { log_b.add(items); });
+  sim_.run_for(sim::seconds(2));
+  ASSERT_TRUE(conn_a.connected());
+  ASSERT_TRUE(conn_b.connected());
+  EXPECT_GT(log_a.batches, 10u);
+  EXPECT_GT(log_b.batches, 10u);
+
+  NotifyPlane* plane = server_plane();
+  ASSERT_NE(plane, nullptr);
+  std::uint64_t frames = plane->frames_sent();
+  std::uint64_t total_batches = log_a.batches + log_b.batches;
+  // Two groups, one client node: every frame carries ~2 batches. If the
+  // plane sent one frame per (group, tick) instead, frames ≈ batches.
+  EXPECT_GE(total_batches, frames + frames / 2)
+      << "frames are shared across the client's groups, not per-group";
+  EXPECT_EQ(plane->frames_rejected(), 0u);
+  EXPECT_EQ(plane->batches_dropped(), 0u);
+
+  // Both groups observe the same counter ticks through the shared frame.
+  EXPECT_FALSE(log_a.per_item["Sig"].empty());
+  EXPECT_EQ(log_a.per_item["Sig"].size(), log_b.per_item["Sig"].size());
+}
+
+/// Runs one (seed, mode) simulation and returns the client-side log.
+ItemLog run_subscription(std::uint64_t seed, bool batched, double loss) {
+  sim::Simulation sim(seed);
+  auto& server = sim.add_node("server");
+  auto& client = sim.add_node("client");
+  auto& net = sim.add_network("lan");
+  net.attach(server.id());
+  net.attach(client.id());
+  net.set_loss(loss);
+  server.set_boot_script([](sim::Node& node) {
+    dcom::install_scm(node);
+    node.start_process("opcserver", [](sim::Process& proc) {
+      auto plc = std::make_shared<PlcDevice>("PLC", sim::milliseconds(10));
+      plc->add_input("Sig", std::make_unique<CounterSignal>());
+      plc->add_input("Wave", std::make_unique<SineSignal>(50.0, 20.0, 0.5, 1.0));
+      install_opc_server(proc, kClsid, plc, "v");
+    });
+  });
+  server.boot();
+  client.boot();
+  auto hmi = client.start_process("hmi", nullptr);
+
+  OpcConnection::Config cfg;
+  cfg.batched_notifications = batched;
+  OpcConnection conn(*hmi, server.id(), kClsid, cfg);
+  ItemLog log;
+  conn.subscribe({"Sig", "Wave"},
+                 [&](const std::vector<ItemState>& items) { log.add(items); });
+  sim.run_for(sim::seconds(3));
+  EXPECT_TRUE(conn.connected()) << "seed " << seed << " batched " << batched;
+  return log;
+}
+
+TEST(NotifyEquivalence, BatchedDeliversTheSeedPathItemSequenceCleanNetwork) {
+  // The announce/suppress decisions live server-side, upstream of the
+  // delivery mechanism, and the mechanism swap happens only after the
+  // (identical) activate/AddGroup/AddItems prefix — so per item, on a
+  // loss-free network, the batched plane must deliver byte-identical
+  // ItemState sequences to the legacy per-group callback path.
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    ItemLog legacy = run_subscription(seed, /*batched=*/false, /*loss=*/0.0);
+    ItemLog batched = run_subscription(seed, /*batched=*/true, /*loss=*/0.0);
+    ASSERT_FALSE(legacy.per_item.empty()) << "seed " << seed;
+    ASSERT_EQ(legacy.per_item.size(), batched.per_item.size()) << "seed " << seed;
+    for (const auto& [item, states] : legacy.per_item) {
+      ASSERT_TRUE(batched.per_item.count(item)) << "seed " << seed << " item " << item;
+      const auto& bstates = batched.per_item.at(item);
+      // The tail can differ by in-flight updates at the horizon; the
+      // common prefix must match exactly.
+      std::size_t n = std::min(states.size(), bstates.size());
+      ASSERT_GT(n, 10u) << "seed " << seed << " item " << item;
+      EXPECT_GE(states.size() + 2, bstates.size()) << "seed " << seed;
+      EXPECT_GE(bstates.size() + 2, states.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(states[i], bstates[i])
+            << "seed " << seed << " item " << item << " index " << i;
+      }
+    }
+  }
+}
+
+/// True when every element of `sub` appears in `full`, in order.
+bool is_subsequence(const std::vector<ItemState>& sub,
+                    const std::vector<ItemState>& full) {
+  std::size_t j = 0;
+  for (const ItemState& s : sub) {
+    while (j < full.size() && !(full[j] == s)) ++j;
+    if (j == full.size()) return false;
+    ++j;
+  }
+  return true;
+}
+
+TEST(NotifyEquivalence, BatchedNeverDeliversLessThanTheSeedPathUnderLoss) {
+  // Under loss the two delivery mechanisms are NOT symmetric: legacy
+  // one-way OnDataChange calls are raw ORPC datagrams — a lost call is
+  // gone, the client's sequence has a hole. The notify plane rides a
+  // retransmitting transport::Endpoint, so every announced update
+  // lands. The equivalence property under loss is therefore: per item,
+  // the legacy sequence is a subsequence of the batched one (the
+  // batched path never delivers less), and across the seeds the loss
+  // actually bites the legacy path (strictly fewer states in total).
+  std::uint64_t legacy_total = 0, batched_total = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    ItemLog legacy = run_subscription(seed, /*batched=*/false, /*loss=*/0.03);
+    ItemLog batched = run_subscription(seed, /*batched=*/true, /*loss=*/0.03);
+    ASSERT_FALSE(legacy.per_item.empty()) << "seed " << seed;
+    for (const auto& [item, states] : legacy.per_item) {
+      ASSERT_TRUE(batched.per_item.count(item)) << "seed " << seed << " item " << item;
+      const auto& bstates = batched.per_item.at(item);
+      ASSERT_GT(bstates.size(), 10u) << "seed " << seed << " item " << item;
+      // Horizon skew can leave the legacy run a couple of extra
+      // in-flight deliveries at the very end; trim them before the
+      // containment check.
+      std::vector<ItemState> trimmed = states;
+      if (trimmed.size() > bstates.size()) trimmed.resize(bstates.size());
+      EXPECT_TRUE(is_subsequence(trimmed, bstates))
+          << "seed " << seed << " item " << item
+          << ": batched path must deliver an in-order superset";
+      legacy_total += states.size();
+      batched_total += bstates.size();
+    }
+  }
+  EXPECT_GT(batched_total, legacy_total)
+      << "3% loss over 5 seeds must drop at least one unretransmitted "
+         "legacy OnDataChange";
+}
+
+TEST(NotifyOverload, RejectedFramesSurfaceDropsAndEvents) {
+  sim::Simulation sim(7);
+  auto& node = sim.add_node("n");
+  auto& dark = sim.add_node("dark");  // attached but never booted
+  auto& net = sim.add_network("lan");
+  net.attach(node.id());
+  net.attach(dark.id());
+  node.boot();
+  auto proc = node.start_process("p", nullptr);
+
+  // Construct the plane attachment first, with a 1-frame queue AND a
+  // window too small for a second in-flight frame. send() admits
+  // straight into the window while it has room — queue_cap alone never
+  // engages for small frames — so the window must saturate first: frame
+  // 1 sits unacked towards the dark node (admitted alone under the
+  // oversized-frame rule), frame 2 parks in the queue, frames 3..5
+  // reject.
+  transport::SessionConfig sc = NotifyPlane::default_config();
+  sc.queue_cap = 1;
+  sc.window_bytes = 1;
+  auto& plane = proc->attachment<NotifyPlane>(*proc, sc);
+
+  std::uint64_t drop_events = 0;
+  sim.telemetry().bus().subscribe_all([&](const obs::Event& e) {
+    if (e.kind == obs::EventKind::kOpcBatchDrop) ++drop_events;
+  });
+
+  for (int i = 0; i < 5; ++i) {
+    proc->main_strand().schedule_after(sim::milliseconds(100 * (i + 1)), [&plane, &dark] {
+      plane.enqueue(dark.id(), 1,
+                    {NotifyItem{0, Quality::kGood, OpcValue::from_int(1), 0}});
+    });
+  }
+  sim.run_for(sim::seconds(1));
+
+  EXPECT_GE(plane.frames_rejected(), 3u);
+  EXPECT_GE(plane.batches_dropped(), 3u);
+  EXPECT_GE(drop_events, 3u) << "every rejected flush publishes kOpcBatchDrop";
+  EXPECT_LE(plane.frames_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace oftt::opc
