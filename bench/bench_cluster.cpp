@@ -14,7 +14,11 @@
 //       split-brain safety.
 //
 // Exports BENCH_cluster.json.
+#include <chrono>
+#include <cinttypes>
+
 #include "bench_util.h"
+#include "chaos/coverage.h"
 #include "core/deployment.h"
 #include "obs/json.h"
 #include "obs/span.h"
@@ -112,6 +116,39 @@ void run_failover_once(int replicas, std::uint64_t seed, PhaseSamples& out) {
   }
 }
 
+// ---------------------------------------------------------------------
+// E8c — parallel lane: the N=9 membership workload under kParallel.
+// ---------------------------------------------------------------------
+
+struct ParallelLaneRun {
+  double wall_s = 0;
+  std::uint64_t hash = 0;
+};
+
+ParallelLaneRun run_parallel_lane(int replicas, std::uint64_t seed, int workers) {
+  sim::Simulation sim(seed);
+  if (workers > 0) {
+    sim::EngineConfig cfg;
+    cfg.kind = sim::EngineKind::kParallel;
+    cfg.workers = workers;
+    sim.set_engine(cfg);
+  }
+  core::ClusterDeploymentOptions opts;
+  opts.replicas = replicas;
+  opts.with_monitor = false;
+  opts.with_msmq = false;
+  opts.with_scm = false;
+  core::ClusterDeployment dep(sim, opts);
+  chaos::CoverageProbe probe(sim.telemetry());
+  auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(sim::seconds(15));
+  ParallelLaneRun r;
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  probe.finish();
+  r.hash = probe.history_hash();
+  return r;
+}
+
 void json_phase(obs::JsonWriter& w, const char* name, const std::vector<std::int64_t>& xs) {
   w.begin_object();
   w.kv("phase", name);
@@ -201,8 +238,41 @@ int main() {
     w.end_object();
   }
   w.end_array();
+
+  // E8c -------------------------------------------------------------------
+  title("E8c: parallel lane — N=9 membership workload under kParallel",
+        "same deployment on the parallel engine; telemetry digest must be "
+        "invariant across worker counts");
+  row({"engine", "wall s", "digest"});
+  rule(3);
+  ParallelLaneRun lane_seq = run_parallel_lane(9, 11, 0);
+  char lane_hex[32];
+  std::snprintf(lane_hex, sizeof lane_hex, "%016" PRIx64, lane_seq.hash);
+  row({"sequential", fmt(lane_seq.wall_s, 3), lane_hex});
+  bool lane_ok = true;
+  std::uint64_t lane_ref = 0;
+  w.key("parallel_lane");
+  w.begin_array();
+  for (int workers : {1, 2, 4}) {
+    ParallelLaneRun r = run_parallel_lane(9, 11, workers);
+    if (workers == 1) lane_ref = r.hash;
+    if (r.hash != lane_ref) lane_ok = false;
+    std::snprintf(lane_hex, sizeof lane_hex, "%016" PRIx64, r.hash);
+    row({"parallel W=" + std::to_string(workers), fmt(r.wall_s, 3), lane_hex});
+    w.begin_object();
+    w.kv("workers", workers);
+    w.kv("wall_s", r.wall_s);
+    w.kv("hash", lane_hex);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("parallel_lane_ok", lane_ok);
   w.end_object();
   write_file("BENCH_cluster.json", w.take());
+  if (!lane_ok) {
+    std::printf("DETERMINISM VIOLATION: parallel digest diverged across worker counts\n");
+    return 1;
+  }
 
   std::printf(
       "\n(detection dominates and is configuration-bound — peer_timeout — so failover\n"

@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "kernel_floor.h"
 #include "obs/json.h"
+#include "pdes/pdes_scenarios.h"
 #include "sim/simulation.h"
 #include "sim/timer.h"
 
@@ -222,6 +223,45 @@ int main() {
     if (wl.floor_eps > 0 && r.events_per_sec() < 0.7 * wl.floor_eps) floor_ok = false;
   }
   w.end_array();
+
+  // Parallel lane: the E17 ring scenario (rng-free variant) under the
+  // sequential kernel and kParallel W in {1,2,4}. The digest must match
+  // the sequential kernel exactly — this is the only bench row where
+  // cross-*engine* equality (not just worker invariance) is asserted.
+  title("E12 parallel lane: sequential vs kParallel on the clean ring",
+        "rng-free scenario (fixed latency, lossless): digest must match the "
+        "sequential kernel bit for bit at every worker count");
+  row({"engine", "wall s", "digest"});
+  rule(3);
+  const int kRingNodes = smoke ? 5 : 9;
+  bool ring_ok = true;
+  auto ring_t0 = Clock::now();
+  const std::uint64_t ring_seq = sim::pdestest::ring_hash(kSeed, kRingNodes, false, nullptr);
+  double ring_seq_wall = std::chrono::duration<double>(Clock::now() - ring_t0).count();
+  char ring_hex[32];
+  std::snprintf(ring_hex, sizeof ring_hex, "%016" PRIx64, ring_seq);
+  row({"sequential", fmt(ring_seq_wall, 3), ring_hex});
+  w.key("parallel_lane");
+  w.begin_array();
+  for (int workers : {1, 2, 4}) {
+    sim::EngineConfig cfg;
+    cfg.kind = sim::EngineKind::kParallel;
+    cfg.workers = workers;
+    auto t0 = Clock::now();
+    const std::uint64_t h = sim::pdestest::ring_hash(kSeed, kRingNodes, false, &cfg);
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    std::snprintf(ring_hex, sizeof ring_hex, "%016" PRIx64, h);
+    row({"parallel W=" + std::to_string(workers), fmt(wall, 3), ring_hex});
+    if (h != ring_seq) ring_ok = false;
+    w.begin_object();
+    w.kv("workers", workers);
+    w.kv("wall_s", wall);
+    w.kv("hash", ring_hex);
+    w.kv("matches_sequential", h == ring_seq);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("parallel_lane_ok", ring_ok);
   w.end_object();
   write_file("BENCH_kernel.json", w.take());
 
@@ -229,6 +269,10 @@ int main() {
       "\n(history_hash folds the sim-time of every fired event: identical across kernel\n"
       " implementations by contract — the pool/wheel rewrite must not change when\n"
       " anything fires, only what firing costs.)\n");
+  if (!ring_ok) {
+    std::printf("DETERMINISM VIOLATION: parallel ring digest diverged from sequential\n");
+    return 1;
+  }
 
   const char* enforce = std::getenv("OFTT_BENCH_ENFORCE_FLOOR");
   if (enforce != nullptr && enforce[0] != '\0' && !floor_ok) {

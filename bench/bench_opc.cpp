@@ -39,6 +39,7 @@
 #include "opc/notify.h"
 #include "opc/server.h"
 #include "opc_floor.h"
+#include "pdes/pdes_scenarios.h"
 #include "sim/simulation.h"
 
 using namespace oftt;
@@ -497,6 +498,43 @@ int main() {
     w.end_object();
   }
   w.end_array();
+  // E16d -----------------------------------------------------------------
+  // Parallel lane: the distributed tag farm (producers + historian)
+  // under kParallel; the digest must be invariant across worker counts.
+  const int kFarmProducers = smoke_mode() ? 4 : 10;
+  const int kFarmTagsPerNode = smoke_mode() ? 1'000 : 10'000;
+  title("E16d: parallel lane — distributed tag farm under kParallel",
+        std::to_string(kFarmProducers) + " producer nodes x " +
+            std::to_string(kFarmTagsPerNode) +
+            " tags reporting to a historian; digest invariant across workers");
+  row({"workers", "wall s", "digest"});
+  rule(3);
+  bool farm_ok = true;
+  std::uint64_t farm_ref = 0;
+  w.key("parallel_lane");
+  w.begin_array();
+  for (int workers : {1, 2, 4}) {
+    sim::EngineConfig cfg;
+    cfg.kind = sim::EngineKind::kParallel;
+    cfg.workers = workers;
+    auto t0 = Clock::now();
+    std::uint64_t h = sim::pdestest::opc_farm_hash(17, kFarmProducers, kFarmTagsPerNode,
+                                                   sim::seconds(2), &cfg);
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (workers == 1) farm_ref = h;
+    if (h != farm_ref) farm_ok = false;
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
+    row({fmt_int(workers), fmt(wall, 3), hex});
+    w.begin_object();
+    w.kv("workers", workers);
+    w.kv("hash", hex);
+    w.end_object();
+  }
+  w.end_array();
+  if (!farm_ok) invariant_ok = false;
+  w.kv("parallel_lane_ok", farm_ok);
+
   w.kv("invariants_ok", invariant_ok);
   w.end_object();
   write_file("BENCH_opc.json", w.take());

@@ -91,6 +91,7 @@ const char* reason_prefix(Reason r) {
 
 EvalResult evaluate(const ScheduleSpec& spec, const EvalOptions& opts) {
   sim::Simulation sim(opts.sim_seed);
+  sim.set_engine(opts.engine);
   core::PairDeploymentOptions dopts;
   dopts.with_diverter = true;
   dopts.app_factory = [](sim::Process& proc) { proc.attachment<CampaignApp>(proc); };

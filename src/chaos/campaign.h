@@ -28,6 +28,7 @@
 #include "chaos/coverage.h"
 #include "chaos/mutate.h"
 #include "chaos/schedule.h"
+#include "sim/simulation.h"
 
 namespace oftt::chaos {
 
@@ -38,6 +39,11 @@ struct EvalOptions {
   /// Run length; leave headroom past MutationParams::horizon so late
   /// faults still complete their failover.
   sim::SimTime run_for = sim::seconds(75);
+  /// Engine selection for the evaluation Simulation. The default
+  /// (sequential) keeps every pinned corpus hash; the parallel-engine
+  /// equivalence tests replay entries under kParallel and assert the
+  /// hash is invariant across worker counts.
+  sim::EngineConfig engine;
 };
 
 /// Everything one evaluation learned about one schedule.

@@ -121,4 +121,12 @@ EvalResult replay(const CorpusEntry& entry) {
   return evaluate(entry.spec, opts);
 }
 
+EvalResult replay(const CorpusEntry& entry, const sim::EngineConfig& engine) {
+  EvalOptions opts;
+  opts.sim_seed = entry.eval_seed;
+  opts.run_for = entry.run_for;
+  opts.engine = engine;
+  return evaluate(entry.spec, opts);
+}
+
 }  // namespace oftt::chaos

@@ -35,4 +35,8 @@ std::vector<CorpusEntry> parse_corpus(std::string_view text);
 /// caller diffs result.history_hash against entry.history_hash.
 EvalResult replay(const CorpusEntry& entry);
 
+/// Replay under an explicit engine config (parallel-engine equivalence
+/// tests). Pinned hashes only apply to the default sequential engine.
+EvalResult replay(const CorpusEntry& entry, const sim::EngineConfig& engine);
+
 }  // namespace oftt::chaos

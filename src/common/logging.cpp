@@ -21,6 +21,11 @@ namespace {
 // Simulation per worker thread; each installs its own clock on entry
 // and clears it in its Telemetry destructor without racing the others.
 thread_local Logger::ClockFn t_clock;
+// Per-thread merge-key source and ordered buffer: installed by
+// parallel-engine workers so their lines carry (node, seq) and collect
+// locally instead of racing on the sink (see LogRecord).
+thread_local Logger::OriginFn t_origin;
+thread_local std::vector<LogRecord>* t_buffer = nullptr;
 }  // namespace
 
 Logger& Logger::instance() {
@@ -29,6 +34,14 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_clock(ClockFn clock) { t_clock = std::move(clock); }
+
+void Logger::set_origin(OriginFn origin) { t_origin = std::move(origin); }
+
+void Logger::set_buffer(std::vector<LogRecord>* buf) { t_buffer = buf; }
+
+void Logger::deliver(const LogRecord& r) {
+  if (sink_) sink_(r);
+}
 
 Logger::Logger() {
   sink_ = [](const LogRecord& r) {
@@ -51,6 +64,15 @@ void Logger::log(LogLevel level, std::string component, std::string message) {
   r.level = level;
   r.component = std::move(component);
   r.message = std::move(message);
+  if (t_origin) {
+    auto [node, seq] = t_origin();
+    r.node = node;
+    r.seq = seq;
+  }
+  if (t_buffer != nullptr) {
+    t_buffer->push_back(std::move(r));
+    return;
+  }
   sink_(r);
 }
 

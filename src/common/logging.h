@@ -10,6 +10,8 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace oftt {
 
@@ -22,12 +24,21 @@ struct LogRecord {
   LogLevel level = LogLevel::kInfo;
   std::string component;  // e.g. "engine/nodeA", "ftim/calltrack"
   std::string message;
+  /// Merge key for parallel-engine runs: the originating node and that
+  /// node's monotone line counter. Sorting buffered lines by
+  /// (sim_time_ns, node, seq) at the window barrier reproduces the
+  /// sequential emission order byte for byte. Sequential runs leave the
+  /// defaults (-1, 0) and emit straight to the sink.
+  int node = -1;
+  std::uint64_t seq = 0;
 };
 
 class Logger {
  public:
   using Sink = std::function<void(const LogRecord&)>;
   using ClockFn = std::function<std::int64_t()>;
+  /// Returns (node, seq) for the line being stamped.
+  using OriginFn = std::function<std::pair<int, std::uint64_t>()>;
 
   static Logger& instance();
 
@@ -42,6 +53,19 @@ class Logger {
   /// Simulation, and its log lines must stamp that simulation's virtual
   /// time, not whichever sim last called set_clock globally.
   void set_clock(ClockFn clock);
+
+  /// Thread-local, like the clock: stamps (node, seq) on each record.
+  /// Parallel-engine workers install one; nullptr resets.
+  void set_origin(OriginFn origin);
+  /// Thread-local ordered-buffer mode: records are appended to `buf`
+  /// instead of reaching the sink; the parallel engine merge-sorts the
+  /// per-worker buffers at each barrier and replays them via deliver().
+  /// nullptr restores direct sink emission.
+  void set_buffer(std::vector<LogRecord>* buf);
+
+  /// Hand a fully-stamped record to the sink (the merge-flush path —
+  /// no re-stamping).
+  void deliver(const LogRecord& r);
 
   bool enabled(LogLevel level) const { return level >= level_; }
   void log(LogLevel level, std::string component, std::string message);

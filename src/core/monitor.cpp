@@ -191,6 +191,39 @@ std::string SystemMonitor::opc_board() const {
   return cat("=== OPC data plane ===\n", os.str(), plane.str());
 }
 
+std::string SystemMonitor::pdes_board() const {
+  const auto& metrics = process_->sim().telemetry().metrics();
+  const auto& counters = metrics.counters();
+  auto counter_or = [&](const char* name) -> std::uint64_t {
+    auto it = counters.find(name);
+    return it != counters.end() ? static_cast<std::uint64_t>(it->second->value) : 0;
+  };
+  const std::uint64_t windows = counter_or("oftt.pdes.windows");
+  if (windows == 0) return {};  // sequential run: nothing published.
+
+  std::ostringstream os;
+  os << "  windows=" << windows << " events=" << counter_or("oftt.pdes.events") << "\n";
+  // Per-worker lanes: oftt.pdes.w<N>.events gauges, already in worker
+  // order in the registry's ordered map (w0, w1, ... — lexicographic
+  // works up to w9; beyond that the order wobbles but every lane still
+  // prints).
+  constexpr std::string_view kWorkerPrefix = "oftt.pdes.w";
+  for (const auto& [name, cell] : metrics.gauges()) {
+    if (name.compare(0, kWorkerPrefix.size(), kWorkerPrefix) != 0) continue;
+    os << "  worker " << name.substr(kWorkerPrefix.size(), name.size() - kWorkerPrefix.size() - 7)
+       << ": events=" << cell->value << "\n";
+  }
+  const auto& gauges = metrics.gauges();
+  if (auto it = gauges.find("oftt.pdes.stall_ns"); it != gauges.end()) {
+    os << "  horizon_stall_ms=" << static_cast<double>(it->second->value) / 1e6 << "\n";
+  }
+  if (auto it = gauges.find("oftt.pdes.mailbox_peak"); it != gauges.end()) {
+    os << "  mailbox peak=" << it->second->value << " spills=" << counter_or("oftt.pdes.mailbox_spills")
+       << "\n";
+  }
+  return cat("=== Parallel engine (PDES) ===\n", os.str());
+}
+
 std::string SystemMonitor::render_fault_plan(const sim::FaultPlan& plan) {
   std::ostringstream os;
   os << "=== Injected fault schedule (" << plan.fired_count() << "/" << plan.size()

@@ -79,6 +79,12 @@ class SystemMonitor {
   /// when no OPC component has published.
   std::string opc_board() const;
 
+  /// Parallel-engine board: windows executed, events per worker lane,
+  /// horizon-stall time and mailbox high-water/spill counts, read from
+  /// the "oftt.pdes." metrics namespace. Empty string on a sequential
+  /// run (the default engine publishes nothing there).
+  std::string pdes_board() const;
+
   /// Render an injected fault schedule: every fired injection with its
   /// timestamp, then the still-pending ops. What the operator's screen
   /// shows during a chaos campaign ("what has the harness done to my

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/guid.h"
@@ -29,14 +30,20 @@ class Directory {
   static Directory& of(sim::Simulation& sim) { return sim.attachment<Directory>(); }
 
   void register_class(int node, const Clsid& clsid, Entry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
     table_[{node, clsid}] = std::move(entry);
   }
   const Entry* find(int node, const Clsid& clsid) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = table_.find({node, clsid});
     return it == table_.end() ? nullptr : &it->second;
   }
 
  private:
+  // Boot scripts register classes as nodes (re)boot — on worker threads
+  // under the parallel engine. std::map node pointers are stable, so a
+  // returned Entry* stays valid; the lock only guards the tree shape.
+  mutable std::mutex mu_;
   std::map<std::pair<int, Clsid>, Entry> table_;
 };
 

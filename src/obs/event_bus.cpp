@@ -42,6 +42,7 @@ const char* event_kind_name(EventKind kind) {
 }
 
 EventBus::SubscriberId EventBus::subscribe(EventMask mask, Handler handler, AliveFn alive) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Subscription sub;
   sub.id = next_id_++;
   sub.mask = mask;
@@ -52,6 +53,7 @@ EventBus::SubscriberId EventBus::subscribe(EventMask mask, Handler handler, Aliv
 }
 
 void EventBus::unsubscribe(SubscriberId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& sub : subs_) {
     if (sub.id == id) {
       sub.dead = true;
@@ -63,6 +65,15 @@ void EventBus::unsubscribe(SubscriberId id) {
 
 void EventBus::publish(Event e) {
   e.at = clock_ ? clock_() : 0;
+  // Parallel-engine path: a worker-context publish is captured into the
+  // worker's buffer and replayed (dispatch_now) at the barrier in
+  // deterministic merge order.
+  if (defer_ && defer_(e)) return;
+  dispatch_now(std::move(e));
+}
+
+void EventBus::dispatch_now(Event e) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ++published_;
   const EventMask mask = mask_of(e.kind);
   // Index-based: a handler may subscribe (push_back) or unsubscribe
@@ -85,6 +96,7 @@ void EventBus::publish(Event e) {
 }
 
 std::size_t EventBus::subscriber_count() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& sub : subs_) {
     if (!sub.dead && sub.alive && !sub.alive()) sub.dead = true;
   }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "obs/event.h"
@@ -25,6 +26,12 @@ class EventBus {
   using Handler = std::function<void(const Event&)>;
   using AliveFn = std::function<bool()>;
   using ClockFn = std::function<sim::SimTime()>;
+  /// Parallel-engine hook: called with the stamped event before
+  /// dispatch; returning true means the event was captured into a
+  /// per-worker buffer and will be replayed later via dispatch_now()
+  /// in deterministic (time, node-key) order. Returning false keeps
+  /// the normal immediate dispatch.
+  using DeferFn = std::function<bool(Event&)>;
 
   explicit EventBus(ClockFn clock) : clock_(std::move(clock)) {}
 
@@ -43,6 +50,13 @@ class EventBus {
   /// Stamp `e.at` with the current sim time, deliver to matching
   /// subscribers, append to the history.
   void publish(Event e);
+
+  /// Install (or clear, with nullptr) the parallel-engine defer hook.
+  void set_defer(DeferFn defer) { defer_ = std::move(defer); }
+  /// Deliver an already-stamped event (the barrier replay path): runs
+  /// subscribers and appends to the history exactly like publish(), but
+  /// never re-stamps and never re-defers.
+  void dispatch_now(Event e);
 
   const EventLog& history() const { return history_; }
   void set_history_cap(std::size_t cap) { history_.set_cap(cap); }
@@ -63,6 +77,12 @@ class EventBus {
   void prune();
 
   ClockFn clock_;
+  DeferFn defer_;
+  // Guards subs_/history_/published_ against a worker-side subscribe
+  // racing the coordinator's barrier replay. Recursive because a
+  // handler may publish (or subscribe) while a dispatch is in flight —
+  // the pre-parallel bus already supported that reentrancy.
+  std::recursive_mutex mu_;
   std::vector<Subscription> subs_;
   SubscriberId next_id_ = 1;
   EventLog history_;

@@ -170,14 +170,14 @@ std::string export_json(const Telemetry& telemetry, bool include_history) {
   w.key("counters");
   w.begin_object();
   for (const auto& [name, cell] : telemetry.metrics().counters()) {
-    w.kv(name, cell->value);
+    w.kv(name, cell->value.load(std::memory_order_relaxed));
   }
   w.end_object();
 
   w.key("gauges");
   w.begin_object();
   for (const auto& [name, cell] : telemetry.metrics().gauges()) {
-    w.kv(name, cell->value);
+    w.kv(name, cell->value.load(std::memory_order_relaxed));
   }
   w.end_object();
 
@@ -186,11 +186,11 @@ std::string export_json(const Telemetry& telemetry, bool include_history) {
   for (const auto& [name, cell] : telemetry.metrics().histograms()) {
     w.key(name);
     w.begin_object();
-    w.kv("count", cell->count);
-    w.kv("sum", cell->sum);
-    if (cell->count > 0) {
-      w.kv("min", cell->min);
-      w.kv("max", cell->max);
+    w.kv("count", cell->count.load(std::memory_order_relaxed));
+    w.kv("sum", cell->sum.load(std::memory_order_relaxed));
+    if (cell->count.load(std::memory_order_relaxed) > 0) {
+      w.kv("min", cell->min.load(std::memory_order_relaxed));
+      w.kv("max", cell->max.load(std::memory_order_relaxed));
       w.kv("p50", cell->quantile(0.50));
       w.kv("p99", cell->quantile(0.99));
     }

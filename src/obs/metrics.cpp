@@ -6,46 +6,51 @@ namespace oftt::obs {
 namespace detail {
 
 void HistogramCell::record(std::int64_t v) {
-  if (count == 0) {
-    min = max = v;
-  } else {
-    min = std::min(min, v);
-    max = std::max(max, v);
+  count.fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t seen = min.load(std::memory_order_relaxed);
+  while (v < seen && !min.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
-  ++count;
-  sum += v;
+  seen = max.load(std::memory_order_relaxed);
+  while (v > seen && !max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
   std::size_t i = 0;
   while (i < bounds.size() && v > bounds[i]) ++i;
-  ++counts[i];
+  counts[i].fetch_add(1, std::memory_order_relaxed);
 }
 
 std::int64_t HistogramCell::quantile(double q) const {
-  if (count == 0) return 0;
+  std::uint64_t n = count.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  std::int64_t lo_bound = min.load(std::memory_order_relaxed);
+  std::int64_t hi_bound = max.load(std::memory_order_relaxed);
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th sample (1-based, nearest-rank).
-  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
-    std::uint64_t next = seen + counts[i];
+    std::uint64_t c = counts[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    std::uint64_t next = seen + c;
     if (rank <= next) {
-      std::int64_t lo = i == 0 ? min : bounds[i - 1];
-      std::int64_t hi = i < bounds.size() ? bounds[i] : max;
-      lo = std::clamp(lo, min, max);
-      hi = std::clamp(hi, min, max);
-      if (hi <= lo || counts[i] == 1) return hi;
+      std::int64_t lo = i == 0 ? lo_bound : bounds[i - 1];
+      std::int64_t hi = i < bounds.size() ? bounds[i] : hi_bound;
+      lo = std::clamp(lo, lo_bound, hi_bound);
+      hi = std::clamp(hi, lo_bound, hi_bound);
+      if (hi <= lo || c == 1) return hi;
       // Linear interpolation across the bucket's samples.
-      double frac = static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+      double frac = static_cast<double>(rank - seen) / static_cast<double>(c);
       return lo + static_cast<std::int64_t>(static_cast<double>(hi - lo) * frac);
     }
     seen = next;
   }
-  return max;
+  return hi_bound;
 }
 
 }  // namespace detail
 
 Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counter_cells_.emplace_back();
@@ -55,6 +60,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauge_cells_.emplace_back();
@@ -64,6 +70,7 @@ Gauge MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram MetricsRegistry::histogram(std::string_view name, std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     histogram_cells_.emplace_back();
@@ -71,20 +78,24 @@ Histogram MetricsRegistry::histogram(std::string_view name, std::vector<std::int
     std::sort(bounds.begin(), bounds.end());
     bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
     cell.bounds = std::move(bounds);
-    cell.counts.assign(cell.bounds.size() + 1, 0);
+    // Atomics are not copyable, so the bucket array is sized once here
+    // (vector move-assign) and never resized.
+    cell.counts = std::vector<std::atomic<std::uint64_t>>(cell.bounds.size() + 1);
     it = histograms_.emplace(std::string(name), &cell).first;
   }
   return Histogram(it->second);
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value;
+  return it == counters_.end() ? 0 : it->second->value.load(std::memory_order_relaxed);
 }
 
 std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0 : it->second->value;
+  return it == gauges_.end() ? 0 : it->second->value.load(std::memory_order_relaxed);
 }
 
 }  // namespace oftt::obs

@@ -11,9 +11,11 @@
 // state (increments are dropped), so components can hold them by value.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,19 +23,26 @@
 namespace oftt::obs {
 
 namespace detail {
+// Cells are relaxed atomics: under the parallel engine, workers on
+// different nodes increment shared cells (node.deliver_*, net.lost)
+// concurrently. Counter/histogram reads are sums, so every observable
+// value stays a deterministic function of the event history no matter
+// how increments interleave; sequential runs pay one uncontended
+// lock-free RMW, which is within noise of the old plain increment.
 struct CounterCell {
-  std::uint64_t value = 0;
+  std::atomic<std::uint64_t> value{0};
 };
 struct GaugeCell {
-  std::int64_t value = 0;
+  std::atomic<std::int64_t> value{0};
 };
 struct HistogramCell {
   std::vector<std::int64_t> bounds;  // upper bounds, ascending; implicit +inf last
-  std::vector<std::uint64_t> counts; // bounds.size() + 1 buckets
-  std::uint64_t count = 0;
-  std::int64_t sum = 0;
-  std::int64_t min = 0;
-  std::int64_t max = 0;
+  std::vector<std::atomic<std::uint64_t>> counts;  // bounds.size() + 1 buckets
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::int64_t> sum{0};
+  // Sentinels until the first sample; readers gate on count > 0.
+  std::atomic<std::int64_t> min{INT64_MAX};
+  std::atomic<std::int64_t> max{INT64_MIN};
 
   void record(std::int64_t v);
   /// Approximate quantile (0..1): linear interpolation inside the
@@ -46,9 +55,11 @@ class Counter {
  public:
   Counter() = default;
   void inc(std::uint64_t delta = 1) {
-    if (cell_ != nullptr) cell_->value += delta;
+    if (cell_ != nullptr) cell_->value.fetch_add(delta, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return cell_ != nullptr ? cell_->value : 0; }
+  std::uint64_t value() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
   explicit operator bool() const { return cell_ != nullptr; }
 
  private:
@@ -61,12 +72,14 @@ class Gauge {
  public:
   Gauge() = default;
   void set(std::int64_t v) {
-    if (cell_ != nullptr) cell_->value = v;
+    if (cell_ != nullptr) cell_->value.store(v, std::memory_order_relaxed);
   }
   void add(std::int64_t delta) {
-    if (cell_ != nullptr) cell_->value += delta;
+    if (cell_ != nullptr) cell_->value.fetch_add(delta, std::memory_order_relaxed);
   }
-  std::int64_t value() const { return cell_ != nullptr ? cell_->value : 0; }
+  std::int64_t value() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
   explicit operator bool() const { return cell_ != nullptr; }
 
  private:
@@ -81,8 +94,12 @@ class Histogram {
   void record(std::int64_t v) {
     if (cell_ != nullptr) cell_->record(v);
   }
-  std::uint64_t count() const { return cell_ != nullptr ? cell_->count : 0; }
-  std::int64_t sum() const { return cell_ != nullptr ? cell_->sum : 0; }
+  std::uint64_t count() const {
+    return cell_ != nullptr ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  std::int64_t sum() const {
+    return cell_ != nullptr ? cell_->sum.load(std::memory_order_relaxed) : 0;
+  }
   std::int64_t quantile(double q) const {
     return cell_ != nullptr ? cell_->quantile(q) : 0;
   }
@@ -101,6 +118,9 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Resolve-or-create. Call once per component, keep the handle.
+  /// Resolution is mutex-guarded (parallel-engine workers construct
+  /// components — and thus resolve handles — concurrently at node
+  /// boots); the handles themselves are lock-free.
   Counter counter(std::string_view name);
   Gauge gauge(std::string_view name);
   /// `bounds` are ascending upper bucket bounds; an implicit +inf
@@ -124,6 +144,7 @@ class MetricsRegistry {
   }
 
  private:
+  mutable std::mutex mu_;
   std::deque<detail::CounterCell> counter_cells_;
   std::deque<detail::GaugeCell> gauge_cells_;
   std::deque<detail::HistogramCell> histogram_cells_;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@ class DiskStore {
   /// used bytes past the node's capacity (a full disk: the existing
   /// value stays intact, exactly like a failed overwrite on NTFS).
   bool write(int node, const std::string& key, Buffer value) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto& acct = accounts_[node];
     if (acct.fail_writes) return false;
     auto it = data_.find({node, key});
@@ -41,11 +43,13 @@ class DiskStore {
     return true;
   }
   std::optional<Buffer> read(int node, const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = data_.find({node, key});
     if (it == data_.end()) return std::nullopt;
     return it->second;
   }
   void erase(int node, const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = data_.find({node, key});
     if (it == data_.end()) return;
     accounts_[node].used_bytes -= it->second.size();
@@ -56,6 +60,7 @@ class DiskStore {
   /// reclaimed. This is what journal compaction uses to retire whole
   /// segments.
   std::size_t erase_prefix(int node, const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t reclaimed = 0;
     auto it = data_.lower_bound({node, prefix});
     while (it != data_.end() && it->first.first == node &&
@@ -68,6 +73,7 @@ class DiskStore {
   }
 
   std::vector<std::string> keys_with_prefix(int node, const std::string& prefix) const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::string> out;
     for (auto it = data_.lower_bound({node, prefix}); it != data_.end(); ++it) {
       if (it->first.first != node || it->first.second.rfind(prefix, 0) != 0) break;
@@ -78,21 +84,30 @@ class DiskStore {
 
   /// Bytes currently stored for a node (sum of value sizes).
   std::size_t used_bytes(int node) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = accounts_.find(node);
     return it != accounts_.end() ? it->second.used_bytes : 0;
   }
 
   /// Cap a node's disk at `bytes` (0 = unlimited). Writes that would
   /// exceed the cap fail; existing data is never truncated.
-  void set_capacity(int node, std::size_t bytes) { accounts_[node].capacity = bytes; }
+  void set_capacity(int node, std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    accounts_[node].capacity = bytes;
+  }
   std::size_t capacity(int node) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = accounts_.find(node);
     return it != accounts_.end() ? it->second.capacity : 0;
   }
 
   /// Chaos hook: make every write on `node` fail (FaultPlan::disk_full).
-  void fail_writes(int node, bool fail) { accounts_[node].fail_writes = fail; }
+  void fail_writes(int node, bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    accounts_[node].fail_writes = fail;
+  }
   bool writes_failing(int node) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = accounts_.find(node);
     return it != accounts_.end() && it->second.fail_writes;
   }
@@ -103,6 +118,10 @@ class DiskStore {
     std::size_t capacity = 0;  // 0 = unlimited
     bool fail_writes = false;
   };
+  // The map structure is shared across nodes even though every key is
+  // per-node: parallel-engine workers mutate concurrently, so the whole
+  // store is mutex-guarded. Values are copied out under the lock.
+  mutable std::mutex mu_;
   std::map<std::pair<int, std::string>, Buffer> data_;
   std::map<int, Account> accounts_;
 };

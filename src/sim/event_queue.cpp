@@ -61,10 +61,22 @@ void EventQueue::free_slot(std::uint32_t idx) {
 }
 
 EventHandle EventQueue::schedule_on(SimTime at, LifeRef life, EventFn&& fn) {
+  return schedule_impl(at, next_seq_++, kNoTarget, std::move(life), std::move(fn),
+                       /*keyed=*/false);
+}
+
+EventHandle EventQueue::schedule_keyed(SimTime at, std::uint64_t key, std::uint32_t target,
+                                       LifeRef life, EventFn&& fn) {
+  return schedule_impl(at, key, target, std::move(life), std::move(fn), /*keyed=*/true);
+}
+
+EventHandle EventQueue::schedule_impl(SimTime at, std::uint64_t seq, std::uint32_t target,
+                                      LifeRef life, EventFn&& fn, bool keyed) {
   std::uint32_t idx = alloc_slot();
   SlotHot& s = hot_[idx];
   s.at = at;
-  s.seq = next_seq_++;
+  s.seq = seq;
+  s.target = target;
   cold_[idx].life = std::move(life);
   cold_[idx].fn = std::move(fn);
 
@@ -81,11 +93,13 @@ EventHandle EventQueue::schedule_on(SimTime at, LifeRef life, EventFn&& fn) {
   }
   ++live_;
   // The memoised peek stays valid: an event at or after the cached
-  // minimum cannot displace it (equal `at` loses on seq). Inserting
+  // minimum cannot displace it (equal `at` loses on seq — except for a
+  // caller-supplied key, which may undercut the cached min's key, so
+  // keyed inserts also invalidate on an equal timestamp). Inserting
   // into the cached min's own bucket would stale its recorded list
   // predecessor, so that case invalidates too.
   if (peek_.valid &&
-      (peek_.next_at == kNever || at < peek_.next_at ||
+      (peek_.next_at == kNever || at < peek_.next_at || (keyed && at == peek_.next_at) ||
        (s.lane == kLaneWheel && peek_.src == Peek::kWheel &&
         static_cast<int>(tick & 255) == peek_.l0_slot))) {
     peek_.valid = false;
@@ -359,6 +373,7 @@ SimTime EventQueue::pop(EventFn& fn) {
   SlotCold& c = cold_[idx];
   assert(s.in_use && s.at == peek_.next_at);
   SimTime at = s.at;
+  last_target_ = s.target;
   // Liveness gate (was a wrapper lambda in the seed kernel): a dead or
   // hung strand's event still advances time but returns no callback.
   if (c.life == nullptr || c.life->runnable()) fn = std::move(c.fn);

@@ -154,8 +154,22 @@ class EventQueue {
   /// still advances to `at` if it is the earliest event) when the
   /// strand has died or hung by fire time.
   EventHandle schedule_on(SimTime at, LifeRef life, EventFn&& fn);
+  /// Parallel-engine entry: the caller supplies the tie-break key (a
+  /// deterministic per-node sequence, not this queue's own counter) and
+  /// the node the event targets, so a shard queue's pop order is a pure
+  /// function of its contents — identical however events arrived. Keys
+  /// share the (at, key) comparator with ordinary seqs.
+  EventHandle schedule_keyed(SimTime at, std::uint64_t key, std::uint32_t target, LifeRef life,
+                             EventFn&& fn);
 
   void cancel(EventHandle& h);
+  /// Cancel through the handle's *own* queue. Under the parallel engine
+  /// a handle may belong to a shard queue rather than the simulation's
+  /// global queue; cancel() on the wrong queue is a silent no-op, so
+  /// Simulation::cancel routes here.
+  static void cancel_owned(EventHandle& h) {
+    if (h.q_ != nullptr) const_cast<EventQueue*>(h.q_)->cancel(h);
+  }
 
   bool empty() const { return live_ == 0; }
   std::size_t size() const { return live_; }
@@ -168,6 +182,11 @@ class EventQueue {
   /// died or hung — the caller still advances time but has nothing to
   /// run. (Out-param form: one InlineFn relocation, slot -> fn.)
   SimTime pop(EventFn& fn);
+  /// Target node of the most recently popped event (kNoTarget when it
+  /// was scheduled without one). Read by parallel workers to install
+  /// the node execution context.
+  static constexpr std::uint32_t kNoTarget = 0xFFFFFFFF;
+  std::uint32_t last_target() const { return last_target_; }
 
   // --- introspection for tests and benches ---------------------------
   std::size_t debug_heap_size() const { return heap_.size(); }
@@ -201,6 +220,7 @@ class EventQueue {
     /// cancelled wheel slot stays linked as a zombie until its bucket
     /// is walked, and only then joins the freelist).
     std::uint32_t next = kNilSlot;
+    std::uint32_t target = kNoTarget;  // node the event targets (parallel engine)
     Lane lane = kLaneHeap;
     bool in_use = false;
   };
@@ -302,8 +322,12 @@ class EventQueue {
   };
   Peek peek_;
 
+  EventHandle schedule_impl(SimTime at, std::uint64_t seq, std::uint32_t target, LifeRef life,
+                            EventFn&& fn, bool keyed);
+
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;  // scheduled, not yet fired or cancelled
+  std::uint32_t last_target_ = kNoTarget;
 };
 
 inline bool EventHandle::valid() const { return q_ != nullptr && q_->handle_live(idx_, gen_); }

@@ -1,7 +1,11 @@
 #include "sim/network.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sim/parallel_engine.h"
 #include "sim/simulation.h"
 
 namespace oftt::sim {
@@ -26,6 +30,26 @@ Network::Network(Simulation& sim, std::string name, int id)
       payload_bytes_(sim.telemetry().metrics().histogram(
           "net.payload_bytes", {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})) {}
 
+void Network::set_latency(SimTime min, SimTime max) {
+  if (max < min) {
+    throw std::invalid_argument(cat("Network::set_latency('", name_, "'): max (", max,
+                                    " ns) < min (", min, " ns) — arguments swapped?"));
+  }
+  if (min < 0) {
+    throw std::invalid_argument(
+        cat("Network::set_latency('", name_, "'): negative min (", min, " ns)"));
+  }
+  latency_min_ = min;
+  latency_max_ = max;
+}
+
+void Network::prepare_parallel(std::size_t node_count) {
+  while (node_rng_.size() < node_count) {
+    node_rng_.push_back(sim_.fork_rng(cat("net:", name_, "#", node_rng_.size())));
+  }
+  if (node_burst_bad_.size() < node_count) node_burst_bad_.resize(node_count, 0);
+}
+
 void Network::set_link(int a, int b, bool up) {
   auto key = std::minmax(a, b);
   if (up) {
@@ -48,19 +72,22 @@ void Network::set_burst_loss(double p_enter, double p_exit, double loss_good, do
   burst_.loss_bad = loss_bad;
 }
 
-void Network::clear_burst_loss() { burst_ = BurstLoss{}; }
+void Network::clear_burst_loss() {
+  burst_ = BurstLoss{};
+  std::fill(node_burst_bad_.begin(), node_burst_bad_.end(), 0);
+}
 
-bool Network::burst_drop() {
+bool Network::burst_drop(Rng& rng, bool& bad) {
   // One chain step per send attempt: transition draw first, then the
   // state's loss draw. Disabled channels make no rng draws at all, so
   // enabling burst loss mid-run never perturbs earlier history.
-  if (burst_.bad) {
-    if (rng_.chance(burst_.p_exit)) burst_.bad = false;
+  if (bad) {
+    if (rng.chance(burst_.p_exit)) bad = false;
   } else {
-    if (rng_.chance(burst_.p_enter)) burst_.bad = true;
+    if (rng.chance(burst_.p_enter)) bad = true;
   }
-  double loss = burst_.bad ? burst_.loss_bad : burst_.loss_good;
-  return loss > 0.0 && rng_.chance(loss);
+  double loss = bad ? burst_.loss_bad : burst_.loss_good;
+  return loss > 0.0 && rng.chance(loss);
 }
 
 void Network::partition(std::vector<std::vector<int>> groups) {
@@ -93,29 +120,50 @@ bool Network::reachable(int a, int b) const {
 
 bool Network::send(Datagram d) {
   if (!attached(d.src_node)) return false;
-  ++sent_;
-  bytes_sent_ += d.payload.size();
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(d.payload.size(), std::memory_order_relaxed);
   payload_bytes_.record(static_cast<std::int64_t>(d.payload.size()));
   if (!attached(d.dst_node) || !reachable(d.src_node, d.dst_node)) {
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     ctr_unreachable_.inc();
     return true;  // datagram silently lost in the fabric
   }
-  if (loss_ > 0.0 && rng_.chance(loss_)) {
-    ++dropped_;
+  // Parallel mode draws from the source node's own substream (and
+  // advances the source node's burst chain) so concurrent sends from
+  // different nodes never race — and never perturb — each other's draw
+  // sequences. The draw *order within one send* is identical in both
+  // modes: loss, burst transition + state loss, duplication, latency
+  // per copy.
+  ParallelEngine* engine = sim_.parallel_engine();
+  const bool parallel = engine != nullptr;
+  const auto src = static_cast<std::size_t>(d.src_node);
+  if (parallel && node_rng_.size() <= src) prepare_parallel(sim_.node_count());
+  Rng& rng = parallel ? node_rng_[src] : rng_;
+  if (loss_ > 0.0 && rng.chance(loss_)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     ctr_lost_.inc();
     return true;
   }
-  if (burst_.enabled && burst_drop()) {
-    ++dropped_;
-    ++burst_dropped_;
-    ctr_lost_.inc();
-    return true;
+  if (burst_.enabled) {
+    bool drop;
+    if (parallel) {
+      bool bad = node_burst_bad_[src] != 0;
+      drop = burst_drop(rng, bad);
+      node_burst_bad_[src] = bad ? 1 : 0;
+    } else {
+      drop = burst_drop(rng, burst_.bad);
+    }
+    if (drop) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      burst_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ctr_lost_.inc();
+      return true;
+    }
   }
   int copies = 1;
-  if (dup_ > 0.0 && rng_.chance(dup_)) {
+  if (dup_ > 0.0 && rng.chance(dup_)) {
     ++copies;
-    ++duplicated_;
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
     ctr_duplicated_.inc();
   }
   SimTime serialization = 0;
@@ -129,12 +177,22 @@ bool Network::send(Datagram d) {
     // original — the nastier of the two orderings for receivers.
     SimTime latency = latency_min_ == latency_max_
                           ? latency_min_
-                          : latency_min_ + rng_.uniform(0, latency_max_ - latency_min_);
+                          : latency_min_ + rng.uniform(0, latency_max_ - latency_min_);
     latency += serialization;
-    sim_.schedule_after(latency, [this, dst, dgram = d] {
-      ++delivered_;
-      sim_.node(dst).deliver(dgram);
-    });
+    if (parallel) {
+      // Cross-shard delivery: keyed with the sender's counter at send
+      // time, routed through the engine (mailbox if the destination
+      // lives on another worker).
+      engine->post_send(d.src_node, dst, sim_.now() + latency, [this, dst, dgram = d] {
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        sim_.node(dst).deliver(dgram);
+      });
+    } else {
+      sim_.schedule_after(latency, [this, dst, dgram = d] {
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        sim_.node(dst).deliver(dgram);
+      });
+    }
   }
   return true;
 }

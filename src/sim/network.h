@@ -3,6 +3,7 @@
 // each with independent latency, loss, link failures and partitions.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <string>
@@ -33,11 +34,13 @@ class Network {
   void detach(int node_id) { attached_.erase(node_id); }
   bool attached(int node_id) const { return attached_.count(node_id) != 0; }
 
-  /// Delivery delay is uniform in [min, max].
-  void set_latency(SimTime min, SimTime max) {
-    latency_min_ = min;
-    latency_max_ = max < min ? min : max;
-  }
+  /// Delivery delay is uniform in [min, max]. An inverted range throws
+  /// (it used to clamp silently, hiding swapped-argument bugs); the
+  /// parallel engine additionally refuses to run while any network has
+  /// min == 0, since the minimum latency is its conservative lookahead.
+  void set_latency(SimTime min, SimTime max);
+  SimTime latency_min() const { return latency_min_; }
+  SimTime latency_max() const { return latency_max_; }
   /// Serialization delay: bytes/second on the wire; 0 disables (the
   /// default keeps small control traffic latency-dominated, but large
   /// checkpoint images should pay for their size). 10BASE-T Ethernet,
@@ -86,22 +89,32 @@ class Network {
   /// refusal (sender not attached). Loss/partition drops are silent.
   bool send(Datagram d);
 
+  /// Parallel-engine hook, called at every run entry: materialize one
+  /// decorrelated rng substream (and burst-chain state cell) per source
+  /// node, forked by name from the seed. Sends executing on worker
+  /// threads then draw from their source node's own stream, so the draw
+  /// sequence each node sees is a pure function of that node's history
+  /// — identical for any worker count (and any partition).
+  void prepare_parallel(std::size_t node_count);
+
   // Introspection for tests/benches.
-  std::uint64_t sent() const { return sent_; }
+  std::uint64_t sent() const { return sent_.load(std::memory_order_relaxed); }
   /// Total payload bytes offered to the segment (including datagrams
   /// later lost) — the traffic-cost figure the detection benchmarks
   /// compare across protocols.
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t delivered() const { return delivered_; }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t duplicated() const { return duplicated_; }
-  std::uint64_t burst_dropped() const { return burst_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+  std::uint64_t delivered() const { return delivered_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
+  std::uint64_t burst_dropped() const { return burst_dropped_.load(std::memory_order_relaxed); }
 
  private:
   bool reachable(int a, int b) const;
-  /// Advance the Gilbert-Elliott chain one step and decide whether this
-  /// send attempt is swallowed by the burst channel.
-  bool burst_drop();
+  /// Advance a Gilbert-Elliott chain one step and decide whether this
+  /// send attempt is swallowed by the burst channel. The chain state is
+  /// the shared channel's in sequential mode, the per-source-node cell
+  /// in parallel mode.
+  bool burst_drop(Rng& rng, bool& bad);
 
   Simulation& sim_;
   std::string name_;
@@ -122,9 +135,17 @@ class Network {
   std::set<std::pair<int, int>> dead_links_;
   std::map<int, int> partition_group_;  // node -> group (empty = healed)
   Rng rng_;
-  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0, duplicated_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t burst_dropped_ = 0;
+  // Parallel-mode per-source-node draw streams and burst-chain states
+  // (see prepare_parallel). Only sized when a parallel engine runs;
+  // sequential mode keeps the shared rng_/burst_.bad exactly as before
+  // so every pinned hash is untouched.
+  std::vector<Rng> node_rng_;
+  std::vector<char> node_burst_bad_;
+  // Counters are relaxed atomics: workers on different source nodes
+  // send (and deliver) concurrently. Reads are whole-run sums.
+  std::atomic<std::uint64_t> sent_{0}, delivered_{0}, dropped_{0}, duplicated_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> burst_dropped_{0};
   // Pre-resolved metric handles: the per-datagram path must not do
   // string-keyed map lookups.
   obs::Counter ctr_unreachable_;

@@ -65,6 +65,20 @@ class Node {
   bool port_bound(const std::string& port) const;
   void deliver(const Datagram& d);
 
+  /// Deterministic per-node counters for the parallel engine: event
+  /// tie-break keys, bus/log merge keys, and the node's epoch stream.
+  /// Each is only ever advanced by the thread currently executing this
+  /// node — its shard worker inside a window, the coordinator at
+  /// barriers — so the sequences are pure functions of the node's own
+  /// deterministic history, independent of the worker count.
+  struct PdesCounters {
+    std::uint64_t sched_seq = 0;
+    std::uint64_t pub_seq = 0;
+    std::uint64_t log_seq = 0;
+    std::uint64_t epoch = 0;
+  };
+  PdesCounters& pdes() { return pdes_; }
+
  private:
   void kill_all_processes(const std::string& reason);
   void publish_down(const char* why);
@@ -82,6 +96,7 @@ class Node {
     LifeRef life;
     MessageHandler handler;
   };
+  PdesCounters pdes_;
   std::map<std::string, PortEntry> ports_;
   std::map<std::string, std::shared_ptr<Process>> processes_;
   std::map<std::string, Process::Factory> factories_;

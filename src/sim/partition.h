@@ -1,0 +1,38 @@
+// Node -> shard assignment for the conservative parallel engine.
+//
+// A partition is fixed for the life of a Simulation (nodes are assigned
+// a shard as they are added) and must be a pure function of the node id
+// and the shard count: the engine's determinism contract says the event
+// history is identical for any worker count, so nothing about *where* a
+// node executes may leak into *what* it computes. The partition only
+// decides load balance.
+#pragma once
+
+namespace oftt::sim {
+
+enum class PartitionStrategy {
+  /// node % shards. Spreads consecutively-numbered replicas (the way
+  /// every deployment numbers them) evenly — the right default for
+  /// homogeneous fleets like the SWIM N=512 scenario.
+  kRoundRobin,
+  /// (node / 8) % shards: blocks of 8 consecutive nodes per shard.
+  /// Keeps chatty neighbours (a redundant pair + its test PC) on one
+  /// worker at the cost of coarser balance.
+  kBlocked,
+};
+
+struct Partition {
+  int shards = 1;
+  PartitionStrategy strategy = PartitionStrategy::kRoundRobin;
+
+  int shard_of(int node) const {
+    if (shards <= 1 || node < 0) return 0;
+    switch (strategy) {
+      case PartitionStrategy::kBlocked: return (node / 8) % shards;
+      case PartitionStrategy::kRoundRobin: break;
+    }
+    return node % shards;
+  }
+};
+
+}  // namespace oftt::sim

@@ -11,11 +11,11 @@ Strand::Strand(Process& process, std::string name)
 
 EventHandle Strand::schedule_after(SimTime delay, EventFn fn) {
   Simulation& sim = process_.sim();
-  return sim.schedule_on(sim.now() + delay, life_, std::move(fn));
+  return sim.schedule_on(sim.now() + delay, life_, std::move(fn), process_.node().id());
 }
 
 EventHandle Strand::schedule_at(SimTime at, EventFn fn) {
-  return process_.sim().schedule_on(at, life_, std::move(fn));
+  return process_.sim().schedule_on(at, life_, std::move(fn), process_.node().id());
 }
 
 void Strand::bind(const std::string& port, MessageHandler handler) {
